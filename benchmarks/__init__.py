@@ -1,0 +1,7 @@
+"""Benchmark suite: one module per paper table/figure, plus extensions.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each table/figure
+benchmark regenerates its artifact, writes the rendered output to
+``results/``, and asserts the paper's qualitative claims hold (see
+EXPERIMENTS.md for the paper-vs-measured comparison).
+"""

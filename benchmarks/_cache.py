@@ -1,0 +1,82 @@
+"""Shared workloads and cached base runs for the benchmark suite.
+
+Every table/figure benchmark draws on the same undirected base diagnoses;
+this module computes each base run once per pytest session.  All
+benchmarks use the package-default search configuration (the paper-scale
+tuning) and a fixed Poisson workload.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+from repro.analysis import base_bottleneck_set, time_to_fraction
+from repro.apps.ocean import OceanConfig, build_ocean
+from repro.apps.poisson import PoissonConfig, build_poisson
+from repro.core import DirectiveSet, SearchConfig, extract_directives, run_diagnosis
+from repro.storage import RunRecord
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Margin used to define the scored "important bottleneck" sets (goal 3).
+SOLID_MARGIN = 0.075
+
+#: Fixed iteration budget: long enough for every version's undirected
+#: search to converge under the default cost gate.
+POISSON_CFG = PoissonConfig(iterations=1000)
+
+OCEAN_CFG = OceanConfig(iterations=900)
+
+
+def search_config(stop: bool = False, **overrides) -> SearchConfig:
+    cfg = SearchConfig(stop_engine_when_done=stop)
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    return cfg
+
+
+@functools.lru_cache(maxsize=None)
+def poisson_app(version: str):
+    return build_poisson(version, POISSON_CFG)
+
+
+@functools.lru_cache(maxsize=None)
+def base_run(version: str) -> RunRecord:
+    """Undirected base diagnosis of a Poisson version (run to completion
+    to identify the complete bottleneck set, Section 4.1)."""
+    return run_diagnosis(
+        build_poisson(version, POISSON_CFG),
+        config=search_config(stop=False),
+        run_id=f"bench-base-{version}",
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def base_solid_set(version: str) -> frozenset:
+    return frozenset(base_bottleneck_set(base_run(version), margin=SOLID_MARGIN))
+
+
+@functools.lru_cache(maxsize=None)
+def base_times(version: str) -> tuple:
+    times = time_to_fraction(base_run(version), base_solid_set(version))
+    return tuple(sorted(times.items()))
+
+
+@functools.lru_cache(maxsize=None)
+def base_directives(version: str) -> DirectiveSet:
+    return extract_directives(base_run(version))
+
+
+@functools.lru_cache(maxsize=None)
+def ocean_base() -> RunRecord:
+    return run_diagnosis(
+        build_ocean(OCEAN_CFG), config=search_config(stop=False), run_id="bench-base-ocean"
+    )
+
+
+def write_result(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,98 @@
+"""Section 4.3 (in-text) — combining directives from multiple runs.
+
+Paper: "We looked at two different approaches to combining search
+directives from different versions: A∧B sets to a high/low priority only
+those hypothesis/focus pairs that tested true/false in both Versions A
+and B.  A∨B sets to a high priority those ... true in either A or B ...
+We used the resulting set of directives to diagnose Version C ...  The
+resulting diagnosis times were 176 for A∧B and 179 for A∨B.  This
+difference is too small for us to conclude the superiority of one
+combination method over the other."
+
+The reproduction builds both combinations (after mapping A and B into
+C's namespace), diagnoses C with each, and asserts both are large
+improvements with only a small relative difference between them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import Table, format_seconds, reduction, time_to_fraction
+from repro.apps.poisson import build_poisson, version_maps
+from repro.core import (
+    DirectiveSet,
+    apply_mappings,
+    intersect_directives,
+    run_diagnosis,
+    union_directives,
+)
+
+from ._cache import (
+    POISSON_CFG,
+    base_directives,
+    base_solid_set,
+    base_times,
+    poisson_app,
+    search_config,
+    write_result,
+)
+
+
+def _mapped(version: str) -> DirectiveSet:
+    ds = base_directives(version).without_pair_prunes()
+    maps = version_maps(version, "C", poisson_app(version), poisson_app("C"))
+    mapped, _ = apply_mappings(
+        ds.merged_with(DirectiveSet(maps=maps)), poisson_app("C").make_space()
+    )
+    return mapped
+
+
+def run_e5():
+    a = _mapped("A")
+    b = _mapped("B")
+    variants = {
+        "A ∧ B (intersection)": intersect_directives(a, b),
+        "A ∨ B (union)": union_directives(a, b),
+    }
+    solid = set(base_solid_set("C"))
+    b_times = dict(base_times("C"))
+    rows = []
+    for name, ds in variants.items():
+        rec = run_diagnosis(
+            build_poisson("C", POISSON_CFG), directives=ds, config=search_config(stop=True)
+        )
+        t = time_to_fraction(rec, solid)[1.0]
+        rows.append((name, len(ds.priorities), t, reduction(b_times[1.0], t)))
+
+    table = Table(
+        "Section 4.3 (in-text): diagnosing C with combined A/B directives",
+        ["Combination", "Priority directives", "Time to all (s)", "vs base"],
+    )
+    table.add_row(["(base, no directives)", 0, format_seconds(b_times[1.0]), ""])
+    for name, n, t, r in rows:
+        table.add_row([name, n, format_seconds(t), f"{r:+.1f}%"])
+    table.add_footnote("paper: 176 s vs 179 s - too close to call")
+    return table, rows, b_times[1.0]
+
+
+def test_e5_combination_methods(benchmark):
+    result = {}
+
+    def run():
+        result["table"], result["rows"], result["base"] = run_e5()
+        return result["table"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    text = result["table"].render()
+    write_result("e5_combination.txt", text)
+    print("\n" + text)
+
+    (n1, p1, t1, r1), (n2, p2, t2, r2) = result["rows"]
+    assert math.isfinite(t1) and math.isfinite(t2)
+    # both combinations give large improvements
+    assert r1 < -40.0 and r2 < -40.0
+    # and the difference between them is small (paper: 176 vs 179)
+    assert abs(t1 - t2) / max(t1, t2) < 0.35
+    # the union carries at least as many priority directives
+    assert p2 >= p1

@@ -1,0 +1,86 @@
+"""Extension (paper §6 future work) — directives from raw data only.
+
+"We are also extending the ability to extract search directives to the
+case where results in the form of a Search History Graph from a previous
+PC run are not available, but we do have the raw data needed to test
+hypotheses postmortem."
+
+This benchmark compares directing a Poisson C diagnosis with (a)
+directives harvested from the base run's SHG (the paper's mechanism) and
+(b) directives computed purely from the base run's flat postmortem
+profile — as if the history had been recorded by a different monitoring
+tool.  The postmortem route should recover essentially the same speedup.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import Table, format_seconds, reduction, time_to_fraction
+from repro.apps.poisson import build_poisson
+from repro.core import extract_directives_postmortem, run_diagnosis
+
+from ._cache import (
+    POISSON_CFG,
+    base_directives,
+    base_run,
+    base_solid_set,
+    base_times,
+    search_config,
+    write_result,
+)
+
+
+def run_postmortem_comparison():
+    base = base_run("C")
+    solid = set(base_solid_set("C"))
+    b_times = dict(base_times("C"))
+
+    shg_ds = base_directives("C").without_pair_prunes()
+    pm_ds = extract_directives_postmortem(
+        base.flat_profile(), base.space(), base.placement,
+        include_pair_prunes=False,
+    )
+
+    rows = []
+    for name, ds in (("SHG-extracted", shg_ds), ("postmortem-extracted", pm_ds)):
+        rec = run_diagnosis(
+            build_poisson("C", POISSON_CFG), directives=ds,
+            config=search_config(stop=True),
+        )
+        t = time_to_fraction(rec, solid)[1.0]
+        rows.append((name, len(ds), t, reduction(b_times[1.0], t)))
+
+    table = Table(
+        "Extension: directed diagnosis from SHG vs raw-profile directives "
+        "(Poisson C)",
+        ["Directive source", "Directives", "Time to all (s)", "vs base"],
+    )
+    table.add_row(["(base, none)", 0, format_seconds(b_times[1.0]), ""])
+    for name, n, t, r in rows:
+        table.add_row([name, n, format_seconds(t), f"{r:+.1f}%"])
+    table.add_footnote(
+        "postmortem directives come from the profile alone (no Search "
+        "History Graph), e.g. a trace from a different monitoring tool"
+    )
+    return table, rows
+
+
+def test_postmortem_directives_equivalent(benchmark):
+    result = {}
+
+    def run():
+        result["table"], result["rows"] = run_postmortem_comparison()
+        return result["table"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    text = result["table"].render()
+    write_result("ext_postmortem.txt", text)
+    print("\n" + text)
+
+    (_, _, t_shg, r_shg), (_, _, t_pm, r_pm) = result["rows"]
+    assert math.isfinite(t_shg) and math.isfinite(t_pm)
+    # both large improvements ...
+    assert r_shg < -40.0 and r_pm < -40.0
+    # ... and the raw-data route is competitive with the SHG route
+    assert t_pm <= 1.6 * t_shg

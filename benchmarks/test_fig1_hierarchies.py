@@ -1,0 +1,66 @@
+"""Figure 1 — the resource hierarchies of program Tester.
+
+Paper: "There are three resource hierarchies: Code, Machine, and
+Process."  The Code hierarchy holds main.c (main), testutil.C
+(printstatus, verifya, verifyb), and vect.c (vect::addel, vect::findel,
+vect::print); Machine holds CPU_1..CPU_4; Process holds Tester:1..4.
+The running example focus is
+``< /Code/testutil.C/verifya, /Machine, /Process/Tester:2 >``.
+"""
+
+from __future__ import annotations
+
+from repro.apps.tester import TesterConfig, build_tester
+from repro.resources import Focus
+from repro.visualize import render_space
+
+from ._cache import write_result
+
+
+def run_fig1():
+    app = build_tester(TesterConfig(iterations=20))
+    space = app.make_space()
+    text = render_space(space)
+    example = Focus(
+        {
+            "Code": "/Code/testutil.C/verifya",
+            "Machine": "/Machine",
+            "Process": "/Process/Tester:2",
+        }
+    )
+    header = (
+        "Figure 1: Representing program Tester.\n"
+        f"Example focus: {example}\n"
+        "(function verifya of process Tester:2 running on any CPU)\n"
+    )
+    return header + "\n" + text, space
+
+
+def test_fig1_resource_hierarchies(benchmark):
+    result = {}
+
+    def run():
+        result["text"], result["space"] = run_fig1()
+        return result["text"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig1_hierarchies.txt", result["text"])
+    print("\n" + result["text"])
+
+    space = result["space"]
+    # every resource named in the paper's figure exists
+    for name in (
+        "/Code/main.c/main",
+        "/Code/testutil.C/printstatus",
+        "/Code/testutil.C/verifya",
+        "/Code/testutil.C/verifyb",
+        "/Code/vect.c/vect::addel",
+        "/Code/vect.c/vect::findel",
+        "/Code/vect.c/vect::print",
+        "/Machine/CPU_1",
+        "/Machine/CPU_4",
+        "/Process/Tester:2",
+    ):
+        assert name in space, name
+    text = result["text"]
+    assert "verifya" in text and "CPU_3" in text and "Tester:4" in text

@@ -1,0 +1,92 @@
+"""Performance of the reproduction's own substrate.
+
+Not a paper artifact: these benchmarks time the simulator and
+instrumentation hot paths so regressions in the engine or in focus
+matching are visible.  Unlike the table/figure benchmarks (one-shot
+pedantic runs around whole experiments), these use pytest-benchmark's
+normal repeated timing.
+"""
+
+from __future__ import annotations
+
+from repro.apps.synthetic import make_pingpong
+from repro.metrics import CostModel, InstrumentationManager
+from repro.resources import whole_program
+from repro.simulator import Activity, TimeSegment
+
+
+def _run_pingpong(iterations: int, with_instr: int = 0) -> float:
+    app = make_pingpong(iterations=iterations)
+    engine = app.make_engine()
+    if with_instr:
+        space = app.make_space()
+        mgr = InstrumentationManager(
+            engine, space, cost_model=CostModel(perturb_per_unit=0.0),
+            cost_limit=1e9, insertion_latency=0.0,
+        )
+        wp = whole_program(space)
+        foci = [wp]
+        foci.extend(wp.children(space))
+        for i in range(with_instr):
+            focus = foci[i % len(foci)]
+            mgr.request("sync_wait_time", focus)
+    return engine.run()
+
+
+def test_engine_throughput(benchmark):
+    """Raw discrete-event throughput: a 500-iteration ping-pong
+    (~4000 events) with no instrumentation attached."""
+    result = benchmark(_run_pingpong, 500)
+    assert result > 0
+
+
+def test_instrumented_engine_throughput(benchmark):
+    """The same workload with 40 active probe sets matching every
+    segment — the instrumentation fan-out hot path."""
+    result = benchmark(_run_pingpong, 500, 40)
+    assert result > 0
+
+
+def test_focus_matching_hot_path(benchmark):
+    """matches_parts() micro-benchmark: one deep focus against a
+    pre-built segment part map, the innermost loop of accumulation."""
+    seg = TimeSegment.make(
+        0.0, 1.0, Activity.SYNC, "pp:2", "n1", "pp.c", "driver", tag="9/0"
+    )
+    focus = (
+        whole_program()
+        .with_selection("Code", "/Code/pp.c/driver")
+        .with_selection("Process", "/Process/pp:2")
+        .with_selection("SyncObject", "/SyncObject/Message/9/0")
+    )
+
+    def match_many():
+        hits = 0
+        for _ in range(1000):
+            if focus.matches_parts(seg.parts):
+                hits += 1
+        return hits
+
+    assert benchmark(match_many) == 1000
+
+
+def test_profile_accumulation(benchmark):
+    """FlatProfile.add() throughput (the always-on profiler path)."""
+    from repro.metrics.profile import FlatProfile
+
+    segs = [
+        TimeSegment.make(
+            float(i), 1.0, Activity.SYNC, f"p:{i % 4}", f"n{i % 4}",
+            "m.c", f"f{i % 8}", tag=f"3/{i % 3}",
+            stack=(("main.c", "main"), ("m.c", f"f{i % 8}")),
+        )
+        for i in range(500)
+    ]
+
+    def fill():
+        profile = FlatProfile()
+        for seg in segs:
+            profile.add(seg)
+        return profile.total_time()
+
+    assert benchmark(fill) > 0

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Diagnosing your own simulated application.
+
+Shows the full public surface a downstream user needs:
+
+* writing a message-passing program as generator coroutines;
+* declaring its static resources in an :class:`~repro.Application`;
+* running the Performance Consultant on it;
+* writing directives by hand in the text format and re-diagnosing.
+
+The example program is a two-stage pipeline in which stage 2 starves on
+stage 1's output — a classic producer/consumer imbalance the Consultant
+pinpoints down to the message tag.
+"""
+
+from repro import Application, DirectiveSet, SearchConfig, run_diagnosis
+from repro.simulator import Compute, IoOp, Recv, Send
+from repro.visualize import render_shg
+from repro.core.shg import NodeState
+
+ITEMS = 250
+
+
+def producer(proc):
+    with proc.function("pipe.c", "produce"):
+        for _ in range(ITEMS):
+            with proc.function("pipe.c", "cook"):
+                yield Compute(1.0)      # slow stage
+            yield Send("stage:2", "7/0", 4096)
+
+
+def consumer(proc):
+    with proc.function("pipe.c", "consume"):
+        for _ in range(ITEMS):
+            yield Recv("stage:1", "7/0")
+            with proc.function("pipe.c", "serve"):
+                yield Compute(0.25)     # fast stage starves
+        with proc.function("pipe.c", "flush"):
+            yield IoOp(2.0)
+
+
+def build_pipeline() -> Application:
+    return Application(
+        name="pipeline",
+        version="1",
+        modules={"pipe.c": ("produce", "cook", "consume", "serve", "flush")},
+        tags=("7/0",),
+        processes=("stage:1", "stage:2"),
+        placement={"stage:1": "hostA", "stage:2": "hostB"},
+        programs={"stage:1": producer, "stage:2": consumer},
+        description="two-stage producer/consumer pipeline",
+    )
+
+
+DIRECTIVES_TEXT = """
+# hand-written directives: we already know the consumer starves, so look
+# there first, and skip the flush I/O entirely
+priority high ExcessiveSyncWaitingTime < /Code/pipe.c/consume, /Machine, /Process/stage:2, /SyncObject >
+prune * /Code/pipe.c/flush
+threshold ExcessiveSyncWaitingTime 0.25
+"""
+
+
+def main() -> None:
+    print("== undirected diagnosis of the pipeline ==")
+    base = run_diagnosis(build_pipeline(), config=SearchConfig())
+    print(render_shg(base.shg(), states=[NodeState.TRUE]))
+    print(f"\n   pairs tested: {base.pairs_tested}, "
+          f"bottlenecks: {base.bottleneck_count()}")
+
+    print("\n== directed diagnosis with hand-written directives ==")
+    directives = DirectiveSet.from_text(DIRECTIVES_TEXT)
+    directed = run_diagnosis(
+        build_pipeline(), directives=directives,
+        config=SearchConfig(stop_engine_when_done=True),
+    )
+    starving = [
+        (n["focus"], n["t_concluded"])
+        for n in directed.shg_nodes
+        if n["state"] == "true" and "stage:2" in n["focus"]
+    ]
+    first = min(starving, key=lambda x: x[1])
+    print(f"   consumer starvation confirmed at t={first[1]:.0f}s: {first[0]}")
+    print(f"   pairs tested: {directed.pairs_tested} "
+          f"(vs {base.pairs_tested} undirected)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: diagnose a parallel application, then diagnose it faster.
+
+This walks the paper's core loop on the 2-D Poisson solver (version C):
+
+1. run the Performance Consultant undirected (the "single button" mode);
+2. harvest search directives — prunes and priorities — from that run;
+3. run a second, *directed* diagnosis and compare the time needed to
+   locate the same bottlenecks.
+"""
+
+from repro import (
+    PoissonConfig,
+    SearchConfig,
+    build_poisson,
+    extract_directives,
+    run_diagnosis,
+)
+from repro.analysis import base_bottleneck_set, reduction, time_to_fraction
+from repro.visualize import render_shg
+from repro.core.shg import NodeState
+
+# a shortened workload so the example runs in a few seconds
+CFG = PoissonConfig(iterations=300)
+SEARCH = SearchConfig()
+SEARCH_STOP = SearchConfig(stop_engine_when_done=True)
+
+
+def main() -> None:
+    print("== 1. undirected diagnosis (no prior knowledge) ==")
+    base = run_diagnosis(build_poisson("C", CFG), config=SEARCH)
+    solid = base_bottleneck_set(base, margin=0.075)
+    base_times = time_to_fraction(base, solid)
+    print(f"   bottlenecks found : {base.bottleneck_count()}")
+    print(f"   pairs tested      : {base.pairs_tested}")
+    print(f"   time to find all  : {base_times[1.0]:.0f} simulated seconds")
+
+    print("\n== 2. harvest directives from the stored run ==")
+    directives = extract_directives(base).without_pair_prunes()
+    print(f"   prunes     : {len(directives.prunes)}")
+    print(f"   priorities : {len(directives.priorities)}")
+    print("   sample directive lines:")
+    for line in directives.to_text().splitlines()[:5]:
+        print(f"     {line}")
+
+    print("\n== 3. directed diagnosis of a new run ==")
+    directed = run_diagnosis(
+        build_poisson("C", CFG), directives=directives, config=SEARCH_STOP
+    )
+    directed_times = time_to_fraction(directed, solid)
+    print(f"   pairs tested      : {directed.pairs_tested}")
+    print(f"   time to find all  : {directed_times[1.0]:.0f} simulated seconds")
+    print(
+        f"   reduction         : {reduction(base_times[1.0], directed_times[1.0]):+.1f}%"
+    )
+
+    print("\n== top of the directed Search History Graph ==")
+    print(render_shg(directed.shg(), max_depth=1, states=[NodeState.TRUE, NodeState.FALSE]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""repro — a reproduction of Karavanic & Miller, "Improving Online
+Performance Diagnosis by the Use of Historical Performance Data" (SC'99).
+
+The package implements a Paradyn-style automated bottleneck search (the
+Performance Consultant) over a deterministic discrete-event simulator of
+message-passing programs, and extends it with the paper's contribution:
+search directives — prunes, priorities, and thresholds — harvested from
+stored records of previous executions, with resource mapping across runs.
+
+Quickstart::
+
+    from repro import build_poisson, run_diagnosis, extract_directives
+
+    base = run_diagnosis(build_poisson("C"))          # undirected search
+    directives = extract_directives(base)             # harvest history
+    fast = run_diagnosis(build_poisson("C"), directives=directives)
+    print(fast.time_to_find_all(), "vs", base.time_to_find_all())
+"""
+
+from .apps import (
+    Application,
+    PoissonConfig,
+    VERSIONS,
+    build_poisson,
+    machine_maps,
+    version_maps,
+)
+from .apps.anneal import AnnealConfig, build_anneal
+from .apps.ocean import OceanConfig, build_ocean
+from .apps.synthetic import make_compute_app, make_io_app, make_pingpong
+from .apps.tester import TesterConfig, build_tester
+from .core import (
+    DiagnosisSession,
+    DirectiveSet,
+    MapDirective,
+    PairPruneDirective,
+    PerformanceConsultantSearch,
+    Priority,
+    PriorityDirective,
+    PruneDirective,
+    ResourceMapper,
+    SearchConfig,
+    SearchHistoryGraph,
+    ThresholdDirective,
+    apply_mappings,
+    extract_directives,
+    extract_priorities,
+    extract_thresholds,
+    intersect_directives,
+    run_diagnosis,
+    standard_tree,
+    suggest_threshold,
+    union_directives,
+)
+from .metrics import CostModel, FlatProfile, InstrumentationManager
+from .resources import Focus, ResourceSpace, parse_focus, whole_program
+from .simulator import Engine, Machine
+from .storage import ExperimentStore, RunRecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "PoissonConfig",
+    "VERSIONS",
+    "build_poisson",
+    "machine_maps",
+    "version_maps",
+    "AnnealConfig",
+    "build_anneal",
+    "OceanConfig",
+    "build_ocean",
+    "make_compute_app",
+    "make_io_app",
+    "make_pingpong",
+    "TesterConfig",
+    "build_tester",
+    "DiagnosisSession",
+    "DirectiveSet",
+    "MapDirective",
+    "PairPruneDirective",
+    "PerformanceConsultantSearch",
+    "Priority",
+    "PriorityDirective",
+    "PruneDirective",
+    "ResourceMapper",
+    "SearchConfig",
+    "SearchHistoryGraph",
+    "ThresholdDirective",
+    "apply_mappings",
+    "extract_directives",
+    "extract_priorities",
+    "extract_thresholds",
+    "intersect_directives",
+    "run_diagnosis",
+    "standard_tree",
+    "suggest_threshold",
+    "union_directives",
+    "CostModel",
+    "FlatProfile",
+    "InstrumentationManager",
+    "Focus",
+    "ResourceSpace",
+    "parse_focus",
+    "whole_program",
+    "Engine",
+    "Machine",
+    "ExperimentStore",
+    "RunRecord",
+    "__version__",
+]

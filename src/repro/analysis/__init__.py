@@ -1,0 +1,56 @@
+"""Evaluation utilities: bottleneck sets, efficiency, similarity, tables."""
+
+from .bottlenecks import (
+    Area,
+    canonical_pairs,
+    canonicalize_focus,
+    DEFAULT_FRACTIONS,
+    areas_reported,
+    base_bottleneck_set,
+    reduction,
+    significant_areas,
+    time_to_fraction,
+)
+from .compare import (
+    BottleneckDiff,
+    ResourceDelta,
+    StructuralDiff,
+    bottleneck_diff,
+    comparison_report,
+    performance_diff,
+    structural_diff,
+)
+from .curves import DiscoveryCurve, discovery_curve, render_curves
+from .efficiency import ThresholdPoint, optimal_threshold, threshold_point
+from .report import Table, format_reduction, format_seconds
+from .similarity import membership_partition, priority_similarity
+
+__all__ = [
+    "Area",
+    "canonical_pairs",
+    "canonicalize_focus",
+    "DEFAULT_FRACTIONS",
+    "areas_reported",
+    "base_bottleneck_set",
+    "reduction",
+    "significant_areas",
+    "time_to_fraction",
+    "BottleneckDiff",
+    "ResourceDelta",
+    "StructuralDiff",
+    "bottleneck_diff",
+    "comparison_report",
+    "performance_diff",
+    "structural_diff",
+    "DiscoveryCurve",
+    "discovery_curve",
+    "render_curves",
+    "ThresholdPoint",
+    "optimal_threshold",
+    "threshold_point",
+    "Table",
+    "format_reduction",
+    "format_seconds",
+    "membership_partition",
+    "priority_similarity",
+]

@@ -1,0 +1,62 @@
+"""Aligned plain-text tables matching the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["Table", "format_seconds", "format_reduction"]
+
+
+def format_seconds(value: float) -> str:
+    """Render a time cell; unreachable times (missed bottlenecks) as '--'."""
+    if value != value or value == float("inf"):  # NaN or inf
+        return "--"
+    return f"{value:.1f}"
+
+
+def format_reduction(pct: float) -> str:
+    """Render a percentage-change cell like the paper's '(-93.5%)'."""
+    if pct != pct:
+        return ""
+    return f"({pct:+.1f}%)"
+
+
+class Table:
+    """A minimal fixed-width table renderer."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+        self.footnotes: List[str] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def add_footnote(self, text: str) -> None:
+        self.footnotes.append(text)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [self.title, "=" * len(self.title), fmt(self.headers), sep]
+        lines.extend(fmt(r) for r in self.rows)
+        if self.footnotes:
+            lines.append("")
+            lines.extend(f"  * {f}" for f in self.footnotes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,67 @@
+"""Directive-set similarity (Table 4).
+
+Table 4 partitions the priority directives extracted from base runs of
+versions A, B and C by membership: unique to one source, common to each
+pair, and common to all three — separately for High priorities, Low
+priorities, and both.  This module computes the same partition for any
+number of named directive sets.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Mapping, Set, Tuple
+
+from ..core.directives import DirectiveSet
+from ..core.shg import Priority
+
+__all__ = ["membership_partition", "priority_similarity"]
+
+
+def _keys(ds: DirectiveSet, level: Priority | None) -> Set[Tuple[str, str]]:
+    return {
+        (p.hypothesis, str(p.focus))
+        for p in ds.priorities
+        if level is None or p.level is level
+    }
+
+
+def membership_partition(
+    sets: Mapping[str, Set[Tuple[str, str]]]
+) -> Dict[Tuple[str, ...], int]:
+    """Count elements by exactly-which-sources-contain-them.
+
+    Keys are sorted tuples of source names (e.g. ``("A",)``, ``("A", "C")``,
+    ``("A", "B", "C")``); values are element counts.  Every non-empty
+    membership combination appears as a key (zero counts included), so the
+    result renders directly as Table 4's columns.
+    """
+    names = sorted(sets)
+    out: Dict[Tuple[str, ...], int] = {}
+    for r in range(1, len(names) + 1):
+        for combo in combinations(names, r):
+            out[combo] = 0
+    element_owner: Dict[Tuple[str, str], List[str]] = {}
+    for name in names:
+        for item in sets[name]:
+            element_owner.setdefault(item, []).append(name)
+    for owners in element_owner.values():
+        out[tuple(sorted(owners))] += 1
+    return out
+
+
+def priority_similarity(
+    directive_sets: Mapping[str, DirectiveSet]
+) -> Dict[str, Dict[Tuple[str, ...], int]]:
+    """Table 4's three rows: partitions for High, Low, and Both."""
+    return {
+        "High": membership_partition(
+            {k: _keys(v, Priority.HIGH) for k, v in directive_sets.items()}
+        ),
+        "Low": membership_partition(
+            {k: _keys(v, Priority.LOW) for k, v in directive_sets.items()}
+        ),
+        "Both": membership_partition(
+            {k: _keys(v, None) for k, v in directive_sets.items()}
+        ),
+    }

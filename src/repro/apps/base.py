@@ -1,0 +1,87 @@
+"""Application descriptors.
+
+An :class:`Application` bundles everything one simulated program run
+needs: the static code structure (modules and functions, which become the
+``/Code`` hierarchy), the message tags it will use (``/SyncObject``), its
+processes and their placement (``/Process`` and ``/Machine``), and one
+generator program per process.
+
+Keeping the descriptor declarative lets a diagnosis session build the
+resource space before execution — the analogue of Paradyn discovering
+static resources at program start — and lets different *versions* of an
+application (the paper's A/B/C/D Poisson variants) share tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from ..resources.names import join_path
+from ..resources.resource import ResourceSpace
+from ..simulator.engine import Engine
+from ..simulator.machine import Machine
+from ..simulator.messages import LatencyModel
+from ..simulator.records import sync_tag_parts
+
+__all__ = ["Application"]
+
+
+@dataclass
+class Application:
+    """A ready-to-run simulated application."""
+
+    name: str
+    version: str
+    modules: Mapping[str, Sequence[str]]
+    tags: Sequence[str]
+    processes: Sequence[str]
+    placement: Mapping[str, str]
+    programs: Mapping[str, Callable]
+    uses_barrier: bool = False
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        missing = [p for p in self.processes if p not in self.programs]
+        if missing:
+            raise ValueError(f"processes without programs: {missing}")
+        missing = [p for p in self.processes if p not in self.placement]
+        if missing:
+            raise ValueError(f"processes without placement: {missing}")
+
+    # ------------------------------------------------------------------
+    @property
+    def node_names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for p in self.processes:
+            seen.setdefault(self.placement[p])
+        return list(seen)
+
+    def make_space(self) -> ResourceSpace:
+        """Build the four resource hierarchies for this run."""
+        space = ResourceSpace()
+        for module, functions in self.modules.items():
+            for fn in functions:
+                space.add(join_path(("Code", module, fn)))
+        for node in self.node_names:
+            space.add(join_path(("Machine", node)))
+        for proc in self.processes:
+            space.add(join_path(("Process", proc)))
+        for tag in self.tags:
+            space.add(join_path(sync_tag_parts(tag)))
+        if self.uses_barrier:
+            space.add("/SyncObject/Barrier")
+        return space
+
+    def make_engine(self) -> Engine:
+        """Build an engine with every process spawned (not yet run)."""
+        machine = Machine(nodes=list(self.node_names))
+        engine = Engine(machine, latency=self.latency)
+        for proc in self.processes:
+            engine.add_process(proc, self.placement[proc], self.programs[proc])
+        return engine
+
+    @property
+    def n_processes(self) -> int:
+        return len(self.processes)

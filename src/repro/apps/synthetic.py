@@ -1,0 +1,124 @@
+"""Small configurable workloads for tests.
+
+These are not paper workloads; they exist so unit and property tests can
+construct programs with *known* ground truth: an app that spends exactly
+60% of its time in one function, a two-process ping-pong with a fixed
+imbalance, an I/O-heavy writer, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from ..simulator.process import Compute, IoOp, Recv, Send
+from .base import Application
+
+__all__ = ["make_compute_app", "make_pingpong", "make_io_app"]
+
+
+def make_compute_app(
+    shares: Mapping[Tuple[str, str], float],
+    iterations: int = 50,
+    cycle: float = 1.0,
+    name: str = "synthetic",
+) -> Application:
+    """Single-process app spending ``shares[(module, fn)]`` of each cycle
+    in that function.  Shares must sum to at most 1; the remainder idles in
+    ``(main.c, main)``."""
+    total = sum(shares.values())
+    if total > 1.0 + 1e-9:
+        raise ValueError(f"shares sum to {total} > 1")
+    rest = max(1.0 - total, 0.0)
+
+    def program(proc):
+        with proc.function("main.c", "main"):
+            for _ in range(iterations):
+                for (module, fn), share in shares.items():
+                    if share <= 0:
+                        continue
+                    with proc.function(module, fn):
+                        yield Compute(cycle * share)
+                if rest > 0:
+                    yield Compute(cycle * rest)
+
+    modules: Dict[str, list] = {"main.c": ["main"]}
+    for module, fn in shares:
+        modules.setdefault(module, [])
+        if fn not in modules[module]:
+            modules[module].append(fn)
+    return Application(
+        name=name,
+        version="1",
+        modules={m: tuple(fns) for m, fns in modules.items()},
+        tags=(),
+        processes=("synth:1",),
+        placement={"synth:1": "n0"},
+        programs={"synth:1": program},
+        description="single-process synthetic compute app",
+    )
+
+
+def make_pingpong(
+    iterations: int = 60,
+    slow: float = 1.0,
+    fast: float = 0.25,
+    tag: str = "9/0",
+    name: str = "pingpong",
+) -> Application:
+    """Two processes exchanging one message per iteration; the fast one
+    waits ``slow - fast`` seconds each cycle, a known sync ground truth."""
+
+    def p0(proc):
+        with proc.function("pp.c", "driver"):
+            for _ in range(iterations):
+                with proc.function("pp.c", "work"):
+                    yield Compute(slow)
+                yield Send("pp:2", tag, 64.0)
+                yield Recv("pp:2", tag)
+
+    def p1(proc):
+        with proc.function("pp.c", "driver"):
+            for _ in range(iterations):
+                with proc.function("pp.c", "work"):
+                    yield Compute(fast)
+                yield Recv("pp:1", tag)
+                yield Send("pp:1", tag, 64.0)
+
+    return Application(
+        name=name,
+        version="1",
+        modules={"pp.c": ("driver", "work")},
+        tags=(tag,),
+        processes=("pp:1", "pp:2"),
+        placement={"pp:1": "n0", "pp:2": "n1"},
+        programs={"pp:1": p0, "pp:2": p1},
+        description="two-process ping-pong with fixed imbalance",
+    )
+
+
+def make_io_app(
+    iterations: int = 40,
+    compute: float = 0.3,
+    io: float = 0.7,
+    name: str = "iowriter",
+) -> Application:
+    """Single process alternating compute and blocking I/O."""
+
+    def program(proc):
+        with proc.function("wr.c", "main"):
+            for _ in range(iterations):
+                with proc.function("wr.c", "fill"):
+                    yield Compute(compute)
+                with proc.function("wr.c", "flush"):
+                    yield IoOp(io)
+
+    return Application(
+        name=name,
+        version="1",
+        modules={"wr.c": ("main", "fill", "flush")},
+        tags=(),
+        processes=("wr:1",),
+        placement={"wr:1": "n0"},
+        programs={"wr:1": program},
+        description="I/O-dominated single-process app",
+    )

@@ -1,0 +1,91 @@
+"""Program ``Tester`` from the paper's Figure 1.
+
+Figure 1 shows three resource hierarchies for a program named Tester:
+
+* Code: ``main.c`` (main), ``testutil.C`` (printstatus, verifya,
+  verifyb), ``vect.c`` (vect::addel, vect::findel, vect::print);
+* Machine: CPU_1 … CPU_4;
+* Process: Tester:1 … Tester:4.
+
+The focus used as the running example is
+``< /Code/testutil.C/verifyA, /Machine, /Process/Tester:2 >`` — our
+function names are lower-case as in the hierarchy panel of the figure.
+
+The program itself is a small verification harness: each process builds a
+vector, verifies it twice, and periodically synchronises; process
+Tester:2 carries extra verification work so function/process conjunction
+foci have something to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..simulator.process import Barrier, Compute, IoOp
+from .base import Application
+
+__all__ = ["TesterConfig", "build_tester"]
+
+
+@dataclass(frozen=True)
+class TesterConfig:
+    __test__ = False  # not a pytest test class despite the Test* name
+
+    iterations: int = 400
+    base_compute: float = 1.0
+    seed: int = 7
+
+
+def _program(rank: int, n: int, times, cfg: TesterConfig) -> Callable:
+    name = f"Tester:{rank + 1}"
+    peer = f"Tester:{(rank + 1) % n + 1}"
+
+    def program(proc):
+        with proc.function("main.c", "main"):
+            for it in range(cfg.iterations):
+                with proc.function("vect.c", "vect::addel"):
+                    yield Compute(float(times[rank, it]) * 0.3)
+                with proc.function("vect.c", "vect::findel"):
+                    yield Compute(float(times[rank, it]) * 0.2)
+                with proc.function("testutil.C", "verifya"):
+                    # Tester:2 does double verification work.
+                    factor = 2.0 if rank == 1 else 1.0
+                    yield Compute(float(times[rank, it]) * 0.4 * factor)
+                with proc.function("testutil.C", "verifyb"):
+                    yield Compute(float(times[rank, it]) * 0.1)
+                if (it + 1) % 10 == 0:
+                    with proc.function("testutil.C", "printstatus"):
+                        yield Compute(0.01)
+                    yield Barrier()
+            with proc.function("vect.c", "vect::print"):
+                yield IoOp(0.3)
+
+    return program
+
+
+def build_tester(config: TesterConfig | None = None) -> Application:
+    """Build the Figure-1 Tester program (4 processes on CPU_1..CPU_4)."""
+    cfg = config or TesterConfig()
+    n = 4
+    rng = np.random.default_rng(cfg.seed)
+    times = cfg.base_compute * rng.uniform(0.7, 1.3, size=(n, cfg.iterations))
+    processes = [f"Tester:{r + 1}" for r in range(n)]
+    nodes = [f"CPU_{r + 1}" for r in range(n)]
+    return Application(
+        name="tester",
+        version="1",
+        modules={
+            "main.c": ("main",),
+            "testutil.C": ("printstatus", "verifya", "verifyb"),
+            "vect.c": ("vect::addel", "vect::findel", "vect::print"),
+        },
+        tags=(),
+        processes=processes,
+        placement=dict(zip(processes, nodes)),
+        programs={processes[r]: _program(r, n, times, cfg) for r in range(n)},
+        uses_barrier=True,
+        description="Figure-1 example program Tester",
+    )

@@ -1,0 +1,400 @@
+"""Command-line interface.
+
+The workflows of the paper as shell commands around an experiment store::
+
+    repro diagnose poisson --app-version C --store runs/            # base run
+    repro extract --store runs/ poisson-C-0001 --out c.directives
+    repro diagnose poisson --app-version C --store runs/ \\
+          --directives c.directives                                  # directed
+    repro report --store runs/ poisson-C-0002 --shg
+    repro combine --union a.directives b.directives --out ab.directives
+    repro automap --store runs/ poisson-A-0001 poisson-B-0001 --out ab.maps
+    repro list --store runs/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .analysis import Table, comparison_report
+from .apps.anneal import AnnealConfig, build_anneal
+from .apps.base import Application
+from .apps.ocean import OceanConfig, build_ocean
+from .apps.poisson import PoissonConfig, build_poisson
+from .apps.tester import TesterConfig, build_tester
+from .core import (
+    DirectiveSet,
+    SearchConfig,
+    extract_directives,
+    intersect_directives,
+    run_diagnosis,
+    union_directives,
+)
+from .core.automap import suggest_mappings_for_records
+from .core.postmortem import extract_directives_postmortem
+from .core.shg import NodeState
+from .storage import ExperimentStore, StoreError
+from .visualize import bar_chart, render_shg, render_space, sparkline
+
+__all__ = ["main"]
+
+
+def _build_app(name: str, version: Optional[str], iterations: Optional[int]) -> Application:
+    if name == "poisson":
+        cfg = PoissonConfig(iterations=iterations) if iterations else PoissonConfig()
+        return build_poisson(version or "C", cfg)
+    if version:
+        raise SystemExit(f"--app-version only applies to poisson, not {name!r}")
+    if name == "ocean":
+        cfg = OceanConfig(iterations=iterations) if iterations else OceanConfig()
+        return build_ocean(cfg)
+    if name == "tester":
+        cfg = TesterConfig(iterations=iterations) if iterations else TesterConfig()
+        return build_tester(cfg)
+    if name == "anneal":
+        cfg = AnnealConfig(iterations=iterations) if iterations else AnnealConfig()
+        return build_anneal(cfg)
+    raise SystemExit(f"unknown application {name!r} (poisson, ocean, tester, anneal)")
+
+
+def _parse_threshold(text: str):
+    try:
+        hyp, value = text.split("=", 1)
+        return hyp, float(value)
+    except ValueError:
+        raise SystemExit(f"bad --threshold {text!r}; expected HYPOTHESIS=VALUE")
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    app = _build_app(args.application, args.app_version, args.iterations)
+    directives = None
+    if args.directives:
+        directives = DirectiveSet.from_text(Path(args.directives).read_text())
+    config = SearchConfig(
+        stop_engine_when_done=args.stop_when_done,
+        threshold_overrides=dict(args.threshold or ()),
+    )
+    record = run_diagnosis(
+        app,
+        directives=directives,
+        config=config,
+        run_id=args.run_id,
+        discover_resources=args.discover,
+    )
+    if args.store:
+        ExperimentStore(args.store).save(record, overwrite=args.overwrite)
+    t_all = record.time_to_find_all()
+    print(f"run id          : {record.run_id}")
+    print(f"application     : {record.app_name} version {record.version} "
+          f"({record.n_processes} processes)")
+    print(f"bottlenecks     : {record.bottleneck_count()}")
+    print(f"pairs tested    : {record.pairs_tested}")
+    print(f"time to find all: {t_all:.1f} s" if t_all else "time to find all: n/a")
+    print(f"program ran     : {record.finish_time:.1f} s (simulated)")
+    if args.store:
+        print(f"stored in       : {args.store}")
+    return 0
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    store = ExperimentStore(args.store)
+    records = [store.load(run_id) for run_id in args.runs]
+    if args.postmortem:
+        rec = records[0]
+        directives = extract_directives_postmortem(
+            rec.flat_profile(), rec.space(), rec.placement,
+            include_thresholds=args.thresholds,
+        )
+        for extra in records[1:]:
+            more = extract_directives_postmortem(
+                extra.flat_profile(), extra.space(), extra.placement,
+                include_thresholds=args.thresholds,
+            )
+            directives = union_directives(directives, more)
+    else:
+        directives = extract_directives(
+            records,
+            include_pair_prunes=not args.no_pair_prunes,
+            include_priorities=not args.no_priorities,
+            include_thresholds=args.thresholds,
+        )
+    text = directives.to_text()
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"{len(directives)} directives written to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    store = ExperimentStore(args.store)
+    record = store.load(args.run)
+    print(f"run {record.run_id}: {record.app_name} v{record.version}, "
+          f"{record.n_processes} processes on {len(record.nodes)} nodes")
+    counts = {}
+    for n in record.shg_nodes:
+        counts[n["state"]] = counts.get(n["state"], 0) + 1
+    table = Table("Search summary", ["quantity", "value"])
+    table.add_row(["pairs tested", record.pairs_tested])
+    table.add_row(["bottlenecks (true)", record.bottleneck_count()])
+    for state, count in sorted(counts.items()):
+        table.add_row([f"nodes {state}", count])
+    table.add_row(["peak instrumentation cost", f"{record.peak_cost:.2f}"])
+    t_all = record.time_to_find_all()
+    table.add_row(["time to find all (s)", f"{t_all:.1f}" if t_all else "n/a"])
+    table.add_row(["program duration (s)", f"{record.finish_time:.1f}"])
+    print(table.render())
+    if args.profile:
+        prof = record.flat_profile()
+        total = prof.total_time()
+        ranked = sorted(
+            prof.by_code.items(), key=lambda kv: -sum(kv[1].values())
+        )[: args.top]
+        ptable = Table("Profile (fraction of total execution time)",
+                       ["resource", "compute", "sync", "io"])
+        for name, entry in ranked:
+            ptable.add_row([
+                name,
+                f"{entry.get('compute', 0.0) / total:.3f}",
+                f"{entry.get('sync', 0.0) / total:.3f}",
+                f"{entry.get('io', 0.0) / total:.3f}",
+            ])
+        print()
+        print(ptable.render())
+        print()
+        print(bar_chart(
+            [(name, sum(entry.values()) / total) for name, entry in ranked]
+        ))
+    if args.shg:
+        print()
+        states = [NodeState.TRUE] if args.true_only else None
+        print(render_shg(record.shg(), max_depth=args.depth, states=states))
+    if args.hierarchies:
+        print()
+        print(render_space(record.space()))
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    store = ExperimentStore(args.store)
+    run_ids = store.list(app_name=args.app)
+    if not run_ids:
+        print("(no stored runs)")
+        return 0
+    table = Table(f"Stored runs in {args.store}",
+                  ["run id", "app", "version", "procs", "bottlenecks", "pairs"])
+    for run_id in run_ids:
+        rec = store.load(run_id)
+        table.add_row([
+            rec.run_id, rec.app_name, rec.version, rec.n_processes,
+            rec.bottleneck_count(), rec.pairs_tested,
+        ])
+    print(table.render())
+    return 0
+
+
+def cmd_combine(args: argparse.Namespace) -> int:
+    sets = [DirectiveSet.from_text(Path(f).read_text()) for f in args.files]
+    combine = union_directives if args.mode == "union" else intersect_directives
+    out = combine(*sets)
+    text = out.to_text()
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"{len(out)} directives written to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Render one of the paper's figures from a fresh (short) run."""
+    from .apps.poisson import version_maps
+    from .visualize import render_combined_spaces
+
+    if args.number == 1:
+        app = build_tester(TesterConfig(iterations=10))
+        print("Figure 1: Representing program Tester.\n")
+        print(render_space(app.make_space()))
+    elif args.number == 2:
+        rec = run_diagnosis(
+            build_anneal(AnnealConfig(iterations=300)),
+            config=SearchConfig(
+                stop_engine_when_done=True,
+                threshold_overrides={"CPUbound": 0.30},
+            ),
+        )
+        print("Figure 2: A Performance Consultant search in progress.\n")
+        print(render_shg(rec.shg(), max_depth=args.depth or 2))
+    elif args.number == 3:
+        cfg = PoissonConfig(iterations=5)
+        a = build_poisson("A", cfg)
+        b = build_poisson("B", cfg)
+        maps = version_maps("A", "B", a, b)
+        print("Figure 3: Mappings for Versions A and B.\n")
+        print(render_combined_spaces(a.make_space(), b.make_space(), maps))
+    else:
+        raise SystemExit(f"unknown figure {args.number} (1, 2, or 3)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    store = ExperimentStore(args.store)
+    old = store.load(args.old_run)
+    new = store.load(args.new_run)
+    mapper = None
+    if args.maps:
+        maps = DirectiveSet.from_text(Path(args.maps).read_text()).maps
+        from .core import ResourceMapper
+
+        mapper = ResourceMapper(maps)
+    print(comparison_report(old, new, mapper=mapper, top=args.top))
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    from .storage import resource_history
+
+    store = ExperimentStore(args.store)
+    history = resource_history(
+        store, args.resource, activity=args.activity, app_name=args.app
+    )
+    if not history.points:
+        print("(no stored runs)")
+        return 0
+    table = Table(
+        f"{args.resource} — {args.activity} fraction across runs",
+        ["run id", "fraction"],
+    )
+    for run_id, value in history.points:
+        table.add_row([run_id, f"{value:.3f}"])
+    table.add_footnote(f"trend (last - first): {history.trend():+.3f}")
+    print(table.render())
+    print(f"\n  {sparkline(history.values())}")
+    return 0
+
+
+def cmd_automap(args: argparse.Namespace) -> int:
+    store = ExperimentStore(args.store)
+    old = store.load(args.old_run)
+    new = store.load(args.new_run)
+    suggestions = suggest_mappings_for_records(old, new, min_score=args.min_score)
+    lines = [s.directive.as_line() for s in suggestions]
+    if args.out:
+        Path(args.out).write_text("\n".join(lines) + ("\n" if lines else ""))
+        print(f"{len(lines)} mappings written to {args.out}")
+    else:
+        for s in suggestions:
+            print(s.as_line())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="History-directed online performance diagnosis "
+                    "(Karavanic & Miller, SC'99 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("diagnose", help="run the Performance Consultant on an application")
+    p.add_argument("application", help="poisson | ocean | tester | anneal")
+    p.add_argument("--app-version", help="poisson version A/B/C/D (default C)")
+    p.add_argument("--iterations", type=int, help="workload iteration count")
+    p.add_argument("--directives", help="directive file to guide the search")
+    p.add_argument("--store", help="experiment store directory to save the run in")
+    p.add_argument("--run-id", help="explicit run id")
+    p.add_argument("--overwrite", action="store_true", help="replace an existing stored run")
+    p.add_argument("--stop-when-done", action="store_true",
+                   help="stop the program once the search has concluded everything")
+    p.add_argument("--discover", action="store_true",
+                   help="register resources discovered during the run")
+    p.add_argument("--threshold", action="append", type=_parse_threshold,
+                   metavar="HYP=VALUE", help="override a hypothesis threshold")
+    p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser("extract", help="harvest search directives from stored runs")
+    p.add_argument("runs", nargs="+", help="run ids to extract from")
+    p.add_argument("--store", required=True)
+    p.add_argument("--out", help="write directives to this file (default stdout)")
+    p.add_argument("--thresholds", action="store_true", help="include threshold directives")
+    p.add_argument("--no-pair-prunes", action="store_true")
+    p.add_argument("--no-priorities", action="store_true")
+    p.add_argument("--postmortem", action="store_true",
+                   help="extract from the raw profile instead of the SHG")
+    p.set_defaults(func=cmd_extract)
+
+    p = sub.add_parser("report", help="summarise a stored run")
+    p.add_argument("run")
+    p.add_argument("--store", required=True)
+    p.add_argument("--shg", action="store_true", help="render the Search History Graph")
+    p.add_argument("--true-only", action="store_true", help="only true nodes in the SHG")
+    p.add_argument("--depth", type=int, default=None, help="SHG depth limit")
+    p.add_argument("--profile", action="store_true", help="show the code profile")
+    p.add_argument("--top", type=int, default=10, help="profile rows to show")
+    p.add_argument("--hierarchies", action="store_true", help="render resource hierarchies")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("list", help="list stored runs")
+    p.add_argument("--store", required=True)
+    p.add_argument("--app", help="filter by application name")
+    p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser("combine", help="combine directive files")
+    p.add_argument("files", nargs="+", help="directive files")
+    p.add_argument("--mode", choices=("union", "intersect"), default="union")
+    p.add_argument("--out", help="output file (default stdout)")
+    p.set_defaults(func=cmd_combine)
+
+    p = sub.add_parser("figure", help="render one of the paper's figures (1-3)")
+    p.add_argument("number", type=int)
+    p.add_argument("--depth", type=int, default=None, help="SHG depth for figure 2")
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("compare", help="compare two stored runs")
+    p.add_argument("old_run")
+    p.add_argument("new_run")
+    p.add_argument("--store", required=True)
+    p.add_argument("--maps", help="directive file whose map lines translate old names")
+    p.add_argument("--top", type=int, default=10, help="profile deltas to show")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("history", help="track a resource's cost across stored runs")
+    p.add_argument("resource", help="resource name, e.g. /Code/exchng2.f/exchng2")
+    p.add_argument("--store", required=True)
+    p.add_argument("--activity", default="sync", choices=("compute", "sync", "io"))
+    p.add_argument("--app", help="filter by application name")
+    p.set_defaults(func=cmd_history)
+
+    p = sub.add_parser("automap", help="suggest resource mappings between two runs")
+    p.add_argument("old_run")
+    p.add_argument("new_run")
+    p.add_argument("--store", required=True)
+    p.add_argument("--out", help="write map directives to this file")
+    p.add_argument("--min-score", type=float, default=0.45)
+    p.set_defaults(func=cmd_automap)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""The paper's contribution: the directed Performance Consultant.
+
+Hypothesis tree, Search History Graph, online cost-gated search, search
+directives (prunes / priorities / thresholds), resource mapping across
+executions, directive extraction from history, and directive combination.
+"""
+
+from .automap import MappingSuggestion, suggest_mappings, suggest_mappings_for_records
+from .combination import intersect_directives, union_directives
+from .discovery import DiscoverySink
+from .consultant import DiagnosisSession, run_diagnosis
+from .directives import (
+    ANY_HYPOTHESIS,
+    DirectiveError,
+    DirectiveSet,
+    MapDirective,
+    PairPruneDirective,
+    PriorityDirective,
+    PruneDirective,
+    ThresholdDirective,
+)
+from .extraction import (
+    extract_directives,
+    extract_general_prunes,
+    extract_historic_prunes,
+    extract_pair_prunes,
+    extract_priorities,
+    extract_thresholds,
+    suggest_threshold,
+)
+from .hypotheses import TOP_LEVEL, Hypothesis, HypothesisTree, extended_tree, standard_tree
+from .mapping import MappingReport, ResourceMapper, apply_mappings
+from .postmortem import (
+    PostmortemConclusion,
+    evaluate_postmortem,
+    extract_directives_postmortem,
+)
+from .search import PerformanceConsultantSearch, SearchConfig
+from .shg import NodeState, Priority, SearchHistoryGraph, SHGNode
+
+__all__ = [
+    "MappingSuggestion",
+    "suggest_mappings",
+    "suggest_mappings_for_records",
+    "DiscoverySink",
+    "PostmortemConclusion",
+    "evaluate_postmortem",
+    "extract_directives_postmortem",
+    "intersect_directives",
+    "union_directives",
+    "DiagnosisSession",
+    "run_diagnosis",
+    "ANY_HYPOTHESIS",
+    "DirectiveError",
+    "DirectiveSet",
+    "MapDirective",
+    "PairPruneDirective",
+    "PriorityDirective",
+    "PruneDirective",
+    "ThresholdDirective",
+    "extract_directives",
+    "extract_general_prunes",
+    "extract_historic_prunes",
+    "extract_pair_prunes",
+    "extract_priorities",
+    "extract_thresholds",
+    "suggest_threshold",
+    "TOP_LEVEL",
+    "Hypothesis",
+    "HypothesisTree",
+    "standard_tree",
+    "extended_tree",
+    "MappingReport",
+    "ResourceMapper",
+    "apply_mappings",
+    "PerformanceConsultantSearch",
+    "SearchConfig",
+    "NodeState",
+    "Priority",
+    "SearchHistoryGraph",
+    "SHGNode",
+]

@@ -1,0 +1,126 @@
+"""Combining search directives from multiple previous runs.
+
+Section 4.3 of the paper studies two ways of merging the priority
+directives extracted from runs of versions A and B before diagnosing C:
+
+* **intersection** (A ∧ B) — High/Low only for pairs that tested
+  true/false in *both* versions;
+* **union** (A ∨ B) — High for pairs true in *either* version, Low for
+  pairs false in either version that were never true in either.
+
+The same semantics generalise to any number of sets.  Prunes follow the
+matching logic (intersection keeps prunes present in every set; union
+keeps all of them), and thresholds are averaged per hypothesis.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .directives import (
+    DirectiveSet,
+    PairPruneDirective,
+    PriorityDirective,
+    PruneDirective,
+    ThresholdDirective,
+)
+from .shg import Priority
+
+__all__ = ["intersect_directives", "union_directives"]
+
+
+def _priority_maps(ds: DirectiveSet) -> Tuple[Set, Set, Dict]:
+    highs = set()
+    lows = set()
+    focus_of = {}
+    for p in ds.priorities:
+        key = (p.hypothesis, str(p.focus))
+        focus_of[key] = p.focus
+        if p.level is Priority.HIGH:
+            highs.add(key)
+        elif p.level is Priority.LOW:
+            lows.add(key)
+    return highs, lows, focus_of
+
+
+def _build_priorities(highs: Set, lows: Set, focus_of: Dict) -> List[PriorityDirective]:
+    out = []
+    for hyp, ftext in sorted(highs):
+        out.append(PriorityDirective(hyp, focus_of[(hyp, ftext)], Priority.HIGH))
+    for hyp, ftext in sorted(lows - highs):
+        out.append(PriorityDirective(hyp, focus_of[(hyp, ftext)], Priority.LOW))
+    return out
+
+
+def _mean_thresholds(sets: Sequence[DirectiveSet]) -> List[ThresholdDirective]:
+    sums: Dict[str, List[float]] = defaultdict(list)
+    for ds in sets:
+        for t in ds.thresholds:
+            sums[t.hypothesis].append(t.value)
+    return [
+        ThresholdDirective(h, sum(v) / len(v)) for h, v in sorted(sums.items())
+    ]
+
+
+def intersect_directives(*sets: DirectiveSet) -> DirectiveSet:
+    """A ∧ B: act only on conclusions every previous run agrees on."""
+    if not sets:
+        return DirectiveSet()
+    all_focus: Dict = {}
+    high_sets, low_sets = [], []
+    for ds in sets:
+        h, l, f = _priority_maps(ds)
+        high_sets.append(h)
+        low_sets.append(l)
+        all_focus.update(f)
+    highs = set.intersection(*high_sets) if high_sets else set()
+    lows = set.intersection(*low_sets) if low_sets else set()
+    prune_keys = set.intersection(
+        *[{(p.hypothesis, p.resource) for p in ds.prunes} for ds in sets]
+    )
+    pair_keys = set.intersection(
+        *[{(p.hypothesis, str(p.focus)) for p in ds.pair_prunes} for ds in sets]
+    )
+    pair_focus = {
+        (p.hypothesis, str(p.focus)): p.focus for ds in sets for p in ds.pair_prunes
+    }
+    return DirectiveSet(
+        prunes=[PruneDirective(h, r) for h, r in sorted(prune_keys)],
+        pair_prunes=[
+            PairPruneDirective(h, pair_focus[(h, f)]) for h, f in sorted(pair_keys)
+        ],
+        priorities=_build_priorities(highs, lows, all_focus),
+        thresholds=_mean_thresholds(sets),
+    )
+
+
+def union_directives(*sets: DirectiveSet) -> DirectiveSet:
+    """A ∨ B: act on conclusions any previous run reached; High wins over
+    Low when the runs disagree."""
+    if not sets:
+        return DirectiveSet()
+    all_focus: Dict = {}
+    highs: Set = set()
+    lows: Set = set()
+    for ds in sets:
+        h, l, f = _priority_maps(ds)
+        highs |= h
+        lows |= l
+        all_focus.update(f)
+    prune_keys = {(p.hypothesis, p.resource) for ds in sets for p in ds.prunes}
+    pair_focus = {
+        (p.hypothesis, str(p.focus)): p.focus for ds in sets for p in ds.pair_prunes
+    }
+    pair_keys = set(pair_focus)
+    # A pair pruned (false) in one run but true (High) in another must not
+    # be pruned in the combined set.
+    pair_keys -= highs
+    return DirectiveSet(
+        prunes=[PruneDirective(h, r) for h, r in sorted(prune_keys)],
+        pair_prunes=[
+            PairPruneDirective(h, pair_focus[(h, f)]) for h, f in sorted(pair_keys)
+        ],
+        priorities=_build_priorities(highs, lows, all_focus),
+        thresholds=_mean_thresholds(sets),
+    )

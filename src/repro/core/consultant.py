@@ -1,0 +1,126 @@
+"""Diagnosis sessions: run an application under the Performance Consultant.
+
+This is the public entry point most users want: build an
+:class:`~repro.apps.base.Application`, optionally supply a
+:class:`~repro.core.directives.DirectiveSet` harvested from history, and
+get back a fully populated :class:`~repro.storage.records.RunRecord`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from ..apps.base import Application
+from ..metrics.cost import CostModel
+from ..metrics.instrumentation import InstrumentationManager
+from ..metrics.profile import ProfileCollector
+from ..storage.records import RunRecord
+from .directives import DirectiveSet
+from .discovery import DiscoverySink
+from .hypotheses import HypothesisTree, standard_tree
+from .mapping import apply_mappings
+from .search import PerformanceConsultantSearch, SearchConfig
+
+__all__ = ["DiagnosisSession", "run_diagnosis"]
+
+_run_counter = itertools.count(1)
+
+
+def _default_run_id(app: Application) -> str:
+    return f"{app.name}-{app.version}-{next(_run_counter):04d}"
+
+
+@dataclass
+class DiagnosisSession:
+    """A configured but not-yet-executed diagnosis."""
+
+    app: Application
+    directives: Optional[DirectiveSet] = None
+    config: Optional[SearchConfig] = None
+    cost_model: Optional[CostModel] = None
+    hypotheses: Optional[HypothesisTree] = None
+    run_id: Optional[str] = None
+    apply_resource_mapping: bool = True
+    #: Register resources the trace reveals but the application did not
+    #: declare (late discovery, paper Section 6 future work).
+    discover_resources: bool = False
+
+    def run(self) -> RunRecord:
+        """Execute the application with the online search attached."""
+        config = self.config or SearchConfig()
+        space = self.app.make_space()
+        directives = self.directives or DirectiveSet()
+        if self.apply_resource_mapping and not directives.is_empty():
+            # Map directive resource names onto this run's names and drop
+            # directives that still reference unknown resources (paper,
+            # Section 3.2: mappings are applied, then prunes, before the
+            # directives are read into the Performance Consultant).
+            directives, _report = apply_mappings(directives, space)
+        engine = self.app.make_engine()
+        instr = InstrumentationManager(
+            engine,
+            space,
+            cost_model=self.cost_model or CostModel(),
+            cost_limit=config.cost_limit,
+            insertion_latency=config.insertion_latency,
+        )
+        profiler = ProfileCollector()
+        engine.add_sink(profiler)
+        if self.discover_resources:
+            engine.add_sink(DiscoverySink(space))
+        search = PerformanceConsultantSearch(
+            engine,
+            instr,
+            space,
+            hypotheses=self.hypotheses or standard_tree(),
+            directives=directives,
+            config=config,
+        )
+        search.start()
+        finish = engine.run()
+        shg = search.shg
+        return RunRecord(
+            run_id=self.run_id or _default_run_id(self.app),
+            app_name=self.app.name,
+            version=self.app.version,
+            n_processes=self.app.n_processes,
+            nodes=list(self.app.node_names),
+            placement=dict(self.app.placement),
+            hierarchies={
+                name: hierarchy.names()
+                for name, hierarchy in space.hierarchies.items()
+            },
+            shg_nodes=shg.to_dicts(),
+            profile=profiler.profile.to_dict(),
+            finish_time=finish,
+            search_done_time=search.done_at,
+            pairs_tested=shg.tested_count(),
+            total_requests=instr.total_requests,
+            peak_cost=instr.peak_cost,
+            thresholds=dict(search._thresholds),
+            config={
+                "min_interval": config.min_interval,
+                "check_period": config.check_period,
+                "cost_limit": config.cost_limit,
+                "insertion_latency": config.insertion_latency,
+            },
+        )
+
+
+def run_diagnosis(
+    app: Application,
+    directives: Optional[DirectiveSet] = None,
+    config: Optional[SearchConfig] = None,
+    run_id: Optional[str] = None,
+    **kwargs,
+) -> RunRecord:
+    """One-call diagnosis: run *app* under the Performance Consultant.
+
+    ``kwargs`` are forwarded to :class:`DiagnosisSession` (cost model,
+    hypothesis tree, mapping toggle).
+    """
+    return DiagnosisSession(
+        app=app, directives=directives, config=config, run_id=run_id, **kwargs
+    ).run()

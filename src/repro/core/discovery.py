@@ -1,0 +1,43 @@
+"""Late resource discovery.
+
+Paradyn discovers resources as the program runs; the paper's future work
+(Section 6) explicitly extends historical diagnosis "to cover cases in
+which new resources are discovered later in an application run".
+
+:class:`DiscoverySink` watches the trace stream for resources missing
+from the resource space — synchronisation objects a program only touches
+late (a checkpoint tag, an error path), or dynamically loaded code — and
+registers them.  The Performance Consultant notices the space's version
+change on its next tick and re-refines every true node so the new
+resources become searchable (see
+:meth:`repro.core.search.PerformanceConsultantSearch.tick`).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..resources.names import join_path
+from ..resources.resource import ResourceSpace
+from ..simulator.records import TimeSegment
+
+__all__ = ["DiscoverySink"]
+
+
+class DiscoverySink:
+    """Trace sink that registers previously unseen resources."""
+
+    def __init__(self, space: ResourceSpace):
+        self.space = space
+        self._seen: Set[tuple] = set()
+        self.discovered: list[str] = []
+
+    def record(self, segment: TimeSegment) -> None:
+        for parts in segment.parts.values():
+            if parts in self._seen:
+                continue
+            self._seen.add(parts)
+            name = join_path(parts)
+            if name not in self.space:
+                self.space.add(name)
+                self.discovered.append(name)

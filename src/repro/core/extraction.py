@@ -1,0 +1,236 @@
+"""Harvesting search directives from historical performance data.
+
+Implements Section 3's three extraction mechanisms over stored
+:class:`~repro.storage.records.RunRecord` objects:
+
+* **priorities** — High for pairs that tested true in at least one
+  previous execution, Low for pairs that tested false in all of them
+  (untested pairs stay Medium by omission);
+* **prunes** — *general* prunes encode environment rules (the SyncObject
+  hierarchy is irrelevant to non-synchronisation hypotheses; the Machine
+  hierarchy is redundant when processes and nodes map one-to-one, the
+  MPI-1 static process model), while *historic* prunes cut resources the
+  history shows to be insignificant (functions with negligible execution
+  time) and, optionally, previously-false pairs;
+* **thresholds** — chosen from the observed hypothesis-value distribution
+  by largest-gap separation, the automated version of the paper's
+  "keep the number of bottlenecks reported in a practically useful range".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..resources.focus import parse_focus
+from ..storage.records import RunRecord
+from .directives import (
+    ANY_HYPOTHESIS,
+    DirectiveSet,
+    PairPruneDirective,
+    PriorityDirective,
+    PruneDirective,
+    ThresholdDirective,
+)
+from .hypotheses import HypothesisTree, standard_tree
+from .shg import NodeState, Priority
+
+__all__ = [
+    "extract_priorities",
+    "extract_general_prunes",
+    "extract_historic_prunes",
+    "extract_pair_prunes",
+    "suggest_threshold",
+    "extract_thresholds",
+    "extract_directives",
+]
+
+
+# --------------------------------------------------------------------------
+# priorities
+# --------------------------------------------------------------------------
+def extract_priorities(records: Sequence[RunRecord]) -> List[PriorityDirective]:
+    """High for ever-true pairs, Low for always-false pairs (Section 3.1)."""
+    ever_true: Set[Tuple[str, str]] = set()
+    ever_false: Set[Tuple[str, str]] = set()
+    for rec in records:
+        ever_true.update(rec.true_pairs())
+        ever_false.update(rec.false_pairs())
+    out: List[PriorityDirective] = []
+    for hyp, focus_text in sorted(ever_true):
+        out.append(PriorityDirective(hyp, parse_focus(focus_text), Priority.HIGH))
+    for hyp, focus_text in sorted(ever_false - ever_true):
+        out.append(PriorityDirective(hyp, parse_focus(focus_text), Priority.LOW))
+    return out
+
+
+# --------------------------------------------------------------------------
+# prunes
+# --------------------------------------------------------------------------
+def extract_general_prunes(
+    record: Optional[RunRecord] = None,
+    hypotheses: Optional[HypothesisTree] = None,
+) -> List[PruneDirective]:
+    """Environment-rule prunes, not specific to any application's history.
+
+    Always prunes ``/SyncObject`` from non-sync hypotheses; additionally
+    prunes ``/Machine`` entirely when the record shows a one-to-one
+    process/node correspondence (paper, Section 3.1).
+    """
+    tree = hypotheses or standard_tree()
+    out = [
+        PruneDirective(h.name, "/SyncObject")
+        for h in tree.testable()
+        if not h.sync_related
+    ]
+    if record is not None:
+        n_nodes = len([n for n in record.hierarchies.get("Machine", []) if n != "/Machine"])
+        if n_nodes == record.n_processes and n_nodes > 0:
+            out.append(PruneDirective(ANY_HYPOTHESIS, "/Machine"))
+    return out
+
+
+def extract_historic_prunes(
+    records: Sequence[RunRecord],
+    min_exec_fraction: float = 0.005,
+) -> List[PruneDirective]:
+    """Prune code resources that history shows are insignificant.
+
+    A function is pruned when its execution-time fraction (any activity
+    class) stays below ``min_exec_fraction`` in *every* previous run; a
+    module is pruned as a unit when all of its functions are.
+    """
+    if not records:
+        return []
+    # candidate leaves: every /Code function in any record's hierarchy
+    candidates: Set[str] = set()
+    for rec in records:
+        for name in rec.hierarchies.get("Code", []):
+            if name.count("/") == 3:  # /Code/module/function
+                candidates.add(name)
+    tiny: Set[str] = set()
+    for name in sorted(candidates):
+        fractions = [rec.flat_profile().code_exec_fraction(name) for rec in records]
+        if all(f < min_exec_fraction for f in fractions):
+            tiny.add(name)
+    # fold complete modules
+    by_module: Dict[str, List[str]] = defaultdict(list)
+    for name in candidates:
+        by_module["/".join(name.split("/")[:3])].append(name)
+    out: List[PruneDirective] = []
+    folded: Set[str] = set()
+    for module, functions in sorted(by_module.items()):
+        if all(f in tiny for f in functions):
+            out.append(PruneDirective(ANY_HYPOTHESIS, module))
+            folded.update(functions)
+    for name in sorted(tiny - folded):
+        out.append(PruneDirective(ANY_HYPOTHESIS, name))
+    return out
+
+
+def extract_pair_prunes(records: Sequence[RunRecord]) -> List[PairPruneDirective]:
+    """Previously-false pairs, prunable outright (with the robustness
+    caveat the paper raises: pruning can miss new behaviour)."""
+    ever_true: Set[Tuple[str, str]] = set()
+    ever_false: Set[Tuple[str, str]] = set()
+    for rec in records:
+        ever_true.update(rec.true_pairs())
+        ever_false.update(rec.false_pairs())
+    return [
+        PairPruneDirective(hyp, parse_focus(focus_text))
+        for hyp, focus_text in sorted(ever_false - ever_true)
+    ]
+
+
+# --------------------------------------------------------------------------
+# thresholds
+# --------------------------------------------------------------------------
+def suggest_threshold(
+    values: Iterable[float],
+    noise_floor: float = 0.03,
+    ceiling: float = 0.35,
+    default: float = 0.20,
+) -> float:
+    """Pick a threshold separating significant bottleneck values from noise.
+
+    Sorts the observed hypothesis values and places the threshold in the
+    middle of the largest gap between consecutive values, considering only
+    candidate thresholds (gap midpoints) up to ``ceiling`` — a useful
+    reporting threshold sits below the significant cluster, not between
+    two strong bottlenecks.  With fewer than two usable values the default
+    is returned unchanged.
+    """
+    usable = sorted({round(v, 4) for v in values if v >= noise_floor})
+    if len(usable) < 2:
+        return default
+    best_gap = 0.0
+    best_mid = None
+    lo_points = [noise_floor] + usable
+    for a, b in zip(lo_points, lo_points[1:]):
+        mid = (a + b) / 2.0
+        if mid > ceiling:
+            continue
+        gap = b - a
+        if gap > best_gap:
+            best_gap = gap
+            best_mid = mid
+    return default if best_mid is None else round(best_mid, 3)
+
+
+def extract_thresholds(
+    records: Sequence[RunRecord],
+    hypotheses: Optional[HypothesisTree] = None,
+    **kwargs,
+) -> List[ThresholdDirective]:
+    """Per-hypothesis thresholds from the historical value distribution."""
+    tree = hypotheses or standard_tree()
+    values_by_hyp: Dict[str, List[float]] = defaultdict(list)
+    for rec in records:
+        for node in rec.shg_nodes:
+            if node.get("value") is None:
+                continue
+            if node["state"] in (NodeState.TRUE.value, NodeState.FALSE.value):
+                values_by_hyp[node["hypothesis"]].append(node["value"])
+    out: List[ThresholdDirective] = []
+    for h in tree.testable():
+        vals = values_by_hyp.get(h.name)
+        if not vals:
+            continue
+        value = suggest_threshold(vals, default=h.default_threshold, **kwargs)
+        out.append(ThresholdDirective(h.name, value))
+    return out
+
+
+# --------------------------------------------------------------------------
+# everything together
+# --------------------------------------------------------------------------
+def extract_directives(
+    records: Sequence[RunRecord] | RunRecord,
+    include_priorities: bool = True,
+    include_general_prunes: bool = True,
+    include_historic_prunes: bool = True,
+    include_pair_prunes: bool = True,
+    include_thresholds: bool = False,
+    hypotheses: Optional[HypothesisTree] = None,
+    min_exec_fraction: float = 0.005,
+) -> DirectiveSet:
+    """Build a full directive set from one or more stored runs.
+
+    Thresholds default off because the paper's Table 1/3 experiments hold
+    thresholds identical across runs and study prunes/priorities in
+    isolation; pass ``include_thresholds=True`` for Table 2's workflow.
+    """
+    if isinstance(records, RunRecord):
+        records = [records]
+    records = list(records)
+    prunes: List[PruneDirective] = []
+    if include_general_prunes:
+        prunes.extend(extract_general_prunes(records[0] if records else None, hypotheses))
+    if include_historic_prunes:
+        prunes.extend(extract_historic_prunes(records, min_exec_fraction))
+    return DirectiveSet(
+        prunes=prunes,
+        pair_prunes=extract_pair_prunes(records) if include_pair_prunes else (),
+        priorities=extract_priorities(records) if include_priorities else (),
+        thresholds=extract_thresholds(records, hypotheses) if include_thresholds else (),
+    )

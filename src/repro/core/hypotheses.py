@@ -1,0 +1,197 @@
+"""The Performance Consultant's hypothesis tree.
+
+"The full collection of hypotheses is organized as a tree, where
+hypotheses lower in the tree identify more specific problems than those
+higher up" (paper, Section 2).  The root, ``TopLevelHypothesis``, is a
+virtual node; its children are the three classic Paradyn tests visible in
+the paper's Figure 2: ``CPUbound``, ``ExcessiveSyncWaitingTime`` and
+``ExcessiveIOBlockingTime``.
+
+Each hypothesis is tied to one metric and carries a default threshold; a
+(hypothesis : focus) pair tests true when the normalised metric fraction
+exceeds the threshold in effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Hypothesis", "HypothesisTree", "standard_tree", "extended_tree", "TOP_LEVEL"]
+
+TOP_LEVEL = "TopLevelHypothesis"
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """One node of the hypothesis tree."""
+
+    name: str
+    metric: Optional[str]
+    default_threshold: float
+    children: Tuple[str, ...] = ()
+    sync_related: bool = False
+    description: str = ""
+
+    @property
+    def is_virtual(self) -> bool:
+        """Virtual hypotheses (the root) are not instrumented or tested."""
+        return self.metric is None
+
+
+class HypothesisTree:
+    """Lookup structure over a set of hypotheses."""
+
+    def __init__(self, hypotheses: List[Hypothesis]):
+        self._by_name: Dict[str, Hypothesis] = {}
+        for h in hypotheses:
+            if h.name in self._by_name:
+                raise ValueError(f"duplicate hypothesis {h.name!r}")
+            self._by_name[h.name] = h
+        for h in hypotheses:
+            for c in h.children:
+                if c not in self._by_name:
+                    raise ValueError(f"{h.name} references unknown child {c!r}")
+        if TOP_LEVEL not in self._by_name:
+            raise ValueError(f"tree must contain {TOP_LEVEL}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def get(self, name: str) -> Hypothesis:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown hypothesis {name!r}") from None
+
+    @property
+    def root(self) -> Hypothesis:
+        return self._by_name[TOP_LEVEL]
+
+    def children(self, name: str) -> List[Hypothesis]:
+        return [self._by_name[c] for c in self.get(name).children]
+
+    def testable(self) -> List[Hypothesis]:
+        return [h for h in self._by_name.values() if not h.is_virtual]
+
+    def names(self) -> List[str]:
+        return list(self._by_name)
+
+    def threshold(self, name: str, overrides: Optional[Dict[str, float]] = None) -> float:
+        if overrides and name in overrides:
+            return overrides[name]
+        return self.get(name).default_threshold
+
+
+def standard_tree() -> HypothesisTree:
+    """Build the Paradyn-style hypothesis tree used throughout the paper.
+
+    Default thresholds follow the paper's report that standard Paradyn
+    shipped a 20% synchronisation threshold (Section 4.2).  CPUbound's
+    default is high because compute fractions near 1.0 per process are the
+    interesting signal; I/O uses a moderate default.
+    """
+    return HypothesisTree(
+        [
+            Hypothesis(
+                name=TOP_LEVEL,
+                metric=None,
+                default_threshold=0.0,
+                children=(
+                    "CPUbound",
+                    "ExcessiveSyncWaitingTime",
+                    "ExcessiveIOBlockingTime",
+                ),
+                description="Virtual root; always considered true.",
+            ),
+            Hypothesis(
+                name="CPUbound",
+                metric="cpu_time",
+                default_threshold=0.90,
+                description="Computation dominates the focus's time.",
+            ),
+            Hypothesis(
+                name="ExcessiveSyncWaitingTime",
+                metric="sync_wait_time",
+                default_threshold=0.20,
+                sync_related=True,
+                description="Blocking synchronisation exceeds the threshold.",
+            ),
+            Hypothesis(
+                name="ExcessiveIOBlockingTime",
+                metric="io_wait_time",
+                default_threshold=0.15,
+                description="Blocking I/O exceeds the threshold.",
+            ),
+        ]
+    )
+
+
+def extended_tree(
+    sync_ops_per_second: float = 1.5,
+    io_ops_per_second: float = 0.5,
+) -> HypothesisTree:
+    """The standard tree plus second-level operation-frequency hypotheses.
+
+    ``FrequentSyncOperations`` refines ``ExcessiveSyncWaitingTime`` — once
+    a focus is known to wait too much, the Consultant asks whether the
+    cause is *many* synchronisation operations (rate above
+    ``sync_ops_per_second`` per matched process) rather than a few long
+    ones; ``FrequentIOOperations`` refines the I/O hypothesis the same
+    way.  This exercises Paradyn's "more specific hypothesis" refinement
+    axis (paper, Section 2: "It considers two types of expansion: a more
+    specific hypothesis, and a more specific focus").
+    """
+    return HypothesisTree(
+        [
+            Hypothesis(
+                name=TOP_LEVEL,
+                metric=None,
+                default_threshold=0.0,
+                children=(
+                    "CPUbound",
+                    "ExcessiveSyncWaitingTime",
+                    "ExcessiveIOBlockingTime",
+                ),
+                description="Virtual root; always considered true.",
+            ),
+            Hypothesis(
+                name="CPUbound",
+                metric="cpu_time",
+                default_threshold=0.90,
+                description="Computation dominates the focus's time.",
+            ),
+            Hypothesis(
+                name="ExcessiveSyncWaitingTime",
+                metric="sync_wait_time",
+                default_threshold=0.20,
+                sync_related=True,
+                children=("FrequentSyncOperations",),
+                description="Blocking synchronisation exceeds the threshold.",
+            ),
+            Hypothesis(
+                name="FrequentSyncOperations",
+                metric="sync_op_count",
+                default_threshold=sync_ops_per_second,
+                sync_related=True,
+                description="The wait is made of many operations (a rate, "
+                            "in completed operations per second per process).",
+            ),
+            Hypothesis(
+                name="ExcessiveIOBlockingTime",
+                metric="io_wait_time",
+                default_threshold=0.15,
+                children=("FrequentIOOperations",),
+                description="Blocking I/O exceeds the threshold.",
+            ),
+            Hypothesis(
+                name="FrequentIOOperations",
+                metric="io_op_count",
+                default_threshold=io_ops_per_second,
+                description="The I/O cost is made of many operations.",
+            ),
+        ]
+    )

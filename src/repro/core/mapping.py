@@ -1,0 +1,138 @@
+"""Resource mapping between executions.
+
+"Resources can change from one run of a program to the next ... If we are
+to relate performance results from a previous run to the current run, we
+must be able to establish an equivalency between (map) the differently
+named resources" (paper, Section 3.2).
+
+A :class:`ResourceMapper` applies ``map old new`` directives by
+longest-prefix rewrite: mapping ``/Code/oned.f`` to ``/Code/onednb.f``
+also carries every function inside the module, while a more specific map
+(``/Code/sweep.f/sweep1d`` → ``/Code/nbsweep.f/nbsweep``) wins over its
+module-level map.  After mapping, directives whose resources do not exist
+in the current run's resource space are dropped (and reported), matching
+the paper's workflow of applying mappings before reading directives into
+the Performance Consultant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from ..resources.focus import Focus
+from ..resources.names import join_path, split_path
+from ..resources.resource import ResourceSpace
+from .directives import (
+    DirectiveSet,
+    MapDirective,
+    PairPruneDirective,
+    PriorityDirective,
+    PruneDirective,
+)
+
+__all__ = ["ResourceMapper", "MappingReport", "apply_mappings"]
+
+
+@dataclass
+class MappingReport:
+    """Outcome of applying a mapper + validity filter to a directive set."""
+
+    mapped: int = 0
+    dropped: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MappingReport(mapped={self.mapped}, dropped={len(self.dropped)})"
+
+
+class ResourceMapper:
+    """Longest-prefix resource-name rewriter built from map directives."""
+
+    def __init__(self, maps: Iterable[MapDirective] = ()):
+        self._maps: List[Tuple[Tuple[str, ...], Tuple[str, ...]]] = []
+        for m in maps:
+            self.add(m.old, m.new)
+
+    def add(self, old: str, new: str) -> None:
+        self._maps.append((split_path(old), split_path(new)))
+
+    def __len__(self) -> int:
+        return len(self._maps)
+
+    def map_path(self, path: str) -> str:
+        parts = split_path(path)
+        best: Optional[Tuple[Tuple[str, ...], Tuple[str, ...]]] = None
+        for old, new in self._maps:
+            if parts[: len(old)] == old:
+                if best is None or len(old) > len(best[0]):
+                    best = (old, new)
+        if best is None:
+            return path
+        old, new = best
+        return join_path(new + parts[len(old):])
+
+    def map_focus(self, focus: Focus) -> Focus:
+        return Focus({h: self.map_path(focus.selection(h)) for h in focus.hierarchies})
+
+    def map_pair(self, hypothesis: str, focus: Focus) -> Tuple[str, Focus]:
+        return hypothesis, self.map_focus(focus)
+
+
+def _focus_valid(focus: Focus, space: ResourceSpace) -> bool:
+    return all(focus.selection(h) in space for h in focus.hierarchies)
+
+
+def apply_mappings(
+    directives: DirectiveSet,
+    space: Optional[ResourceSpace] = None,
+    extra_maps: Iterable[MapDirective] = (),
+) -> Tuple[DirectiveSet, MappingReport]:
+    """Rewrite a directive set's resource names for a new execution.
+
+    Mapping directives embedded in the set are applied together with
+    *extra_maps*.  When *space* is given, directives that still reference
+    unknown resources after mapping are dropped and listed in the report —
+    the paper's "increased efficiency" step of filtering before the
+    directives are read into the Performance Consultant.
+    """
+    mapper = ResourceMapper([*directives.maps, *extra_maps])
+    report = MappingReport()
+
+    def keep_path(path: str) -> Optional[str]:
+        mapped = mapper.map_path(path)
+        if space is not None and mapped not in space:
+            report.dropped.append(mapped)
+            return None
+        report.mapped += 1
+        return mapped
+
+    def keep_focus(focus: Focus) -> Optional[Focus]:
+        mapped = mapper.map_focus(focus)
+        if space is not None and not _focus_valid(mapped, space):
+            report.dropped.append(str(mapped))
+            return None
+        report.mapped += 1
+        return mapped
+
+    prunes = []
+    for p in directives.prunes:
+        path = keep_path(p.resource)
+        if path is not None:
+            prunes.append(PruneDirective(p.hypothesis, path))
+    pair_prunes = []
+    for pp in directives.pair_prunes:
+        focus = keep_focus(pp.focus)
+        if focus is not None:
+            pair_prunes.append(PairPruneDirective(pp.hypothesis, focus))
+    priorities = []
+    for pr in directives.priorities:
+        focus = keep_focus(pr.focus)
+        if focus is not None:
+            priorities.append(PriorityDirective(pr.hypothesis, focus, pr.level))
+    out = DirectiveSet(
+        prunes=prunes,
+        pair_prunes=pair_prunes,
+        priorities=priorities,
+        thresholds=list(directives.thresholds),
+    )
+    return out, report

@@ -1,0 +1,301 @@
+"""The Performance Consultant's online bottleneck search.
+
+This is the paper's enhanced Performance Consultant: a top-down search of
+the (hypothesis : focus) space driven by online dynamic instrumentation,
+extended with the three directive mechanisms of Section 3:
+
+* **prunes** remove candidate tests before they are ever queued;
+* **priorities** order the pending queue, and High pairs are instrumented
+  at search start and kept *persistent* (tested for the whole run);
+* **thresholds** replace per-hypothesis defaults.
+
+Search expansion is gated by the instrumentation cost model — when the
+total enabled cost reaches the critical threshold, expansion halts until
+deletions (triggered by false conclusions) bring the cost back down,
+exactly the halt/resume behaviour described in Section 2.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..metrics.instrumentation import InstrumentationManager
+from ..resources.focus import Focus, whole_program
+from ..resources.resource import ResourceSpace
+from ..simulator.engine import Engine
+from .directives import DirectiveSet
+from .hypotheses import TOP_LEVEL, HypothesisTree, standard_tree
+from .shg import NodeState, Priority, SearchHistoryGraph, SHGNode
+
+__all__ = ["SearchConfig", "PerformanceConsultantSearch"]
+
+
+@dataclass
+class SearchConfig:
+    """Tunable parameters of the online search.
+
+    ``min_interval`` is the simulated seconds of data required before a
+    conclusion ("each conclusion ... is determined once a set time
+    interval of data has been received", Section 4.1); ``check_period`` is
+    the evaluation cadence; ``final_interval`` is the relaxed data
+    requirement applied when the program ends with tests still active.
+    """
+
+    min_interval: float = 40.0
+    check_period: float = 2.0
+    final_interval: float = 5.0
+    cost_limit: float = 6.0
+    insertion_latency: float = 2.0
+    #: Adaptive conclusions: a value within ``noise_band`` of the threshold
+    #: keeps collecting until ``decisive_factor * min_interval`` elapsed,
+    #: so borderline tests do not flip between repeated runs.
+    noise_band: float = 0.04
+    decisive_factor: float = 3.0
+    threshold_overrides: Dict[str, float] = field(default_factory=dict)
+    stop_engine_when_done: bool = False
+
+
+class PerformanceConsultantSearch:
+    """One online diagnosis over a live engine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        instrumentation: InstrumentationManager,
+        space: ResourceSpace,
+        hypotheses: Optional[HypothesisTree] = None,
+        directives: Optional[DirectiveSet] = None,
+        config: Optional[SearchConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.instr = instrumentation
+        self.space = space
+        self.hypotheses = hypotheses or standard_tree()
+        self.directives = directives or DirectiveSet()
+        self.config = config or SearchConfig()
+        self.shg = SearchHistoryGraph()
+        self._pending: List[Tuple[int, int, int, int]] = []  # (prio, depth, seq, node_id)
+        self._seq = itertools.count()
+        self._started = False
+        self.done_at: Optional[float] = None
+        self._space_version = space.version
+        self._thresholds = self._resolve_thresholds()
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def _resolve_thresholds(self) -> Dict[str, float]:
+        """Directive thresholds override config overrides override
+        hypothesis defaults."""
+        out: Dict[str, float] = {}
+        for h in self.hypotheses.testable():
+            value = self.directives.threshold_of(h.name)
+            if value is None:
+                value = self.config.threshold_overrides.get(h.name)
+            if value is None:
+                value = h.default_threshold
+            out[h.name] = value
+        return out
+
+    def threshold(self, hypothesis: str) -> float:
+        return self._thresholds[hypothesis]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Create the SHG root, seed the search, and hook the engine."""
+        if self._started:
+            raise RuntimeError("search already started")
+        self._started = True
+        root, _ = self.shg.add(TOP_LEVEL, whole_program(self.space))
+        root.state = NodeState.TRUE
+        root.t_concluded = self.engine.now
+
+        # High-priority directives are instrumented at search start and are
+        # persistent (paper, Section 3.1).  Pruning directives are applied
+        # to the directive list first (Section 3.2 applies prunes to the
+        # extracted directives "for increased efficiency"), so a combined
+        # prune+priority configuration starts fewer persistent tests.
+        for pd in self.directives.high_priority_pairs():
+            if pd.hypothesis not in self.hypotheses:
+                continue
+            if self.directives.is_pruned(pd.hypothesis, pd.focus):
+                continue
+            node, created = self.shg.add(pd.hypothesis, pd.focus, parent=root, priority=Priority.HIGH)
+            if created:
+                node.persistent = True
+                self._enqueue(node)
+
+        # The default top-down start: the three top hypotheses at the
+        # whole-program focus.
+        wp = whole_program(self.space)
+        for child in self.hypotheses.children(TOP_LEVEL):
+            self._consider(child.name, wp, parent=root)
+
+        self.engine.schedule_periodic(self.config.check_period, lambda _: self.tick())
+        self.engine.on_finish(lambda _: self.final_pass())
+
+    # ------------------------------------------------------------------
+    # candidate handling
+    # ------------------------------------------------------------------
+    def _consider(self, hypothesis: str, focus: Focus, parent: SHGNode) -> None:
+        """Queue a candidate pair unless pruned or already present."""
+        if self.directives.is_pruned(hypothesis, focus):
+            node, created = self.shg.add(hypothesis, focus, parent=parent)
+            if created:
+                node.state = NodeState.PRUNED
+            return
+        priority = self.directives.priority_of(hypothesis, focus)
+        node, created = self.shg.add(hypothesis, focus, parent=parent, priority=priority)
+        if created:
+            if priority is Priority.HIGH:
+                node.persistent = True
+            self._enqueue(node)
+
+    def _enqueue(self, node: SHGNode) -> None:
+        heapq.heappush(
+            self._pending,
+            (int(node.priority), node.focus.depth(), next(self._seq), node.node_id),
+        )
+
+    def _refine(self, node: SHGNode) -> None:
+        """Expand a true node: more specific hypotheses at the same focus,
+        and the same hypothesis at every child focus (paper, Section 2)."""
+        for child_h in self.hypotheses.children(node.hypothesis):
+            self._consider(child_h.name, node.focus, parent=node)
+        for child_f in node.focus.children(self.space):
+            self._consider(node.hypothesis, child_f, parent=node)
+
+    # ------------------------------------------------------------------
+    # the periodic search step
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        self._rescan_if_grown()
+        self._evaluate_active(self.config.min_interval)
+        self._expand()
+        if self.done_at is None and self.is_complete():
+            self.done_at = self.engine.now
+            if self.config.stop_engine_when_done:
+                self.engine.stop()
+
+    def _rescan_if_grown(self) -> None:
+        """Late resource discovery: when the resource space has grown
+        since the last tick (a DiscoverySink registered a new tag,
+        process, or code object), re-refine every true node so the new
+        resources enter the search (paper Section 6 future work).  The
+        SHG deduplicates, so re-refinement only queues genuinely new
+        candidates."""
+        if self.space.version == self._space_version:
+            return
+        self._space_version = self.space.version
+        self.done_at = None
+        for node in list(self.shg):
+            if node.state is NodeState.TRUE and not self.hypotheses.get(node.hypothesis).is_virtual:
+                self._refine(node)
+
+    def _active_nodes(self) -> List[SHGNode]:
+        return [
+            n
+            for n in self.shg
+            if n.handle is not None
+            and (n.state is NodeState.ACTIVE or (n.persistent and n.concluded))
+        ]
+
+    def _evaluate_active(self, min_interval: float, force: bool = False) -> None:
+        for node in self._active_nodes():
+            frac, elapsed = self.instr.normalized_read(node.handle)
+            if elapsed < min_interval:
+                continue
+            node.value = frac
+            threshold = self.threshold(node.hypothesis)
+            is_true = frac > threshold
+            if node.state is NodeState.ACTIVE:
+                borderline = abs(frac - threshold) <= self.config.noise_band
+                decisive = elapsed >= self.config.decisive_factor * min_interval
+                if borderline and not decisive and not force:
+                    continue
+                self._conclude(node, is_true)
+            elif node.persistent and node.state is NodeState.FALSE and is_true:
+                # Persistent tests continue for the whole run and may flip.
+                node.state = NodeState.TRUE
+                node.t_concluded = self.engine.now
+                self._refine(node)
+
+    def _conclude(self, node: SHGNode, is_true: bool) -> None:
+        node.state = NodeState.TRUE if is_true else NodeState.FALSE
+        node.t_concluded = self.engine.now
+        if node.persistent:
+            # Persistent tests keep watching for the whole run, but at a
+            # decimated sampling rate that releases their cost-gate share.
+            self.instr.decimate(node.handle)
+        else:
+            self.instr.delete(node.handle)
+            node.handle = None
+        if is_true:
+            self._refine(node)
+
+    def _expand(self) -> None:
+        """Instrument pending candidates in priority order while the cost
+        gate admits them.  Admission is strictly in queue order — when the
+        head does not fit, expansion halts (Section 2)."""
+        while self._pending:
+            _, _, _, node_id = self._pending[0]
+            node = self.shg.nodes[node_id]
+            if node.state is not NodeState.QUEUED:
+                heapq.heappop(self._pending)
+                continue
+            cost = self.instr.pair_cost(node.focus, persistent=node.persistent)
+            if not self.instr.gate.can_admit(cost):
+                break
+            heapq.heappop(self._pending)
+            metric = self.hypotheses.get(node.hypothesis).metric
+            node.handle = self.instr.request(metric, node.focus, persistent=node.persistent)
+            node.t_requested = self.engine.now
+            node.state = NodeState.ACTIVE
+
+    # ------------------------------------------------------------------
+    # end of run
+    # ------------------------------------------------------------------
+    def final_pass(self) -> None:
+        """The program ended: conclude what has enough data, mark the rest."""
+        self._evaluate_active(self.config.final_interval, force=True)
+        for node in self.shg:
+            if node.state is NodeState.ACTIVE:
+                node.state = NodeState.UNKNOWN
+                if node.handle is not None:
+                    self.instr.delete(node.handle)
+                    node.handle = None
+            elif node.state is NodeState.QUEUED:
+                node.state = NodeState.NEVER_RUN
+        if self.done_at is None:
+            self.done_at = self.engine.now
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    def is_complete(self) -> bool:
+        """True when nothing is pending and every instrumented test has
+        reached a conclusion at least once."""
+        if any(
+            self.shg.nodes[nid].state is NodeState.QUEUED for _, _, _, nid in self._pending
+        ):
+            return False
+        for node in self.shg:
+            if node.state in (NodeState.ACTIVE, NodeState.QUEUED):
+                return False
+        return True
+
+    def true_pairs(self) -> List[Tuple[str, str]]:
+        return [
+            (n.hypothesis, str(n.focus))
+            for n in self.shg.true_nodes()
+            if n.hypothesis != TOP_LEVEL
+        ]
+
+    def last_true_time(self) -> Optional[float]:
+        times = [n.t_concluded for n in self.shg.true_nodes() if n.hypothesis != TOP_LEVEL]
+        return max(times) if times else None

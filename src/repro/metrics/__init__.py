@@ -1,0 +1,26 @@
+"""Dynamic instrumentation substrate: metrics, cost model, probes, profiler."""
+
+from .cost import CostGate, CostModel
+from .instrumentation import (
+    ActiveInstrumentation,
+    InstrumentationManager,
+    matched_processes,
+)
+from .metric import CPU_TIME, EXEC_TIME, IO_WAIT_TIME, METRICS, Metric, SYNC_WAIT_TIME
+from .profile import FlatProfile, ProfileCollector
+
+__all__ = [
+    "CostGate",
+    "CostModel",
+    "ActiveInstrumentation",
+    "InstrumentationManager",
+    "matched_processes",
+    "CPU_TIME",
+    "EXEC_TIME",
+    "IO_WAIT_TIME",
+    "METRICS",
+    "Metric",
+    "SYNC_WAIT_TIME",
+    "FlatProfile",
+    "ProfileCollector",
+]

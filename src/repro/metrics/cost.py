@@ -1,0 +1,92 @@
+"""Instrumentation cost model and expansion gate.
+
+The paper (Section 2): "To prevent the PC data requests from overwhelming
+the system capacity or perturbing the application ... the cost of
+instrumentation enabled by the PC is continually monitored.  Search
+expansion ... is halted when the cost reaches a critical threshold, and
+restarted once instrumentation deletion ... causes the cost to return to
+an acceptable level."
+
+The cost of one (hypothesis : focus) pair scales with the number of
+processes the focus matches (each matched process hosts probes); the same
+per-pair cost drives perturbation — matched processes compute slower in
+proportion to the instrumentation they carry — which is what makes
+"decrease the amount of unhelpful instrumentation" (goal 2) measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "CostGate"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Parameters of the instrumentation cost/perturbation model.
+
+    ``base`` is the fixed cost per pair; ``per_process`` is added for every
+    matched process.  ``perturb_per_unit`` converts the cost a process
+    carries into a compute-slowdown fraction; ``max_overhead`` caps the
+    slowdown (Paradyn similarly bounds perturbation).
+    """
+
+    base: float = 0.05
+    per_process: float = 0.15
+    perturb_per_unit: float = 0.01
+    max_overhead: float = 0.35
+    #: Optional up-front discount for persistent (high-priority) probes.
+    #: The default is full cost: a persistent pair pays like any other test
+    #: until its first conclusion, after which the manager decimates its
+    #: sampling and releases its cost-gate share (see
+    #: InstrumentationManager.decimate).
+    persistent_cost_factor: float = 1.0
+
+    def pair_cost(self, n_processes: int, persistent: bool = False) -> float:
+        cost = self.base + self.per_process * n_processes
+        if persistent:
+            cost *= self.persistent_cost_factor
+        return cost
+
+    def overhead_fraction(self, carried_cost: float) -> float:
+        return min(carried_cost * self.perturb_per_unit, self.max_overhead)
+
+
+class CostGate:
+    """Hysteretic gate deciding whether the search may expand.
+
+    Expansion halts when total active cost reaches ``limit`` and resumes
+    only when deletions bring it back down to ``resume_level`` (defaults to
+    90% of the limit), mirroring the halt/restart behaviour the paper
+    describes.
+    """
+
+    def __init__(self, limit: float, resume_level: float | None = None):
+        if limit <= 0:
+            raise ValueError("cost limit must be positive")
+        self.limit = limit
+        self.resume_level = limit * 0.9 if resume_level is None else resume_level
+        self.total = 0.0
+        self.halted = False
+        self.peak = 0.0
+
+    def add(self, cost: float) -> None:
+        self.total += cost
+        self.peak = max(self.peak, self.total)
+        if self.total >= self.limit:
+            self.halted = True
+
+    def remove(self, cost: float) -> None:
+        self.total = max(self.total - cost, 0.0)
+        if self.halted and self.total <= self.resume_level:
+            self.halted = False
+
+    def can_admit(self, cost: float) -> bool:
+        """True when a new pair of the given cost may be instrumented."""
+        if self.halted:
+            return False
+        return self.total + cost <= self.limit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "halted" if self.halted else "open"
+        return f"CostGate(total={self.total:.2f}/{self.limit:.2f}, {state})"

@@ -1,0 +1,237 @@
+"""Dynamic instrumentation manager.
+
+Models Paradyn's dynamic instrumentation: metric probes for a
+(metric : focus) pair are *inserted* into the running program after a
+request latency, accumulate only from their activation instant onward,
+and are *deleted* when the Performance Consultant concludes a test.  The
+manager is a trace sink on the simulator engine and doubles as a
+perturbation source — active instrumentation slows the matched processes'
+computation per the cost model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..resources.focus import Focus
+from ..resources.resource import ResourceSpace
+from ..simulator.engine import Engine
+from ..simulator.records import TimeSegment
+from .cost import CostGate, CostModel
+from .metric import METRICS, Metric
+
+__all__ = ["ActiveInstrumentation", "InstrumentationManager", "matched_processes"]
+
+
+def matched_processes(focus: Focus, engine: Engine) -> Tuple[str, ...]:
+    """Process names matched by *focus*'s Process and Machine selections.
+
+    A process matches when its own resource lies under the focus's
+    Process selection and its host node lies under the Machine selection.
+    This count also normalises hypothesis values (see metrics.metric).
+    """
+    want_proc = focus.selection_parts("Process") if "Process" in focus.hierarchies else ("Process",)
+    want_node = focus.selection_parts("Machine") if "Machine" in focus.hierarchies else ("Machine",)
+    out = []
+    for name, proc in engine.procs.items():
+        pp = ("Process", name)
+        np_ = ("Machine", proc.node)
+        if pp[: len(want_proc)] != want_proc:
+            continue
+        if np_[: len(want_node)] != want_node:
+            continue
+        out.append(name)
+    return tuple(out)
+
+
+@dataclass
+class ActiveInstrumentation:
+    """One live (metric : focus) probe set."""
+
+    handle: int
+    metric: Metric
+    focus: Focus
+    requested_at: float
+    active_from: float
+    cost: float
+    processes: Tuple[str, ...]
+    persistent: bool = False
+    accumulated: float = 0.0
+    deleted_at: Optional[float] = None
+
+    def overlap(self, start: float, end: float) -> float:
+        """Seconds of [start, end) that fall inside the active window."""
+        lo = max(start, self.active_from)
+        hi = end if self.deleted_at is None else min(end, self.deleted_at)
+        return max(hi - lo, 0.0)
+
+
+class InstrumentationManager:
+    """Insert/read/delete dynamic instrumentation against a live engine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        space: ResourceSpace,
+        cost_model: Optional[CostModel] = None,
+        cost_limit: float = 20.0,
+        insertion_latency: float = 2.0,
+    ) -> None:
+        self.engine = engine
+        self.space = space
+        self.cost_model = cost_model or CostModel()
+        self.gate = CostGate(cost_limit)
+        self.insertion_latency = insertion_latency
+        self._active: Dict[int, ActiveInstrumentation] = {}
+        self._handles = itertools.count(1)
+        self._per_proc_cost: Dict[str, float] = {p: 0.0 for p in engine.procs}
+        self.total_requests = 0
+        engine.add_sink(self)
+        engine.add_perturbation_source(self._overhead_for)
+
+    # ------------------------------------------------------------------
+    # request / delete
+    # ------------------------------------------------------------------
+    def pair_cost(self, focus: Focus, persistent: bool = False) -> float:
+        return self.cost_model.pair_cost(
+            len(matched_processes(focus, self.engine)), persistent=persistent
+        )
+
+    def request(self, metric_name: str, focus: Focus, persistent: bool = False) -> int:
+        """Insert probes for (metric : focus); returns a read handle.
+
+        The probes become active ``insertion_latency`` seconds after the
+        request — the paper notes a reported bottleneck's timestamp starts
+        at "the instant of the instrumentation request, plus the time
+        required to actually insert the instrumentation".
+        """
+        metric = METRICS[metric_name]
+        procs = matched_processes(focus, self.engine)
+        cost = self.cost_model.pair_cost(len(procs), persistent=persistent)
+        handle = next(self._handles)
+        now = self.engine.now
+        instr = ActiveInstrumentation(
+            handle=handle,
+            metric=metric,
+            focus=focus,
+            requested_at=now,
+            active_from=now + self.insertion_latency,
+            cost=cost,
+            processes=procs,
+            persistent=persistent,
+        )
+        self._active[handle] = instr
+        self.gate.add(cost)
+        for p in procs:
+            self._per_proc_cost[p] = self._per_proc_cost.get(p, 0.0) + cost
+        self.total_requests += 1
+        return handle
+
+    def delete(self, handle: int) -> None:
+        instr = self._active.pop(handle, None)
+        if instr is None:
+            return
+        instr.deleted_at = self.engine.now
+        self._release_cost(instr)
+
+    def decimate(self, handle: int) -> None:
+        """Downgrade a persistent probe set to decimated sampling.
+
+        Once a persistent (high-priority) pair has reached its first
+        conclusion, it keeps watching for the rest of the run but at a
+        sampling rate cheap enough to release its share of the cost gate —
+        otherwise start-up priorities would permanently starve the ongoing
+        top-down search.
+        """
+        instr = self._active.get(handle)
+        if instr is None or instr.cost == 0.0:
+            return
+        self._release_cost(instr)
+        instr.cost = 0.0
+
+    def _release_cost(self, instr: ActiveInstrumentation) -> None:
+        self.gate.remove(instr.cost)
+        for p in instr.processes:
+            self._per_proc_cost[p] = max(self._per_proc_cost.get(p, 0.0) - instr.cost, 0.0)
+
+    # ------------------------------------------------------------------
+    # trace sink + perturbation source
+    # ------------------------------------------------------------------
+    def record(self, segment: TimeSegment) -> None:
+        for instr in self._active.values():
+            if not instr.metric.counts(segment.activity):
+                continue
+            if instr.metric.kind == "count":
+                # one completed operation per segment, counted when it
+                # finishes inside the active window
+                if (
+                    instr.active_from <= segment.end
+                    and (instr.deleted_at is None or segment.end <= instr.deleted_at)
+                    and instr.focus.matches_parts(segment.parts)
+                ):
+                    instr.accumulated += 1.0
+                continue
+            dt = instr.overlap(segment.start, segment.end)
+            if dt <= 0.0:
+                continue
+            if instr.focus.matches_parts(segment.parts):
+                instr.accumulated += dt
+
+    def _overhead_for(self, proc_name: str) -> float:
+        return self.cost_model.overhead_fraction(self._per_proc_cost.get(proc_name, 0.0))
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read(self, handle: int) -> Tuple[float, float]:
+        """Return (accumulated seconds, observed elapsed seconds).
+
+        In-progress activity (e.g. a blocking receive that has not yet
+        returned) is included, so reads are exact at any instant.
+        """
+        instr = self._active.get(handle)
+        if instr is None:
+            raise KeyError(f"unknown or deleted instrumentation handle {handle}")
+        now = self.engine.now
+        elapsed = max(now - instr.active_from, 0.0)
+        if elapsed == 0.0:
+            return 0.0, 0.0
+        value = instr.accumulated
+        if instr.metric.kind == "time":
+            # in-progress activity only contributes to time metrics;
+            # counts only include completed operations
+            for seg in self.engine.in_progress():
+                if not instr.metric.counts(seg.activity):
+                    continue
+                dt = instr.overlap(seg.start, seg.end)
+                if dt > 0.0 and instr.focus.matches_parts(seg.parts):
+                    value += dt
+        return value, elapsed
+
+    def normalized_read(self, handle: int) -> Tuple[float, float]:
+        """Return (fraction, elapsed): accumulated time normalised by
+        elapsed × matched-process count (the hypothesis test value)."""
+        instr = self._active[handle]
+        value, elapsed = self.read(handle)
+        denom = elapsed * max(len(instr.processes), 1)
+        return (value / denom if denom > 0 else 0.0), elapsed
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def total_cost(self) -> float:
+        return self.gate.total
+
+    @property
+    def peak_cost(self) -> float:
+        return self.gate.peak
+
+    def instrumentation(self, handle: int) -> ActiveInstrumentation:
+        return self._active[handle]

@@ -1,0 +1,93 @@
+"""Metric definitions.
+
+A Paradyn metric is a continuously measured value; each Performance
+Consultant hypothesis is based on one or more metrics and a threshold
+(paper, Section 2).  The reproduction's metrics are time-class
+accumulators: a metric counts the seconds a focus spends in a given set of
+activity classes.  Hypothesis values are *normalized* fractions — the
+accumulated seconds divided by observed elapsed time times the number of
+processes the focus matches — so "81% of process 3's time" and "45% of
+total execution time for all four processors" (paper, Section 4.2) are
+both expressible with the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+from ..simulator.records import Activity
+
+__all__ = ["Metric", "METRICS", "EXEC_TIME", "CPU_TIME", "SYNC_WAIT_TIME", "IO_WAIT_TIME"]
+
+
+@dataclass(frozen=True)
+class Metric:
+    """A named accumulator over activity classes.
+
+    ``kind`` selects the accumulation rule: ``"time"`` metrics sum the
+    seconds of matching activity; ``"count"`` metrics count matching
+    operations (one per completed segment), yielding rates when
+    normalised by elapsed time — Paradyn's operation-frequency metrics.
+    """
+
+    name: str
+    activities: FrozenSet[Activity]
+    description: str
+    kind: str = "time"
+
+    def counts(self, activity: Activity) -> bool:
+        return activity in self.activities
+
+
+EXEC_TIME = Metric(
+    name="exec_time",
+    activities=frozenset({Activity.COMPUTE, Activity.SYNC, Activity.IO}),
+    description="Wall-clock execution time regardless of activity class.",
+)
+
+CPU_TIME = Metric(
+    name="cpu_time",
+    activities=frozenset({Activity.COMPUTE}),
+    description="Time spent computing (CPUbound hypothesis).",
+)
+
+SYNC_WAIT_TIME = Metric(
+    name="sync_wait_time",
+    activities=frozenset({Activity.SYNC}),
+    description="Time blocked in synchronisation (ExcessiveSyncWaitingTime).",
+)
+
+IO_WAIT_TIME = Metric(
+    name="io_wait_time",
+    activities=frozenset({Activity.IO}),
+    description="Time blocked in I/O (ExcessiveIOBlockingTime).",
+)
+
+SYNC_OP_COUNT = Metric(
+    name="sync_op_count",
+    activities=frozenset({Activity.SYNC}),
+    description="Completed blocking synchronisation operations "
+                "(FrequentSyncOperations hypothesis; a rate when normalised).",
+    kind="count",
+)
+
+IO_OP_COUNT = Metric(
+    name="io_op_count",
+    activities=frozenset({Activity.IO}),
+    description="Completed blocking I/O operations.",
+    kind="count",
+)
+
+#: Registry keyed by metric name.
+METRICS: Dict[str, Metric] = {
+    m.name: m
+    for m in (
+        EXEC_TIME,
+        CPU_TIME,
+        SYNC_WAIT_TIME,
+        IO_WAIT_TIME,
+        SYNC_OP_COUNT,
+        IO_OP_COUNT,
+    )
+}

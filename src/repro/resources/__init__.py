@@ -1,0 +1,46 @@
+"""Resource naming substrate: hierarchies, resources, and foci.
+
+This package implements the program-representation layer of Paradyn that
+the paper's Performance Consultant searches over (paper, Section 2):
+resource hierarchies (``Code``, ``Machine``, ``Process``, ``SyncObject``),
+canonical slash-separated resource names, and foci with single-edge
+refinement.
+"""
+
+from .names import (
+    ResourceNameError,
+    common_prefix,
+    depth,
+    hierarchy_of,
+    is_prefix,
+    join_path,
+    parent_path,
+    split_path,
+    validate_path,
+)
+from .resource import (
+    STANDARD_HIERARCHIES,
+    Resource,
+    ResourceHierarchy,
+    ResourceSpace,
+)
+from .focus import Focus, parse_focus, whole_program
+
+__all__ = [
+    "ResourceNameError",
+    "common_prefix",
+    "depth",
+    "hierarchy_of",
+    "is_prefix",
+    "join_path",
+    "parent_path",
+    "split_path",
+    "validate_path",
+    "STANDARD_HIERARCHIES",
+    "Resource",
+    "ResourceHierarchy",
+    "ResourceSpace",
+    "Focus",
+    "parse_focus",
+    "whole_program",
+]

@@ -1,0 +1,167 @@
+"""Foci: constrained views of a program.
+
+A *focus* selects one node from each resource hierarchy; selecting a root
+leaves that hierarchy unconstrained while any deeper selection narrows the
+view to the leaf descendants of the chosen node (paper, Section 2).  The
+whole-program focus selects every root:
+``< /Code, /Machine, /Process, /SyncObject >``.
+
+A *child focus* is obtained by moving down a single edge in one hierarchy;
+deriving children this way is *refinement* — the operation the Performance
+Consultant applies to every node that tests true.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from .names import ResourceNameError, split_path
+from .resource import STANDARD_HIERARCHIES, ResourceSpace
+
+__all__ = ["Focus", "whole_program", "parse_focus"]
+
+
+class Focus:
+    """Immutable selection of one resource per hierarchy.
+
+    Instances hash and compare by value so they can key dictionaries (the
+    Search History Graph deduplicates nodes by ``(hypothesis, focus)``).
+    """
+
+    __slots__ = ("_sel", "_parts", "_hash")
+
+    def __init__(self, selections: Mapping[str, str]):
+        sel: Dict[str, str] = {}
+        parts: Dict[str, Tuple[str, ...]] = {}
+        for hierarchy, path in selections.items():
+            p = split_path(path)
+            if p[0] != hierarchy:
+                raise ResourceNameError(
+                    f"selection {path!r} is not in hierarchy {hierarchy!r}"
+                )
+            sel[hierarchy] = path
+            parts[hierarchy] = p
+        self._sel = dict(sorted(sel.items()))
+        self._parts = parts
+        self._hash = hash(tuple(self._sel.items()))
+
+    # -- basic protocol ----------------------------------------------------
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Focus) and self._sel == other._sel
+
+    def __repr__(self) -> str:
+        return f"Focus({str(self)!r})"
+
+    def __str__(self) -> str:
+        return "< " + ", ".join(self._sel[h] for h in self._sel) + " >"
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def hierarchies(self) -> Tuple[str, ...]:
+        return tuple(self._sel)
+
+    def selection(self, hierarchy: str) -> str:
+        return self._sel[hierarchy]
+
+    def selection_parts(self, hierarchy: str) -> Tuple[str, ...]:
+        return self._parts[hierarchy]
+
+    def selections(self) -> Dict[str, str]:
+        return dict(self._sel)
+
+    def is_whole_program(self) -> bool:
+        return all(len(p) == 1 for p in self._parts.values())
+
+    def depth(self) -> int:
+        """Total number of refinement edges below the whole-program focus."""
+        return sum(len(p) - 1 for p in self._parts.values())
+
+    # -- algebra -------------------------------------------------------------
+    def with_selection(self, hierarchy: str, path: str) -> "Focus":
+        sel = dict(self._sel)
+        if hierarchy not in sel:
+            raise ResourceNameError(f"focus has no hierarchy {hierarchy!r}")
+        sel[hierarchy] = path
+        return Focus(sel)
+
+    def constrains(self, hierarchy: str) -> bool:
+        """True when the selection in *hierarchy* is below the root."""
+        return len(self._parts[hierarchy]) > 1
+
+    def is_descendant_or_equal(self, other: "Focus") -> bool:
+        """True when every selection of *self* lies at or below the
+        corresponding selection of *other*."""
+        if set(self._sel) != set(other._sel):
+            return False
+        for h, mine in self._parts.items():
+            theirs = other._parts[h]
+            if mine[: len(theirs)] != theirs:
+                return False
+        return True
+
+    def matches_parts(self, segment_parts: Mapping[str, Tuple[str, ...] | None]) -> bool:
+        """Match against a time segment's per-hierarchy resource paths.
+
+        *segment_parts* maps hierarchy name to the split path of the
+        resource the segment is attributed to, or ``None`` when the segment
+        carries no resource in that hierarchy (e.g. a pure-compute segment
+        has no SyncObject).  A constrained hierarchy with no segment
+        resource does not match; an unconstrained one always matches.
+        """
+        for h, want in self._parts.items():
+            if len(want) == 1:
+                continue
+            have = segment_parts.get(h)
+            if have is None or have[: len(want)] != want:
+                return False
+        return True
+
+    # -- refinement ----------------------------------------------------------
+    def refine(self, space: ResourceSpace, hierarchy: str) -> List["Focus"]:
+        """Child foci obtained by one step down in *hierarchy*."""
+        sel = self._sel.get(hierarchy)
+        if sel is None:
+            return []
+        node = space.hierarchy(hierarchy).find(sel)
+        if node is None:
+            return []
+        return [self.with_selection(hierarchy, c.name) for c in node.children.values()]
+
+    def children(self, space: ResourceSpace) -> List["Focus"]:
+        """All child foci across every hierarchy (paper: refinement moves
+        down along a single edge in one of the resource hierarchies)."""
+        out: List["Focus"] = []
+        for h in self._sel:
+            out.extend(self.refine(space, h))
+        return out
+
+
+def whole_program(space: ResourceSpace | None = None) -> Focus:
+    """The unconstrained focus over the standard (or given) hierarchies."""
+    if space is None:
+        return Focus({h: f"/{h}" for h in STANDARD_HIERARCHIES})
+    return Focus(space.root_paths())
+
+
+def parse_focus(text: str) -> Focus:
+    """Parse the printed form ``< /Code/x, /Machine, ... >``."""
+    body = text.strip()
+    if body.startswith("<"):
+        body = body[1:]
+    if body.endswith(">"):
+        body = body[:-1]
+    sels: Dict[str, str] = {}
+    for piece in body.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        parts = split_path(piece)
+        if parts[0] in sels:
+            raise ResourceNameError(f"duplicate hierarchy in focus: {text!r}")
+        sels[parts[0]] = piece
+    if not sels:
+        raise ResourceNameError(f"empty focus: {text!r}")
+    return Focus(sels)

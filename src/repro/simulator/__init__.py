@@ -1,0 +1,61 @@
+"""Discrete-event message-passing simulator (the testbed substitute).
+
+The paper ran MPI applications on an IBM SP/2; this package provides the
+equivalent observable behaviour in pure Python: processes as generator
+coroutines, tagged blocking/non-blocking messaging, barriers, blocking
+I/O, per-function time attribution, and instrumentation perturbation.
+"""
+
+from .errors import ProgramError, SimDeadlock, SimulationError
+from .events import EventQueue
+from .engine import Engine
+from .machine import Machine
+from .messages import ANY_SOURCE, LatencyModel, Mailbox, Message
+from .process import (
+    Barrier,
+    Compute,
+    IoOp,
+    Irecv,
+    Isend,
+    ProcState,
+    Recv,
+    Request,
+    Send,
+    SimProcess,
+    WaitReq,
+)
+from .records import Activity, TimeSegment, TraceCollector, TraceSink, sync_tag_parts
+from .tracefile import TraceWriter, profile_from_trace, read_trace, write_trace
+
+__all__ = [
+    "ProgramError",
+    "SimDeadlock",
+    "SimulationError",
+    "EventQueue",
+    "Engine",
+    "Machine",
+    "ANY_SOURCE",
+    "LatencyModel",
+    "Mailbox",
+    "Message",
+    "Barrier",
+    "Compute",
+    "IoOp",
+    "Irecv",
+    "Isend",
+    "ProcState",
+    "Recv",
+    "Request",
+    "Send",
+    "SimProcess",
+    "WaitReq",
+    "Activity",
+    "TimeSegment",
+    "TraceCollector",
+    "TraceSink",
+    "sync_tag_parts",
+    "TraceWriter",
+    "profile_from_trace",
+    "read_trace",
+    "write_trace",
+]

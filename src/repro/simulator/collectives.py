@@ -1,0 +1,166 @@
+"""Collective operations as composed point-to-point programs.
+
+The Poisson and ocean workloads hand-code their reductions; this module
+provides the standard MPI collective vocabulary as reusable generator
+fragments built from the engine's point-to-point syscalls, so simulated
+programs read like real MPI code::
+
+    yield from bcast(proc, rank, procs, root=0, tag="9/0", size=64)
+    value_holder = yield from gather(proc, rank, procs, root=0, tag="9/1")
+
+Each collective is implemented with explicit messages, so waiting time is
+attributed exactly like hand-written communication: the blocked receives
+inside a collective appear as synchronisation waits on the collective's
+tag, in the caller's current function — which is precisely how Paradyn
+sees library-internal waits.
+
+Two algorithms are provided where it matters: ``linear`` (the root talks
+to everyone, strong serialisation — matches the paper-era reality of
+small clusters) and ``tree`` (binomial, log-depth).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .process import Recv, Send
+
+__all__ = ["bcast", "gather", "reduce", "allreduce", "scatter", "alltoall"]
+
+
+def _check(rank: int, procs: Sequence[str], root: int) -> None:
+    if not 0 <= rank < len(procs):
+        raise ValueError(f"rank {rank} out of range for {len(procs)} processes")
+    if not 0 <= root < len(procs):
+        raise ValueError(f"root {root} out of range for {len(procs)} processes")
+
+
+def bcast(
+    proc,
+    rank: int,
+    procs: Sequence[str],
+    root: int = 0,
+    tag: str = "coll/0",
+    size: float = 64.0,
+    algorithm: str = "tree",
+):
+    """Broadcast from *root* to every process.
+
+    ``tree`` uses a binomial tree rooted at *root* (log-depth); ``linear``
+    has the root send to every other rank in order.
+    """
+    _check(rank, procs, root)
+    n = len(procs)
+    if n == 1:
+        return
+    if algorithm == "linear":
+        if rank == root:
+            for other in range(n):
+                if other != root:
+                    yield Send(procs[other], tag, size)
+        else:
+            yield Recv(procs[root], tag)
+        return
+    # Binomial tree on virtual ranks relative to the root: node v receives
+    # from v - lowbit(v) and then forwards to v + 2^k for every power of
+    # two below lowbit(v) (all powers below n for the root), largest first.
+    vrank = (rank - root) % n
+    if vrank == 0:
+        low = _next_power_of_two(n)
+    else:
+        low = vrank & (-vrank)  # lowest set bit
+        parent = vrank - low
+        yield Recv(procs[(parent + root) % n], tag)
+    child_mask = low >> 1
+    while child_mask > 0:
+        child = vrank + child_mask
+        if child < n:
+            yield Send(procs[(child + root) % n], tag, size)
+        child_mask >>= 1
+
+
+def _next_power_of_two(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+def gather(
+    proc,
+    rank: int,
+    procs: Sequence[str],
+    root: int = 0,
+    tag: str = "coll/1",
+    size: float = 64.0,
+):
+    """Gather one message from every process at *root* (linear)."""
+    _check(rank, procs, root)
+    n = len(procs)
+    if rank == root:
+        for other in range(n):
+            if other != root:
+                yield Recv(procs[other], tag)
+    else:
+        yield Send(procs[root], tag, size)
+
+
+def scatter(
+    proc,
+    rank: int,
+    procs: Sequence[str],
+    root: int = 0,
+    tag: str = "coll/2",
+    size: float = 64.0,
+):
+    """Scatter one message from *root* to every process (linear)."""
+    _check(rank, procs, root)
+    n = len(procs)
+    if rank == root:
+        for other in range(n):
+            if other != root:
+                yield Send(procs[other], tag, size)
+    else:
+        yield Recv(procs[root], tag)
+
+
+def reduce(
+    proc,
+    rank: int,
+    procs: Sequence[str],
+    root: int = 0,
+    tag: str = "coll/3",
+    size: float = 64.0,
+):
+    """Reduce to *root*: structurally a gather (combination is free in
+    virtual time; add an explicit Compute in the caller to model it)."""
+    yield from gather(proc, rank, procs, root=root, tag=tag, size=size)
+
+
+def allreduce(
+    proc,
+    rank: int,
+    procs: Sequence[str],
+    tag: str = "coll/4",
+    size: float = 64.0,
+    algorithm: str = "tree",
+):
+    """Reduce-to-all: reduce to rank 0, then broadcast the result."""
+    yield from reduce(proc, rank, procs, root=0, tag=tag, size=size)
+    yield from bcast(proc, rank, procs, root=0, tag=tag, size=size, algorithm=algorithm)
+
+
+def alltoall(
+    proc,
+    rank: int,
+    procs: Sequence[str],
+    tag: str = "coll/5",
+    size: float = 64.0,
+):
+    """Each process sends one message to every other process."""
+    _check(rank, procs, 0)
+    n = len(procs)
+    for offset in range(1, n):
+        yield Send(procs[(rank + offset) % n], tag, size)
+    for offset in range(1, n):
+        yield Recv(procs[(rank - offset) % n], tag)

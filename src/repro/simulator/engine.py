@@ -1,0 +1,530 @@
+"""The discrete-event engine driving simulated message-passing programs.
+
+The engine plays the role of the paper's IBM SP/2 testbed: it executes
+generator-coroutine processes in virtual time, implements blocking and
+non-blocking tagged message passing, global barriers, and blocking I/O,
+and emits attributed :class:`~repro.simulator.records.TimeSegment` records
+to registered trace sinks.
+
+Two properties matter for reproducing the paper's dynamics:
+
+* **Online observability** — instrumentation inserted mid-run sees only
+  time from its activation onward; in-progress waits are exposed through
+  :meth:`Engine.in_progress` so a metric read at time *t* is exact even
+  when a blocking receive has not yet returned.
+* **Perturbation** — registered perturbation sources (the instrumentation
+  cost model) stretch computation, so reducing unhelpful instrumentation
+  genuinely shortens execution, the paper's goal 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .errors import ProgramError, SimDeadlock, SimulationError
+from .events import EventQueue
+from .machine import Machine
+from .messages import ANY_SOURCE, LatencyModel, Mailbox, Message
+from .process import (
+    Barrier,
+    Compute,
+    IoOp,
+    Irecv,
+    Isend,
+    ProcState,
+    Recv,
+    Request,
+    Send,
+    SimProcess,
+    WaitReq,
+)
+from .records import Activity, TimeSegment, TraceSink
+
+__all__ = ["Engine"]
+
+_EPS = 1e-12
+
+
+class Engine:
+    """Deterministic discrete-event executor for simulated programs."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        latency: Optional[LatencyModel] = None,
+        crash_policy: str = "raise",
+    ) -> None:
+        """``crash_policy`` controls what happens when a simulated program
+        raises: ``"raise"`` propagates the exception out of :meth:`run`
+        (default, a bug in the program under test); ``"record"`` marks the
+        process crashed and keeps the simulation going, so a diagnosis of
+        a partially failed run can complete — failure injection for the
+        search's robustness tests."""
+        if crash_policy not in ("raise", "record"):
+            raise SimulationError(f"unknown crash_policy {crash_policy!r}")
+        self.machine = machine
+        self.crash_policy = crash_policy
+        self.latency = latency or LatencyModel()
+        self.now: float = 0.0
+        self.queue = EventQueue()
+        self.procs: Dict[str, SimProcess] = {}
+        self._mailboxes: Dict[str, Mailbox] = {}
+        self._pending_irecvs: Dict[str, List[Request]] = {}
+        self._sinks: List[TraceSink] = []
+        self._perturbation_sources: List[Callable[[str], float]] = []
+        self._barrier_waiting: List[SimProcess] = []
+        # rendezvous senders blocked until the destination posts a receive:
+        # dest name -> [(sender process, Send syscall)]
+        self._rdv_waiting: Dict[str, List[Tuple[SimProcess, object]]] = {}
+        self._on_finish: List[Callable[["Engine"], None]] = []
+        self._stopped = False
+        self.finished_at: Optional[float] = None
+        # per-process in-progress activity: (activity, start, module, fn, tag)
+        self._current: Dict[str, Optional[Tuple[Activity, float, str, str, Optional[str]]]] = {}
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def add_process(self, name: str, node: str, program) -> SimProcess:
+        if name in self.procs:
+            raise ProgramError(f"duplicate process name {name!r}")
+        self.machine.place(name, node)
+        proc = SimProcess(name, node, program)
+        self.procs[name] = proc
+        self._mailboxes[name] = Mailbox()
+        self._pending_irecvs[name] = []
+        self._current[name] = None
+        return proc
+
+    def add_sink(self, sink: TraceSink) -> None:
+        self._sinks.append(sink)
+
+    def add_perturbation_source(self, fn: Callable[[str], float]) -> None:
+        """Register a callable mapping process name -> overhead fraction."""
+        self._perturbation_sources.append(fn)
+
+    def on_finish(self, fn: Callable[["Engine"], None]) -> None:
+        """Run *fn* once when the last process completes."""
+        self._on_finish.append(fn)
+
+    # ------------------------------------------------------------------
+    # scheduling helpers
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, fn: Callable[[], None]) -> int:
+        if time < self.now - _EPS:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self.now}")
+        return self.queue.push(max(time, self.now), fn)
+
+    def schedule_periodic(
+        self, period: float, fn: Callable[["Engine"], None], start: Optional[float] = None
+    ) -> None:
+        """Call ``fn(engine)`` every *period* seconds while the application
+        is still running; the callback stops rescheduling once every
+        process has finished (a final pass runs via :meth:`on_finish`)."""
+        if period <= 0:
+            raise SimulationError("period must be positive")
+
+        def tick() -> None:
+            if self._stopped:
+                return
+            fn(self)
+            if not self.all_done():
+                self.queue.push(self.now + period, tick)
+
+        self.queue.push(self.now if start is None else start, tick)
+
+    def stop(self) -> None:
+        """Abort the run after the current event (used by the diagnosis
+        driver once the search has nothing left to conclude)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    def all_done(self) -> bool:
+        return all(
+            p.state in (ProcState.DONE, ProcState.CRASHED)
+            for p in self.procs.values()
+        )
+
+    def live_count(self) -> int:
+        return sum(
+            1
+            for p in self.procs.values()
+            if p.state not in (ProcState.DONE, ProcState.CRASHED)
+        )
+
+    def crashed(self) -> List[SimProcess]:
+        return [p for p in self.procs.values() if p.state is ProcState.CRASHED]
+
+    def perturbation(self, proc_name: str) -> float:
+        return sum(src(proc_name) for src in self._perturbation_sources)
+
+    def in_progress(self) -> Iterable[TimeSegment]:
+        """Pseudo-segments for activity that has started but not finished,
+        so metric reads are exact at any instant."""
+        for name, cur in self._current.items():
+            if cur is None:
+                continue
+            activity, start, module, function, tag = cur
+            dur = self.now - start
+            if dur <= _EPS:
+                continue
+            proc = self.procs[name]
+            yield TimeSegment.make(
+                start=start,
+                duration=dur,
+                activity=activity,
+                process=name,
+                node=proc.node,
+                module=module,
+                function=function,
+                tag=tag,
+            )
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def run(self, max_time: float = 1e9) -> float:
+        """Execute until every process finishes (or :meth:`stop`).
+
+        Returns the finish time (or the stop time)."""
+        for proc in self.procs.values():
+            if proc.gen is None:
+                proc.start()
+                self.schedule(self.now, lambda p=proc: self._step(p, None))
+        while not self._stopped:
+            item = self.queue.pop()
+            if item is None:
+                if self.all_done():
+                    break
+                blocked = [p.name for p in self.procs.values() if p.state is ProcState.BLOCKED]
+                crashed = [p.name for p in self.crashed()]
+                detail = f"; crashed processes: {crashed}" if crashed else ""
+                raise SimDeadlock(
+                    f"no runnable events; blocked processes: {blocked}{detail}"
+                )
+            t, fn = item
+            if t > max_time:
+                raise SimulationError(f"simulation exceeded max_time={max_time}")
+            self.now = max(self.now, t)
+            fn()
+        if self.finished_at is None:
+            self.finished_at = self.now
+        return self.finished_at
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        start: float,
+        duration: float,
+        activity: Activity,
+        proc: SimProcess,
+        frame: Tuple[str, str],
+        tag: Optional[str] = None,
+    ) -> None:
+        if duration <= _EPS:
+            return
+        # The generator is suspended between dispatch and emission, so the
+        # process's current stack is exactly the stack during the interval.
+        stack = proc.stack_snapshot()
+        if not stack or stack[-1] != frame:
+            stack = stack + (frame,)
+        seg = TimeSegment.make(
+            start=start,
+            duration=duration,
+            activity=activity,
+            process=proc.name,
+            node=proc.node,
+            module=frame[0],
+            function=frame[1],
+            tag=tag,
+            stack=stack,
+        )
+        for sink in self._sinks:
+            sink.record(seg)
+
+    def _set_current(
+        self,
+        proc: SimProcess,
+        activity: Activity,
+        frame: Tuple[str, str],
+        tag: Optional[str] = None,
+    ) -> None:
+        self._current[proc.name] = (activity, self.now, frame[0], frame[1], tag)
+
+    def _clear_current(self, proc: SimProcess) -> None:
+        self._current[proc.name] = None
+
+    def _step(self, proc: SimProcess, value) -> None:
+        """Resume *proc*'s generator and dispatch its next syscall."""
+        self._clear_current(proc)
+        proc.state = ProcState.RUNNING
+        try:
+            call = proc.gen.send(value)
+        except StopIteration:
+            proc.state = ProcState.DONE
+            proc.finish_time = self.now
+            self._maybe_finish()
+            return
+        except ProgramError:
+            raise
+        except Exception as exc:
+            if self.crash_policy == "raise":
+                raise
+            proc.state = ProcState.CRASHED
+            proc.crash = exc
+            proc.finish_time = self.now
+            self._maybe_finish()
+            return
+        self._dispatch(proc, call)
+
+    def _maybe_finish(self) -> None:
+        # a process leaving (done or crashed) may satisfy a pending barrier
+        self._check_barrier()
+        if self.all_done():
+            self.finished_at = self.now
+            for fn in self._on_finish:
+                fn(self)
+
+    def _resume_at(self, time: float, proc: SimProcess, value=None) -> None:
+        self.schedule(time, lambda: self._step(proc, value))
+
+    def _dispatch(self, proc: SimProcess, call) -> None:
+        frame = proc.current_frame
+        if isinstance(call, Compute):
+            if call.seconds < 0:
+                raise ProgramError("negative compute time")
+            factor = 1.0 + max(self.perturbation(proc.name), 0.0)
+            dur = call.seconds * factor
+            self._set_current(proc, Activity.COMPUTE, frame)
+            start = self.now
+
+            def finish_compute(p=proc, s=start, d=dur, f=frame) -> None:
+                self._emit(s, d, Activity.COMPUTE, p, f)
+                self._step(p, None)
+
+            self.schedule(self.now + dur, finish_compute)
+        elif isinstance(call, IoOp):
+            self._set_current(proc, Activity.IO, frame)
+            start = self.now
+
+            def finish_io(p=proc, s=start, d=call.seconds, f=frame) -> None:
+                self._emit(s, d, Activity.IO, p, f)
+                self._step(p, None)
+
+            self.schedule(self.now + call.seconds, finish_io)
+        elif isinstance(call, (Send, Isend)):
+            self._do_send(proc, call, frame)
+        elif isinstance(call, Recv):
+            self._do_recv(proc, call, frame)
+        elif isinstance(call, Irecv):
+            self._do_irecv(proc, call)
+        elif isinstance(call, WaitReq):
+            self._do_wait(proc, call, frame)
+        elif isinstance(call, Barrier):
+            self._do_barrier(proc, frame)
+        else:
+            raise ProgramError(f"{proc.name} yielded non-syscall {call!r}")
+
+    # -- sends ---------------------------------------------------------------
+    def _do_send(self, proc: SimProcess, call, frame) -> None:
+        if call.dest not in self.procs:
+            raise ProgramError(f"{proc.name} sends to unknown process {call.dest!r}")
+        if (
+            isinstance(call, Send)
+            and self.latency.is_rendezvous(call.size)
+            and not self._receiver_posted(call.dest, proc.name, call.tag)
+        ):
+            # rendezvous protocol: the blocking send waits until the
+            # destination posts a matching receive
+            proc.state = ProcState.BLOCKED
+            proc.block_start = self.now
+            proc.block_tag = call.tag
+            proc.block_frame = frame
+            self._set_current(proc, Activity.SYNC, frame, tag=call.tag)
+            self._rdv_waiting.setdefault(call.dest, []).append((proc, call))
+            return
+        overhead = self.latency.send_overhead
+        arrival = self.now + overhead + self.latency.transfer_time(call.size)
+        msg = Message(
+            src=proc.name,
+            dest=call.dest,
+            tag=call.tag,
+            size=call.size,
+            send_time=self.now,
+            arrival_time=arrival,
+        )
+        self.schedule(arrival, lambda: self._deliver(msg))
+        self._set_current(proc, Activity.COMPUTE, frame)
+        start = self.now
+        result = Request(proc.name, call.tag) if isinstance(call, Isend) else None
+        if result is not None:
+            result.complete = True
+
+        def finish_send(p=proc, s=start, d=overhead, f=frame, r=result) -> None:
+            self._emit(s, d, Activity.COMPUTE, p, f)
+            self._step(p, r)
+
+        self.schedule(self.now + overhead, finish_send)
+
+    def _deliver(self, msg: Message) -> None:
+        dest = self.procs[msg.dest]
+        # Posted non-blocking receives match ahead of the mailbox.
+        for req in self._pending_irecvs[msg.dest]:
+            if not req.complete and req.tag == msg.tag and (
+                req.src == ANY_SOURCE or req.src == msg.src
+            ):
+                req.complete = True
+                req.message = msg
+                self._pending_irecvs[msg.dest].remove(req)
+                if (
+                    dest.state is ProcState.BLOCKED
+                    and dest.block_tag is not None
+                    and getattr(dest, "_wait_req", None) is req
+                ):
+                    self._unblock_sync(dest, msg.tag)
+                return
+        # Blocking receive already parked?
+        want = getattr(dest, "_recv_want", None)
+        if (
+            dest.state is ProcState.BLOCKED
+            and want is not None
+            and want[1] == msg.tag
+            and (want[0] == ANY_SOURCE or want[0] == msg.src)
+        ):
+            dest._recv_want = None
+            self._unblock_sync(dest, msg.tag, value=msg)
+            return
+        self._mailboxes[msg.dest].deliver(msg)
+
+    def _receiver_posted(self, dest: str, src: str, tag: str) -> bool:
+        """True when *dest* already has a receive posted that matches a
+        message from *src* with *tag* (a parked blocking receive or a
+        pending non-blocking request)."""
+        proc = self.procs[dest]
+        want = getattr(proc, "_recv_want", None)
+        if (
+            proc.state is ProcState.BLOCKED
+            and want is not None
+            and want[1] == tag
+            and (want[0] == ANY_SOURCE or want[0] == src)
+        ):
+            return True
+        return any(
+            not req.complete and req.tag == tag and (req.src == ANY_SOURCE or req.src == src)
+            for req in self._pending_irecvs[dest]
+        )
+
+    def _release_rendezvous(self, dest: str, src_filter: str, tag: str) -> None:
+        """A receive was just posted at *dest*: complete the earliest
+        matching rendezvous sender, if any."""
+        waiting = self._rdv_waiting.get(dest, [])
+        for i, (sender, call) in enumerate(waiting):
+            if call.tag != tag:
+                continue
+            if src_filter != ANY_SOURCE and sender.name != src_filter:
+                continue
+            waiting.pop(i)
+            arrival = self.now + self.latency.transfer_time(call.size)
+            msg = Message(
+                src=sender.name,
+                dest=dest,
+                tag=call.tag,
+                size=call.size,
+                send_time=sender.block_start,
+                arrival_time=arrival,
+            )
+            self.schedule(arrival, lambda m=msg: self._deliver(m))
+            self._unblock_sync(sender, call.tag)
+            return
+
+    def _unblock_sync(self, proc: SimProcess, tag: str, value=None) -> None:
+        """End a synchronisation wait and resume the process."""
+        wait = self.now - proc.block_start
+        self._clear_current(proc)
+        self._emit(proc.block_start, wait, Activity.SYNC, proc, proc.block_frame, tag=tag)
+        proc.block_tag = None
+        if hasattr(proc, "_wait_req"):
+            proc._wait_req = None
+        overhead = self.latency.recv_overhead
+        self._set_current(proc, Activity.COMPUTE, proc.block_frame)
+        start = self.now
+
+        def finish(p=proc, s=start, d=overhead, f=proc.block_frame, v=value) -> None:
+            self._emit(s, d, Activity.COMPUTE, p, f)
+            self._step(p, v)
+
+        self.schedule(self.now + overhead, finish)
+
+    # -- receives --------------------------------------------------------------
+    def _do_recv(self, proc: SimProcess, call: Recv, frame) -> None:
+        msg = self._mailboxes[proc.name].match(call.src, call.tag)
+        if msg is not None:
+            overhead = self.latency.recv_overhead
+            self._set_current(proc, Activity.COMPUTE, frame)
+            start = self.now
+
+            def finish(p=proc, s=start, d=overhead, f=frame, m=msg) -> None:
+                self._emit(s, d, Activity.COMPUTE, p, f)
+                self._step(p, m)
+
+            self.schedule(self.now + overhead, finish)
+            return
+        proc.state = ProcState.BLOCKED
+        proc.block_start = self.now
+        proc.block_tag = call.tag
+        proc.block_frame = frame
+        proc._recv_want = (call.src, call.tag)
+        self._set_current(proc, Activity.SYNC, frame, tag=call.tag)
+        self._release_rendezvous(proc.name, call.src, call.tag)
+
+    def _do_irecv(self, proc: SimProcess, call: Irecv) -> None:
+        req = Request(call.src, call.tag)
+        msg = self._mailboxes[proc.name].match(call.src, call.tag)
+        if msg is not None:
+            req.complete = True
+            req.message = msg
+        else:
+            self._pending_irecvs[proc.name].append(req)
+            self._release_rendezvous(proc.name, call.src, call.tag)
+        self._resume_at(self.now, proc, req)
+
+    def _do_wait(self, proc: SimProcess, call: WaitReq, frame) -> None:
+        req = call.request
+        if req.complete:
+            self._resume_at(self.now, proc, req.message)
+            return
+        proc.state = ProcState.BLOCKED
+        proc.block_start = self.now
+        proc.block_tag = req.tag
+        proc.block_frame = frame
+        proc._wait_req = req
+        self._set_current(proc, Activity.SYNC, frame, tag=req.tag)
+
+    # -- barrier -----------------------------------------------------------------
+    def _do_barrier(self, proc: SimProcess, frame) -> None:
+        proc.state = ProcState.BLOCKED
+        proc.block_start = self.now
+        proc.block_tag = "Barrier"
+        proc.block_frame = frame
+        self._set_current(proc, Activity.SYNC, frame, tag="Barrier")
+        self._barrier_waiting.append(proc)
+        self._check_barrier()
+
+    def _check_barrier(self) -> None:
+        """Release the barrier when every live process has arrived (a
+        crashing process no longer counts as a participant)."""
+        if not self._barrier_waiting:
+            return
+        if len(self._barrier_waiting) < self.live_count():
+            return
+        waiting, self._barrier_waiting = self._barrier_waiting, []
+        for p in waiting:
+            wait = self.now - p.block_start
+            self._clear_current(p)
+            self._emit(p.block_start, wait, Activity.SYNC, p, p.block_frame, tag="Barrier")
+            p.block_tag = None
+            self._resume_at(self.now, p, None)

@@ -1,0 +1,18 @@
+"""Simulator exception types."""
+
+from __future__ import annotations
+
+__all__ = ["SimulationError", "SimDeadlock", "ProgramError"]
+
+
+class SimulationError(RuntimeError):
+    """Base class for simulator failures."""
+
+
+class SimDeadlock(SimulationError):
+    """Raised when the event queue drains while processes are still blocked
+    (a send/recv mismatch in the simulated program)."""
+
+
+class ProgramError(SimulationError):
+    """Raised when a simulated program misuses the syscall interface."""

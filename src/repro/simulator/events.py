@@ -1,0 +1,55 @@
+"""Virtual-time event queue.
+
+A minimal deterministic discrete-event core: events are ``(time, seq, fn)``
+triples ordered by time with FIFO tie-breaking, so repeated runs of the
+same program produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Min-heap of timed callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._cancelled: set = set()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, fn: Callable[[], None]) -> int:
+        """Schedule *fn* at *time*; returns a token usable with cancel()."""
+        token = next(self._seq)
+        heapq.heappush(self._heap, (time, token, fn))
+        return token
+
+    def cancel(self, token: int) -> None:
+        """Lazily cancel a scheduled event (skipped when popped)."""
+        self._cancelled.add(token)
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0][1] in self._cancelled:
+            _, tok, _ = heapq.heappop(self._heap)
+            self._cancelled.discard(tok)
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> Optional[Tuple[float, Callable[[], None]]]:
+        while self._heap:
+            time, tok, fn = heapq.heappop(self._heap)
+            if tok in self._cancelled:
+                self._cancelled.discard(tok)
+                continue
+            return time, fn
+        return None
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._cancelled.clear()

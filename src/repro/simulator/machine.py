@@ -1,0 +1,42 @@
+"""Machine model: named nodes and process placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Machine"]
+
+
+@dataclass
+class Machine:
+    """A cluster of named nodes (the simulated SP/2 partition).
+
+    Node names become the leaves of the ``/Machine`` hierarchy; they are
+    deliberately arbitrary strings so that two runs of the same application
+    can land on differently named nodes (e.g. ``node08``–``node11`` versus
+    ``node16``–``node19``), which is exactly the situation the paper's
+    resource mapping addresses (Section 3.2).
+    """
+
+    nodes: List[str] = field(default_factory=list)
+    _placement: Dict[str, str] = field(default_factory=dict)
+
+    @staticmethod
+    def named(prefix: str, count: int, first: int = 0) -> "Machine":
+        """Build a machine of ``count`` nodes named ``<prefix><i>``."""
+        return Machine(nodes=[f"{prefix}{first + i}" for i in range(count)])
+
+    def place(self, process: str, node: str) -> None:
+        if node not in self.nodes:
+            raise ValueError(f"unknown node {node!r}")
+        self._placement[process] = node
+
+    def node_of(self, process: str) -> str:
+        return self._placement[process]
+
+    def placement(self) -> Dict[str, str]:
+        return dict(self._placement)
+
+    def processes_on(self, node: str) -> List[str]:
+        return [p for p, n in self._placement.items() if n == node]

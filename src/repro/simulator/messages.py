@@ -1,0 +1,91 @@
+"""Message transport: mailboxes, matching, and the latency model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["Message", "Mailbox", "LatencyModel", "ANY_SOURCE"]
+
+#: Wildcard source for receives (MPI_ANY_SOURCE analogue).
+ANY_SOURCE = "*"
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight or delivered message."""
+
+    src: str
+    dest: str
+    tag: str
+    size: float
+    send_time: float
+    arrival_time: float
+
+
+@dataclass
+class LatencyModel:
+    """Linear alpha-beta network cost model.
+
+    ``alpha`` is the per-message latency in seconds, ``beta`` the per-byte
+    transfer time; ``send_overhead`` is CPU time charged to the sender and
+    ``recv_overhead`` to the receiver on a successful match.  Messages
+    larger than ``eager_threshold`` use the *rendezvous* protocol: the
+    blocking send waits until the receiver has posted a matching receive,
+    so large-message imbalance shows up as sender-side synchronisation
+    waiting time, as on real message-passing systems.  The default
+    threshold is infinite (pure eager/buffered sends).  Defaults are
+    loosely SP/2-flavoured but only relative magnitudes matter here.
+    """
+
+    alpha: float = 5e-4
+    beta: float = 1e-8
+    send_overhead: float = 2e-4
+    recv_overhead: float = 2e-4
+    eager_threshold: float = float("inf")
+
+    def transfer_time(self, size: float) -> float:
+        return self.alpha + self.beta * max(size, 0.0)
+
+    def is_rendezvous(self, size: float) -> bool:
+        return size > self.eager_threshold
+
+
+class Mailbox:
+    """Per-process store of arrived-but-unconsumed messages.
+
+    Matching is FIFO per (source, tag) with wildcard-source receives
+    matching the earliest arrival of the tag across all sources.
+    """
+
+    def __init__(self) -> None:
+        self._arrived: List[Message] = []
+
+    def __len__(self) -> int:
+        return len(self._arrived)
+
+    def deliver(self, msg: Message) -> None:
+        self._arrived.append(msg)
+
+    def match(self, src: str, tag: str) -> Optional[Message]:
+        """Find and remove the earliest matching message, if any."""
+        best_i = -1
+        for i, m in enumerate(self._arrived):
+            if m.tag != tag:
+                continue
+            if src != ANY_SOURCE and m.src != src:
+                continue
+            if best_i < 0 or m.arrival_time < self._arrived[best_i].arrival_time:
+                best_i = i
+        if best_i < 0:
+            return None
+        return self._arrived.pop(best_i)
+
+    def peek(self, src: str, tag: str) -> bool:
+        for m in self._arrived:
+            if m.tag == tag and (src == ANY_SOURCE or m.src == src):
+                return True
+        return False
+
+    def pending(self) -> Tuple[Message, ...]:
+        return tuple(self._arrived)

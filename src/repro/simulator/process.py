@@ -1,0 +1,211 @@
+"""Simulated processes and their syscall vocabulary.
+
+A simulated program is a Python generator function ``program(proc)`` that
+yields *syscall* objects; the engine interprets each syscall, advances
+virtual time, and resumes the generator.  Function attribution uses an
+explicit stack managed by the :meth:`SimProcess.function` context manager —
+the stack is examined at every yield point, so ``with`` blocks inside the
+generator attribute time exactly like real call frames:
+
+.. code-block:: python
+
+    def program(proc):
+        with proc.function("oned.f", "main"):
+            for _ in range(iterations):
+                with proc.function("sweep.f", "sweep1d"):
+                    yield Compute(0.8)
+                with proc.function("exchng1.f", "exchng1"):
+                    yield Send(up, "1/0", 8192)
+                    yield Recv(down, "1/0")
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Generator, Iterator, List, Optional, Tuple
+
+from .errors import ProgramError
+
+__all__ = [
+    "Compute",
+    "Send",
+    "Isend",
+    "Recv",
+    "Irecv",
+    "WaitReq",
+    "IoOp",
+    "Barrier",
+    "Request",
+    "Syscall",
+    "ProcState",
+    "SimProcess",
+]
+
+
+# --------------------------------------------------------------------------
+# Syscalls
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Compute:
+    """Burn *seconds* of CPU time (stretched by instrumentation overhead)."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Send:
+    """Blocking-buffered send: the sender pays a small CPU overhead and the
+    message arrives at *dest* after the network transfer time."""
+
+    dest: str
+    tag: str
+    size: float = 0.0
+
+
+@dataclass(frozen=True)
+class Isend:
+    """Non-blocking send; resumes with a completed :class:`Request`."""
+
+    dest: str
+    tag: str
+    size: float = 0.0
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive; blocked time is synchronisation waiting time
+    attributed to the current function and the message tag."""
+
+    src: str
+    tag: str
+
+
+@dataclass(frozen=True)
+class Irecv:
+    """Non-blocking receive; resumes immediately with a :class:`Request`."""
+
+    src: str
+    tag: str
+
+
+@dataclass(frozen=True)
+class WaitReq:
+    """Block until *request* completes (MPI_Wait analogue)."""
+
+    request: "Request"
+
+
+@dataclass(frozen=True)
+class IoOp:
+    """Blocking I/O of *seconds* (ExcessiveIOBlockingTime signal)."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Global barrier over every process in the engine."""
+
+    name: str = "Barrier"
+
+
+Syscall = (Compute, Send, Isend, Recv, Irecv, WaitReq, IoOp, Barrier)
+
+
+class Request:
+    """Handle for a non-blocking operation."""
+
+    __slots__ = ("src", "tag", "complete", "message")
+
+    def __init__(self, src: str, tag: str):
+        self.src = src
+        self.tag = tag
+        self.complete = False
+        self.message = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "complete" if self.complete else "pending"
+        return f"Request({self.src!r}, {self.tag!r}, {state})"
+
+
+class ProcState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    CRASHED = "crashed"
+
+
+class _FunctionFrame:
+    """Context manager pushing/popping one (module, function) frame."""
+
+    __slots__ = ("_proc", "_frame")
+
+    def __init__(self, proc: "SimProcess", module: str, function: str):
+        self._proc = proc
+        self._frame = (module, function)
+
+    def __enter__(self) -> None:
+        self._proc._stack.append(self._frame)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        top = self._proc._stack.pop()
+        if top != self._frame:  # pragma: no cover - defensive
+            raise ProgramError(
+                f"function stack corruption in {self._proc.name}: "
+                f"popped {top}, expected {self._frame}"
+            )
+
+
+class SimProcess:
+    """One simulated application process bound to a machine node."""
+
+    def __init__(self, name: str, node: str, program) -> None:
+        self.name = name
+        self.node = node
+        self.program = program
+        self.state = ProcState.READY
+        self.gen: Optional[Generator] = None
+        self._stack: List[Tuple[str, str]] = []
+        # Set while blocked: (activity tag for SYNC, block start, stack top).
+        self.block_start: float = 0.0
+        self.block_tag: Optional[str] = None
+        self.block_frame: Tuple[str, str] = ("?", "?")
+        self.finish_time: Optional[float] = None
+        #: The exception that killed the process (crash_policy="record").
+        self.crash: Optional[BaseException] = None
+
+    # -- program-facing API --------------------------------------------------
+    def function(self, module: str, function: str) -> _FunctionFrame:
+        """Enter an attributed function frame (see module docstring)."""
+        return _FunctionFrame(self, module, function)
+
+    @property
+    def current_frame(self) -> Tuple[str, str]:
+        """Innermost (module, function), for exclusive time attribution."""
+        if not self._stack:
+            return ("<unknown>", "<toplevel>")
+        return self._stack[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def stack_snapshot(self) -> Tuple[Tuple[str, str], ...]:
+        """The full (module, function) stack, outermost first."""
+        return tuple(self._stack)
+
+    # -- engine-facing API -----------------------------------------------------
+    def start(self) -> None:
+        if self.gen is not None:
+            raise ProgramError(f"process {self.name} started twice")
+        gen = self.program(self)
+        if not isinstance(gen, Iterator):
+            raise ProgramError(
+                f"program of {self.name} must be a generator function"
+            )
+        self.gen = gen
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimProcess({self.name!r} on {self.node!r}, {self.state.value})"

@@ -1,0 +1,99 @@
+"""Raw trace files: persist and reload attributed time segments.
+
+The paper's future work imagines reusing "results gathered with different
+monitoring tools".  A newline-delimited JSON trace of time segments is
+the lowest common denominator such a tool could emit; this module writes
+and reads that format and rebuilds a :class:`~repro.metrics.profile.
+FlatProfile` from it, which in turn feeds postmortem directive extraction
+(:mod:`repro.core.postmortem`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..metrics.profile import FlatProfile
+from .records import Activity, TimeSegment
+
+__all__ = ["TraceWriter", "read_trace", "profile_from_trace", "write_trace"]
+
+
+def _segment_to_dict(seg: TimeSegment) -> dict:
+    out = {
+        "t": seg.start,
+        "d": seg.duration,
+        "a": seg.activity.value,
+        "p": seg.process,
+        "n": seg.node,
+        "m": seg.module,
+        "f": seg.function,
+    }
+    if seg.tag is not None:
+        out["g"] = seg.tag
+    if len(seg.stack) > 1:
+        out["s"] = [list(frame) for frame in seg.stack]
+    return out
+
+
+def _segment_from_dict(data: dict) -> TimeSegment:
+    return TimeSegment.make(
+        start=data["t"],
+        duration=data["d"],
+        activity=Activity(data["a"]),
+        process=data["p"],
+        node=data["n"],
+        module=data["m"],
+        function=data["f"],
+        tag=data.get("g"),
+        stack=tuple(tuple(f) for f in data["s"]) if "s" in data else None,
+    )
+
+
+class TraceWriter:
+    """A trace sink that streams segments to a JSONL file."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self.count = 0
+
+    def record(self, segment: TimeSegment) -> None:
+        self._fh.write(json.dumps(_segment_to_dict(segment)) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def write_trace(path: str | Path, segments: Iterable[TimeSegment]) -> int:
+    """Write segments to a trace file; returns the segment count."""
+    with TraceWriter(path) as writer:
+        for seg in segments:
+            writer.record(seg)
+        return writer.count
+
+
+def read_trace(path: str | Path) -> Iterator[TimeSegment]:
+    """Stream segments back from a trace file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield _segment_from_dict(json.loads(line))
+
+
+def profile_from_trace(path: str | Path) -> FlatProfile:
+    """Aggregate a raw trace into a postmortem profile."""
+    profile = FlatProfile()
+    for seg in read_trace(path):
+        profile.add(seg)
+    return profile

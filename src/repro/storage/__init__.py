@@ -1,0 +1,22 @@
+"""Multi-execution performance-data store (run records, persistence, queries)."""
+
+from .query import (
+    ResourceHistory,
+    best_run,
+    bottleneck_persistence,
+    resource_history,
+    select,
+)
+from .records import RunRecord
+from .store import ExperimentStore, StoreError
+
+__all__ = [
+    "ResourceHistory",
+    "best_run",
+    "bottleneck_persistence",
+    "resource_history",
+    "select",
+    "RunRecord",
+    "ExperimentStore",
+    "StoreError",
+]

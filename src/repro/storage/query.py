@@ -1,0 +1,106 @@
+"""Cross-execution queries over the experiment store.
+
+"Their results support the need for performance data storage across
+multiple executions and across different tuning studies" (paper, Section
+5, citing Hondroudakis & Procter).  This module answers the questions a
+tuning study asks of its history: how did a resource's cost evolve across
+runs, which bottlenecks persist, which run was best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .records import RunRecord
+from .store import ExperimentStore
+
+__all__ = ["ResourceHistory", "resource_history", "bottleneck_persistence", "best_run", "select"]
+
+
+@dataclass(frozen=True)
+class ResourceHistory:
+    """One resource's fraction-of-execution across a sequence of runs."""
+
+    resource: str
+    activity: str
+    points: Tuple[Tuple[str, float], ...]  # (run_id, fraction)
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.points]
+
+    def trend(self) -> float:
+        """Last minus first fraction (negative = the resource got cheaper)."""
+        vals = self.values()
+        return vals[-1] - vals[0] if len(vals) >= 2 else 0.0
+
+
+def _fraction(record: RunRecord, resource: str, activity: str) -> float:
+    profile = record.flat_profile()
+    total = profile.total_time()
+    if total <= 0:
+        return 0.0
+    for table in (profile.by_code, profile.by_process, profile.by_node, profile.by_tag):
+        if resource in table:
+            return table[resource].get(activity, 0.0) / total
+    return 0.0
+
+
+def resource_history(
+    store: ExperimentStore,
+    resource: str,
+    activity: str = "sync",
+    app_name: Optional[str] = None,
+    run_ids: Optional[Sequence[str]] = None,
+) -> ResourceHistory:
+    """Track a resource's cost across stored runs (oldest first)."""
+    ids = list(run_ids) if run_ids is not None else store.list(app_name=app_name)
+    points = []
+    for run_id in ids:
+        record = store.load(run_id)
+        points.append((run_id, _fraction(record, resource, activity)))
+    return ResourceHistory(resource=resource, activity=activity, points=tuple(points))
+
+
+def bottleneck_persistence(
+    store: ExperimentStore,
+    app_name: Optional[str] = None,
+    run_ids: Optional[Sequence[str]] = None,
+) -> Dict[Tuple[str, str], int]:
+    """How many of the selected runs reported each (hypothesis : focus)
+    pair as a bottleneck — the raw signal behind priority extraction."""
+    ids = list(run_ids) if run_ids is not None else store.list(app_name=app_name)
+    counts: Dict[Tuple[str, str], int] = {}
+    for run_id in ids:
+        for pair in set(store.load(run_id).true_pairs()):
+            counts[pair] = counts.get(pair, 0) + 1
+    return counts
+
+
+def best_run(
+    store: ExperimentStore,
+    key: Callable[[RunRecord], float],
+    app_name: Optional[str] = None,
+    minimize: bool = True,
+) -> Optional[RunRecord]:
+    """The stored run minimising (or maximising) *key* — e.g. program
+    duration when comparing tuned versions."""
+    ids = store.list(app_name=app_name)
+    if not ids:
+        return None
+    records = [store.load(run_id) for run_id in ids]
+    chooser = min if minimize else max
+    return chooser(records, key=key)
+
+
+def select(
+    store: ExperimentStore,
+    predicate: Callable[[RunRecord], bool],
+    app_name: Optional[str] = None,
+) -> List[RunRecord]:
+    """All stored runs satisfying *predicate* (oldest first)."""
+    return [
+        record
+        for record in (store.load(r) for r in store.list(app_name=app_name))
+        if predicate(record)
+    ]

@@ -1,0 +1,149 @@
+"""Run records: everything one diagnosis leaves behind.
+
+"After each run of the Performance Consultant, we have the search history
+graph and the program's resource hierarchies" (paper, Section 3.2) — plus,
+in this reproduction, the flat postmortem profile (the paper's future-work
+"raw data needed to test hypotheses postmortem") and instrumentation
+statistics.  A :class:`RunRecord` is the self-contained unit the
+experiment store persists and directive extraction consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.shg import NodeState, SearchHistoryGraph
+from ..metrics.profile import FlatProfile
+from ..resources.resource import ResourceSpace
+
+__all__ = ["RunRecord"]
+
+
+@dataclass
+class RunRecord:
+    """A complete, serialisable description of one diagnosed execution."""
+
+    run_id: str
+    app_name: str
+    version: str
+    n_processes: int
+    nodes: List[str]
+    placement: Dict[str, str]
+    hierarchies: Dict[str, List[str]]
+    shg_nodes: List[dict]
+    profile: dict
+    finish_time: float
+    search_done_time: Optional[float]
+    pairs_tested: int
+    total_requests: int
+    peak_cost: float
+    thresholds: Dict[str, float] = field(default_factory=dict)
+    config: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    # ------------------------------------------------------------------
+    # reconstruction helpers
+    # ------------------------------------------------------------------
+    def shg(self) -> SearchHistoryGraph:
+        return SearchHistoryGraph.from_dicts(self.shg_nodes)
+
+    def space(self) -> ResourceSpace:
+        space = ResourceSpace(tuple(self.hierarchies))
+        for hierarchy, names in self.hierarchies.items():
+            for name in names:
+                if name != f"/{hierarchy}":
+                    space.add(name)
+        return space
+
+    def flat_profile(self) -> FlatProfile:
+        return FlatProfile.from_dict(self.profile)
+
+    # ------------------------------------------------------------------
+    # common queries
+    # ------------------------------------------------------------------
+    def true_pairs(self) -> List[Tuple[str, str]]:
+        """(hypothesis, focus string) for every bottleneck found."""
+        return [
+            (n["hypothesis"], n["focus"])
+            for n in self.shg_nodes
+            if n["state"] == NodeState.TRUE.value
+            and n["hypothesis"] != "TopLevelHypothesis"
+        ]
+
+    def false_pairs(self) -> List[Tuple[str, str]]:
+        return [
+            (n["hypothesis"], n["focus"])
+            for n in self.shg_nodes
+            if n["state"] == NodeState.FALSE.value
+        ]
+
+    def found_times(self) -> Dict[Tuple[str, str], float]:
+        """Conclusion timestamp for every true pair."""
+        out: Dict[Tuple[str, str], float] = {}
+        for n in self.shg_nodes:
+            if (
+                n["state"] == NodeState.TRUE.value
+                and n["hypothesis"] != "TopLevelHypothesis"
+                and n.get("t_concluded") is not None
+            ):
+                out[(n["hypothesis"], n["focus"])] = n["t_concluded"]
+        return out
+
+    def time_to_find_all(self) -> Optional[float]:
+        times = self.found_times().values()
+        return max(times) if times else None
+
+    def bottleneck_count(self) -> int:
+        return len(self.true_pairs())
+
+    def efficiency(self) -> float:
+        """Bottlenecks found per pair tested (Table 2's final column)."""
+        tested = self.pairs_tested
+        return self.bottleneck_count() / tested if tested else 0.0
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "app_name": self.app_name,
+            "version": self.version,
+            "n_processes": self.n_processes,
+            "nodes": list(self.nodes),
+            "placement": dict(self.placement),
+            "hierarchies": {k: list(v) for k, v in self.hierarchies.items()},
+            "shg_nodes": list(self.shg_nodes),
+            "profile": self.profile,
+            "finish_time": self.finish_time,
+            "search_done_time": self.search_done_time,
+            "pairs_tested": self.pairs_tested,
+            "total_requests": self.total_requests,
+            "peak_cost": self.peak_cost,
+            "thresholds": dict(self.thresholds),
+            "config": dict(self.config),
+            "notes": self.notes,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunRecord":
+        return RunRecord(
+            run_id=data["run_id"],
+            app_name=data["app_name"],
+            version=data["version"],
+            n_processes=data["n_processes"],
+            nodes=list(data["nodes"]),
+            placement=dict(data.get("placement", {})),
+            hierarchies={k: list(v) for k, v in data["hierarchies"].items()},
+            shg_nodes=list(data["shg_nodes"]),
+            profile=data["profile"],
+            finish_time=data["finish_time"],
+            search_done_time=data.get("search_done_time"),
+            pairs_tested=data["pairs_tested"],
+            total_requests=data["total_requests"],
+            peak_cost=data["peak_cost"],
+            thresholds=dict(data.get("thresholds", {})),
+            config=dict(data.get("config", {})),
+            notes=data.get("notes", ""),
+        )

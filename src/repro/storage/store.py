@@ -1,0 +1,125 @@
+"""Multi-execution experiment store.
+
+The paper's conclusions call historical diagnosis "part of an ongoing
+research effort in which we are designing and developing an infrastructure
+for storing, naming, and querying multi-execution performance data".  This
+module is that infrastructure at the scale the experiments need: a
+directory of JSON run records plus an index, with query helpers over app
+name, code version, and recency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from .records import RunRecord
+
+__all__ = ["ExperimentStore", "StoreError"]
+
+_INDEX_NAME = "index.json"
+
+
+class StoreError(RuntimeError):
+    """Raised for store consistency problems."""
+
+
+class ExperimentStore:
+    """A directory-backed store of :class:`RunRecord` objects."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index_path = self.root / _INDEX_NAME
+        if not self._index_path.exists():
+            self._write_index({})
+
+    # ------------------------------------------------------------------
+    # index handling
+    # ------------------------------------------------------------------
+    def _read_index(self) -> Dict[str, dict]:
+        with open(self._index_path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def _write_index(self, index: Dict[str, dict]) -> None:
+        tmp = self._index_path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(index, fh, indent=1, sort_keys=True)
+        os.replace(tmp, self._index_path)
+
+    def _record_path(self, run_id: str) -> Path:
+        return self.root / f"{run_id}.json"
+
+    # ------------------------------------------------------------------
+    # CRUD
+    # ------------------------------------------------------------------
+    def save(self, record: RunRecord, overwrite: bool = False) -> str:
+        """Persist a run record; returns its id."""
+        path = self._record_path(record.run_id)
+        if path.exists() and not overwrite:
+            raise StoreError(f"run {record.run_id!r} already stored")
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(record.to_dict(), fh)
+        os.replace(tmp, path)
+        index = self._read_index()
+        index[record.run_id] = {
+            "app_name": record.app_name,
+            "version": record.version,
+            "n_processes": record.n_processes,
+            "bottlenecks": record.bottleneck_count(),
+            "pairs_tested": record.pairs_tested,
+            "seq": len(index),
+        }
+        self._write_index(index)
+        return record.run_id
+
+    def load(self, run_id: str) -> RunRecord:
+        path = self._record_path(run_id)
+        if not path.exists():
+            raise StoreError(f"no stored run {run_id!r}")
+        with open(path, "r", encoding="utf-8") as fh:
+            return RunRecord.from_dict(json.load(fh))
+
+    def delete(self, run_id: str) -> None:
+        path = self._record_path(run_id)
+        if path.exists():
+            path.unlink()
+        index = self._read_index()
+        index.pop(run_id, None)
+        self._write_index(index)
+
+    def __contains__(self, run_id: str) -> bool:
+        return self._record_path(run_id).exists()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def list(
+        self,
+        app_name: Optional[str] = None,
+        version: Optional[str] = None,
+    ) -> List[str]:
+        """Run ids matching the filters, oldest first."""
+        index = self._read_index()
+        items = sorted(index.items(), key=lambda kv: kv[1].get("seq", 0))
+        out = []
+        for run_id, meta in items:
+            if app_name is not None and meta.get("app_name") != app_name:
+                continue
+            if version is not None and meta.get("version") != version:
+                continue
+            out.append(run_id)
+        return out
+
+    def latest(self, app_name: str, version: Optional[str] = None) -> Optional[RunRecord]:
+        ids = self.list(app_name=app_name, version=version)
+        return self.load(ids[-1]) if ids else None
+
+    def load_all(self, run_ids: Iterable[str]) -> List[RunRecord]:
+        return [self.load(r) for r in run_ids]
+
+    def __len__(self) -> int:
+        return len(self._read_index())

@@ -1,0 +1,18 @@
+"""ASCII renderings: hierarchies, SHGs, execution maps, tiny charts."""
+
+from .ascii import (
+    render_combined_spaces,
+    render_hierarchy,
+    render_shg,
+    render_space,
+)
+from .charts import bar_chart, sparkline
+
+__all__ = [
+    "render_combined_spaces",
+    "render_hierarchy",
+    "render_shg",
+    "render_space",
+    "bar_chart",
+    "sparkline",
+]

@@ -1,0 +1,137 @@
+"""ASCII renderings of the paper's figures.
+
+* :func:`render_hierarchy` / :func:`render_space` — Figure 1's resource
+  hierarchies as indented trees;
+* :func:`render_shg` — Figure 2's Search History Graph list-box view,
+  with the true/false/pruned markers that the paper shows as node colour;
+* :func:`render_combined_spaces` — Figure 3's combined hierarchies with
+  per-execution tags plus the mapping directive list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.directives import MapDirective
+from ..core.shg import NodeState, SearchHistoryGraph, SHGNode
+from ..resources.resource import Resource, ResourceHierarchy, ResourceSpace
+
+__all__ = [
+    "render_hierarchy",
+    "render_space",
+    "render_shg",
+    "render_combined_spaces",
+]
+
+_STATE_MARK = {
+    NodeState.TRUE: "[T]",
+    NodeState.FALSE: "[f]",
+    NodeState.PRUNED: "[p]",
+    NodeState.QUEUED: "[.]",
+    NodeState.ACTIVE: "[?]",
+    NodeState.NEVER_RUN: "[-]",
+    NodeState.UNKNOWN: "[u]",
+}
+
+
+def _tree_lines(node: Resource, prefix: str = "", tag_sets: bool = False) -> List[str]:
+    lines = []
+    children = list(node.children.values())
+    for i, child in enumerate(children):
+        last = i == len(children) - 1
+        connector = "`-- " if last else "|-- "
+        label = child.label
+        if tag_sets and child.tags:
+            label += "  {" + ",".join(str(t) for t in sorted(child.tags, key=str)) + "}"
+        lines.append(prefix + connector + label)
+        extension = "    " if last else "|   "
+        lines.extend(_tree_lines(child, prefix + extension, tag_sets))
+    return lines
+
+
+def render_hierarchy(hierarchy: ResourceHierarchy, tags: bool = False) -> str:
+    """One hierarchy as an indented tree rooted at its name."""
+    lines = [hierarchy.name]
+    lines.extend(_tree_lines(hierarchy.root, tag_sets=tags))
+    return "\n".join(lines)
+
+
+def render_space(space: ResourceSpace, tags: bool = False) -> str:
+    """All hierarchies side by side (stacked), Figure-1 style."""
+    blocks = [render_hierarchy(h, tags=tags) for h in space.hierarchies.values()]
+    return "\n\n".join(blocks)
+
+
+def render_shg(
+    shg: SearchHistoryGraph,
+    max_depth: Optional[int] = None,
+    states: Optional[Iterable[NodeState]] = None,
+) -> str:
+    """The Search History Graph in Paradyn's list-box style.
+
+    Nodes appear indented under their first parent; the bracket marker
+    encodes the conclusion ([T] true, [f] false, [p] pruned ...), standing
+    in for the node colours of the paper's Figure 2.
+    """
+    wanted = set(states) if states is not None else None
+    lines: List[str] = []
+    seen: set = set()
+
+    def visit(node: SHGNode, depth: int) -> None:
+        if node.node_id in seen:
+            return
+        seen.add(node.node_id)
+        if max_depth is not None and depth > max_depth:
+            return
+        if wanted is None or node.state in wanted or depth == 0:
+            mark = _STATE_MARK.get(node.state, "[?]")
+            value = f"  value={node.value:.3f}" if node.value is not None else ""
+            lines.append(
+                "    " * depth + f"{mark} {node.hypothesis} {node.focus}{value}"
+            )
+        for child_id in sorted(node.children):
+            visit(shg.nodes[child_id], depth + 1)
+
+    for root in sorted(shg.roots(), key=lambda n: n.node_id):
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def render_combined_spaces(
+    space_a: ResourceSpace,
+    space_b: ResourceSpace,
+    maps: Sequence[MapDirective],
+    label_a: str = "1",
+    label_b: str = "2",
+    both_label: str = "3",
+) -> str:
+    """Figure 3: the merged hierarchies of two executions with execution
+    tags (unique-to-A, unique-to-B, common), next to the mapping list."""
+    merged = ResourceSpace(tuple(space_a.hierarchies))
+    for name in space_a.names():
+        merged.add(name, tag="A")
+    for name in space_b.names():
+        merged.add(name, tag="B")
+
+    def tag_text(resource: Resource) -> str:
+        if resource.tags == {"A"}:
+            return label_a
+        if resource.tags == {"B"}:
+            return label_b
+        return both_label
+
+    lines: List[str] = ["Execution map (tag: %s=A only, %s=B only, %s=both)" % (
+        label_a, label_b, both_label)]
+    for hierarchy in merged.hierarchies.values():
+        lines.append("")
+        lines.append(hierarchy.name)
+        for resource in hierarchy.root.walk():
+            if resource is hierarchy.root:
+                continue
+            depth = resource.depth - 1
+            lines.append("  " * depth + f"{resource.label} [{tag_text(resource)}]")
+    lines.append("")
+    lines.append("Mappings Used")
+    for m in maps:
+        lines.append(f"  {m.as_line()}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Tiny terminal charts: sparklines and horizontal bars.
+
+Used by the CLI's ``history`` and ``report`` commands to make trends and
+profiles readable at a glance without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = ["sparkline", "bar_chart"]
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None, hi: float | None = None) -> str:
+    """Render a sequence of values as a one-line sparkline.
+
+    Bounds default to the data range; a constant series renders at the
+    lowest tick (so flat-zero histories look flat, not full).
+    """
+    values = list(values)
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _TICKS[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_TICKS) - 1))
+        out.append(_TICKS[max(0, min(idx, len(_TICKS) - 1))])
+    return "".join(out)
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 40,
+    max_value: float | None = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal ASCII bars, one line per (label, value) pair."""
+    if not items:
+        return ""
+    peak = max(v for _, v in items) if max_value is None else max_value
+    label_w = max(len(label) for label, _ in items)
+    lines = []
+    for label, value in items:
+        n = 0 if peak <= 0 else int(round(value / peak * width))
+        n = max(0, min(n, width))
+        lines.append(
+            f"{label.ljust(label_w)}  {('#' * n).ljust(width)}  {fmt.format(value)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Tests for automatic resource mapping."""
+
+import pytest
+
+from repro.apps.poisson import PoissonConfig, build_poisson
+from repro.core import MapDirective, SearchConfig, run_diagnosis
+from repro.core.automap import suggest_mappings, suggest_mappings_for_records
+
+SC = SearchConfig(min_interval=15.0, check_period=1.0, insertion_latency=1.0, cost_limit=8.0)
+CFG = PoissonConfig(iterations=150)
+
+
+@pytest.fixture(scope="module")
+def records_ab():
+    a = run_diagnosis(build_poisson("A", CFG), config=SC)
+    b = run_diagnosis(build_poisson("B", CFG), config=SC)
+    return a, b
+
+
+class TestStructuralSuggestions:
+    def test_machine_positional(self, records_ab):
+        a, b = records_ab
+        maps = {(s.directive.old, s.directive.new)
+                for s in suggest_mappings_for_records(a, b)}
+        assert ("/Machine/node00", "/Machine/node04") in maps
+        assert ("/Machine/node03", "/Machine/node07") in maps
+
+    def test_figure3_code_maps_recovered(self, records_ab):
+        """The automatic matcher reproduces the paper's hand-written
+        Figure 3 mapping list for versions A -> B."""
+        a, b = records_ab
+        maps = {(s.directive.old, s.directive.new)
+                for s in suggest_mappings_for_records(a, b)}
+        expected = {
+            ("/Code/oned.f", "/Code/onednb.f"),
+            ("/Code/sweep.f", "/Code/nbsweep.f"),
+            ("/Code/sweep.f/sweep1d", "/Code/nbsweep.f/nbsweep"),
+            ("/Code/exchng1.f", "/Code/nbexchng.f"),
+            ("/Code/exchng1.f/exchng1", "/Code/nbexchng.f/nbexchng1"),
+        }
+        assert expected <= maps
+
+    def test_no_spurious_maps_for_shared_modules(self, records_ab):
+        a, b = records_ab
+        suggestions = suggest_mappings_for_records(a, b)
+        olds = {s.directive.old for s in suggestions}
+        # shared modules need no mapping
+        assert "/Code/diff.f" not in olds
+        assert "/Code/timing.f" not in olds
+
+    def test_scores_in_range(self, records_ab):
+        a, b = records_ab
+        for s in suggest_mappings_for_records(a, b):
+            assert 0.0 < s.score <= 1.0
+            assert s.reason
+
+    def test_fixed_mappings_respected(self, records_ab):
+        a, b = records_ab
+        fixed = [MapDirective("/Code/oned.f", "/Code/nbsweep.f")]  # user override
+        suggestions = suggest_mappings_for_records(a, b)
+        with_fixed = suggest_mappings(
+            a.hierarchies, b.hierarchies,
+            old_profile=a.flat_profile(), new_profile=b.flat_profile(),
+            fixed=fixed,
+        )
+        olds = {s.directive.old for s in with_fixed}
+        assert "/Code/oned.f" not in olds  # never overridden
+        assert any(s.directive.old == "/Code/oned.f" for s in suggestions)
+
+
+class TestNameOnlyMatching:
+    def test_works_without_profiles(self):
+        old = {"Code": ["/Code", "/Code/solver.f", "/Code/solver.f/run"],
+               "Machine": ["/Machine", "/Machine/n0"],
+               "Process": ["/Process", "/Process/p:1"],
+               "SyncObject": ["/SyncObject"]}
+        new = {"Code": ["/Code", "/Code/solver2.f", "/Code/solver2.f/run"],
+               "Machine": ["/Machine", "/Machine/n9"],
+               "Process": ["/Process", "/Process/p:1"],
+               "SyncObject": ["/SyncObject"]}
+        maps = {(s.directive.old, s.directive.new) for s in suggest_mappings(old, new)}
+        assert ("/Code/solver.f", "/Code/solver2.f") in maps
+        assert ("/Machine/n0", "/Machine/n9") in maps
+
+    def test_below_min_score_not_suggested(self):
+        old = {"Code": ["/Code", "/Code/alpha.c"], "Machine": ["/Machine"],
+               "Process": ["/Process"], "SyncObject": ["/SyncObject"]}
+        new = {"Code": ["/Code", "/Code/zzz.f"], "Machine": ["/Machine"],
+               "Process": ["/Process"], "SyncObject": ["/SyncObject"]}
+        suggestions = suggest_mappings(old, new, min_score=0.5)
+        assert not any(s.directive.old == "/Code/alpha.c" for s in suggestions)
+
+    def test_identical_spaces_produce_nothing(self):
+        space = {"Code": ["/Code", "/Code/a.c"], "Machine": ["/Machine", "/Machine/n0"],
+                 "Process": ["/Process", "/Process/p"], "SyncObject": ["/SyncObject"]}
+        assert suggest_mappings(space, space) == []

@@ -1,0 +1,51 @@
+"""Tests for the tiny terminal charts."""
+
+import pytest
+
+from repro.visualize import bar_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_flat(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_monotone_rises(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 3
+
+    def test_explicit_bounds(self):
+        # with a wide explicit range the values sit low
+        line = sparkline([1.0, 2.0], lo=0.0, hi=100.0)
+        assert set(line) == {"▁"}
+
+    def test_values_clamped(self):
+        line = sparkline([-5.0, 50.0], lo=0.0, hi=10.0)
+        assert line[0] == "▁" and line[1] == "█"
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart([]) == ""
+
+    def test_proportional_bars(self):
+        out = bar_chart([("a", 1.0), ("b", 0.5)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        out = bar_chart([("short", 1.0), ("muchlonger", 1.0)], width=4)
+        lines = out.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+    def test_zero_peak(self):
+        out = bar_chart([("a", 0.0)], width=10)
+        assert "#" not in out
+
+    def test_custom_format(self):
+        out = bar_chart([("a", 0.123456)], fmt="{:.1f}")
+        assert out.endswith("0.1")

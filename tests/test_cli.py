@@ -1,0 +1,189 @@
+"""Tests for the command-line interface (driving main() directly)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    return main([str(a) for a in argv])
+
+
+@pytest.fixture(scope="module")
+def store_with_runs(tmp_path_factory):
+    store = tmp_path_factory.mktemp("clistore")
+    assert run_cli(
+        "diagnose", "tester", "--iterations", 60,
+        "--store", store, "--run-id", "t-base",
+    ) == 0
+    assert run_cli(
+        "diagnose", "poisson", "--app-version", "A", "--iterations", 120,
+        "--store", store, "--run-id", "pa-base",
+    ) == 0
+    assert run_cli(
+        "diagnose", "poisson", "--app-version", "B", "--iterations", 120,
+        "--store", store, "--run-id", "pb-base",
+    ) == 0
+    return store
+
+
+class TestDiagnose:
+    def test_summary_printed(self, store_with_runs, capsys):
+        run_cli("report", "pa-base", "--store", store_with_runs)
+        out = capsys.readouterr().out
+        assert "pairs tested" in out
+        assert "poisson" in out
+
+    def test_threshold_override(self, tmp_path, capsys):
+        assert run_cli(
+            "diagnose", "tester", "--iterations", 40, "--store", tmp_path,
+            "--run-id", "x", "--threshold", "CPUbound=0.5", "--stop-when-done",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bottlenecks" in out
+
+    def test_unknown_app_fails(self):
+        with pytest.raises(SystemExit):
+            run_cli("diagnose", "fortnite")
+
+    def test_bad_threshold_fails(self):
+        with pytest.raises(SystemExit):
+            run_cli("diagnose", "tester", "--threshold", "oops")
+
+    def test_duplicate_run_id_errors(self, store_with_runs, capsys):
+        code = run_cli(
+            "diagnose", "tester", "--iterations", 40,
+            "--store", store_with_runs, "--run-id", "t-base",
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExtractCombineReport:
+    def test_extract_to_file(self, store_with_runs, tmp_path):
+        out = tmp_path / "a.directives"
+        assert run_cli("extract", "pa-base", "--store", store_with_runs, "--out", out) == 0
+        text = out.read_text()
+        assert "priority high" in text
+        assert "prune" in text
+
+    def test_extract_postmortem(self, store_with_runs, tmp_path):
+        out = tmp_path / "pm.directives"
+        assert run_cli(
+            "extract", "pa-base", "--store", store_with_runs,
+            "--out", out, "--postmortem",
+        ) == 0
+        assert "priority high" in out.read_text()
+
+    def test_extract_stdout(self, store_with_runs, capsys):
+        assert run_cli("extract", "pa-base", "--store", store_with_runs,
+                       "--no-pair-prunes") == 0
+        out = capsys.readouterr().out
+        assert "priority" in out
+        assert "prunepair" not in out
+
+    def test_directed_diagnosis_via_cli(self, store_with_runs, tmp_path, capsys):
+        directives = tmp_path / "a.directives"
+        run_cli("extract", "pa-base", "--store", store_with_runs, "--out", directives)
+        capsys.readouterr()
+        assert run_cli(
+            "diagnose", "poisson", "--app-version", "A", "--iterations", 120,
+            "--store", store_with_runs, "--run-id", "pa-directed",
+            "--directives", directives, "--stop-when-done",
+        ) == 0
+        assert "pa-directed" in capsys.readouterr().out
+
+    def test_combine_union(self, store_with_runs, tmp_path, capsys):
+        a = tmp_path / "a.d"
+        b = tmp_path / "b.d"
+        run_cli("extract", "pa-base", "--store", store_with_runs, "--out", a)
+        run_cli("extract", "pb-base", "--store", store_with_runs, "--out", b)
+        out = tmp_path / "ab.d"
+        assert run_cli("combine", a, b, "--mode", "union", "--out", out) == 0
+        assert "priority" in out.read_text()
+
+    def test_report_shg_and_profile(self, store_with_runs, capsys):
+        assert run_cli(
+            "report", "pa-base", "--store", store_with_runs,
+            "--shg", "--true-only", "--depth", 2, "--profile", "--hierarchies",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[T]" in out
+        assert "Profile" in out
+        assert "Code" in out
+
+    def test_report_missing_run(self, store_with_runs, capsys):
+        assert run_cli("report", "ghost", "--store", store_with_runs) == 2
+
+
+class TestListAndAutomap:
+    def test_list(self, store_with_runs, capsys):
+        assert run_cli("list", "--store", store_with_runs) == 0
+        out = capsys.readouterr().out
+        assert "pa-base" in out and "t-base" in out
+
+    def test_list_filter(self, store_with_runs, capsys):
+        assert run_cli("list", "--store", store_with_runs, "--app", "tester") == 0
+        out = capsys.readouterr().out
+        assert "t-base" in out and "pa-base" not in out
+
+    def test_list_empty(self, tmp_path, capsys):
+        assert run_cli("list", "--store", tmp_path) == 0
+        assert "no stored runs" in capsys.readouterr().out
+
+    def test_automap(self, store_with_runs, tmp_path, capsys):
+        out = tmp_path / "ab.maps"
+        assert run_cli(
+            "automap", "pa-base", "pb-base", "--store", store_with_runs, "--out", out
+        ) == 0
+        text = out.read_text()
+        assert "map /Code/oned.f /Code/onednb.f" in text
+
+    def test_automap_stdout(self, store_with_runs, capsys):
+        assert run_cli("automap", "pa-base", "pb-base", "--store", store_with_runs) == 0
+        assert "map /Machine/node00 /Machine/node04" in capsys.readouterr().out
+
+
+class TestCompareAndHistory:
+    def test_compare(self, store_with_runs, capsys):
+        assert run_cli("compare", "pa-base", "pb-base", "--store", store_with_runs) == 0
+        out = capsys.readouterr().out
+        assert "Structural differences" in out
+        assert "Bottleneck conclusions" in out
+
+    def test_compare_with_maps(self, store_with_runs, tmp_path, capsys):
+        maps = tmp_path / "ab.maps"
+        run_cli("automap", "pa-base", "pb-base", "--store", store_with_runs,
+                "--out", maps)
+        capsys.readouterr()
+        assert run_cli("compare", "pa-base", "pb-base", "--store", store_with_runs,
+                       "--maps", maps) == 0
+        assert "similarity" in capsys.readouterr().out
+
+    def test_history(self, store_with_runs, capsys):
+        assert run_cli("history", "/Code/diff.f/diff1d", "--store", store_with_runs,
+                       "--activity", "compute", "--app", "poisson") == 0
+        out = capsys.readouterr().out
+        assert "pa-base" in out and "trend" in out
+
+    def test_history_empty(self, tmp_path, capsys):
+        assert run_cli("history", "/Code/x.c", "--store", tmp_path) == 0
+        assert "no stored runs" in capsys.readouterr().out
+
+
+class TestFigures:
+    @pytest.mark.parametrize("number", [1, 2, 3])
+    def test_figures_render(self, number, capsys):
+        assert run_cli("figure", number) == 0
+        out = capsys.readouterr().out
+        assert f"Figure {number}" in out
+
+    def test_figure_contents(self, capsys):
+        run_cli("figure", 1)
+        assert "verifya" in capsys.readouterr().out
+        run_cli("figure", 3)
+        assert "Mappings Used" in capsys.readouterr().out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            run_cli("figure", 9)

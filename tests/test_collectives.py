@@ -1,0 +1,141 @@
+"""Tests for the collective-operation generator fragments."""
+
+import pytest
+
+from repro.simulator import (
+    Activity,
+    Compute,
+    Engine,
+    LatencyModel,
+    Machine,
+    TraceCollector,
+)
+from repro.simulator.collectives import (
+    allreduce,
+    alltoall,
+    bcast,
+    gather,
+    reduce,
+    scatter,
+)
+
+LAT = LatencyModel(alpha=0.0, beta=0.0, send_overhead=0.0, recv_overhead=0.0)
+
+
+def run_collective(n, body, computes=None):
+    """Run n processes; each computes then runs the collective body."""
+    eng = Engine(Machine.named("n", n), latency=LAT)
+    tc = TraceCollector()
+    eng.add_sink(tc)
+    procs = [f"p:{i}" for i in range(n)]
+
+    def make(rank):
+        def program(proc):
+            with proc.function("m.c", "f"):
+                if computes:
+                    yield Compute(computes[rank])
+                yield from body(proc, rank, procs)
+
+        return program
+
+    for i, name in enumerate(procs):
+        eng.add_process(name, f"n{i}", make(i))
+    t = eng.run()
+    return eng, tc, t
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8])
+@pytest.mark.parametrize("algorithm", ["tree", "linear"])
+class TestBcast:
+    def test_completes_any_size(self, n, algorithm):
+        _, _, t = run_collective(
+            n, lambda p, r, procs: bcast(p, r, procs, algorithm=algorithm)
+        )
+        assert t >= 0.0
+
+    def test_late_root_blocks_everyone(self, n, algorithm):
+        if n == 1:
+            pytest.skip("single process has no waits")
+        computes = [5.0] + [0.0] * (n - 1)
+        _, tc, t = run_collective(
+            n,
+            lambda p, r, procs: bcast(p, r, procs, algorithm=algorithm),
+            computes=computes,
+        )
+        # everyone but the root waits for the root's compute
+        assert tc.total(Activity.SYNC) == pytest.approx(5.0 * (n - 1), rel=1e-6)
+
+
+class TestBcastRoots:
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_non_zero_root(self, root):
+        n = 4
+        computes = [0.0] * n
+        computes[root] = 3.0
+        _, tc, _ = run_collective(
+            n,
+            lambda p, r, procs: bcast(p, r, procs, root=root),
+            computes=computes,
+        )
+        assert tc.total(Activity.SYNC) == pytest.approx(9.0, rel=1e-6)
+
+    def test_bad_root(self):
+        with pytest.raises(ValueError):
+            run_collective(2, lambda p, r, procs: bcast(p, r, procs, root=9))
+
+
+class TestGatherScatterReduce:
+    def test_gather_root_waits_for_slowest(self):
+        computes = [0.0, 4.0, 1.0, 2.0]
+        _, tc, t = run_collective(
+            4, lambda p, r, procs: gather(p, r, procs, root=0), computes=computes
+        )
+        assert t == pytest.approx(4.0)
+        # only the root waits
+        waits = [s for s in tc.segments if s.activity is Activity.SYNC]
+        assert all(s.process == "p:0" for s in waits)
+
+    def test_scatter_non_roots_wait(self):
+        computes = [3.0, 0.0, 0.0, 0.0]
+        _, tc, t = run_collective(
+            4, lambda p, r, procs: scatter(p, r, procs, root=0), computes=computes
+        )
+        assert tc.total(Activity.SYNC) == pytest.approx(9.0)
+
+    def test_reduce_is_gather_shaped(self):
+        computes = [0.0, 2.0]
+        _, tc, t = run_collective(
+            2, lambda p, r, procs: reduce(p, r, procs, root=0), computes=computes
+        )
+        assert t == pytest.approx(2.0)
+
+
+class TestAllreduceAlltoall:
+    @pytest.mark.parametrize("n", [2, 4, 5])
+    def test_allreduce_synchronises(self, n):
+        computes = [float(i) for i in range(n)]
+        _, tc, t = run_collective(
+            n, lambda p, r, procs: allreduce(p, r, procs), computes=computes
+        )
+        # nobody can leave before the slowest has contributed
+        assert t == pytest.approx(max(computes))
+
+    def test_alltoall_completes(self):
+        _, _, t = run_collective(5, lambda p, r, procs: alltoall(p, r, procs))
+        assert t >= 0.0
+
+    def test_alltoall_waits_for_slowest(self):
+        computes = [0.0, 0.0, 6.0]
+        _, tc, t = run_collective(
+            3, lambda p, r, procs: alltoall(p, r, procs), computes=computes
+        )
+        assert t == pytest.approx(6.0)
+
+    def test_collective_waits_attributed_to_tag(self):
+        computes = [4.0, 0.0]
+        _, tc, _ = run_collective(
+            2, lambda p, r, procs: bcast(p, r, procs, tag="9/9"), computes=computes
+        )
+        waits = [s for s in tc.segments if s.activity is Activity.SYNC]
+        assert waits and all(s.tag == "9/9" for s in waits)
+        assert waits[0].parts["SyncObject"] == ("SyncObject", "Message", "9", "9")

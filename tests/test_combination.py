@@ -1,0 +1,128 @@
+"""Tests for directive-set combination (A ∧ B and A ∨ B, Section 4.3)."""
+
+import pytest
+
+from repro.core import (
+    DirectiveSet,
+    PairPruneDirective,
+    PriorityDirective,
+    PruneDirective,
+    ThresholdDirective,
+    intersect_directives,
+    union_directives,
+)
+from repro.core.shg import Priority
+from repro.resources import whole_program
+
+SYNC = "ExcessiveSyncWaitingTime"
+
+
+def focus(code):
+    return whole_program().with_selection("Code", code)
+
+
+def prio(code, level):
+    return PriorityDirective(SYNC, focus(code), level)
+
+
+@pytest.fixture
+def sets():
+    a = DirectiveSet(
+        priorities=[
+            prio("/Code/x.c", Priority.HIGH),
+            prio("/Code/y.c", Priority.HIGH),
+            prio("/Code/cold.c", Priority.LOW),
+            prio("/Code/dead.c", Priority.LOW),
+        ],
+        prunes=[PruneDirective("*", "/Machine"), PruneDirective("*", "/Code/t.c")],
+        thresholds=[ThresholdDirective(SYNC, 0.10)],
+    )
+    b = DirectiveSet(
+        priorities=[
+            prio("/Code/x.c", Priority.HIGH),
+            prio("/Code/z.c", Priority.HIGH),
+            prio("/Code/cold.c", Priority.LOW),
+            prio("/Code/y.c", Priority.LOW),  # disagrees with A
+        ],
+        prunes=[PruneDirective("*", "/Machine")],
+        thresholds=[ThresholdDirective(SYNC, 0.20)],
+    )
+    return a, b
+
+
+class TestIntersection:
+    def test_high_requires_both(self, sets):
+        a, b = sets
+        out = intersect_directives(a, b)
+        levels = {str(p.focus): p.level for p in out.priorities}
+        assert levels[str(focus("/Code/x.c"))] is Priority.HIGH
+        assert str(focus("/Code/z.c")) not in levels  # only in B
+
+    def test_low_requires_both(self, sets):
+        a, b = sets
+        out = intersect_directives(a, b)
+        levels = {str(p.focus): p.level for p in out.priorities}
+        assert levels[str(focus("/Code/cold.c"))] is Priority.LOW
+        assert str(focus("/Code/dead.c")) not in levels
+
+    def test_disagreement_excluded(self, sets):
+        a, b = sets
+        out = intersect_directives(a, b)
+        levels = {str(p.focus): p.level for p in out.priorities}
+        # y.c: high in A, low in B -> in neither intersection
+        assert str(focus("/Code/y.c")) not in levels
+
+    def test_prunes_intersected(self, sets):
+        a, b = sets
+        out = intersect_directives(a, b)
+        resources = {p.resource for p in out.prunes}
+        assert resources == {"/Machine"}
+
+    def test_thresholds_averaged(self, sets):
+        a, b = sets
+        out = intersect_directives(a, b)
+        assert out.threshold_of(SYNC) == pytest.approx(0.15)
+
+    def test_empty_input(self):
+        assert intersect_directives().is_empty()
+
+
+class TestUnion:
+    def test_high_in_either(self, sets):
+        a, b = sets
+        out = union_directives(a, b)
+        levels = {str(p.focus): p.level for p in out.priorities}
+        assert levels[str(focus("/Code/x.c"))] is Priority.HIGH
+        assert levels[str(focus("/Code/z.c"))] is Priority.HIGH
+
+    def test_high_beats_low_on_disagreement(self, sets):
+        a, b = sets
+        out = union_directives(a, b)
+        levels = {str(p.focus): p.level for p in out.priorities}
+        # y.c high in A, low in B -> high (paper: "did not test true in A or B"
+        # is required for low)
+        assert levels[str(focus("/Code/y.c"))] is Priority.HIGH
+
+    def test_low_in_either_if_never_high(self, sets):
+        a, b = sets
+        out = union_directives(a, b)
+        levels = {str(p.focus): p.level for p in out.priorities}
+        assert levels[str(focus("/Code/dead.c"))] is Priority.LOW
+
+    def test_prunes_unioned(self, sets):
+        a, b = sets
+        out = union_directives(a, b)
+        resources = {p.resource for p in out.prunes}
+        assert resources == {"/Machine", "/Code/t.c"}
+
+    def test_pair_prune_dropped_when_high_elsewhere(self):
+        a = DirectiveSet(pair_prunes=[PairPruneDirective(SYNC, focus("/Code/x.c"))])
+        b = DirectiveSet(priorities=[prio("/Code/x.c", Priority.HIGH)])
+        out = union_directives(a, b)
+        assert not out.pair_prunes
+
+    def test_union_bigger_or_equal_than_intersection(self, sets):
+        a, b = sets
+        u = union_directives(a, b)
+        i = intersect_directives(a, b)
+        assert len(u.priorities) >= len(i.priorities)

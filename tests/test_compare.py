@@ -1,0 +1,151 @@
+"""Tests for execution comparison and cross-run queries."""
+
+import pytest
+
+from repro.analysis import (
+    bottleneck_diff,
+    comparison_report,
+    performance_diff,
+    structural_diff,
+)
+from repro.apps.poisson import PoissonConfig, build_poisson, version_maps
+from repro.core import ResourceMapper, SearchConfig, run_diagnosis
+from repro.storage import (
+    ExperimentStore,
+    best_run,
+    bottleneck_persistence,
+    resource_history,
+    select,
+)
+
+SC = SearchConfig(min_interval=15.0, check_period=1.0, insertion_latency=1.0, cost_limit=8.0)
+CFG = PoissonConfig(iterations=150)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    a = run_diagnosis(build_poisson("A", CFG), config=SC, run_id="cmp-A")
+    b = run_diagnosis(build_poisson("B", CFG), config=SC, run_id="cmp-B")
+    c = run_diagnosis(build_poisson("C", CFG), config=SC, run_id="cmp-C")
+    return a, b, c
+
+
+@pytest.fixture(scope="module")
+def store(runs, tmp_path_factory):
+    store = ExperimentStore(tmp_path_factory.mktemp("cmpstore"))
+    for rec in runs:
+        store.save(rec)
+    return store
+
+
+class TestStructuralDiff:
+    def test_renamed_modules_detected(self, runs):
+        a, b, _ = runs
+        diff = structural_diff(a, b)
+        assert "/Code/oned.f" in diff.only_old["Code"]
+        assert "/Code/onednb.f" in diff.only_new["Code"]
+        assert "/Code/diff.f" in diff.common["Code"]
+        assert not diff.is_identical
+
+    def test_mapping_closes_the_gap(self, runs):
+        a, b, _ = runs
+        mapper = ResourceMapper(version_maps("A", "B",
+                                             build_poisson("A", CFG),
+                                             build_poisson("B", CFG)))
+        diff = structural_diff(a, b, mapper=mapper)
+        # after mapping, the code hierarchies coincide
+        assert not diff.only_old["Code"]
+        assert not diff.only_new["Code"]
+
+    def test_identical_run_is_identical(self, runs):
+        a, _, _ = runs
+        assert structural_diff(a, a).is_identical
+
+
+class TestPerformanceDiff:
+    def test_blocking_vs_nonblocking_exchange(self, runs):
+        a, b, _ = runs
+        mapper = ResourceMapper(version_maps("A", "B",
+                                             build_poisson("A", CFG),
+                                             build_poisson("B", CFG)))
+        deltas = {d.resource: d for d in performance_diff(a, b, mapper=mapper)}
+        exch = deltas["/Code/nbexchng.f/nbexchng1"]
+        # B's overlapped exchange waits far less than A's blocking one
+        assert exch.delta < -0.05
+
+    def test_min_fraction_filter(self, runs):
+        a, b, _ = runs
+        deltas = performance_diff(a, b, min_fraction=0.9)
+        assert deltas == []
+
+    def test_sorted_by_magnitude(self, runs):
+        a, _, c = runs
+        deltas = performance_diff(a, c)
+        mags = [abs(d.delta) for d in deltas]
+        assert mags == sorted(mags, reverse=True)
+
+
+class TestBottleneckDiff:
+    def test_same_run_full_similarity(self, runs):
+        a, _, _ = runs
+        diff = bottleneck_diff(a, a)
+        assert diff.jaccard == 1.0
+        assert not diff.appeared and not diff.disappeared
+
+    def test_cross_version_persistence(self, runs):
+        a, b, _ = runs
+        mapper = ResourceMapper(version_maps("A", "B",
+                                             build_poisson("A", CFG),
+                                             build_poisson("B", CFG)))
+        diff = bottleneck_diff(a, b, mapper=mapper)
+        # the paper: bottleneck locations largely persist across versions
+        assert len(diff.persisted) > 0
+        assert diff.jaccard > 0.2
+
+    def test_report_renders(self, runs):
+        a, b, _ = runs
+        text = comparison_report(a, b)
+        assert "Structural differences" in text
+        assert "Bottleneck conclusions" in text
+
+
+class TestQueries:
+    def test_resource_history(self, store):
+        history = resource_history(store, "/Code/diff.f/diff1d", activity="compute",
+                                   run_ids=["cmp-A", "cmp-B"])
+        assert len(history.points) == 2
+        assert all(v >= 0 for v in history.values())
+
+    def test_history_trend(self, store):
+        history = resource_history(store, "/SyncObject/Message/1/-1",
+                                   run_ids=["cmp-A", "cmp-B"])
+        assert history.trend() == history.values()[-1] - history.values()[0]
+
+    def test_unknown_resource_zero(self, store):
+        history = resource_history(store, "/Code/ghost.c/fn", run_ids=["cmp-A"])
+        assert history.values() == [0.0]
+
+    def test_bottleneck_persistence_counts(self, store):
+        counts = bottleneck_persistence(store, run_ids=["cmp-A", "cmp-B", "cmp-C"])
+        assert counts
+        assert max(counts.values()) <= 3
+        wp_sync = [
+            k for k in counts
+            if k[0] == "ExcessiveSyncWaitingTime" and k[1].count("/") == 4
+        ]
+        assert wp_sync and counts[wp_sync[0]] == 3  # sync@wholeprogram in all
+
+    def test_best_run(self, store):
+        fastest = best_run(store, key=lambda r: r.finish_time)
+        assert fastest is not None
+        all_runs = [store.load(r) for r in store.list()]
+        assert fastest.finish_time == min(r.finish_time for r in all_runs)
+
+    def test_best_run_empty_store(self, tmp_path):
+        assert best_run(ExperimentStore(tmp_path / "empty"), key=lambda r: 0) is None
+
+    def test_select(self, store):
+        heavy = select(store, lambda r: r.n_processes >= 4)
+        assert len(heavy) == 3
+        none = select(store, lambda r: r.n_processes > 100)
+        assert none == []

@@ -1,0 +1,88 @@
+"""Tests for the diagnosis-session facade."""
+
+import pytest
+
+from repro.apps.synthetic import make_pingpong
+from repro.core import (
+    DiagnosisSession,
+    DirectiveSet,
+    MapDirective,
+    PriorityDirective,
+    SearchConfig,
+    run_diagnosis,
+)
+from repro.core.shg import Priority
+from repro.metrics import CostModel
+from repro.resources import whole_program
+
+SYNC = "ExcessiveSyncWaitingTime"
+FAST = SearchConfig(min_interval=5.0, check_period=0.5, insertion_latency=0.2, cost_limit=50.0)
+
+
+def quiet():
+    return CostModel(perturb_per_unit=0.0)
+
+
+class TestRunDiagnosis:
+    def test_record_fields_populated(self):
+        rec = run_diagnosis(make_pingpong(iterations=50), config=FAST, cost_model=quiet())
+        assert rec.app_name == "pingpong"
+        assert rec.n_processes == 2
+        assert rec.placement == {"pp:1": "n0", "pp:2": "n1"}
+        assert rec.finish_time > 0
+        assert rec.pairs_tested > 0
+        assert rec.peak_cost > 0
+        assert set(rec.hierarchies) == {"Code", "Machine", "Process", "SyncObject"}
+        assert rec.profile["totals"]["compute"] > 0
+        assert rec.thresholds[SYNC] == pytest.approx(0.20)
+
+    def test_run_id_defaults_unique(self):
+        a = run_diagnosis(make_pingpong(iterations=30), config=FAST, cost_model=quiet())
+        b = run_diagnosis(make_pingpong(iterations=30), config=FAST, cost_model=quiet())
+        assert a.run_id != b.run_id
+
+    def test_explicit_run_id(self):
+        rec = run_diagnosis(
+            make_pingpong(iterations=30), config=FAST, cost_model=quiet(), run_id="myrun"
+        )
+        assert rec.run_id == "myrun"
+
+    def test_search_done_recorded(self):
+        rec = run_diagnosis(make_pingpong(iterations=80), config=FAST, cost_model=quiet())
+        assert rec.search_done_time is not None
+        assert rec.search_done_time <= rec.finish_time
+
+
+class TestMappingIntegration:
+    def test_directives_mapped_before_search(self):
+        # directive refers to old names; a map directive rewrites them
+        old_focus = whole_program().with_selection("Code", "/Code/old.c/work")
+        ds = DirectiveSet(
+            priorities=[PriorityDirective(SYNC, old_focus, Priority.HIGH)],
+            maps=[MapDirective("/Code/old.c", "/Code/pp.c")],
+        )
+        rec = run_diagnosis(
+            make_pingpong(iterations=60), directives=ds, config=FAST, cost_model=quiet()
+        )
+        mapped = "< /Code/pp.c/work, /Machine, /Process, /SyncObject >"
+        node = [n for n in rec.shg_nodes if n["focus"] == mapped and n["hypothesis"] == SYNC]
+        assert node and node[0]["persistent"]
+
+    def test_unknown_directives_dropped_not_fatal(self):
+        ghost = whole_program().with_selection("Code", "/Code/ghost.c")
+        ds = DirectiveSet(priorities=[PriorityDirective(SYNC, ghost, Priority.HIGH)])
+        rec = run_diagnosis(
+            make_pingpong(iterations=40), directives=ds, config=FAST, cost_model=quiet()
+        )
+        assert all("/Code/ghost.c" not in n["focus"] for n in rec.shg_nodes)
+
+    def test_mapping_can_be_disabled(self):
+        session = DiagnosisSession(
+            app=make_pingpong(iterations=40),
+            directives=DirectiveSet(),
+            config=FAST,
+            cost_model=quiet(),
+            apply_resource_mapping=False,
+        )
+        rec = session.run()
+        assert rec.pairs_tested > 0

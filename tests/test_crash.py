@@ -1,0 +1,135 @@
+"""Failure-injection tests: crashing programs under diagnosis."""
+
+import pytest
+
+from repro.simulator import (
+    Activity,
+    Compute,
+    Engine,
+    LatencyModel,
+    Machine,
+    ProcState,
+    Recv,
+    Send,
+    SimDeadlock,
+    SimulationError,
+    TraceCollector,
+)
+
+LAT = LatencyModel(alpha=0.0, beta=0.0, send_overhead=0.0, recv_overhead=0.0)
+
+
+def crashing_prog(proc):
+    with proc.function("m.c", "f"):
+        yield Compute(2.0)
+        raise RuntimeError("simulated segfault")
+
+
+def healthy_prog(proc):
+    with proc.function("m.c", "g"):
+        yield Compute(5.0)
+
+
+class TestCrashPolicies:
+    def test_default_raises(self):
+        eng = Engine(Machine.named("n", 1), latency=LAT)
+        eng.add_process("p", "n0", crashing_prog)
+        with pytest.raises(RuntimeError, match="simulated segfault"):
+            eng.run()
+
+    def test_record_policy_continues(self):
+        eng = Engine(Machine.named("n", 2), latency=LAT, crash_policy="record")
+        eng.add_process("p", "n0", crashing_prog)
+        eng.add_process("q", "n1", healthy_prog)
+        t = eng.run()
+        assert t == pytest.approx(5.0)
+        assert eng.procs["p"].state is ProcState.CRASHED
+        assert isinstance(eng.procs["p"].crash, RuntimeError)
+        assert eng.procs["q"].state is ProcState.DONE
+
+    def test_crashed_process_time_preserved(self):
+        eng = Engine(Machine.named("n", 1), latency=LAT, crash_policy="record")
+        tc = TraceCollector()
+        eng.add_sink(tc)
+        eng.add_process("p", "n0", crashing_prog)
+        eng.run()
+        assert tc.total(Activity.COMPUTE) == pytest.approx(2.0)
+        assert eng.procs["p"].finish_time == pytest.approx(2.0)
+
+    def test_peer_waiting_on_crashed_process_is_diagnosed(self):
+        def waiter(proc):
+            with proc.function("m.c", "w"):
+                yield Recv("p", "t/0")
+
+        eng = Engine(Machine.named("n", 2), latency=LAT, crash_policy="record")
+        eng.add_process("p", "n0", crashing_prog)
+        eng.add_process("q", "n1", waiter)
+        with pytest.raises(SimDeadlock, match="crashed processes: \\['p'\\]"):
+            eng.run()
+
+    def test_crash_excluded_from_barrier_count(self):
+        from repro.simulator import Barrier
+
+        def barrier_prog(proc):
+            with proc.function("m.c", "b"):
+                yield Compute(1.0)
+                yield Barrier()
+
+        eng = Engine(Machine.named("n", 2), latency=LAT, crash_policy="record")
+        eng.add_process("p", "n0", crashing_prog)  # crashes at t=2
+        eng.add_process("q", "n1", barrier_prog)   # reaches barrier at t=1
+        # q's barrier completes once p crashes (live count drops to 1)
+        t = eng.run()
+        assert eng.procs["q"].state is ProcState.DONE
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine(Machine.named("n", 1), crash_policy="explode")
+
+    def test_program_errors_still_raise_under_record(self):
+        def bad(proc):
+            yield "not a syscall"
+
+        eng = Engine(Machine.named("n", 1), latency=LAT, crash_policy="record")
+        eng.add_process("p", "n0", bad)
+        with pytest.raises(Exception):
+            eng.run()
+
+
+class TestDiagnosisOfCrashedRun:
+    def test_search_finalizes_on_partial_run(self):
+        """A diagnosis of a run whose processes die early still concludes
+        from the data gathered before the crash."""
+        from repro.core import PerformanceConsultantSearch, SearchConfig
+        from repro.metrics import CostModel, InstrumentationManager
+        from repro.metrics.profile import ProfileCollector
+        from repro.resources import ResourceSpace
+
+        def worker(proc):
+            with proc.function("m.c", "hot"):
+                for _ in range(30):
+                    yield Compute(1.0)
+                raise RuntimeError("died late")
+
+        eng = Engine(Machine.named("n", 1), latency=LAT, crash_policy="record")
+        space = ResourceSpace()
+        space.add("/Code/m.c/hot")
+        space.add("/Process/w")
+        space.add("/Machine/n0")
+        eng.add_process("w", "n0", worker)
+        instr = InstrumentationManager(
+            eng, space, cost_model=CostModel(perturb_per_unit=0.0),
+            cost_limit=50.0, insertion_latency=0.2,
+        )
+        search = PerformanceConsultantSearch(
+            eng, instr, space,
+            config=SearchConfig(min_interval=5.0, check_period=0.5,
+                                insertion_latency=0.2, cost_limit=50.0),
+        )
+        search.start()
+        eng.run()
+        trues = search.true_pairs()
+        assert any(h == "CPUbound" for h, _ in trues)
+        # the crash still triggered final_pass: nothing left dangling active
+        from repro.core.shg import NodeState
+        assert not search.shg.by_state(NodeState.ACTIVE)

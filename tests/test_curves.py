@@ -1,0 +1,89 @@
+"""Tests for discovery-progress curves."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    DiscoveryCurve,
+    base_bottleneck_set,
+    discovery_curve,
+    render_curves,
+    time_to_fraction,
+)
+from repro.apps.synthetic import make_pingpong
+from repro.core import SearchConfig, run_diagnosis
+from repro.metrics import CostModel
+
+FAST = SearchConfig(
+    min_interval=5.0, check_period=0.5, insertion_latency=0.2, cost_limit=50.0,
+    noise_band=0.0,
+)
+
+
+@pytest.fixture(scope="module")
+def record():
+    return run_diagnosis(
+        make_pingpong(iterations=100, slow=1.0, fast=0.2),
+        config=FAST, cost_model=CostModel(perturb_per_unit=0.0),
+    )
+
+
+class TestDiscoveryCurve:
+    def test_monotone_nondecreasing(self, record):
+        base = base_bottleneck_set(record, margin=0.05)
+        curve = discovery_curve(record, base)
+        fracs = [f for _, f in curve.points]
+        assert fracs == sorted(fracs)
+        assert fracs[-1] == pytest.approx(1.0)
+
+    def test_matches_time_to_fraction(self, record):
+        base = base_bottleneck_set(record, margin=0.05)
+        curve = discovery_curve(record, base)
+        times = time_to_fraction(record, base)
+        for frac, t in times.items():
+            assert curve.time_to(frac) == pytest.approx(t)
+
+    def test_fraction_at_before_first_point(self, record):
+        base = base_bottleneck_set(record, margin=0.05)
+        curve = discovery_curve(record, base)
+        assert curve.fraction_at(0.0) == 0.0
+
+    def test_time_to_unreachable(self):
+        curve = DiscoveryCurve("x", points=((1.0, 0.5),), total=2)
+        assert math.isinf(curve.time_to(1.0))
+
+    def test_empty_base_set(self, record):
+        curve = discovery_curve(record, set())
+        assert curve.points == ()
+        assert curve.total == 0
+
+    def test_sampled_length_and_range(self, record):
+        base = base_bottleneck_set(record, margin=0.05)
+        curve = discovery_curve(record, base)
+        samples = curve.sampled(25)
+        assert len(samples) == 25
+        assert all(0.0 <= s <= 1.0 for s in samples)
+        assert samples[-1] == pytest.approx(1.0)
+
+
+class TestRenderCurves:
+    def test_render_contains_labels_and_final_fraction(self, record):
+        base = base_bottleneck_set(record, margin=0.05)
+        curve = discovery_curve(record, base, label="undirected")
+        text = render_curves([curve])
+        assert "undirected" in text
+        assert "100%" in text
+
+    def test_render_empty(self):
+        assert render_curves([]) == ""
+
+    def test_shared_horizon(self, record):
+        base = base_bottleneck_set(record, margin=0.05)
+        fast = DiscoveryCurve("fast", points=((1.0, 1.0),), total=1)
+        slow = discovery_curve(record, base, label="slow")
+        text = render_curves([fast, slow])
+        lines = text.splitlines()
+        # the fast curve saturates immediately on the shared axis
+        fast_line = next(l for l in lines if l.startswith("fast"))
+        assert fast_line.rstrip().endswith("100%")

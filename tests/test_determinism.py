@@ -1,0 +1,59 @@
+"""Determinism guarantees: identical configurations give identical records.
+
+The reproduction's experiments depend on exact repeatability — the same
+workload and search configuration must produce byte-identical run records
+(modulo the run id), or time-to-find comparisons would be noise.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.ocean import OceanConfig, build_ocean
+from repro.apps.poisson import PoissonConfig, build_poisson
+from repro.core import SearchConfig, extract_directives, run_diagnosis
+
+SC = SearchConfig(min_interval=15.0, check_period=1.0, insertion_latency=1.0, cost_limit=8.0)
+
+
+def normalized(record):
+    data = record.to_dict()
+    data["run_id"] = "X"
+    return json.dumps(data, sort_keys=True)
+
+
+class TestRunDeterminism:
+    def test_identical_poisson_runs(self):
+        a = run_diagnosis(build_poisson("C", PoissonConfig(iterations=120)), config=SC)
+        b = run_diagnosis(build_poisson("C", PoissonConfig(iterations=120)), config=SC)
+        assert normalized(a) == normalized(b)
+
+    def test_identical_ocean_runs(self):
+        a = run_diagnosis(build_ocean(OceanConfig(iterations=100)), config=SC)
+        b = run_diagnosis(build_ocean(OceanConfig(iterations=100)), config=SC)
+        assert normalized(a) == normalized(b)
+
+    def test_different_seeds_differ(self):
+        a = run_diagnosis(
+            build_poisson("C", PoissonConfig(iterations=120, seed=1)), config=SC
+        )
+        b = run_diagnosis(
+            build_poisson("C", PoissonConfig(iterations=120, seed=2)), config=SC
+        )
+        assert normalized(a) != normalized(b)
+
+    def test_directed_runs_deterministic(self):
+        base = run_diagnosis(build_poisson("C", PoissonConfig(iterations=120)), config=SC)
+        ds = extract_directives(base)
+        a = run_diagnosis(
+            build_poisson("C", PoissonConfig(iterations=120)), directives=ds, config=SC
+        )
+        b = run_diagnosis(
+            build_poisson("C", PoissonConfig(iterations=120)), directives=ds, config=SC
+        )
+        assert normalized(a) == normalized(b)
+
+    def test_directive_text_deterministic(self):
+        base1 = run_diagnosis(build_poisson("A", PoissonConfig(iterations=100)), config=SC)
+        base2 = run_diagnosis(build_poisson("A", PoissonConfig(iterations=100)), config=SC)
+        assert extract_directives(base1).to_text() == extract_directives(base2).to_text()

@@ -1,0 +1,166 @@
+"""Tests for directive types, matching semantics, and the text format."""
+
+import pytest
+
+from repro.core.directives import (
+    ANY_HYPOTHESIS,
+    DirectiveError,
+    DirectiveSet,
+    MapDirective,
+    PairPruneDirective,
+    PriorityDirective,
+    PruneDirective,
+    ThresholdDirective,
+)
+from repro.core.shg import Priority
+from repro.resources import parse_focus, whole_program
+
+SYNC = "ExcessiveSyncWaitingTime"
+CPU = "CPUbound"
+
+
+def focus(**sels):
+    f = whole_program()
+    for h, p in sels.items():
+        f = f.with_selection(h, p)
+    return f
+
+
+class TestPruneMatching:
+    def test_prunes_subtree(self):
+        p = PruneDirective(ANY_HYPOTHESIS, "/Code/vect.c")
+        assert p.matches(SYNC, focus(Code="/Code/vect.c"))
+        assert p.matches(SYNC, focus(Code="/Code/vect.c/print"))
+        assert not p.matches(SYNC, focus(Code="/Code/main.c"))
+
+    def test_hypothesis_filter(self):
+        p = PruneDirective(CPU, "/SyncObject")
+        assert p.matches(CPU, focus(SyncObject="/SyncObject/Message"))
+        assert not p.matches(SYNC, focus(SyncObject="/SyncObject/Message"))
+
+    def test_root_prune_spares_root_selection(self):
+        # Pruning /Machine means "never refine into Machine", but the
+        # unconstrained whole-program focus must survive.
+        p = PruneDirective(ANY_HYPOTHESIS, "/Machine")
+        assert not p.matches(SYNC, whole_program())
+        assert p.matches(SYNC, focus(Machine="/Machine/n0"))
+
+    def test_missing_hierarchy_never_matches(self):
+        from repro.resources import Focus
+
+        p = PruneDirective(ANY_HYPOTHESIS, "/Machine")
+        assert not p.matches(SYNC, Focus({"Code": "/Code/a.c"}))
+
+    def test_invalid_resource(self):
+        with pytest.raises(Exception):
+            PruneDirective(ANY_HYPOTHESIS, "no-slash")
+
+
+class TestPairPrune:
+    def test_exact_match_only(self):
+        pp = PairPruneDirective(SYNC, focus(Code="/Code/a.c"))
+        assert pp.matches(SYNC, focus(Code="/Code/a.c"))
+        assert not pp.matches(SYNC, focus(Code="/Code/a.c/f"))
+        assert not pp.matches(CPU, focus(Code="/Code/a.c"))
+
+
+class TestDirectiveSet:
+    def make(self):
+        return DirectiveSet(
+            prunes=[PruneDirective(CPU, "/SyncObject")],
+            pair_prunes=[PairPruneDirective(SYNC, focus(Code="/Code/dead.c"))],
+            priorities=[
+                PriorityDirective(SYNC, focus(Code="/Code/hot.c"), Priority.HIGH),
+                PriorityDirective(SYNC, focus(Code="/Code/cold.c"), Priority.LOW),
+            ],
+            thresholds=[ThresholdDirective(SYNC, 0.12)],
+            maps=[MapDirective("/Code/oned.f", "/Code/onednb.f")],
+        )
+
+    def test_is_pruned(self):
+        ds = self.make()
+        assert ds.is_pruned(CPU, focus(SyncObject="/SyncObject/Message"))
+        assert ds.is_pruned(SYNC, focus(Code="/Code/dead.c"))
+        assert not ds.is_pruned(SYNC, focus(Code="/Code/hot.c"))
+
+    def test_priority_of(self):
+        ds = self.make()
+        assert ds.priority_of(SYNC, focus(Code="/Code/hot.c")) is Priority.HIGH
+        assert ds.priority_of(SYNC, focus(Code="/Code/cold.c")) is Priority.LOW
+        assert ds.priority_of(SYNC, focus(Code="/Code/other.c")) is Priority.MEDIUM
+
+    def test_high_priority_pairs(self):
+        ds = self.make()
+        highs = ds.high_priority_pairs()
+        assert len(highs) == 1 and highs[0].level is Priority.HIGH
+
+    def test_threshold_of(self):
+        ds = self.make()
+        assert ds.threshold_of(SYNC) == pytest.approx(0.12)
+        assert ds.threshold_of(CPU) is None
+
+    def test_len_and_empty(self):
+        assert DirectiveSet().is_empty()
+        assert len(self.make()) == 6
+
+    def test_merged_with(self):
+        ds = self.make().merged_with(DirectiveSet(thresholds=[ThresholdDirective(CPU, 0.8)]))
+        assert ds.threshold_of(CPU) == pytest.approx(0.8)
+        assert ds.threshold_of(SYNC) == pytest.approx(0.12)
+
+    def test_without_pair_prunes(self):
+        ds = self.make().without_pair_prunes()
+        assert not ds.pair_prunes
+        assert ds.prunes and ds.priorities and ds.thresholds
+
+    def test_only_projection(self):
+        ds = self.make().only("priorities")
+        assert ds.priorities and not ds.prunes and not ds.thresholds
+
+    def test_only_rejects_unknown_kind(self):
+        with pytest.raises(DirectiveError):
+            self.make().only("bogus")
+
+
+class TestTextFormat:
+    def test_roundtrip(self):
+        ds = DirectiveSet(
+            prunes=[PruneDirective("*", "/Code/vect.c/vect::print")],
+            pair_prunes=[PairPruneDirective(SYNC, focus(Code="/Code/a.c"))],
+            priorities=[PriorityDirective(SYNC, focus(Process="/Process/p:1"), Priority.HIGH)],
+            thresholds=[ThresholdDirective(SYNC, 0.12)],
+            maps=[MapDirective("/Code/sweep.f/sweep1d", "/Code/nbsweep.f/nbsweep")],
+        )
+        clone = DirectiveSet.from_text(ds.to_text())
+        assert clone.to_text() == ds.to_text()
+        assert clone.priority_of(SYNC, focus(Process="/Process/p:1")) is Priority.HIGH
+        assert clone.maps[0].new == "/Code/nbsweep.f/nbsweep"
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# a comment\n\nthreshold ExcessiveSyncWaitingTime 0.2\n"
+        ds = DirectiveSet.from_text(text)
+        assert ds.threshold_of(SYNC) == pytest.approx(0.2)
+
+    def test_unknown_kind(self):
+        with pytest.raises(DirectiveError):
+            DirectiveSet.from_text("frobnicate /Code")
+
+    def test_malformed_threshold(self):
+        with pytest.raises(DirectiveError):
+            DirectiveSet.from_text("threshold Sync notanumber")
+
+    def test_malformed_line(self):
+        with pytest.raises(DirectiveError):
+            DirectiveSet.from_text("prune")
+
+    def test_empty_text(self):
+        assert DirectiveSet.from_text("").is_empty()
+
+    def test_priority_levels_parse(self):
+        text = (
+            f"priority high {SYNC} < /Code/a.c, /Machine, /Process, /SyncObject >\n"
+            f"priority low {SYNC} < /Code/b.c, /Machine, /Process, /SyncObject >\n"
+            f"priority medium {SYNC} < /Code/c.c, /Machine, /Process, /SyncObject >\n"
+        )
+        ds = DirectiveSet.from_text(text)
+        assert len(ds.priorities) == 3

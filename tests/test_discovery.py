@@ -1,0 +1,109 @@
+"""Tests for late resource discovery."""
+
+import pytest
+
+from repro.apps.base import Application
+from repro.core import DiscoverySink, SearchConfig, run_diagnosis
+from repro.core.shg import NodeState
+from repro.metrics import CostModel
+from repro.resources import ResourceSpace
+from repro.simulator import Activity, Compute, Recv, Send, TimeSegment
+
+FAST = SearchConfig(
+    min_interval=5.0, check_period=0.5, insertion_latency=0.2, cost_limit=50.0,
+    noise_band=0.0,
+)
+
+
+def make_two_phase_app(n=80, declare_late_tag=False):
+    """A producer/consumer that switches tag mid-run; tag 8/1 is only
+    used in the second half and (optionally) not declared upfront."""
+
+    def p0(proc):
+        with proc.function("m.c", "f"):
+            for i in range(n):
+                yield Compute(1.0)
+                yield Send("b", "8/0" if i < n // 2 else "8/1", 64)
+
+    def p1(proc):
+        with proc.function("m.c", "g"):
+            for i in range(n):
+                yield Compute(0.3)
+                yield Recv("a", "8/0" if i < n // 2 else "8/1")
+
+    tags = ("8/0", "8/1") if declare_late_tag else ("8/0",)
+    return Application(
+        name="late", version="1", modules={"m.c": ("f", "g")},
+        tags=tags, processes=("a", "b"), placement={"a": "n0", "b": "n1"},
+        programs={"a": p0, "b": p1},
+    )
+
+
+class TestDiscoverySink:
+    def test_registers_unknown_resources(self):
+        space = ResourceSpace()
+        sink = DiscoverySink(space)
+        seg = TimeSegment.make(0, 1.0, Activity.SYNC, "p:9", "nX", "new.c", "fn", tag="4/2")
+        sink.record(seg)
+        assert "/Code/new.c/fn" in space
+        assert "/Process/p:9" in space
+        assert "/Machine/nX" in space
+        assert "/SyncObject/Message/4/2" in space
+        assert len(sink.discovered) == 4
+
+    def test_known_resources_not_duplicated(self):
+        space = ResourceSpace()
+        space.add("/Code/new.c/fn")
+        sink = DiscoverySink(space)
+        seg = TimeSegment.make(0, 1.0, Activity.COMPUTE, "p", "n", "new.c", "fn")
+        before = space.version
+        sink.record(seg)
+        sink.record(seg)
+        assert "/Code/new.c/fn" not in sink.discovered
+        # process/node were new, fn was not
+        assert space.version > before
+
+    def test_space_version_counter(self):
+        space = ResourceSpace()
+        v0 = space.version
+        space.add("/Code/a.c")
+        assert space.version == v0 + 1
+        space.add("/Code/a.c")  # idempotent adds do not bump
+        assert space.version == v0 + 1
+
+
+class TestLateDiscoveryInSearch:
+    def test_undeclared_tag_found_with_discovery(self):
+        rec = run_diagnosis(
+            make_two_phase_app(declare_late_tag=False),
+            config=FAST,
+            cost_model=CostModel(perturb_per_unit=0.0),
+            discover_resources=True,
+        )
+        assert "/SyncObject/Message/8/1" in rec.hierarchies["SyncObject"]
+        assert any("8/1" in f for _, f in rec.true_pairs())
+
+    def test_undeclared_tag_missed_without_discovery(self):
+        rec = run_diagnosis(
+            make_two_phase_app(declare_late_tag=False),
+            config=FAST,
+            cost_model=CostModel(perturb_per_unit=0.0),
+            discover_resources=False,
+        )
+        assert not any("8/1" in f for _, f in rec.true_pairs())
+
+    def test_discovery_matches_upfront_declaration(self):
+        discovered = run_diagnosis(
+            make_two_phase_app(declare_late_tag=False),
+            config=FAST, cost_model=CostModel(perturb_per_unit=0.0),
+            discover_resources=True,
+        )
+        declared = run_diagnosis(
+            make_two_phase_app(declare_late_tag=True),
+            config=FAST, cost_model=CostModel(perturb_per_unit=0.0),
+        )
+        d_pairs = {p for p in discovered.true_pairs() if "8/1" in p[1]}
+        s_pairs = {p for p in declared.true_pairs() if "8/1" in p[1]}
+        # discovery reaches the same late-tag conclusions
+        assert d_pairs and d_pairs <= s_pairs | d_pairs
+        assert len(d_pairs) >= 0.6 * len(s_pairs)

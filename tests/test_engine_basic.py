@@ -1,0 +1,227 @@
+"""Engine tests: compute/IO timing, attribution, perturbation, scheduling."""
+
+import pytest
+
+from repro.simulator import (
+    Activity,
+    Compute,
+    Engine,
+    IoOp,
+    Machine,
+    ProgramError,
+    SimulationError,
+    TraceCollector,
+)
+
+
+def make_engine(n_nodes=1):
+    return Engine(Machine.named("n", n_nodes))
+
+
+class TestComputeAndIo:
+    def test_compute_advances_time(self):
+        eng = make_engine()
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                yield Compute(2.5)
+
+        eng.add_process("p", "n0", prog)
+        assert eng.run() == pytest.approx(2.5)
+
+    def test_compute_emits_segment(self):
+        eng = make_engine()
+        tc = TraceCollector()
+        eng.add_sink(tc)
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                yield Compute(1.0)
+
+        eng.add_process("p", "n0", prog)
+        eng.run()
+        assert len(tc.segments) == 1
+        seg = tc.segments[0]
+        assert seg.activity is Activity.COMPUTE
+        assert (seg.module, seg.function) == ("m.c", "f")
+        assert seg.duration == pytest.approx(1.0)
+        assert seg.process == "p" and seg.node == "n0"
+
+    def test_io_segment(self):
+        eng = make_engine()
+        tc = TraceCollector()
+        eng.add_sink(tc)
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                yield IoOp(0.7)
+
+        eng.add_process("p", "n0", prog)
+        eng.run()
+        assert tc.total(Activity.IO) == pytest.approx(0.7)
+
+    def test_exclusive_attribution_innermost(self):
+        eng = make_engine()
+        tc = TraceCollector()
+        eng.add_sink(tc)
+
+        def prog(proc):
+            with proc.function("m.c", "outer"):
+                yield Compute(1.0)
+                with proc.function("m.c", "inner"):
+                    yield Compute(2.0)
+                yield Compute(0.5)
+
+        eng.add_process("p", "n0", prog)
+        eng.run()
+        by_fn = tc.by_function(Activity.COMPUTE)
+        assert by_fn[("m.c", "outer")] == pytest.approx(1.5)
+        assert by_fn[("m.c", "inner")] == pytest.approx(2.0)
+
+    def test_negative_compute_rejected(self):
+        eng = make_engine()
+
+        def prog(proc):
+            yield Compute(-1.0)
+
+        eng.add_process("p", "n0", prog)
+        with pytest.raises(ProgramError):
+            eng.run()
+
+    def test_non_syscall_yield_rejected(self):
+        eng = make_engine()
+
+        def prog(proc):
+            yield "not a syscall"
+
+        eng.add_process("p", "n0", prog)
+        with pytest.raises(ProgramError):
+            eng.run()
+
+
+class TestPerturbation:
+    def test_overhead_stretches_compute(self):
+        eng = make_engine()
+        eng.add_perturbation_source(lambda p: 0.5)
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                yield Compute(2.0)
+
+        eng.add_process("p", "n0", prog)
+        assert eng.run() == pytest.approx(3.0)
+
+    def test_overhead_does_not_stretch_io(self):
+        eng = make_engine()
+        eng.add_perturbation_source(lambda p: 1.0)
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                yield IoOp(1.0)
+
+        eng.add_process("p", "n0", prog)
+        assert eng.run() == pytest.approx(1.0)
+
+    def test_multiple_sources_sum(self):
+        eng = make_engine()
+        eng.add_perturbation_source(lambda p: 0.1)
+        eng.add_perturbation_source(lambda p: 0.2)
+        assert eng.perturbation("p") == pytest.approx(0.3)
+
+
+class TestScheduling:
+    def test_schedule_in_past_rejected(self):
+        eng = make_engine()
+
+        def prog(proc):
+            yield Compute(1.0)
+
+        eng.add_process("p", "n0", prog)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.schedule(0.5, lambda: None)
+
+    def test_periodic_stops_after_finish(self):
+        eng = make_engine()
+        ticks = []
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                yield Compute(5.0)
+
+        eng.add_process("p", "n0", prog)
+        eng.schedule_periodic(1.0, lambda e: ticks.append(e.now))
+        eng.run()
+        # one tick per second during the run; none rescheduled after finish
+        assert 4 <= len(ticks) <= 7
+
+    def test_periodic_rejects_nonpositive(self):
+        eng = make_engine()
+        with pytest.raises(SimulationError):
+            eng.schedule_periodic(0.0, lambda e: None)
+
+    def test_on_finish_called_once(self):
+        eng = make_engine()
+        calls = []
+
+        def prog(proc):
+            yield Compute(1.0)
+
+        eng.add_process("p", "n0", prog)
+        eng.on_finish(lambda e: calls.append(e.now))
+        eng.run()
+        assert calls == [pytest.approx(1.0)]
+
+    def test_stop_aborts_early(self):
+        eng = make_engine()
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                for _ in range(100):
+                    yield Compute(1.0)
+
+        eng.add_process("p", "n0", prog)
+        eng.schedule(5.0, eng.stop)
+        t = eng.run()
+        assert t <= 6.0
+
+    def test_max_time_guard(self):
+        eng = make_engine()
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                for _ in range(100):
+                    yield Compute(1.0)
+
+        eng.add_process("p", "n0", prog)
+        with pytest.raises(SimulationError):
+            eng.run(max_time=10.0)
+
+    def test_duplicate_process_name(self):
+        eng = make_engine()
+
+        def prog(proc):
+            yield Compute(1.0)
+
+        eng.add_process("p", "n0", prog)
+        with pytest.raises(ProgramError):
+            eng.add_process("p", "n0", prog)
+
+    def test_in_progress_reports_running_compute(self):
+        eng = make_engine()
+        seen = []
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                yield Compute(10.0)
+
+        def check(e):
+            segs = list(e.in_progress())
+            if segs:
+                seen.append((segs[0].activity, segs[0].duration))
+
+        eng.add_process("p", "n0", prog)
+        eng.schedule(4.0, lambda: check(eng))
+        eng.run()
+        assert seen and seen[0][0] is Activity.COMPUTE
+        assert seen[0][1] == pytest.approx(4.0)

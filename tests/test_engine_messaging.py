@@ -1,0 +1,253 @@
+"""Engine tests: message passing, non-blocking ops, barriers, deadlock."""
+
+import pytest
+
+from repro.simulator import (
+    ANY_SOURCE,
+    Activity,
+    Barrier,
+    Compute,
+    Engine,
+    Irecv,
+    Isend,
+    LatencyModel,
+    Machine,
+    Recv,
+    Send,
+    SimDeadlock,
+    TraceCollector,
+    WaitReq,
+)
+
+LAT = LatencyModel(alpha=0.0, beta=0.0, send_overhead=0.0, recv_overhead=0.0)
+
+
+def make_engine(n=2, latency=LAT):
+    return Engine(Machine.named("n", n), latency=latency)
+
+
+def run_pair(p0, p1, latency=LAT):
+    eng = make_engine(2, latency)
+    tc = TraceCollector()
+    eng.add_sink(tc)
+    eng.add_process("a", "n0", p0)
+    eng.add_process("b", "n1", p1)
+    t = eng.run()
+    return eng, tc, t
+
+
+class TestBlockingMessaging:
+    def test_receiver_waits_for_slow_sender(self):
+        def p0(proc):
+            with proc.function("m", "f"):
+                yield Compute(3.0)
+                yield Send("b", "t/0", 0)
+
+        def p1(proc):
+            with proc.function("m", "g"):
+                yield Compute(1.0)
+                yield Recv("a", "t/0")
+
+        eng, tc, t = run_pair(p0, p1)
+        assert tc.total(Activity.SYNC) == pytest.approx(2.0)
+        assert t == pytest.approx(3.0)
+
+    def test_no_wait_when_message_already_arrived(self):
+        def p0(proc):
+            with proc.function("m", "f"):
+                yield Send("b", "t/0", 0)
+                yield Compute(1.0)
+
+        def p1(proc):
+            with proc.function("m", "g"):
+                yield Compute(2.0)
+                yield Recv("a", "t/0")
+
+        eng, tc, t = run_pair(p0, p1)
+        assert tc.total(Activity.SYNC) == pytest.approx(0.0)
+
+    def test_wait_attributed_to_tag(self):
+        def p0(proc):
+            with proc.function("m", "f"):
+                yield Compute(2.0)
+                yield Send("b", "3/0", 0)
+
+        def p1(proc):
+            with proc.function("m", "g"):
+                yield Recv("a", "3/0")
+
+        eng, tc, t = run_pair(p0, p1)
+        sync = [s for s in tc.segments if s.activity is Activity.SYNC]
+        assert len(sync) == 1
+        assert sync[0].tag == "3/0"
+        assert sync[0].parts["SyncObject"] == ("SyncObject", "Message", "3", "0")
+
+    def test_tag_mismatch_no_match(self):
+        def p0(proc):
+            yield Send("b", "t/0", 0)
+            yield Send("b", "t/1", 0)
+
+        def p1(proc):
+            with proc.function("m", "g"):
+                yield Recv("a", "t/1")
+                yield Recv("a", "t/0")
+
+        eng, tc, t = run_pair(p0, p1)  # both eventually matched
+
+    def test_fifo_same_tag(self):
+        got = []
+
+        def p0(proc):
+            yield Send("b", "t/0", 11)
+            yield Send("b", "t/0", 22)
+
+        def p1(proc):
+            m1 = yield Recv("a", "t/0")
+            m2 = yield Recv("a", "t/0")
+            got.extend([m1.size, m2.size])
+
+        run_pair(p0, p1)
+        assert got == [11, 22]
+
+    def test_any_source(self):
+        def p0(proc):
+            yield Compute(1.0)
+            yield Send("b", "t/0", 0)
+
+        def p1(proc):
+            with proc.function("m", "g"):
+                yield Recv(ANY_SOURCE, "t/0")
+
+        eng, tc, t = run_pair(p0, p1)
+        assert t == pytest.approx(1.0)
+
+    def test_send_to_unknown_process(self):
+        eng = make_engine(1)
+
+        def prog(proc):
+            yield Send("ghost", "t/0", 0)
+
+        eng.add_process("a", "n0", prog)
+        with pytest.raises(Exception):
+            eng.run()
+
+    def test_transfer_latency_applied(self):
+        lat = LatencyModel(alpha=0.5, beta=0.001, send_overhead=0.0, recv_overhead=0.0)
+
+        def p0(proc):
+            yield Send("b", "t/0", 1000.0)
+
+        def p1(proc):
+            with proc.function("m", "g"):
+                yield Recv("a", "t/0")
+
+        eng, tc, t = run_pair(p0, p1, latency=lat)
+        assert t == pytest.approx(0.5 + 1.0)
+
+
+class TestNonBlocking:
+    def test_isend_returns_completed_request(self):
+        reqs = []
+
+        def p0(proc):
+            r = yield Isend("b", "t/0", 0)
+            reqs.append(r)
+
+        def p1(proc):
+            yield Recv("a", "t/0")
+
+        run_pair(p0, p1)
+        assert reqs and reqs[0].complete
+
+    def test_irecv_wait_overlap_hides_latency(self):
+        def p0(proc):
+            with proc.function("m", "f"):
+                yield Compute(2.0)
+                yield Send("b", "t/0", 0)
+
+        def p1(proc):
+            with proc.function("m", "g"):
+                req = yield Irecv("a", "t/0")
+                yield Compute(3.0)  # overlaps the sender's compute
+                yield WaitReq(req)
+
+        eng, tc, t = run_pair(p0, p1)
+        assert tc.total(Activity.SYNC) == pytest.approx(0.0)
+        assert t == pytest.approx(3.0)
+
+    def test_wait_blocks_when_incomplete(self):
+        def p0(proc):
+            with proc.function("m", "f"):
+                yield Compute(4.0)
+                yield Send("b", "t/0", 0)
+
+        def p1(proc):
+            with proc.function("m", "g"):
+                req = yield Irecv("a", "t/0")
+                yield Compute(1.0)
+                yield WaitReq(req)
+
+        eng, tc, t = run_pair(p0, p1)
+        assert tc.total(Activity.SYNC) == pytest.approx(3.0)
+
+    def test_irecv_matches_already_arrived(self):
+        def p0(proc):
+            yield Send("b", "t/0", 0)
+
+        def p1(proc):
+            yield Compute(1.0)
+            req = yield Irecv("a", "t/0")
+            assert req.complete
+            yield WaitReq(req)
+
+        run_pair(p0, p1)
+
+    def test_wait_returns_message(self):
+        sizes = []
+
+        def p0(proc):
+            yield Send("b", "t/0", 77.0)
+
+        def p1(proc):
+            req = yield Irecv("a", "t/0")
+            msg = yield WaitReq(req)
+            sizes.append(msg.size)
+
+        run_pair(p0, p1)
+        assert sizes == [77.0]
+
+
+class TestBarrier:
+    def test_barrier_synchronises(self):
+        def p0(proc):
+            with proc.function("m", "f"):
+                yield Compute(1.0)
+                yield Barrier()
+
+        def p1(proc):
+            with proc.function("m", "g"):
+                yield Compute(4.0)
+                yield Barrier()
+
+        eng, tc, t = run_pair(p0, p1)
+        assert tc.total(Activity.SYNC) == pytest.approx(3.0)
+        sync = [s for s in tc.segments if s.activity is Activity.SYNC]
+        assert sync[0].tag == "Barrier"
+        assert sync[0].parts["SyncObject"] == ("SyncObject", "Barrier")
+
+
+class TestDeadlock:
+    def test_recv_without_send_deadlocks(self):
+        def p0(proc):
+            with proc.function("m", "f"):
+                yield Recv("b", "t/0")
+
+        def p1(proc):
+            with proc.function("m", "g"):
+                yield Compute(1.0)
+
+        eng = make_engine(2)
+        eng.add_process("a", "n0", p0)
+        eng.add_process("b", "n1", p1)
+        with pytest.raises(SimDeadlock):
+            eng.run()

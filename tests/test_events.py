@@ -1,0 +1,66 @@
+"""Unit tests for the event queue."""
+
+from repro.simulator.events import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        out = []
+        q.push(2.0, lambda: out.append("b"))
+        q.push(1.0, lambda: out.append("a"))
+        q.push(3.0, lambda: out.append("c"))
+        while (item := q.pop()) is not None:
+            item[1]()
+        assert out == ["a", "b", "c"]
+
+    def test_fifo_ties(self):
+        q = EventQueue()
+        out = []
+        for name in "abc":
+            q.push(1.0, lambda n=name: out.append(n))
+        while (item := q.pop()) is not None:
+            item[1]()
+        assert out == ["a", "b", "c"]
+
+    def test_pop_returns_time(self):
+        q = EventQueue()
+        q.push(5.5, lambda: None)
+        t, fn = q.pop()
+        assert t == 5.5
+
+    def test_pop_empty(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(4.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.peek_time() == 2.0
+
+    def test_cancel(self):
+        q = EventQueue()
+        out = []
+        tok = q.push(1.0, lambda: out.append("x"))
+        q.push(2.0, lambda: out.append("y"))
+        q.cancel(tok)
+        while (item := q.pop()) is not None:
+            item[1]()
+        assert out == ["y"]
+
+    def test_cancel_reflected_in_peek(self):
+        q = EventQueue()
+        tok = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel(tok)
+        assert q.peek_time() == 2.0
+
+    def test_len_and_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        q.clear()
+        assert len(q) == 0
+        assert q.pop() is None

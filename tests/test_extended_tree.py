@@ -1,0 +1,122 @@
+"""Tests for count metrics and the extended hypothesis tree.
+
+The extended tree exercises the "more specific hypothesis" refinement
+axis: ``FrequentSyncOperations`` is tested at a focus only after
+``ExcessiveSyncWaitingTime`` tested true there.
+"""
+
+import pytest
+
+from repro.apps.synthetic import make_io_app, make_pingpong
+from repro.core import SearchConfig, extended_tree, run_diagnosis
+from repro.metrics import CostModel, InstrumentationManager
+from repro.resources import ResourceSpace, whole_program
+from repro.simulator import Compute, Engine, LatencyModel, Machine, Recv, Send
+
+SYNC = "ExcessiveSyncWaitingTime"
+FREQ = "FrequentSyncOperations"
+IO = "ExcessiveIOBlockingTime"
+IOFREQ = "FrequentIOOperations"
+
+FAST = SearchConfig(
+    min_interval=5.0, check_period=0.5, insertion_latency=0.2, cost_limit=50.0,
+    noise_band=0.0,
+)
+LAT = LatencyModel(alpha=0.0, beta=0.0, send_overhead=0.0, recv_overhead=0.0)
+
+
+class TestCountMetricAccumulation:
+    def test_sync_ops_counted(self):
+        eng = Engine(Machine.named("n", 2), latency=LAT)
+        space = ResourceSpace()
+        space.add("/Code/m.c/f")
+        space.add("/Process/a")
+        space.add("/Process/b")
+        space.add("/Machine/n0")
+        space.add("/Machine/n1")
+        space.add("/SyncObject/Message/t/0")
+        mgr = InstrumentationManager(
+            eng, space, cost_model=CostModel(perturb_per_unit=0.0),
+            cost_limit=10.0, insertion_latency=0.0,
+        )
+
+        def p0(proc):
+            with proc.function("m.c", "f"):
+                for _ in range(5):
+                    yield Compute(1.0)
+                    yield Send("b", "t/0", 0)
+
+        def p1(proc):
+            with proc.function("m.c", "f"):
+                for _ in range(5):
+                    yield Recv("a", "t/0")
+
+        eng.add_process("a", "n0", p0)
+        eng.add_process("b", "n1", p1)
+        handle = mgr.request("sync_op_count", whole_program(space))
+        eng.run()
+        value, elapsed = mgr.read(handle)
+        # five blocking receives waited (each produced one sync segment)
+        assert value == pytest.approx(5.0)
+        assert elapsed == pytest.approx(5.0)
+
+    def test_rate_normalisation(self):
+        # 0.5 waits per second per process in an io app: 40 ops / 40s / 1 proc
+        app = make_io_app(iterations=40, compute=0.5, io=0.5)
+        eng = app.make_engine()
+        space = app.make_space()
+        mgr = InstrumentationManager(
+            eng, space, cost_model=CostModel(perturb_per_unit=0.0),
+            cost_limit=10.0, insertion_latency=0.0,
+        )
+        handle = mgr.request("io_op_count", whole_program(space))
+        eng.run()
+        rate, _ = mgr.normalized_read(handle)
+        assert rate == pytest.approx(1.0, rel=0.05)  # one io op per 1s cycle
+
+
+class TestExtendedTreeSearch:
+    def test_frequent_sync_refines_sync(self):
+        # many short waits: 0.25s wait each 0.5s cycle -> rate 2/s > 1.5
+        app = make_pingpong(iterations=200, slow=0.5, fast=0.25)
+        rec = run_diagnosis(
+            app, config=FAST, cost_model=CostModel(perturb_per_unit=0.0),
+            hypotheses=extended_tree(),
+        )
+        trues = dict.fromkeys(rec.true_pairs())
+        wp = str(whole_program())
+        assert (SYNC, wp) in trues
+        assert (FREQ, wp) in trues
+
+    def test_infrequent_sync_not_flagged(self):
+        # one long wait per 10s cycle: rate 0.1/s < 1.5 but wait frac > 0.2
+        app = make_pingpong(iterations=20, slow=10.0, fast=2.0)
+        rec = run_diagnosis(
+            app, config=FAST, cost_model=CostModel(perturb_per_unit=0.0),
+            hypotheses=extended_tree(),
+        )
+        trues = dict.fromkeys(rec.true_pairs())
+        wp = str(whole_program())
+        assert (SYNC, wp) in trues
+        assert (FREQ, wp) not in trues
+
+    def test_child_hypothesis_only_tested_under_true_parent(self):
+        app = make_io_app(iterations=40, compute=0.8, io=0.2)  # io frac 0.2 > 0.15
+        rec = run_diagnosis(
+            app, config=FAST, cost_model=CostModel(perturb_per_unit=0.0),
+            hypotheses=extended_tree(),
+        )
+        tested = {
+            (n["hypothesis"], n["focus"])
+            for n in rec.shg_nodes if n.get("t_requested") is not None
+        }
+        # FrequentSyncOperations never tested: its parent (sync) is false
+        assert not any(h == FREQ for h, _ in tested)
+        # FrequentIOOperations tested where IO was true
+        assert any(h == IOFREQ for h, _ in tested)
+
+    def test_extended_tree_structure(self):
+        tree = extended_tree(sync_ops_per_second=3.0)
+        assert tree.get(FREQ).default_threshold == 3.0
+        assert FREQ in tree.get(SYNC).children
+        assert tree.get(FREQ).sync_related

@@ -1,0 +1,165 @@
+"""Unit tests for foci: construction, refinement, matching, parsing."""
+
+import pytest
+
+from repro.resources import (
+    Focus,
+    ResourceNameError,
+    ResourceSpace,
+    parse_focus,
+    whole_program,
+)
+
+
+@pytest.fixture
+def space():
+    s = ResourceSpace()
+    s.add("/Code/a.c/f")
+    s.add("/Code/a.c/g")
+    s.add("/Code/b.c/h")
+    s.add("/Machine/n0")
+    s.add("/Machine/n1")
+    s.add("/Process/p:1")
+    s.add("/Process/p:2")
+    s.add("/SyncObject/Message/3/0")
+    s.add("/SyncObject/Message/3/1")
+    return s
+
+
+class TestConstruction:
+    def test_whole_program_default(self):
+        wp = whole_program()
+        assert wp.is_whole_program()
+        assert wp.depth() == 0
+
+    def test_whole_program_from_space(self, space):
+        wp = whole_program(space)
+        assert set(wp.hierarchies) == {"Code", "Machine", "Process", "SyncObject"}
+
+    def test_selection_must_match_hierarchy(self):
+        with pytest.raises(ResourceNameError):
+            Focus({"Code": "/Machine/n0"})
+
+    def test_equality_and_hash(self):
+        a = Focus({"Code": "/Code/a.c", "Process": "/Process"})
+        b = Focus({"Process": "/Process", "Code": "/Code/a.c"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = Focus({"Code": "/Code/a.c"})
+        b = Focus({"Code": "/Code/b.c"})
+        assert a != b
+
+    def test_str_form(self):
+        f = Focus({"Code": "/Code/a.c", "Machine": "/Machine"})
+        assert str(f) == "< /Code/a.c, /Machine >"
+
+    def test_with_selection(self):
+        wp = whole_program()
+        f = wp.with_selection("Code", "/Code/a.c")
+        assert f.selection("Code") == "/Code/a.c"
+        assert wp.selection("Code") == "/Code"  # original unchanged
+
+    def test_with_selection_unknown_hierarchy(self):
+        wp = whole_program()
+        with pytest.raises(ResourceNameError):
+            wp.with_selection("Bogus", "/Bogus/x")
+
+    def test_constrains(self):
+        f = Focus({"Code": "/Code/a.c", "Machine": "/Machine"})
+        assert f.constrains("Code")
+        assert not f.constrains("Machine")
+
+    def test_depth_counts_all_hierarchies(self):
+        f = Focus({"Code": "/Code/a.c/f", "Process": "/Process/p:1"})
+        assert f.depth() == 3
+
+
+class TestRefinement:
+    def test_children_one_edge_per_hierarchy(self, space):
+        wp = whole_program(space)
+        kids = wp.children(space)
+        # Code: 2 modules, Machine: 2 nodes, Process: 2, SyncObject: 1 (Message)
+        assert len(kids) == 7
+        assert all(k.depth() == 1 for k in kids)
+
+    def test_refine_single_hierarchy(self, space):
+        wp = whole_program(space)
+        kids = wp.refine(space, "Code")
+        assert {k.selection("Code") for k in kids} == {"/Code/a.c", "/Code/b.c"}
+
+    def test_refine_leaf_no_children(self, space):
+        f = whole_program(space).with_selection("Code", "/Code/a.c/f")
+        assert f.refine(space, "Code") == []
+
+    def test_refine_unknown_resource(self, space):
+        f = whole_program(space).with_selection("Code", "/Code/a.c")
+        f2 = f.with_selection("Code", "/Code/zz.c")
+        assert f2.refine(space, "Code") == []
+
+    def test_refine_missing_hierarchy(self, space):
+        f = Focus({"Code": "/Code"})
+        assert f.refine(space, "Machine") == []
+
+    def test_message_tag_chain(self, space):
+        wp = whole_program(space)
+        msg = wp.with_selection("SyncObject", "/SyncObject/Message")
+        kids = msg.refine(space, "SyncObject")
+        assert [k.selection("SyncObject") for k in kids] == ["/SyncObject/Message/3"]
+        grand = kids[0].refine(space, "SyncObject")
+        assert {k.selection("SyncObject") for k in grand} == {
+            "/SyncObject/Message/3/0",
+            "/SyncObject/Message/3/1",
+        }
+
+
+class TestMatching:
+    def test_descendant_or_equal(self):
+        parent = Focus({"Code": "/Code/a.c", "Process": "/Process"})
+        child = Focus({"Code": "/Code/a.c/f", "Process": "/Process"})
+        assert child.is_descendant_or_equal(parent)
+        assert parent.is_descendant_or_equal(parent)
+        assert not parent.is_descendant_or_equal(child)
+
+    def test_descendant_mismatched_hierarchies(self):
+        a = Focus({"Code": "/Code"})
+        b = Focus({"Code": "/Code", "Process": "/Process"})
+        assert not a.is_descendant_or_equal(b)
+
+    def test_matches_parts_unconstrained(self):
+        wp = whole_program()
+        assert wp.matches_parts({"Code": ("Code", "a.c", "f")})
+
+    def test_matches_parts_constrained(self):
+        f = Focus(
+            {"Code": "/Code/a.c", "Machine": "/Machine", "Process": "/Process", "SyncObject": "/SyncObject"}
+        )
+        assert f.matches_parts({"Code": ("Code", "a.c", "f")})
+        assert not f.matches_parts({"Code": ("Code", "b.c", "h")})
+
+    def test_constrained_hierarchy_missing_in_segment(self):
+        f = Focus(
+            {"Code": "/Code", "Machine": "/Machine", "Process": "/Process",
+             "SyncObject": "/SyncObject/Message"}
+        )
+        # compute segments carry no SyncObject resource
+        assert not f.matches_parts({"Code": ("Code", "a.c", "f")})
+
+
+class TestParse:
+    def test_roundtrip(self):
+        text = "< /Code/a.c/f, /Machine, /Process/p:1, /SyncObject >"
+        assert str(parse_focus(text)) == text
+
+    def test_whitespace_tolerant(self):
+        f = parse_focus("</Code/a.c,/Machine>")
+        assert f.selection("Code") == "/Code/a.c"
+
+    def test_duplicate_hierarchy(self):
+        with pytest.raises(ResourceNameError):
+            parse_focus("< /Code/a.c, /Code/b.c >")
+
+    def test_empty(self):
+        with pytest.raises(ResourceNameError):
+            parse_focus("<  >")

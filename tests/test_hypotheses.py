@@ -1,0 +1,72 @@
+"""Tests for the hypothesis tree."""
+
+import pytest
+
+from repro.core.hypotheses import TOP_LEVEL, Hypothesis, HypothesisTree, standard_tree
+
+
+class TestStandardTree:
+    def test_root_is_virtual(self):
+        tree = standard_tree()
+        assert tree.root.is_virtual
+        assert tree.root.name == TOP_LEVEL
+
+    def test_children_of_root(self):
+        tree = standard_tree()
+        names = [h.name for h in tree.children(TOP_LEVEL)]
+        assert names == [
+            "CPUbound",
+            "ExcessiveSyncWaitingTime",
+            "ExcessiveIOBlockingTime",
+        ]
+
+    def test_sync_related_flag(self):
+        tree = standard_tree()
+        assert tree.get("ExcessiveSyncWaitingTime").sync_related
+        assert not tree.get("CPUbound").sync_related
+
+    def test_metrics_exist(self):
+        from repro.metrics import METRICS
+
+        tree = standard_tree()
+        for h in tree.testable():
+            assert h.metric in METRICS
+
+    def test_default_sync_threshold_is_paradyn_default(self):
+        # the paper reports standard Paradyn's default of 20% (Section 4.2)
+        assert standard_tree().get("ExcessiveSyncWaitingTime").default_threshold == 0.20
+
+    def test_threshold_override(self):
+        tree = standard_tree()
+        assert tree.threshold("ExcessiveSyncWaitingTime", {"ExcessiveSyncWaitingTime": 0.12}) == 0.12
+        assert tree.threshold("ExcessiveSyncWaitingTime", {}) == 0.20
+
+    def test_contains_and_get(self):
+        tree = standard_tree()
+        assert "CPUbound" in tree
+        with pytest.raises(KeyError):
+            tree.get("Nonsense")
+
+
+class TestValidation:
+    def test_requires_top_level(self):
+        with pytest.raises(ValueError):
+            HypothesisTree([Hypothesis("X", "cpu_time", 0.5)])
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError):
+            HypothesisTree(
+                [
+                    Hypothesis(TOP_LEVEL, None, 0.0),
+                    Hypothesis("A", "cpu_time", 0.5),
+                    Hypothesis("A", "cpu_time", 0.5),
+                ]
+            )
+
+    def test_unknown_child(self):
+        with pytest.raises(ValueError):
+            HypothesisTree([Hypothesis(TOP_LEVEL, None, 0.0, children=("Ghost",))])
+
+    def test_testable_excludes_virtual(self):
+        tree = standard_tree()
+        assert TOP_LEVEL not in [h.name for h in tree.testable()]

@@ -1,0 +1,112 @@
+"""Tests for call-stack capture and inclusive attribution."""
+
+import pytest
+
+from repro.metrics.profile import FlatProfile, ProfileCollector
+from repro.simulator import (
+    Activity,
+    Compute,
+    Engine,
+    Machine,
+    TimeSegment,
+    TraceCollector,
+)
+
+
+def nested_prog(proc):
+    with proc.function("main.c", "main"):
+        yield Compute(1.0)
+        with proc.function("util.c", "helper"):
+            yield Compute(2.0)
+            with proc.function("util.c", "inner"):
+                yield Compute(3.0)
+        yield Compute(0.5)
+
+
+def run_nested():
+    eng = Engine(Machine.named("n", 1))
+    tc = TraceCollector()
+    pc = ProfileCollector()
+    eng.add_sink(tc)
+    eng.add_sink(pc)
+    eng.add_process("p", "n0", nested_prog)
+    eng.run()
+    return tc, pc.profile
+
+
+class TestStackCapture:
+    def test_stack_reflects_nesting(self):
+        tc, _ = run_nested()
+        deepest = max(tc.segments, key=lambda s: len(s.stack))
+        assert deepest.stack == (
+            ("main.c", "main"), ("util.c", "helper"), ("util.c", "inner"),
+        )
+        assert (deepest.module, deepest.function) == ("util.c", "inner")
+
+    def test_top_level_stack_single_frame(self):
+        tc, _ = run_nested()
+        top = [s for s in tc.segments if s.function == "main"]
+        assert all(s.stack == (("main.c", "main"),) for s in top)
+
+    def test_default_stack_from_make(self):
+        seg = TimeSegment.make(0, 1.0, Activity.COMPUTE, "p", "n", "m.c", "f")
+        assert seg.stack == (("m.c", "f"),)
+
+
+class TestInclusiveAttribution:
+    def test_exclusive_vs_inclusive(self):
+        _, profile = run_nested()
+        # exclusive: main holds only its own 1.5s
+        assert profile.code_exec_fraction("/Code/main.c/main") == pytest.approx(1.5 / 6.5)
+        # inclusive: main is on every stack -> the entire execution
+        assert profile.code_inclusive_fraction("/Code/main.c/main") == pytest.approx(1.0)
+
+    def test_inclusive_intermediate_frame(self):
+        _, profile = run_nested()
+        # helper covers its own 2s plus inner's 3s
+        assert profile.code_inclusive_fraction("/Code/util.c/helper") == pytest.approx(5.0 / 6.5)
+
+    def test_leaf_inclusive_equals_exclusive(self):
+        _, profile = run_nested()
+        assert profile.code_inclusive_fraction("/Code/util.c/inner") == pytest.approx(
+            profile.code_exec_fraction("/Code/util.c/inner")
+        )
+
+    def test_inclusive_always_geq_exclusive(self):
+        _, profile = run_nested()
+        for name in profile.by_code:
+            assert (
+                profile.code_inclusive_fraction(name)
+                >= profile.code_exec_fraction(name) - 1e-12
+            )
+
+    def test_recursive_frame_counted_once(self):
+        prof = FlatProfile()
+        seg = TimeSegment.make(
+            0, 2.0, Activity.COMPUTE, "p", "n", "m.c", "f",
+            stack=(("m.c", "f"), ("m.c", "g"), ("m.c", "f")),
+        )
+        prof.add(seg)
+        # f appears twice on the stack but is charged once
+        assert prof.by_code_inclusive["/Code/m.c/f"]["compute"] == pytest.approx(2.0)
+
+    def test_serialization_roundtrip(self):
+        _, profile = run_nested()
+        clone = FlatProfile.from_dict(profile.to_dict())
+        assert clone.code_inclusive_fraction("/Code/util.c/helper") == pytest.approx(
+            profile.code_inclusive_fraction("/Code/util.c/helper")
+        )
+
+
+class TestTraceStackRoundtrip:
+    def test_stack_survives_trace_file(self, tmp_path):
+        from repro.simulator import read_trace, write_trace
+
+        tc, _ = run_nested()
+        path = tmp_path / "nested.trace"
+        write_trace(path, tc.segments)
+        back = list(read_trace(path))
+        deepest = max(back, key=lambda s: len(s.stack))
+        assert deepest.stack == (
+            ("main.c", "main"), ("util.c", "helper"), ("util.c", "inner"),
+        )

@@ -1,0 +1,258 @@
+"""Tests for the dynamic instrumentation manager."""
+
+import pytest
+
+from repro.metrics import CostModel, InstrumentationManager, matched_processes
+from repro.resources import Focus, ResourceSpace, whole_program
+from repro.simulator import (
+    Compute,
+    Engine,
+    IoOp,
+    LatencyModel,
+    Machine,
+    Recv,
+    Send,
+)
+
+LAT = LatencyModel(alpha=0.0, beta=0.0, send_overhead=0.0, recv_overhead=0.0)
+
+
+def build(two_procs=False, cost_model=None, latency=0.0, cost_limit=100.0):
+    """Engine with one (or two) processes, space, and a manager."""
+    n = 2 if two_procs else 1
+    eng = Engine(Machine.named("n", n), latency=LAT)
+    space = ResourceSpace()
+    space.add("/Code/m.c/f")
+    space.add("/Code/m.c/g")
+    for i in range(n):
+        space.add(f"/Machine/n{i}")
+        space.add(f"/Process/p:{i}")
+    space.add("/SyncObject/Message/t/0")
+    # perturbation off by default so timing assertions stay exact
+    mgr = InstrumentationManager(
+        eng, space, cost_model=cost_model or CostModel(perturb_per_unit=0.0),
+        cost_limit=cost_limit, insertion_latency=latency,
+    )
+    return eng, space, mgr
+
+
+def focus(space, **sels):
+    f = whole_program(space)
+    for h, p in sels.items():
+        f = f.with_selection(h, p)
+    return f
+
+
+class TestMatchedProcesses:
+    def test_whole_program_matches_all(self):
+        eng, space, mgr = build(two_procs=True)
+
+        def prog(proc):
+            yield Compute(1.0)
+
+        eng.add_process("p:0", "n0", prog)
+        eng.add_process("p:1", "n1", prog)
+        assert set(matched_processes(whole_program(space), eng)) == {"p:0", "p:1"}
+
+    def test_process_constraint(self):
+        eng, space, mgr = build(two_procs=True)
+
+        def prog(proc):
+            yield Compute(1.0)
+
+        eng.add_process("p:0", "n0", prog)
+        eng.add_process("p:1", "n1", prog)
+        f = focus(space, Process="/Process/p:1")
+        assert matched_processes(f, eng) == ("p:1",)
+
+    def test_machine_constraint(self):
+        eng, space, mgr = build(two_procs=True)
+
+        def prog(proc):
+            yield Compute(1.0)
+
+        eng.add_process("p:0", "n0", prog)
+        eng.add_process("p:1", "n1", prog)
+        f = focus(space, Machine="/Machine/n0")
+        assert matched_processes(f, eng) == ("p:0",)
+
+    def test_conflicting_constraints_match_nothing(self):
+        eng, space, mgr = build(two_procs=True)
+
+        def prog(proc):
+            yield Compute(1.0)
+
+        eng.add_process("p:0", "n0", prog)
+        eng.add_process("p:1", "n1", prog)
+        f = focus(space, Machine="/Machine/n0", Process="/Process/p:1")
+        assert matched_processes(f, eng) == ()
+
+
+class TestAccumulation:
+    def test_cpu_time_whole_program(self):
+        eng, space, mgr = build()
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                yield Compute(3.0)
+
+        eng.add_process("p:0", "n0", prog)
+        h = mgr.request("cpu_time", whole_program(space))
+        eng.run()
+        value, elapsed = mgr.read(h)
+        assert value == pytest.approx(3.0)
+        assert elapsed == pytest.approx(3.0)
+
+    def test_focus_filters_function(self):
+        eng, space, mgr = build()
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                yield Compute(2.0)
+            with proc.function("m.c", "g"):
+                yield Compute(1.0)
+
+        eng.add_process("p:0", "n0", prog)
+        h = mgr.request("cpu_time", focus(space, Code="/Code/m.c/f"))
+        eng.run()
+        value, _ = mgr.read(h)
+        assert value == pytest.approx(2.0)
+
+    def test_insertion_latency_skips_early_time(self):
+        eng, space, mgr = build(latency=1.0)
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                yield Compute(3.0)
+
+        eng.add_process("p:0", "n0", prog)
+        h = mgr.request("cpu_time", whole_program(space))
+        eng.run()
+        value, elapsed = mgr.read(h)
+        # active from t=1: sees 2 of the 3 seconds
+        assert value == pytest.approx(2.0)
+        assert elapsed == pytest.approx(2.0)
+
+    def test_mid_run_request_partial_overlap(self):
+        eng, space, mgr = build()
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                yield Compute(2.0)
+                yield Compute(2.0)
+
+        eng.add_process("p:0", "n0", prog)
+        eng.schedule(1.0, lambda: setattr(eng, "_h", mgr.request("cpu_time", whole_program(space))))
+        eng.run()
+        value, elapsed = mgr.read(eng._h)
+        assert value == pytest.approx(3.0)  # half of first segment + second
+
+    def test_read_includes_in_progress_sync(self):
+        eng, space, mgr = build(two_procs=True)
+
+        def p0(proc):
+            with proc.function("m.c", "f"):
+                yield Compute(10.0)
+                yield Send("p:1", "t/0", 0)
+
+        def p1(proc):
+            with proc.function("m.c", "g"):
+                yield Recv("p:0", "t/0")
+
+        eng.add_process("p:0", "n0", p0)
+        eng.add_process("p:1", "n1", p1)
+        h = mgr.request("sync_wait_time", whole_program(space))
+        readings = []
+        eng.schedule(4.0, lambda: readings.append(mgr.read(h)))
+        eng.run()
+        value, elapsed = readings[0]
+        assert value == pytest.approx(4.0)  # p:1 has been waiting 4s
+        assert elapsed == pytest.approx(4.0)
+
+    def test_delete_stops_accumulation(self):
+        eng, space, mgr = build()
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                yield Compute(2.0)
+                yield Compute(2.0)
+
+        eng.add_process("p:0", "n0", prog)
+        h = mgr.request("cpu_time", whole_program(space))
+        eng.schedule(2.0, lambda: mgr.delete(h))
+        eng.run()
+        with pytest.raises(KeyError):
+            mgr.read(h)
+
+    def test_normalized_read_multiproc(self):
+        eng, space, mgr = build(two_procs=True)
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                yield Compute(4.0)
+
+        eng.add_process("p:0", "n0", prog)
+        eng.add_process("p:1", "n1", prog)
+        h = mgr.request("cpu_time", whole_program(space))
+        eng.run()
+        frac, elapsed = mgr.normalized_read(h)
+        # both procs computing 100% of the time -> fraction 1.0
+        assert frac == pytest.approx(1.0)
+
+
+class TestCostAndPerturbation:
+    def test_gate_accounts_requests_and_deletes(self):
+        eng, space, mgr = build(cost_model=CostModel(base=0.1, per_process=0.2))
+
+        def prog(proc):
+            yield Compute(1.0)
+
+        eng.add_process("p:0", "n0", prog)
+        h = mgr.request("cpu_time", whole_program(space))
+        assert mgr.total_cost == pytest.approx(0.3)
+        mgr.delete(h)
+        assert mgr.total_cost == pytest.approx(0.0)
+        assert mgr.peak_cost == pytest.approx(0.3)
+
+    def test_perturbation_follows_matched_processes(self):
+        cm = CostModel(base=0.0, per_process=1.0, perturb_per_unit=0.1, max_overhead=10.0)
+        eng, space, mgr = build(two_procs=True, cost_model=cm)
+
+        def prog(proc):
+            yield Compute(1.0)
+
+        eng.add_process("p:0", "n0", prog)
+        eng.add_process("p:1", "n1", prog)
+        mgr.request("cpu_time", focus(space, Process="/Process/p:0"))
+        assert eng.perturbation("p:0") == pytest.approx(0.1)
+        assert eng.perturbation("p:1") == pytest.approx(0.0)
+
+    def test_decimate_releases_cost_keeps_reading(self):
+        eng, space, mgr = build(
+            cost_model=CostModel(base=0.1, per_process=0.2, perturb_per_unit=0.0)
+        )
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                yield Compute(2.0)
+                yield Compute(2.0)
+
+        eng.add_process("p:0", "n0", prog)
+        h = mgr.request("cpu_time", whole_program(space), persistent=True)
+        eng.schedule(2.0, lambda: mgr.decimate(h))
+        eng.run()
+        assert mgr.total_cost == pytest.approx(0.0)
+        value, _ = mgr.read(h)
+        assert value == pytest.approx(4.0)  # still accumulating after decimation
+
+    def test_total_requests_counter(self):
+        eng, space, mgr = build()
+
+        def prog(proc):
+            yield Compute(1.0)
+
+        eng.add_process("p:0", "n0", prog)
+        mgr.request("cpu_time", whole_program(space))
+        mgr.request("sync_wait_time", whole_program(space))
+        assert mgr.total_requests == 2
+        assert mgr.active_count == 2

@@ -1,0 +1,103 @@
+"""End-to-end integration tests: the paper's workflow at small scale.
+
+These run the full pipeline — undirected base diagnosis, storage round
+trip, directive extraction, mapped directed re-diagnosis — on shortened
+Poisson configurations, and assert the paper's qualitative claims.
+"""
+
+import pytest
+
+from repro.analysis import base_bottleneck_set, reduction, time_to_fraction
+from repro.analysis.bottlenecks import canonical_pairs
+from repro.apps.poisson import PoissonConfig, build_poisson, version_maps
+from repro.core import (
+    ResourceMapper,
+    SearchConfig,
+    extract_directives,
+    run_diagnosis,
+)
+from repro.storage import ExperimentStore
+
+CFG = PoissonConfig(iterations=260)
+SC = SearchConfig(
+    min_interval=15.0, check_period=1.0, insertion_latency=1.0, cost_limit=8.0
+)
+SC_STOP = SearchConfig(
+    min_interval=15.0, check_period=1.0, insertion_latency=1.0, cost_limit=8.0,
+    stop_engine_when_done=True,
+)
+
+
+@pytest.fixture(scope="module")
+def base_c():
+    return run_diagnosis(build_poisson("C", CFG), config=SC, run_id="it-base-C")
+
+
+class TestDirectedDiagnosis:
+    def test_base_finds_sync_bottlenecks(self, base_c):
+        assert base_c.bottleneck_count() > 10
+        hyps = {h for h, _ in base_c.true_pairs()}
+        assert "ExcessiveSyncWaitingTime" in hyps
+
+    def test_directed_run_is_faster(self, base_c):
+        base_set = base_bottleneck_set(base_c, margin=0.075)
+        base_times = time_to_fraction(base_c, base_set)
+        ds = extract_directives(base_c).without_pair_prunes()
+        directed = run_diagnosis(build_poisson("C", CFG), directives=ds, config=SC_STOP)
+        directed_times = time_to_fraction(directed, base_set)
+        assert directed_times[1.0] < base_times[1.0]
+        assert reduction(base_times[1.0], directed_times[1.0]) < -30.0
+
+    def test_directed_run_finds_whole_scored_set(self, base_c):
+        base_set = base_bottleneck_set(base_c, margin=0.075)
+        ds = extract_directives(base_c).without_pair_prunes()
+        directed = run_diagnosis(build_poisson("C", CFG), directives=ds, config=SC_STOP)
+        found = set(canonical_pairs(directed.true_pairs(), directed.placement))
+        assert base_set <= found
+
+    def test_directed_uses_less_instrumentation(self, base_c):
+        ds = extract_directives(base_c)  # includes pair prunes
+        directed = run_diagnosis(
+            build_poisson("C", CFG), directives=ds.only("prunes", "pair_prunes"),
+            config=SC_STOP,
+        )
+        assert directed.pairs_tested < base_c.pairs_tested / 2
+
+
+class TestStorageWorkflow:
+    def test_roundtrip_through_store(self, base_c, tmp_path):
+        store = ExperimentStore(tmp_path / "runs")
+        store.save(base_c)
+        loaded = store.load("it-base-C")
+        ds_live = extract_directives(base_c)
+        ds_stored = extract_directives(loaded)
+        assert ds_live.to_text() == ds_stored.to_text()
+
+
+class TestCrossVersion:
+    def test_a_directives_speed_up_b(self):
+        cfg = PoissonConfig(iterations=260)
+        app_a = build_poisson("A", cfg)
+        base_a = run_diagnosis(app_a, config=SC)
+        app_b = build_poisson("B", cfg)
+        base_b = run_diagnosis(build_poisson("B", cfg), config=SC)
+        base_set_b = base_bottleneck_set(base_b, margin=0.075)
+        times_b = time_to_fraction(base_b, base_set_b)
+
+        ds = extract_directives(base_a).without_pair_prunes()
+        maps = version_maps("A", "B", app_a, app_b)
+        ds = ds.merged_with(type(ds)(maps=maps))
+        directed = run_diagnosis(build_poisson("B", cfg), directives=ds, config=SC_STOP)
+        directed_times = time_to_fraction(directed, base_set_b)
+        # cross-version directives still cut diagnosis time (Table 3 claim)
+        assert directed_times[1.0] < times_b[1.0]
+
+    def test_directive_text_roundtrip_with_maps(self):
+        cfg = PoissonConfig(iterations=120)
+        app_a = build_poisson("A", cfg)
+        base_a = run_diagnosis(app_a, config=SC)
+        ds = extract_directives(base_a)
+        from repro.core import DirectiveSet
+
+        clone = DirectiveSet.from_text(ds.to_text())
+        assert len(clone) == len(ds)

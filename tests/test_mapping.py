@@ -1,0 +1,131 @@
+"""Tests for resource mapping across executions."""
+
+import pytest
+
+from repro.core.directives import (
+    DirectiveSet,
+    MapDirective,
+    PairPruneDirective,
+    PriorityDirective,
+    PruneDirective,
+    ThresholdDirective,
+)
+from repro.core.mapping import ResourceMapper, apply_mappings
+from repro.core.shg import Priority
+from repro.resources import ResourceSpace, whole_program
+
+SYNC = "ExcessiveSyncWaitingTime"
+
+
+def focus(**sels):
+    f = whole_program()
+    for h, p in sels.items():
+        f = f.with_selection(h, p)
+    return f
+
+
+class TestResourceMapper:
+    def test_module_prefix_rewrite(self):
+        m = ResourceMapper([MapDirective("/Code/oned.f", "/Code/onednb.f")])
+        assert m.map_path("/Code/oned.f") == "/Code/onednb.f"
+        assert m.map_path("/Code/oned.f/main") == "/Code/onednb.f/main"
+
+    def test_longest_prefix_wins(self):
+        m = ResourceMapper([
+            MapDirective("/Code/sweep.f", "/Code/nbsweep.f"),
+            MapDirective("/Code/sweep.f/sweep1d", "/Code/nbsweep.f/nbsweep"),
+        ])
+        assert m.map_path("/Code/sweep.f/sweep1d") == "/Code/nbsweep.f/nbsweep"
+        assert m.map_path("/Code/sweep.f/other") == "/Code/nbsweep.f/other"
+
+    def test_unmapped_unchanged(self):
+        m = ResourceMapper([MapDirective("/Code/a.c", "/Code/b.c")])
+        assert m.map_path("/Machine/n0") == "/Machine/n0"
+
+    def test_component_boundary(self):
+        m = ResourceMapper([MapDirective("/Code/a", "/Code/zz")])
+        assert m.map_path("/Code/ab") == "/Code/ab"  # not a component prefix
+
+    def test_map_focus(self):
+        m = ResourceMapper([MapDirective("/Machine/node00", "/Machine/node04")])
+        f = m.map_focus(focus(Machine="/Machine/node00"))
+        assert f.selection("Machine") == "/Machine/node04"
+
+    def test_empty_mapper_identity(self):
+        m = ResourceMapper()
+        assert m.map_path("/Code/a.c") == "/Code/a.c"
+        assert len(m) == 0
+
+
+class TestApplyMappings:
+    def space(self):
+        s = ResourceSpace()
+        s.add("/Code/onednb.f/main")
+        s.add("/Machine/node04")
+        s.add("/Process/p:1")
+        s.add("/SyncObject/Message/1/0")
+        return s
+
+    def test_directives_rewritten(self):
+        ds = DirectiveSet(
+            priorities=[PriorityDirective(SYNC, focus(Code="/Code/oned.f/main"), Priority.HIGH)],
+            maps=[MapDirective("/Code/oned.f", "/Code/onednb.f")],
+        )
+        out, report = apply_mappings(ds, self.space())
+        assert len(out.priorities) == 1
+        assert out.priorities[0].focus.selection("Code") == "/Code/onednb.f/main"
+        assert report.mapped == 1 and not report.dropped
+
+    def test_unknown_resources_dropped(self):
+        ds = DirectiveSet(
+            priorities=[PriorityDirective(SYNC, focus(Code="/Code/gone.c"), Priority.HIGH)],
+            prunes=[PruneDirective("*", "/Code/alsogone.c")],
+        )
+        out, report = apply_mappings(ds, self.space())
+        assert not out.priorities and not out.prunes
+        assert len(report.dropped) == 2
+
+    def test_no_space_keeps_everything(self):
+        ds = DirectiveSet(
+            prunes=[PruneDirective("*", "/Code/anything.c")],
+            maps=[MapDirective("/Code/anything.c", "/Code/renamed.c")],
+        )
+        out, _ = apply_mappings(ds, space=None)
+        assert out.prunes[0].resource == "/Code/renamed.c"
+
+    def test_extra_maps(self):
+        ds = DirectiveSet(
+            prunes=[PruneDirective("*", "/Machine/node00")],
+        )
+        out, _ = apply_mappings(
+            ds, self.space(), extra_maps=[MapDirective("/Machine/node00", "/Machine/node04")]
+        )
+        assert out.prunes[0].resource == "/Machine/node04"
+
+    def test_thresholds_pass_through(self):
+        ds = DirectiveSet(thresholds=[ThresholdDirective(SYNC, 0.12)])
+        out, _ = apply_mappings(ds, self.space())
+        assert out.threshold_of(SYNC) == pytest.approx(0.12)
+
+    def test_pair_prunes_mapped(self):
+        ds = DirectiveSet(
+            pair_prunes=[PairPruneDirective(SYNC, focus(Code="/Code/oned.f/main"))],
+            maps=[MapDirective("/Code/oned.f", "/Code/onednb.f")],
+        )
+        out, _ = apply_mappings(ds, self.space())
+        assert out.pair_prunes[0].focus.selection("Code") == "/Code/onednb.f/main"
+
+    def test_tag_family_mapping(self):
+        space = ResourceSpace()
+        space.add("/SyncObject/Message/3/0")
+        space.add("/Code/a.c")
+        space.add("/Machine/n0")
+        space.add("/Process/p:1")
+        ds = DirectiveSet(
+            priorities=[
+                PriorityDirective(SYNC, focus(SyncObject="/SyncObject/Message/1/0"), Priority.HIGH)
+            ],
+            maps=[MapDirective("/SyncObject/Message/1", "/SyncObject/Message/3")],
+        )
+        out, _ = apply_mappings(ds, space)
+        assert out.priorities[0].focus.selection("SyncObject") == "/SyncObject/Message/3/0"

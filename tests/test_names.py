@@ -1,0 +1,128 @@
+"""Unit tests for resource-name handling."""
+
+import pytest
+
+from repro.resources.names import (
+    ResourceNameError,
+    common_prefix,
+    depth,
+    hierarchy_of,
+    is_prefix,
+    join_path,
+    parent_path,
+    split_path,
+    validate_path,
+)
+
+
+class TestSplitPath:
+    def test_simple(self):
+        assert split_path("/Code") == ("Code",)
+
+    def test_nested(self):
+        assert split_path("/Code/testutil.C/verifyA") == ("Code", "testutil.C", "verifyA")
+
+    def test_missing_leading_slash(self):
+        with pytest.raises(ResourceNameError):
+            split_path("Code/foo")
+
+    def test_bare_root_rejected(self):
+        with pytest.raises(ResourceNameError):
+            split_path("/")
+
+    def test_empty_component(self):
+        with pytest.raises(ResourceNameError):
+            split_path("/Code//foo")
+
+    def test_trailing_slash_rejected(self):
+        with pytest.raises(ResourceNameError):
+            split_path("/Code/foo/")
+
+    def test_non_string(self):
+        with pytest.raises(ResourceNameError):
+            split_path(None)
+
+    def test_negative_tag_components(self):
+        # message tag 3/-1 nests as two components
+        assert split_path("/SyncObject/Message/3/-1") == ("SyncObject", "Message", "3", "-1")
+
+
+class TestJoinPath:
+    def test_roundtrip(self):
+        for p in ("/Code", "/Code/a.c/f", "/SyncObject/Message/3/-1"):
+            assert join_path(split_path(p)) == p
+
+    def test_empty(self):
+        with pytest.raises(ResourceNameError):
+            join_path(())
+
+    def test_component_with_slash(self):
+        with pytest.raises(ResourceNameError):
+            join_path(("Code", "a/b"))
+
+    def test_empty_component(self):
+        with pytest.raises(ResourceNameError):
+            join_path(("Code", ""))
+
+
+class TestHierarchyAndParent:
+    def test_hierarchy_of(self):
+        assert hierarchy_of("/Machine/node08") == "Machine"
+
+    def test_parent(self):
+        assert parent_path("/Code/a.c/f") == "/Code/a.c"
+
+    def test_parent_of_module(self):
+        assert parent_path("/Code/a.c") == "/Code"
+
+    def test_parent_of_root_fails(self):
+        with pytest.raises(ResourceNameError):
+            parent_path("/Code")
+
+
+class TestIsPrefix:
+    def test_equal(self):
+        assert is_prefix("/Code/a.c", "/Code/a.c")
+
+    def test_ancestor(self):
+        assert is_prefix("/Code", "/Code/a.c/f")
+
+    def test_not_prefix(self):
+        assert not is_prefix("/Code/a.c", "/Code/b.c")
+
+    def test_component_boundary(self):
+        # "/Code/a" is not a prefix of "/Code/ab"
+        assert not is_prefix("/Code/a", "/Code/ab")
+
+    def test_descendant_not_ancestor(self):
+        assert not is_prefix("/Code/a.c/f", "/Code/a.c")
+
+
+class TestDepthValidate:
+    def test_depth(self):
+        assert depth("/Code") == 1
+        assert depth("/Code/a.c/f") == 3
+
+    def test_validate_returns_input(self):
+        assert validate_path("/Process/p:1") == "/Process/p:1"
+
+    def test_validate_raises(self):
+        with pytest.raises(ResourceNameError):
+            validate_path("bogus")
+
+
+class TestCommonPrefix:
+    def test_shared_module(self):
+        assert common_prefix(["/Code/a.c/f", "/Code/a.c/g"]) == "/Code/a.c"
+
+    def test_shared_hierarchy_only(self):
+        assert common_prefix(["/Code/a.c/f", "/Code/b.c"]) == "/Code"
+
+    def test_different_hierarchies(self):
+        assert common_prefix(["/Code/a.c", "/Machine/n0"]) is None
+
+    def test_empty(self):
+        assert common_prefix([]) is None
+
+    def test_single(self):
+        assert common_prefix(["/Code/a.c"]) == "/Code/a.c"

@@ -1,0 +1,133 @@
+"""Tests for postmortem hypothesis evaluation and directive extraction."""
+
+import pytest
+
+from repro.apps.synthetic import make_io_app, make_pingpong
+from repro.core import (
+    SearchConfig,
+    evaluate_postmortem,
+    extract_directives,
+    extract_directives_postmortem,
+    run_diagnosis,
+)
+from repro.core.shg import Priority
+from repro.metrics import CostModel
+from repro.resources import whole_program
+
+SYNC = "ExcessiveSyncWaitingTime"
+CPU = "CPUbound"
+IO = "ExcessiveIOBlockingTime"
+
+FAST = SearchConfig(
+    min_interval=5.0, check_period=0.5, insertion_latency=0.2, cost_limit=50.0,
+    noise_band=0.0,
+)
+
+
+@pytest.fixture(scope="module")
+def pingpong_record():
+    app = make_pingpong(iterations=120, slow=1.0, fast=0.2)
+    return run_diagnosis(app, config=FAST, cost_model=CostModel(perturb_per_unit=0.0))
+
+
+class TestEvaluatePostmortem:
+    def test_top_level_conclusions(self, pingpong_record):
+        rec = pingpong_record
+        conclusions = evaluate_postmortem(rec.flat_profile(), rec.space(), rec.placement)
+        by_key = {(c.hypothesis, str(c.focus)): c for c in conclusions}
+        wp = str(whole_program(rec.space()))
+        assert by_key[(SYNC, wp)].is_true
+        assert not by_key[(CPU, wp)].is_true
+        assert not by_key[(IO, wp)].is_true
+
+    def test_false_nodes_not_refined(self, pingpong_record):
+        rec = pingpong_record
+        conclusions = evaluate_postmortem(rec.flat_profile(), rec.space(), rec.placement)
+        # no CPU conclusions below the whole program (CPU tested false there)
+        cpu = [c for c in conclusions if c.hypothesis == CPU]
+        assert len(cpu) == 1
+
+    def test_values_match_ground_truth(self, pingpong_record):
+        rec = pingpong_record
+        conclusions = evaluate_postmortem(rec.flat_profile(), rec.space(), rec.placement)
+        wp = str(whole_program(rec.space()))
+        sync_wp = next(c for c in conclusions if c.hypothesis == SYNC and str(c.focus) == wp)
+        profile = rec.flat_profile()
+        expected = profile.focus_fraction(
+            whole_program(rec.space()), ("sync",), rec.placement
+        )
+        assert sync_wp.value == pytest.approx(expected)
+
+    def test_threshold_override(self, pingpong_record):
+        rec = pingpong_record
+        high = evaluate_postmortem(
+            rec.flat_profile(), rec.space(), rec.placement, thresholds={SYNC: 0.99}
+        )
+        assert not any(c.is_true for c in high if c.hypothesis == SYNC)
+
+    def test_deterministic(self, pingpong_record):
+        rec = pingpong_record
+        a = evaluate_postmortem(rec.flat_profile(), rec.space(), rec.placement)
+        b = evaluate_postmortem(rec.flat_profile(), rec.space(), rec.placement)
+        assert [(c.hypothesis, str(c.focus), c.is_true) for c in a] == [
+            (c.hypothesis, str(c.focus), c.is_true) for c in b
+        ]
+
+
+class TestExtractPostmortem:
+    def test_priorities_produced(self, pingpong_record):
+        rec = pingpong_record
+        ds = extract_directives_postmortem(rec.flat_profile(), rec.space(), rec.placement)
+        levels = {(p.hypothesis, str(p.focus)): p.level for p in ds.priorities}
+        wp = str(whole_program(rec.space()))
+        assert levels[(SYNC, wp)] is Priority.HIGH
+        assert levels[(CPU, wp)] is Priority.LOW
+
+    def test_agrees_with_online_extraction(self, pingpong_record):
+        """The postmortem high-priority set matches the online one for a
+        stable workload (the future-work claim: directives can come from
+        raw data gathered by any tool)."""
+        rec = pingpong_record
+        online = extract_directives(rec, include_general_prunes=False,
+                                    include_historic_prunes=False,
+                                    include_pair_prunes=False)
+        post = extract_directives_postmortem(
+            rec.flat_profile(), rec.space(), rec.placement,
+            include_pair_prunes=False, include_historic_prunes=False,
+        )
+        online_high = {
+            (p.hypothesis, str(p.focus))
+            for p in online.priorities if p.level is Priority.HIGH
+        }
+        post_high = {
+            (p.hypothesis, str(p.focus))
+            for p in post.priorities if p.level is Priority.HIGH
+        }
+        # near-total agreement (online search may miss cost-limited detail)
+        assert len(online_high & post_high) >= 0.8 * len(online_high)
+
+    def test_tiny_function_pruned(self):
+        app = make_io_app(iterations=60, compute=0.5, io=0.5)
+        rec = run_diagnosis(app, config=FAST, cost_model=CostModel(perturb_per_unit=0.0))
+        ds = extract_directives_postmortem(rec.flat_profile(), rec.space(), rec.placement)
+        assert any(p.resource == "/Code/wr.c/main" for p in ds.prunes)
+
+    def test_thresholds_flag(self, pingpong_record):
+        rec = pingpong_record
+        ds = extract_directives_postmortem(
+            rec.flat_profile(), rec.space(), rec.placement, include_thresholds=True
+        )
+        assert any(t.hypothesis == SYNC for t in ds.thresholds)
+
+    def test_directed_run_with_postmortem_directives(self, pingpong_record):
+        rec = pingpong_record
+        ds = extract_directives_postmortem(rec.flat_profile(), rec.space(), rec.placement)
+        directed = run_diagnosis(
+            make_pingpong(iterations=120, slow=1.0, fast=0.2),
+            directives=ds,
+            config=FAST,
+            cost_model=CostModel(perturb_per_unit=0.0),
+        )
+        # the known bottleneck is found immediately via the high priorities
+        wp = str(whole_program(rec.space()))
+        assert directed.found_times()[(SYNC, wp)] <= rec.found_times()[(SYNC, wp)]

@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import membership_partition, reduction
+from repro.core import suggest_threshold
+from repro.core.directives import MapDirective, PruneDirective
+from repro.core.mapping import ResourceMapper
+from repro.resources import (
+    Focus,
+    ResourceSpace,
+    is_prefix,
+    join_path,
+    split_path,
+    whole_program,
+)
+from repro.simulator import Compute, Engine, Machine, TraceCollector
+from repro.simulator.events import EventQueue
+
+# -- strategies -------------------------------------------------------------
+component = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="._:-"),
+    min_size=1,
+    max_size=8,
+).filter(lambda s: "/" not in s)
+
+path_parts = st.lists(component, min_size=1, max_size=5)
+
+
+class TestNameProperties:
+    @given(path_parts)
+    def test_join_split_roundtrip(self, parts):
+        assert split_path(join_path(parts)) == tuple(parts)
+
+    @given(path_parts, st.lists(component, max_size=3))
+    def test_prefix_of_extension(self, parts, extra):
+        base = join_path(parts)
+        longer = join_path(list(parts) + list(extra))
+        assert is_prefix(base, longer)
+
+    @given(path_parts)
+    def test_prefix_reflexive(self, parts):
+        p = join_path(parts)
+        assert is_prefix(p, p)
+
+
+class TestFocusProperties:
+    @given(st.lists(component, min_size=1, max_size=3))
+    def test_refinement_children_are_descendants(self, labels):
+        space = ResourceSpace()
+        for i, label in enumerate(labels):
+            space.add(f"/Code/{label}{i}")
+        wp = whole_program(space)
+        for child in wp.children(space):
+            assert child.is_descendant_or_equal(wp)
+            assert child.depth() == wp.depth() + 1
+
+    @given(path_parts)
+    def test_focus_str_parse_roundtrip(self, parts):
+        from repro.resources import parse_focus
+
+        sel = join_path(["Code"] + list(parts))
+        f = Focus({"Code": sel, "Machine": "/Machine"})
+        assert parse_focus(str(f)) == f
+
+
+class TestMapperProperties:
+    @given(path_parts, path_parts)
+    def test_identity_map_is_identity(self, a, b):
+        path = join_path(["Code"] + list(a))
+        mapper = ResourceMapper([MapDirective(path, path)])
+        assert mapper.map_path(path) == path
+
+    @given(path_parts)
+    def test_unrelated_paths_untouched(self, parts):
+        mapper = ResourceMapper([MapDirective("/Machine/n0", "/Machine/n1")])
+        path = join_path(["Code"] + list(parts))
+        assert mapper.map_path(path) == path
+
+
+class TestPruneProperties:
+    @given(path_parts)
+    def test_prune_never_matches_whole_program(self, parts):
+        resource = join_path(["Code"] + list(parts))
+        prune = PruneDirective("*", resource)
+        assert not prune.matches("ExcessiveSyncWaitingTime", whole_program())
+
+    @given(st.lists(component, min_size=1, max_size=3))
+    def test_prune_matches_own_subtree(self, parts):
+        resource = join_path(["Code"] + list(parts))
+        prune = PruneDirective("*", resource)
+        f = Focus({"Code": resource})
+        assert prune.matches("AnyHyp", f)
+
+
+class TestThresholdProperties:
+    @given(st.lists(st.floats(0.0, 1.0), max_size=30))
+    def test_suggest_threshold_in_bounds(self, values):
+        t = suggest_threshold(values, noise_floor=0.03, ceiling=0.6, default=0.2)
+        assert 0.0 < t <= 0.6 + 1e-9
+
+    @given(st.lists(st.floats(0.31, 0.6), min_size=2, max_size=20))
+    def test_threshold_below_solid_cluster(self, values):
+        # all observations far above the floor: threshold must not exceed them
+        t = suggest_threshold(values, noise_floor=0.03, ceiling=0.6)
+        assert t <= max(values)
+
+
+class TestAnalysisProperties:
+    @given(
+        st.dictionaries(
+            st.sampled_from(["A", "B", "C"]),
+            st.sets(st.integers(0, 20)),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_membership_partition_conserves_elements(self, sets):
+        part = membership_partition(sets)
+        union = set().union(*sets.values()) if sets else set()
+        assert sum(part.values()) == len(union)
+
+    @given(st.floats(1.0, 1e6), st.floats(0.0, 1e6))
+    def test_reduction_sign(self, base, directed):
+        r = reduction(base, directed)
+        if directed < base:
+            assert r < 0
+        elif directed > base:
+            assert r > 0
+
+    @given(st.floats(1.0, 1e6))
+    def test_reduction_of_inf_is_nan(self, base):
+        assert math.isnan(reduction(base, math.inf))
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.floats(0.0, 100.0), max_size=40))
+    def test_pops_in_time_order(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = []
+        while (item := q.pop()) is not None:
+            popped.append(item[0])
+        assert popped == sorted(popped)
+        assert len(popped) == len(times)
+
+
+class TestEngineProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(0.01, 2.0), min_size=1, max_size=10))
+    def test_time_conservation_single_process(self, durations):
+        eng = Engine(Machine.named("n", 1))
+        tc = TraceCollector()
+        eng.add_sink(tc)
+
+        def prog(proc):
+            with proc.function("m.c", "f"):
+                for d in durations:
+                    yield Compute(d)
+
+        eng.add_process("p", "n0", prog)
+        finish = eng.run()
+        assert finish == sum(durations) or abs(finish - sum(durations)) < 1e-9
+        assert abs(tc.total() - sum(durations)) < 1e-9

@@ -1,0 +1,168 @@
+"""Second round of property-based tests: directive algebra, SHG, mapping."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.bottlenecks import canonicalize_focus
+from repro.core import (
+    DirectiveSet,
+    MapDirective,
+    PairPruneDirective,
+    PriorityDirective,
+    PruneDirective,
+    ThresholdDirective,
+    intersect_directives,
+    union_directives,
+)
+from repro.core.mapping import ResourceMapper
+from repro.core.shg import Priority, SearchHistoryGraph
+from repro.resources import Focus, whole_program
+
+SYNC = "ExcessiveSyncWaitingTime"
+CPU = "CPUbound"
+
+# -- strategies ---------------------------------------------------------------
+component = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="._:-"),
+    min_size=1,
+    max_size=6,
+)
+
+code_path = st.lists(component, min_size=1, max_size=2).map(
+    lambda parts: "/Code/" + "/".join(parts)
+)
+
+focus_strategy = code_path.map(
+    lambda p: whole_program().with_selection("Code", p)
+)
+
+priority_strategy = st.builds(
+    PriorityDirective,
+    st.sampled_from([SYNC, CPU]),
+    focus_strategy,
+    st.sampled_from([Priority.HIGH, Priority.LOW]),
+)
+
+directive_set_strategy = st.builds(
+    DirectiveSet,
+    prunes=st.lists(
+        st.builds(PruneDirective, st.sampled_from(["*", SYNC]), code_path), max_size=4
+    ),
+    pair_prunes=st.lists(
+        st.builds(PairPruneDirective, st.just(SYNC), focus_strategy), max_size=3
+    ),
+    priorities=st.lists(priority_strategy, max_size=6),
+    thresholds=st.lists(
+        st.builds(ThresholdDirective, st.just(SYNC), st.floats(0.01, 0.9)), max_size=2
+    ),
+    maps=st.lists(st.builds(MapDirective, code_path, code_path), max_size=3),
+)
+
+
+class TestDirectiveTextRoundtrip:
+    @settings(max_examples=60, deadline=None)
+    @given(directive_set_strategy)
+    def test_text_roundtrip_preserves_counts(self, ds):
+        clone = DirectiveSet.from_text(ds.to_text())
+        assert len(clone.prunes) == len(ds.prunes)
+        assert len(clone.pair_prunes) == len(ds.pair_prunes)
+        assert len(clone.priorities) == len(ds.priorities)
+        assert len(clone.thresholds) == len(ds.thresholds)
+        assert len(clone.maps) == len(ds.maps)
+
+    @settings(max_examples=60, deadline=None)
+    @given(directive_set_strategy)
+    def test_text_roundtrip_idempotent(self, ds):
+        once = DirectiveSet.from_text(ds.to_text())
+        twice = DirectiveSet.from_text(once.to_text())
+        assert once.to_text() == twice.to_text()
+
+
+class TestCombinationAlgebra:
+    @settings(max_examples=40, deadline=None)
+    @given(directive_set_strategy, directive_set_strategy)
+    def test_union_high_superset_of_intersection(self, a, b):
+        u = union_directives(a, b)
+        i = intersect_directives(a, b)
+        u_high = {(p.hypothesis, str(p.focus)) for p in u.priorities
+                  if p.level is Priority.HIGH}
+        i_high = {(p.hypothesis, str(p.focus)) for p in i.priorities
+                  if p.level is Priority.HIGH}
+        assert i_high <= u_high
+
+    @settings(max_examples=40, deadline=None)
+    @given(directive_set_strategy, directive_set_strategy)
+    def test_commutative(self, a, b):
+        assert union_directives(a, b).to_text() == union_directives(b, a).to_text()
+        assert (
+            intersect_directives(a, b).to_text()
+            == intersect_directives(b, a).to_text()
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(directive_set_strategy)
+    def test_self_combination_idempotent_on_priorities(self, a):
+        u = union_directives(a, a)
+        # the same pair never appears at two levels after combination
+        keys = [(p.hypothesis, str(p.focus)) for p in u.priorities]
+        assert len(keys) == len(set(keys))
+
+    @settings(max_examples=40, deadline=None)
+    @given(directive_set_strategy)
+    def test_no_pair_both_high_and_low(self, a):
+        for combined in (union_directives(a, a), intersect_directives(a, a)):
+            by_key = {}
+            for p in combined.priorities:
+                key = (p.hypothesis, str(p.focus))
+                assert key not in by_key
+                by_key[key] = p.level
+
+
+class TestSHGProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(code_path, min_size=1, max_size=20))
+    def test_dedup_by_pair(self, paths):
+        shg = SearchHistoryGraph()
+        for path in paths:
+            focus = whole_program().with_selection("Code", path)
+            shg.add(SYNC, focus)
+        assert len(shg) == len({p for p in paths})
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(code_path, min_size=1, max_size=15))
+    def test_serialization_roundtrip(self, paths):
+        shg = SearchHistoryGraph()
+        parent, _ = shg.add(SYNC, whole_program())
+        for path in paths:
+            shg.add(SYNC, whole_program().with_selection("Code", path), parent=parent)
+        clone = SearchHistoryGraph.from_dicts(shg.to_dicts())
+        assert len(clone) == len(shg)
+        assert clone.to_dicts() == shg.to_dicts()
+
+
+class TestMapperProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(code_path, code_path, code_path)
+    def test_longest_prefix_beats_shorter(self, base, target1, target2):
+        deeper = base + "/leaf"
+        mapper = ResourceMapper([
+            MapDirective(base, target1),
+            MapDirective(deeper, target2),
+        ])
+        assert mapper.map_path(deeper) == target2
+
+    @settings(max_examples=50, deadline=None)
+    @given(code_path)
+    def test_canonicalize_idempotent(self, path):
+        focus = str(whole_program().with_selection("Code", path))
+        placement = {"p:1": "n0", "p:2": "n1"}
+        once = canonicalize_focus(focus, placement)
+        assert canonicalize_focus(once, placement) == once
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(["n0", "n1"]))
+    def test_canonicalize_machine_always_removed(self, node):
+        placement = {"p:1": "n0", "p:2": "n1"}
+        focus = str(whole_program().with_selection("Machine", f"/Machine/{node}"))
+        out = canonicalize_focus(focus, placement)
+        assert "/Machine/" not in out
+        assert "/Process/p:" in out

@@ -1,0 +1,54 @@
+"""Tests for trace records."""
+
+import pytest
+
+from repro.simulator import Activity, TimeSegment, TraceCollector, sync_tag_parts
+
+
+class TestSyncTagParts:
+    def test_message_tag(self):
+        assert sync_tag_parts("3/0") == ("SyncObject", "Message", "3", "0")
+
+    def test_negative_tag(self):
+        assert sync_tag_parts("3/-1") == ("SyncObject", "Message", "3", "-1")
+
+    def test_barrier(self):
+        assert sync_tag_parts("Barrier") == ("SyncObject", "Barrier")
+
+    def test_single_component_tag(self):
+        assert sync_tag_parts("7") == ("SyncObject", "Message", "7")
+
+
+class TestTimeSegment:
+    def test_make_fills_parts(self):
+        seg = TimeSegment.make(
+            start=1.0, duration=2.0, activity=Activity.SYNC,
+            process="p:1", node="n0", module="m.c", function="f", tag="3/0",
+        )
+        assert seg.parts["Code"] == ("Code", "m.c", "f")
+        assert seg.parts["Machine"] == ("Machine", "n0")
+        assert seg.parts["Process"] == ("Process", "p:1")
+        assert seg.parts["SyncObject"] == ("SyncObject", "Message", "3", "0")
+        assert seg.end == pytest.approx(3.0)
+
+    def test_no_tag_no_syncobject_part(self):
+        seg = TimeSegment.make(
+            start=0.0, duration=1.0, activity=Activity.COMPUTE,
+            process="p", node="n", module="m", function="f",
+        )
+        assert "SyncObject" not in seg.parts
+
+
+class TestTraceCollector:
+    def test_totals_by_activity(self):
+        tc = TraceCollector()
+        tc.record(TimeSegment.make(0, 2.0, Activity.COMPUTE, "p", "n", "m", "f"))
+        tc.record(TimeSegment.make(2, 3.0, Activity.SYNC, "p", "n", "m", "g", tag="1/0"))
+        assert tc.total() == pytest.approx(5.0)
+        assert tc.total(Activity.SYNC) == pytest.approx(3.0)
+
+    def test_by_function(self):
+        tc = TraceCollector()
+        tc.record(TimeSegment.make(0, 2.0, Activity.COMPUTE, "p", "n", "m", "f"))
+        tc.record(TimeSegment.make(2, 1.0, Activity.COMPUTE, "p", "n", "m", "f"))
+        assert tc.by_function()[("m", "f")] == pytest.approx(3.0)

@@ -1,0 +1,148 @@
+"""Tests for the rendezvous (large-message) send protocol."""
+
+import pytest
+
+from repro.simulator import (
+    Activity,
+    Compute,
+    Engine,
+    Irecv,
+    LatencyModel,
+    Machine,
+    Recv,
+    Send,
+    SimDeadlock,
+    TraceCollector,
+    WaitReq,
+)
+
+RDV = LatencyModel(
+    alpha=0.0, beta=0.0, send_overhead=0.0, recv_overhead=0.0, eager_threshold=1024.0
+)
+
+
+def run_pair(p0, p1, latency=RDV):
+    eng = Engine(Machine.named("n", 2), latency=latency)
+    tc = TraceCollector()
+    eng.add_sink(tc)
+    eng.add_process("a", "n0", p0)
+    eng.add_process("b", "n1", p1)
+    t = eng.run()
+    return eng, tc, t
+
+
+class TestRendezvous:
+    def test_large_send_blocks_until_recv_posted(self):
+        def sender(proc):
+            with proc.function("m", "snd"):
+                yield Send("b", "t/0", 1_000_000)  # above threshold
+
+        def receiver(proc):
+            with proc.function("m", "rcv"):
+                yield Compute(3.0)
+                yield Recv("a", "t/0")
+
+        eng, tc, t = run_pair(sender, receiver)
+        waits = [s for s in tc.segments if s.activity is Activity.SYNC]
+        # the sender waits three seconds for the receive to be posted
+        sender_waits = [s for s in waits if s.process == "a"]
+        assert sender_waits and sender_waits[0].duration == pytest.approx(3.0)
+        assert sender_waits[0].tag == "t/0"
+        assert (sender_waits[0].module, sender_waits[0].function) == ("m", "snd")
+
+    def test_small_send_stays_eager(self):
+        def sender(proc):
+            with proc.function("m", "snd"):
+                yield Send("b", "t/0", 8)  # below threshold
+                yield Compute(1.0)
+
+        def receiver(proc):
+            with proc.function("m", "rcv"):
+                yield Compute(3.0)
+                yield Recv("a", "t/0")
+
+        eng, tc, t = run_pair(sender, receiver)
+        sender_waits = [
+            s for s in tc.segments if s.activity is Activity.SYNC and s.process == "a"
+        ]
+        assert not sender_waits
+
+    def test_pre_posted_recv_no_sender_wait(self):
+        def sender(proc):
+            with proc.function("m", "snd"):
+                yield Compute(2.0)
+                yield Send("b", "t/0", 1_000_000)
+
+        def receiver(proc):
+            with proc.function("m", "rcv"):
+                yield Recv("a", "t/0")  # posted before the send happens
+
+        eng, tc, t = run_pair(sender, receiver)
+        sender_waits = [
+            s for s in tc.segments if s.activity is Activity.SYNC and s.process == "a"
+        ]
+        assert not sender_waits
+        # the receiver carries the wait instead
+        recv_waits = [
+            s for s in tc.segments if s.activity is Activity.SYNC and s.process == "b"
+        ]
+        assert recv_waits and recv_waits[0].duration == pytest.approx(2.0)
+
+    def test_irecv_releases_rendezvous(self):
+        def sender(proc):
+            with proc.function("m", "snd"):
+                yield Send("b", "t/0", 1_000_000)
+
+        def receiver(proc):
+            with proc.function("m", "rcv"):
+                yield Compute(2.0)
+                req = yield Irecv("a", "t/0")
+                yield WaitReq(req)
+
+        eng, tc, t = run_pair(sender, receiver)
+        sender_waits = [
+            s for s in tc.segments if s.activity is Activity.SYNC and s.process == "a"
+        ]
+        assert sender_waits and sender_waits[0].duration == pytest.approx(2.0)
+        assert t == pytest.approx(2.0)
+
+    def test_unmatched_rendezvous_deadlocks(self):
+        def sender(proc):
+            with proc.function("m", "snd"):
+                yield Send("b", "t/0", 1_000_000)
+
+        def receiver(proc):
+            with proc.function("m", "rcv"):
+                yield Compute(1.0)  # never posts the receive
+
+        eng = Engine(Machine.named("n", 2), latency=RDV)
+        eng.add_process("a", "n0", sender)
+        eng.add_process("b", "n1", receiver)
+        with pytest.raises(SimDeadlock):
+            eng.run()
+
+    def test_fifo_among_rendezvous_senders(self):
+        got = []
+
+        def s1(proc):
+            with proc.function("m", "s1"):
+                yield Send("b", "t/0", 1_000_000)
+
+        def s2(proc):
+            with proc.function("m", "s2"):
+                yield Compute(0.5)
+                yield Send("b", "t/0", 1_000_000)
+
+        def receiver(proc):
+            with proc.function("m", "rcv"):
+                yield Compute(2.0)
+                m1 = yield Recv("*", "t/0")
+                m2 = yield Recv("*", "t/0")
+                got.extend([m1.src, m2.src])
+
+        eng = Engine(Machine.named("n", 3), latency=RDV)
+        eng.add_process("a", "n0", s1)
+        eng.add_process("c", "n1", s2)
+        eng.add_process("b", "n2", receiver)
+        eng.run()
+        assert got == ["a", "c"]  # earliest-blocked sender matched first

@@ -1,0 +1,131 @@
+"""Unit tests for resource hierarchies and resource spaces."""
+
+import pytest
+
+from repro.resources import (
+    ResourceHierarchy,
+    ResourceNameError,
+    ResourceSpace,
+    STANDARD_HIERARCHIES,
+)
+
+
+class TestResourceHierarchy:
+    def test_root_name(self):
+        h = ResourceHierarchy("Code")
+        assert h.root.name == "/Code"
+        assert h.root.label == "Code"
+
+    def test_add_creates_intermediates(self):
+        h = ResourceHierarchy("Code")
+        leaf = h.add("/Code/a.c/f")
+        assert leaf.name == "/Code/a.c/f"
+        assert "/Code/a.c" in h
+        assert h.find("/Code/a.c").parent is h.root
+
+    def test_add_idempotent(self):
+        h = ResourceHierarchy("Code")
+        a = h.add("/Code/a.c")
+        b = h.add("/Code/a.c")
+        assert a is b
+        assert len(h) == 2  # root + module
+
+    def test_add_wrong_hierarchy(self):
+        h = ResourceHierarchy("Code")
+        with pytest.raises(ResourceNameError):
+            h.add("/Machine/n0")
+
+    def test_names_preorder(self):
+        h = ResourceHierarchy("Code")
+        h.add("/Code/a.c/f")
+        h.add("/Code/b.c")
+        assert h.names() == ["/Code", "/Code/a.c", "/Code/a.c/f", "/Code/b.c"]
+
+    def test_leaves(self):
+        h = ResourceHierarchy("Code")
+        h.add("/Code/a.c/f")
+        h.add("/Code/a.c/g")
+        assert {r.name for r in h.leaves()} == {"/Code/a.c/f", "/Code/a.c/g"}
+
+    def test_children_of(self):
+        h = ResourceHierarchy("Code")
+        h.add("/Code/a.c/f")
+        assert [r.name for r in h.children_of("/Code/a.c")] == ["/Code/a.c/f"]
+        assert h.children_of("/Code/nope") == []
+
+    def test_bad_hierarchy_name(self):
+        with pytest.raises(ResourceNameError):
+            ResourceHierarchy("has/slash")
+
+    def test_tags_propagate_to_ancestors(self):
+        h = ResourceHierarchy("Code")
+        h.add("/Code/a.c/f", tag="run1")
+        assert "run1" in h.find("/Code/a.c").tags
+        assert "run1" in h.root.tags
+
+    def test_merge_tags_origin(self):
+        a = ResourceHierarchy("Code")
+        a.add("/Code/oned.f/main")
+        b = ResourceHierarchy("Code")
+        b.add("/Code/onednb.f/main")
+        merged = a.merge(b, tag_self="A", tag_other="B")
+        assert merged.find("/Code/oned.f").tags == {"A"}
+        assert merged.find("/Code/onednb.f").tags == {"B"}
+
+    def test_merge_wrong_name(self):
+        a = ResourceHierarchy("Code")
+        b = ResourceHierarchy("Machine")
+        with pytest.raises(ResourceNameError):
+            a.merge(b)
+
+
+class TestResourceSpace:
+    def test_standard_hierarchies(self):
+        space = ResourceSpace()
+        assert set(space.hierarchies) == set(STANDARD_HIERARCHIES)
+
+    def test_add_routes_to_hierarchy(self):
+        space = ResourceSpace()
+        space.add("/Code/a.c/f")
+        space.add("/Machine/n0")
+        assert "/Code/a.c/f" in space
+        assert "/Machine/n0" in space
+        assert "/Machine/n1" not in space
+
+    def test_unknown_hierarchy(self):
+        space = ResourceSpace()
+        with pytest.raises(ResourceNameError):
+            space.add("/Bogus/x")
+
+    def test_find_unknown_hierarchy_returns_none(self):
+        space = ResourceSpace(("Code",))
+        assert space.find("/Machine/n0") is None
+
+    def test_root_paths(self):
+        space = ResourceSpace(("Code", "Machine"))
+        assert space.root_paths() == {"Code": "/Code", "Machine": "/Machine"}
+
+    def test_copy_independent(self):
+        space = ResourceSpace()
+        space.add("/Code/a.c")
+        dup = space.copy()
+        dup.add("/Code/b.c")
+        assert "/Code/b.c" not in space
+        assert "/Code/a.c" in dup
+
+    def test_bijection_true(self):
+        space = ResourceSpace()
+        for i in range(4):
+            space.add(f"/Process/p:{i}")
+            space.add(f"/Machine/n{i}")
+        assert space.process_machine_bijection()
+
+    def test_bijection_false_when_uneven(self):
+        space = ResourceSpace()
+        for i in range(4):
+            space.add(f"/Process/p:{i}")
+        space.add("/Machine/n0")
+        assert not space.process_machine_bijection()
+
+    def test_bijection_false_when_empty(self):
+        assert not ResourceSpace().process_machine_bijection()

@@ -1,0 +1,78 @@
+"""Scale tests: the substrate at sizes beyond the paper's 8 nodes."""
+
+import pytest
+
+from repro.apps.base import Application
+from repro.apps.poisson import PoissonConfig, build_poisson
+from repro.core import SearchConfig, run_diagnosis
+from repro.metrics import CostModel
+from repro.simulator import Compute, Engine, LatencyModel, Machine, TraceCollector
+from repro.simulator.collectives import allreduce
+
+LAT = LatencyModel(alpha=0.0, beta=0.0, send_overhead=0.0, recv_overhead=0.0)
+
+
+class TestManyProcesses:
+    def test_32_process_allreduce_app(self):
+        n = 32
+        eng = Engine(Machine.named("n", n), latency=LAT)
+        tc = TraceCollector()
+        eng.add_sink(tc)
+        procs = [f"w:{i}" for i in range(n)]
+
+        def make(rank):
+            def program(proc):
+                with proc.function("m.c", "step"):
+                    for _ in range(5):
+                        yield Compute(0.5 + 0.01 * rank)
+                        yield from allreduce(proc, rank, procs, tag="4/0")
+
+            return program
+
+        for i, name in enumerate(procs):
+            eng.add_process(name, f"n{i}", make(i))
+        t = eng.run()
+        # each round ends when the slowest rank (31) contributes
+        assert t == pytest.approx(5 * (0.5 + 0.01 * 31), rel=1e-6)
+
+    def test_diagnosis_of_16_process_app(self):
+        # Poisson D's config extended to 16 ranks via the cycling factors
+        cfg = PoissonConfig(iterations=60)
+        app = build_poisson("D", cfg)
+        assert app.n_processes == 8
+        rec = run_diagnosis(
+            app,
+            config=SearchConfig(min_interval=10.0, check_period=1.0,
+                                insertion_latency=0.5, cost_limit=10.0,
+                                stop_engine_when_done=True),
+        )
+        assert rec.pairs_tested > 0
+        assert rec.n_processes == 8
+
+    def test_engine_event_volume(self):
+        """A hundred processes exchanging in a ring completes and conserves
+        per-process time."""
+        n = 100
+        eng = Engine(Machine.named("n", n), latency=LAT)
+        tc = TraceCollector()
+        eng.add_sink(tc)
+        from repro.simulator import Recv, Send
+
+        def make(rank):
+            nxt = f"r:{(rank + 1) % n}"
+            prev = f"r:{(rank - 1) % n}"
+
+            def program(proc):
+                with proc.function("ring.c", "spin"):
+                    for _ in range(3):
+                        yield Compute(0.1)
+                        yield Send(nxt, "1/0", 8)
+                        yield Recv(prev, "1/0")
+
+            return program
+
+        for i in range(n):
+            eng.add_process(f"r:{i}", f"n{i}", make(i))
+        t = eng.run()
+        compute_total = tc.total()
+        assert compute_total >= n * 3 * 0.1 - 1e-9

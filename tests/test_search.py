@@ -1,0 +1,196 @@
+"""Search tests on synthetic workloads with known ground truth."""
+
+import pytest
+
+from repro.apps.synthetic import make_compute_app, make_io_app, make_pingpong
+from repro.core import (
+    DirectiveSet,
+    PairPruneDirective,
+    PriorityDirective,
+    PruneDirective,
+    SearchConfig,
+    run_diagnosis,
+)
+from repro.core.shg import NodeState, Priority
+from repro.metrics import CostModel
+from repro.resources import parse_focus, whole_program
+
+SYNC = "ExcessiveSyncWaitingTime"
+CPU = "CPUbound"
+IO = "ExcessiveIOBlockingTime"
+
+FAST = SearchConfig(
+    min_interval=5.0, check_period=0.5, insertion_latency=0.2, cost_limit=50.0,
+    noise_band=0.0,
+)
+
+
+def quiet_cost():
+    return CostModel(perturb_per_unit=0.0)
+
+
+def wp_pair(hyp):
+    return (hyp, str(whole_program()))
+
+
+class TestBasicConclusions:
+    def test_cpu_bound_app_found(self):
+        app = make_compute_app({("hot.c", "kernel"): 0.97}, iterations=60)
+        rec = run_diagnosis(app, config=FAST, cost_model=quiet_cost())
+        trues = dict.fromkeys(rec.true_pairs())
+        assert (CPU, str(whole_program())) in trues
+        # refined to the hot function
+        assert any("/Code/hot.c/kernel" in f for h, f in trues if h == CPU)
+
+    def test_balanced_app_no_cpu_bottleneck(self):
+        # half compute, half blocking I/O: CPU fraction 0.5 < 0.9 threshold
+        app = make_io_app(iterations=60, compute=0.5, io=0.5)
+        rec = run_diagnosis(app, config=FAST, cost_model=quiet_cost())
+        assert (CPU, str(whole_program())) not in rec.true_pairs()
+
+    def test_sync_bottleneck_found_with_tag(self):
+        app = make_pingpong(iterations=80, slow=1.0, fast=0.2)
+        rec = run_diagnosis(app, config=FAST, cost_model=quiet_cost())
+        trues = rec.true_pairs()
+        assert (SYNC, str(whole_program())) in trues
+        assert any("/SyncObject/Message/9/0" in f for h, f in trues if h == SYNC)
+        assert any("/Process/pp:2" in f for h, f in trues if h == SYNC)
+
+    def test_io_bottleneck_found(self):
+        app = make_io_app(iterations=40, compute=0.2, io=0.8)
+        rec = run_diagnosis(app, config=FAST, cost_model=quiet_cost())
+        trues = rec.true_pairs()
+        assert (IO, str(whole_program())) in trues
+        assert any("/Code/wr.c/flush" in f for h, f in trues if h == IO)
+
+    def test_false_nodes_not_refined(self):
+        app = make_compute_app({("hot.c", "kernel"): 0.97}, iterations=60)
+        rec = run_diagnosis(app, config=FAST, cost_model=quiet_cost())
+        shg = rec.shg()
+        for node in shg:
+            if node.state is NodeState.FALSE:
+                for cid in node.children:
+                    child = shg.nodes[cid]
+                    # children of false nodes must have another (true) parent
+                    assert any(
+                        shg.nodes[p].state in (NodeState.TRUE,) for p in child.parents
+                    )
+
+    def test_values_recorded(self):
+        app = make_io_app(iterations=40, compute=0.2, io=0.8)
+        rec = run_diagnosis(app, config=FAST, cost_model=quiet_cost())
+        node = next(
+            n for n in rec.shg_nodes
+            if n["hypothesis"] == IO and n["state"] == "true"
+            and n["focus"] == str(whole_program())
+        )
+        assert node["value"] == pytest.approx(0.8, abs=0.08)
+
+
+class TestPrunesInSearch:
+    def test_pruned_subtree_never_tested(self):
+        app = make_compute_app({("hot.c", "kernel"): 0.97}, iterations=60)
+        ds = DirectiveSet(prunes=[PruneDirective(CPU, "/Code/hot.c")])
+        rec = run_diagnosis(app, directives=ds, config=FAST, cost_model=quiet_cost())
+        for n in rec.shg_nodes:
+            if "/Code/hot.c" in n["focus"] and n["hypothesis"] == CPU:
+                assert n["state"] == "pruned"
+
+    def test_pair_prune_skips_exact_pair(self):
+        app = make_compute_app({("hot.c", "kernel"): 0.97}, iterations=60)
+        target = whole_program().with_selection("Code", "/Code/hot.c")
+        ds = DirectiveSet(pair_prunes=[PairPruneDirective(CPU, target)])
+        rec = run_diagnosis(app, directives=ds, config=FAST, cost_model=quiet_cost())
+        states = {(n["hypothesis"], n["focus"]): n["state"] for n in rec.shg_nodes}
+        assert states[(CPU, str(target))] == "pruned"
+
+    def test_pruned_counts_excluded_from_tested(self):
+        app = make_compute_app({("hot.c", "kernel"): 0.97}, iterations=60)
+        base = run_diagnosis(app, config=FAST, cost_model=quiet_cost())
+        app2 = make_compute_app({("hot.c", "kernel"): 0.97}, iterations=60)
+        ds = DirectiveSet(prunes=[PruneDirective("*", "/Machine")])
+        pruned = run_diagnosis(app2, directives=ds, config=FAST, cost_model=quiet_cost())
+        assert pruned.pairs_tested < base.pairs_tested
+
+
+class TestPrioritiesInSearch:
+    def test_high_priority_found_first(self):
+        app = make_pingpong(iterations=120, slow=1.0, fast=0.2)
+        deep = (
+            whole_program()
+            .with_selection("Code", "/Code/pp.c/driver")
+            .with_selection("Process", "/Process/pp:2")
+        )
+        ds = DirectiveSet(priorities=[PriorityDirective(SYNC, deep, Priority.HIGH)])
+        rec = run_diagnosis(app, directives=ds, config=FAST, cost_model=quiet_cost())
+        found = rec.found_times()
+        t_deep = found[(SYNC, str(deep))]
+        t_wp = found[(SYNC, str(whole_program()))]
+        assert t_deep <= t_wp  # started at search start, not via refinement
+
+    def test_high_priority_nodes_persistent(self):
+        app = make_pingpong(iterations=120)
+        deep = whole_program().with_selection("Process", "/Process/pp:2")
+        ds = DirectiveSet(priorities=[PriorityDirective(SYNC, deep, Priority.HIGH)])
+        rec = run_diagnosis(app, directives=ds, config=FAST, cost_model=quiet_cost())
+        node = next(n for n in rec.shg_nodes if n["focus"] == str(deep) and n["hypothesis"] == SYNC)
+        assert node["persistent"]
+
+    def test_pruned_high_priority_not_started(self):
+        app = make_pingpong(iterations=100)
+        deep = whole_program().with_selection("Process", "/Process/pp:2")
+        ds = DirectiveSet(
+            priorities=[PriorityDirective(SYNC, deep, Priority.HIGH)],
+            prunes=[PruneDirective("*", "/Process")],
+        )
+        rec = run_diagnosis(app, directives=ds, config=FAST, cost_model=quiet_cost())
+        node = [n for n in rec.shg_nodes if n["focus"] == str(deep) and n["hypothesis"] == SYNC]
+        assert not node or node[0]["state"] in ("pruned", "never-run")
+
+
+class TestThresholdsInSearch:
+    def test_threshold_directive_changes_conclusion(self):
+        app = make_io_app(iterations=40, compute=0.5, io=0.5)
+        # default IO threshold 0.15 -> true; directive 0.6 -> false
+        from repro.core import ThresholdDirective
+
+        ds = DirectiveSet(thresholds=[ThresholdDirective(IO, 0.6)])
+        rec = run_diagnosis(app, directives=ds, config=FAST, cost_model=quiet_cost())
+        assert (IO, str(whole_program())) not in rec.true_pairs()
+
+    def test_config_override_weaker_than_directive(self):
+        from repro.core import ThresholdDirective
+
+        app = make_io_app(iterations=40, compute=0.5, io=0.5)
+        cfg = SearchConfig(
+            min_interval=5.0, check_period=0.5, insertion_latency=0.2,
+            cost_limit=50.0, noise_band=0.0,
+            threshold_overrides={IO: 0.9},
+        )
+        ds = DirectiveSet(thresholds=[ThresholdDirective(IO, 0.1)])
+        rec = run_diagnosis(app, directives=ds, config=cfg, cost_model=quiet_cost())
+        assert (IO, str(whole_program())) in rec.true_pairs()
+        assert rec.thresholds[IO] == pytest.approx(0.1)
+
+
+class TestCostGateInSearch:
+    def test_tight_gate_staggers_requests(self):
+        app = make_pingpong(iterations=200, slow=1.0, fast=0.2)
+        tight = SearchConfig(
+            min_interval=5.0, check_period=0.5, insertion_latency=0.2,
+            cost_limit=0.7, noise_band=0.0,
+        )
+        rec = run_diagnosis(app, config=tight, cost_model=quiet_cost())
+        # requests must span time rather than all landing at the start
+        t_req = [n["t_requested"] for n in rec.shg_nodes if n["t_requested"] is not None]
+        assert max(t_req) > 10.0
+        assert rec.peak_cost <= 0.7 + 1e-9
+
+    def test_app_end_marks_leftovers(self):
+        app = make_pingpong(iterations=10, slow=1.0, fast=0.2)  # very short run
+        slow_cfg = SearchConfig(
+            min_interval=6.0, check_period=0.5, insertion_latency=0.2, cost_limit=0.7,
+        )
+        rec = run_diagnosis(app, config=slow_cfg, cost_model=quiet_cost())
+        states = {n["state"] for n in rec.shg_nodes}
+        assert states & {"never-run", "unknown"}

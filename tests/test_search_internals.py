@@ -1,0 +1,124 @@
+"""White-box unit tests of the Performance Consultant search internals."""
+
+import pytest
+
+from repro.core import (
+    DirectiveSet,
+    PriorityDirective,
+    SearchConfig,
+    ThresholdDirective,
+)
+from repro.core.search import PerformanceConsultantSearch
+from repro.core.shg import NodeState, Priority
+from repro.metrics import CostModel, InstrumentationManager
+from repro.resources import ResourceSpace, whole_program
+from repro.simulator import Compute, Engine, LatencyModel, Machine
+
+SYNC = "ExcessiveSyncWaitingTime"
+CPU = "CPUbound"
+LAT = LatencyModel(alpha=0.0, beta=0.0, send_overhead=0.0, recv_overhead=0.0)
+
+
+def build_search(directives=None, config=None):
+    eng = Engine(Machine.named("n", 1), latency=LAT)
+    space = ResourceSpace()
+    space.add("/Code/a.c/f")
+    space.add("/Code/b.c/g")
+    space.add("/Process/p:1")
+    space.add("/Machine/n0")
+
+    def prog(proc):
+        with proc.function("a.c", "f"):
+            for _ in range(40):
+                yield Compute(1.0)
+
+    eng.add_process("p:1", "n0", prog)
+    instr = InstrumentationManager(
+        eng, space, cost_model=CostModel(perturb_per_unit=0.0),
+        cost_limit=(config or SearchConfig()).cost_limit, insertion_latency=0.2,
+    )
+    search = PerformanceConsultantSearch(
+        eng, instr, space,
+        directives=directives,
+        config=config or SearchConfig(
+            min_interval=5.0, check_period=0.5, insertion_latency=0.2,
+            cost_limit=50.0, noise_band=0.0,
+        ),
+    )
+    return eng, search
+
+
+class TestThresholdPrecedence:
+    def test_default(self):
+        _, search = build_search()
+        assert search.threshold(SYNC) == pytest.approx(0.20)
+
+    def test_config_override(self):
+        _, search = build_search(config=SearchConfig(
+            min_interval=5.0, threshold_overrides={SYNC: 0.33}))
+        assert search.threshold(SYNC) == pytest.approx(0.33)
+
+    def test_directive_beats_config(self):
+        ds = DirectiveSet(thresholds=[ThresholdDirective(SYNC, 0.11)])
+        _, search = build_search(directives=ds, config=SearchConfig(
+            min_interval=5.0, threshold_overrides={SYNC: 0.33}))
+        assert search.threshold(SYNC) == pytest.approx(0.11)
+
+
+class TestStartState:
+    def test_root_is_true_virtual(self):
+        eng, search = build_search()
+        search.start()
+        root = search.shg.find("TopLevelHypothesis", whole_program(search.space))
+        assert root.state is NodeState.TRUE
+
+    def test_top_hypotheses_queued(self):
+        eng, search = build_search()
+        search.start()
+        for hyp in (CPU, SYNC, "ExcessiveIOBlockingTime"):
+            node = search.shg.find(hyp, whole_program(search.space))
+            assert node is not None and node.state is NodeState.QUEUED
+
+    def test_double_start_rejected(self):
+        eng, search = build_search()
+        search.start()
+        with pytest.raises(RuntimeError):
+            search.start()
+
+    def test_high_priority_enqueued_persistent(self):
+        f = whole_program().with_selection("Code", "/Code/a.c/f")
+        ds = DirectiveSet(priorities=[PriorityDirective(CPU, f, Priority.HIGH)])
+        eng, search = build_search(directives=ds)
+        search.start()
+        node = search.shg.find(CPU, f)
+        assert node.persistent and node.priority is Priority.HIGH
+
+
+class TestQueueOrdering:
+    def test_priority_then_depth(self):
+        eng, search = build_search()
+        search.start()
+        # drain the heap directly: priority rank dominates, then depth
+        import heapq
+
+        popped = []
+        heap = list(search._pending)
+        heapq.heapify(heap)
+        while heap:
+            popped.append(heapq.heappop(heap))
+        keys = [(p[0], p[1]) for p in popped]
+        assert keys == sorted(keys)
+
+
+class TestCompletion:
+    def test_is_complete_after_run(self):
+        eng, search = build_search()
+        search.start()
+        eng.run()
+        assert search.is_complete()
+        assert search.done_at is not None
+
+    def test_not_complete_at_start(self):
+        eng, search = build_search()
+        search.start()
+        assert not search.is_complete()

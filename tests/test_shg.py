@@ -1,0 +1,136 @@
+"""Tests for the Search History Graph."""
+
+import pytest
+
+from repro.core.shg import NodeState, Priority, SearchHistoryGraph, SHGNode
+from repro.resources import Focus, whole_program
+
+SYNC = "ExcessiveSyncWaitingTime"
+
+
+def f(code="/Code"):
+    return whole_program().with_selection("Code", code)
+
+
+class TestAddAndDedup:
+    def test_add_creates(self):
+        shg = SearchHistoryGraph()
+        node, created = shg.add(SYNC, f())
+        assert created
+        assert len(shg) == 1
+
+    def test_dedup_same_pair(self):
+        shg = SearchHistoryGraph()
+        a, _ = shg.add(SYNC, f())
+        b, created = shg.add(SYNC, f())
+        assert not created
+        assert a is b
+
+    def test_dag_multiple_parents(self):
+        shg = SearchHistoryGraph()
+        root, _ = shg.add("TopLevelHypothesis", f())
+        p1, _ = shg.add(SYNC, f("/Code/a.c"), parent=root)
+        p2, _ = shg.add(SYNC, f("/Code/b.c"), parent=root)
+        child, created = shg.add(SYNC, f("/Code/a.c/x"), parent=p1)
+        child2, created2 = shg.add(SYNC, f("/Code/a.c/x"), parent=p2)
+        assert child is child2 and not created2
+        assert child.parents == {p1.node_id, p2.node_id}
+        assert child.node_id in p1.children and child.node_id in p2.children
+
+    def test_different_hypothesis_distinct(self):
+        shg = SearchHistoryGraph()
+        shg.add(SYNC, f())
+        shg.add("CPUbound", f())
+        assert len(shg) == 2
+
+    def test_find(self):
+        shg = SearchHistoryGraph()
+        node, _ = shg.add(SYNC, f())
+        assert shg.find(SYNC, f()) is node
+        assert shg.find("CPUbound", f()) is None
+
+    def test_self_parent_ignored(self):
+        shg = SearchHistoryGraph()
+        node, _ = shg.add(SYNC, f())
+        again, _ = shg.add(SYNC, f(), parent=node)
+        assert node.parents == set()
+
+
+class TestQueries:
+    def make(self):
+        shg = SearchHistoryGraph()
+        a, _ = shg.add(SYNC, f("/Code/a.c"))
+        a.state = NodeState.TRUE
+        a.t_requested = 1.0
+        a.t_concluded = 10.0
+        b, _ = shg.add(SYNC, f("/Code/b.c"))
+        b.state = NodeState.FALSE
+        b.t_requested = 1.0
+        c, _ = shg.add(SYNC, f("/Code/c.c"))
+        c.state = NodeState.PRUNED
+        return shg
+
+    def test_by_state(self):
+        shg = self.make()
+        assert len(shg.by_state(NodeState.TRUE)) == 1
+        assert len(shg.by_state(NodeState.PRUNED)) == 1
+
+    def test_true_nodes(self):
+        shg = self.make()
+        assert [n.focus.selection("Code") for n in shg.true_nodes()] == ["/Code/a.c"]
+
+    def test_tested_count_excludes_pruned(self):
+        shg = self.make()
+        assert shg.tested_count() == 2
+
+    def test_state_counts(self):
+        shg = self.make()
+        assert shg.state_counts() == {"true": 1, "false": 1, "pruned": 1}
+
+    def test_roots(self):
+        shg = SearchHistoryGraph()
+        root, _ = shg.add("TopLevelHypothesis", f())
+        shg.add(SYNC, f(), parent=root)
+        assert shg.roots() == [root]
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        shg = SearchHistoryGraph()
+        root, _ = shg.add("TopLevelHypothesis", f())
+        root.state = NodeState.TRUE
+        child, _ = shg.add(SYNC, f("/Code/a.c"), parent=root, priority=Priority.HIGH)
+        child.persistent = True
+        child.value = 0.42
+        child.t_requested = 1.0
+        child.t_concluded = 12.0
+        child.state = NodeState.TRUE
+        clone = SearchHistoryGraph.from_dicts(shg.to_dicts())
+        assert len(clone) == 2
+        c = clone.find(SYNC, f("/Code/a.c"))
+        assert c.persistent and c.priority is Priority.HIGH
+        assert c.value == pytest.approx(0.42)
+        assert c.state is NodeState.TRUE
+        assert c.parents == {root.node_id}
+
+    def test_roundtrip_preserves_next_id(self):
+        shg = SearchHistoryGraph()
+        shg.add(SYNC, f())
+        clone = SearchHistoryGraph.from_dicts(shg.to_dicts())
+        node, created = clone.add("CPUbound", f())
+        assert created
+        assert node.node_id == 1
+
+
+class TestPriorityEnum:
+    def test_order(self):
+        assert Priority.HIGH < Priority.MEDIUM < Priority.LOW
+
+    def test_parse(self):
+        assert Priority.parse("high") is Priority.HIGH
+        assert Priority.parse("LOW") is Priority.LOW
+        with pytest.raises(KeyError):
+            Priority.parse("urgent")
+
+    def test_str(self):
+        assert str(Priority.MEDIUM) == "medium"

@@ -1,0 +1,96 @@
+"""Tests for raw trace files and trace-driven postmortem extraction."""
+
+import pytest
+
+from repro.apps.synthetic import make_pingpong
+from repro.core import extract_directives_postmortem
+from repro.core.shg import Priority
+from repro.resources import whole_program
+from repro.simulator import (
+    Activity,
+    TimeSegment,
+    TraceWriter,
+    profile_from_trace,
+    read_trace,
+    write_trace,
+)
+
+SYNC = "ExcessiveSyncWaitingTime"
+
+
+def segs():
+    return [
+        TimeSegment.make(0.0, 2.0, Activity.COMPUTE, "p:1", "n0", "m.c", "f"),
+        TimeSegment.make(2.0, 3.0, Activity.SYNC, "p:1", "n0", "m.c", "g", tag="3/0"),
+        TimeSegment.make(0.0, 5.0, Activity.IO, "p:2", "n1", "m.c", "h"),
+    ]
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "run.trace"
+        n = write_trace(path, segs())
+        assert n == 3
+        back = list(read_trace(path))
+        assert len(back) == 3
+        assert back[0].duration == pytest.approx(2.0)
+        assert back[1].tag == "3/0"
+        assert back[1].parts["SyncObject"] == ("SyncObject", "Message", "3", "0")
+        assert back[2].activity is Activity.IO
+
+    def test_writer_as_sink(self, tmp_path):
+        from repro.simulator import Compute, Engine, Machine
+
+        path = tmp_path / "live.trace"
+        eng = Engine(Machine.named("n", 1))
+        with TraceWriter(path) as writer:
+            eng.add_sink(writer)
+
+            def prog(proc):
+                with proc.function("m.c", "f"):
+                    yield Compute(1.0)
+                    yield Compute(2.0)
+
+            eng.add_process("p", "n0", prog)
+            eng.run()
+        assert writer.count == 2
+        profile = profile_from_trace(path)
+        assert profile.totals["compute"] == pytest.approx(3.0)
+
+    def test_profile_from_trace_matches_direct(self, tmp_path):
+        from repro.metrics.profile import FlatProfile
+
+        path = tmp_path / "t.trace"
+        write_trace(path, segs())
+        via_trace = profile_from_trace(path)
+        direct = FlatProfile()
+        for s in segs():
+            direct.add(s)
+        assert via_trace.to_dict() == direct.to_dict()
+
+    def test_empty_and_blank_lines(self, tmp_path):
+        path = tmp_path / "e.trace"
+        path.write_text("\n\n")
+        assert list(read_trace(path)) == []
+
+
+class TestTraceDrivenExtraction:
+    def test_directives_from_foreign_trace(self, tmp_path):
+        """End-to-end future-work scenario: a run is recorded only as a raw
+        trace (as 'a different monitoring tool' would produce), and search
+        directives are extracted from it postmortem."""
+        from repro.core import SearchConfig, run_diagnosis
+        from repro.metrics import CostModel
+
+        app = make_pingpong(iterations=100, slow=1.0, fast=0.2)
+        engine = app.make_engine()
+        path = tmp_path / "foreign.trace"
+        with TraceWriter(path) as writer:
+            engine.add_sink(writer)
+            engine.run()
+
+        profile = profile_from_trace(path)
+        space = app.make_space()
+        ds = extract_directives_postmortem(profile, space, dict(app.placement))
+        levels = {(p.hypothesis, str(p.focus)): p.level for p in ds.priorities}
+        assert levels[(SYNC, str(whole_program(space)))] is Priority.HIGH

@@ -1,0 +1,78 @@
+"""Tests for the ASCII figure renderers."""
+
+from repro.apps.poisson import PoissonConfig, build_poisson, version_maps
+from repro.apps.synthetic import make_pingpong
+from repro.apps.tester import TesterConfig, build_tester
+from repro.core import SearchConfig, run_diagnosis
+from repro.core.shg import NodeState
+from repro.metrics import CostModel
+from repro.visualize import (
+    render_combined_spaces,
+    render_hierarchy,
+    render_shg,
+    render_space,
+)
+
+FAST = SearchConfig(min_interval=5.0, check_period=0.5, insertion_latency=0.2, cost_limit=50.0)
+
+
+class TestHierarchyRendering:
+    def test_tester_figure1(self):
+        space = build_tester(TesterConfig(iterations=5)).make_space()
+        text = render_space(space)
+        for label in ("Code", "Machine", "Process", "testutil.C", "verifya",
+                      "vect::addel", "CPU_3", "Tester:2"):
+            assert label in text
+
+    def test_tree_connectors(self):
+        space = build_tester(TesterConfig(iterations=5)).make_space()
+        text = render_hierarchy(space.hierarchy("Code"))
+        assert "|--" in text and "`--" in text
+
+    def test_tags_rendered(self):
+        space = build_tester(TesterConfig(iterations=5)).make_space()
+        space.hierarchy("Code").add("/Code/main.c/main", tag="r1")
+        text = render_hierarchy(space.hierarchy("Code"), tags=True)
+        assert "{r1}" in text
+
+
+class TestSHGRendering:
+    def test_states_marked(self):
+        rec = run_diagnosis(
+            make_pingpong(iterations=60), config=FAST,
+            cost_model=CostModel(perturb_per_unit=0.0),
+        )
+        text = render_shg(rec.shg())
+        assert "[T]" in text and "[f]" in text
+        assert "ExcessiveSyncWaitingTime" in text
+
+    def test_depth_limit(self):
+        rec = run_diagnosis(
+            make_pingpong(iterations=60), config=FAST,
+            cost_model=CostModel(perturb_per_unit=0.0),
+        )
+        shallow = render_shg(rec.shg(), max_depth=1)
+        full = render_shg(rec.shg())
+        assert len(shallow.splitlines()) <= len(full.splitlines())
+
+    def test_state_filter(self):
+        rec = run_diagnosis(
+            make_pingpong(iterations=60), config=FAST,
+            cost_model=CostModel(perturb_per_unit=0.0),
+        )
+        only_true = render_shg(rec.shg(), states=[NodeState.TRUE])
+        assert "[f]" not in only_true
+
+
+class TestCombinedSpaces:
+    def test_figure3_layout(self):
+        cfg = PoissonConfig(iterations=5)
+        a = build_poisson("A", cfg)
+        b = build_poisson("B", cfg)
+        maps = version_maps("A", "B", a, b)
+        text = render_combined_spaces(a.make_space(), b.make_space(), maps)
+        assert "oned.f [1]" in text       # unique to A
+        assert "onednb.f [2]" in text     # unique to B
+        assert "diff.f [3]" in text       # common
+        assert "map /Code/oned.f /Code/onednb.f" in text
+        assert "Mappings Used" in text
