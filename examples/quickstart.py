@@ -7,14 +7,17 @@ This walks the paper's core loop on the 2-D Poisson solver (version C):
 2. harvest search directives — prunes and priorities — from that run;
 3. run a second, *directed* diagnosis and compare the time needed to
    locate the same bottlenecks.
+
+It uses the stable facade API: ``repro.diagnose`` runs a session,
+``repro.harvest`` extracts directives, and ``history=`` feeds them back.
 """
 
 from repro import (
     PoissonConfig,
     SearchConfig,
     build_poisson,
-    extract_directives,
-    run_diagnosis,
+    diagnose,
+    harvest,
 )
 from repro.analysis import base_bottleneck_set, reduction, time_to_fraction
 from repro.visualize import render_shg
@@ -28,7 +31,7 @@ SEARCH_STOP = SearchConfig(stop_engine_when_done=True)
 
 def main() -> None:
     print("== 1. undirected diagnosis (no prior knowledge) ==")
-    base = run_diagnosis(build_poisson("C", CFG), config=SEARCH)
+    base = diagnose(build_poisson("C", CFG), config=SEARCH)
     solid = base_bottleneck_set(base, margin=0.075)
     base_times = time_to_fraction(base, solid)
     print(f"   bottlenecks found : {base.bottleneck_count()}")
@@ -36,7 +39,7 @@ def main() -> None:
     print(f"   time to find all  : {base_times[1.0]:.0f} simulated seconds")
 
     print("\n== 2. harvest directives from the stored run ==")
-    directives = extract_directives(base).without_pair_prunes()
+    directives = harvest(base).without_pair_prunes()
     print(f"   prunes     : {len(directives.prunes)}")
     print(f"   priorities : {len(directives.priorities)}")
     print("   sample directive lines:")
@@ -44,8 +47,8 @@ def main() -> None:
         print(f"     {line}")
 
     print("\n== 3. directed diagnosis of a new run ==")
-    directed = run_diagnosis(
-        build_poisson("C", CFG), directives=directives, config=SEARCH_STOP
+    directed = diagnose(
+        build_poisson("C", CFG), history=directives, config=SEARCH_STOP
     )
     directed_times = time_to_fraction(directed, solid)
     print(f"   pairs tested      : {directed.pairs_tested}")

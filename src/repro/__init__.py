@@ -7,14 +7,31 @@ message-passing programs, and extends it with the paper's contribution:
 search directives — prunes, priorities, and thresholds — harvested from
 stored records of previous executions, with resource mapping across runs.
 
+The stable top-level API is the facade — :func:`diagnose`,
+:func:`harvest` — plus :class:`Campaign` for parallel multi-run
+workflows; everything underneath stays importable for fine-grained use.
+
 Quickstart::
 
-    from repro import build_poisson, run_diagnosis, extract_directives
+    from repro import build_poisson, diagnose, harvest
 
-    base = run_diagnosis(build_poisson("C"))          # undirected search
-    directives = extract_directives(base)             # harvest history
-    fast = run_diagnosis(build_poisson("C"), directives=directives)
+    base = diagnose(build_poisson("C"), store="runs/")   # undirected search
+    directives = harvest("runs/", app="poisson")         # harvest history
+    fast = diagnose(build_poisson("C"), history=directives)
     print(fast.time_to_find_all(), "vs", base.time_to_find_all())
+
+Scale-out: fan a set of diagnoses over worker processes, with the
+baseline → harvest → directed pipeline handled inside the campaign::
+
+    from repro import Campaign, RunSpec, Stage, build_poisson
+
+    specs = [RunSpec(build_poisson, ("C",)) for _ in range(8)]
+    campaign = Campaign(stages=[
+        Stage("baseline", specs),
+        Stage("directed", specs, directives_from="baseline"),
+    ])
+    result = campaign.run(workers=4, store="runs/")
+    print(result.summary())
 """
 
 from .apps import (
@@ -52,6 +69,16 @@ from .core import (
     suggest_threshold,
     union_directives,
 )
+from .campaign import (
+    Campaign,
+    CampaignResult,
+    PoolExecutor,
+    RunSpec,
+    SerialExecutor,
+    Stage,
+    StageResult,
+)
+from .facade import diagnose, harvest
 from .metrics import CostModel, FlatProfile, InstrumentationManager
 from .resources import Focus, ResourceSpace, parse_focus, whole_program
 from .simulator import Engine, Machine
@@ -60,6 +87,15 @@ from .storage import ExperimentStore, RunRecord
 __version__ = "1.0.0"
 
 __all__ = [
+    "diagnose",
+    "harvest",
+    "Campaign",
+    "CampaignResult",
+    "PoolExecutor",
+    "RunSpec",
+    "SerialExecutor",
+    "Stage",
+    "StageResult",
     "Application",
     "PoissonConfig",
     "VERSIONS",

@@ -1,0 +1,86 @@
+"""Execution backends for campaigns.
+
+Both executors expose one method — ``run(fn, payloads)`` — yielding
+``(index, outcome)`` pairs where the outcome is either the worker
+function's return value or the exception it raised.  Results stream in
+completion order; callers key on the index, so ordering differences
+between backends never reach campaign results.
+
+:class:`SerialExecutor` runs everything in-process, in submission order —
+the determinism baseline and the zero-dependency fallback.
+:class:`PoolExecutor` fans out over a ``ProcessPoolExecutor``; payloads
+and results cross process boundaries by pickling, which is why campaign
+workers receive :class:`~repro.campaign.spec.RunSpec`-derived payloads
+rather than live applications.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Iterable, Iterator, Sequence, Tuple
+
+__all__ = ["SerialExecutor", "PoolExecutor", "default_executor"]
+
+Outcome = Tuple[int, Any]
+
+
+class SerialExecutor:
+    """Execute payloads one after another in the calling process."""
+
+    workers = 1
+
+    def run(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> Iterator[Outcome]:
+        for index, payload in enumerate(payloads):
+            try:
+                yield index, fn(payload)
+            except Exception as exc:  # campaign decides retry/record policy
+                yield index, exc
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class PoolExecutor:
+    """Fan payloads out over a pool of worker processes.
+
+    ``start_method`` defaults to ``fork`` where available: workers
+    inherit the parent's imported modules, so builder callables defined
+    in scripts and test modules resolve without being re-importable by
+    path, and startup stays cheap.  Pass ``"spawn"`` for stricter
+    isolation.
+    """
+
+    def __init__(self, workers: int = 4, start_method: str | None = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._context = multiprocessing.get_context(start_method)
+
+    def run(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> Iterator[Outcome]:
+        payloads = list(payloads)
+        if not payloads:
+            return
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(payloads)), mp_context=self._context
+        ) as pool:
+            futures = {pool.submit(fn, p): i for i, p in enumerate(payloads)}
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    yield index, future.result()
+                except Exception as exc:
+                    yield index, exc
+
+    def __repr__(self) -> str:
+        return f"PoolExecutor(workers={self.workers})"
+
+
+def default_executor(workers: int | None = None):
+    """Serial for ``workers`` in (None, 0, 1); a pool otherwise."""
+    if not workers or workers == 1:
+        return SerialExecutor()
+    return PoolExecutor(workers=workers)

@@ -1,0 +1,343 @@
+"""The campaign runner: staged, parallel, retried diagnosis sets.
+
+A :class:`Campaign` executes stages of :class:`~repro.campaign.spec.RunSpec`
+in order.  Within a stage every run is independent — exactly the shape of
+the paper's experiment tables, where each cell is one (application,
+configuration, history-condition) diagnosis — so the stage fans out over
+the configured executor.  Between stages the campaign provides the
+*extraction barrier*: a stage marked ``directives_from="baseline"`` waits
+for the baseline stage, harvests directives from its records, and injects
+them into its own specs before any of them start.
+
+Failure policy: a run whose worker raises is retried (``retries`` times,
+default once) and recorded as a failure afterwards; one bad run never
+takes down the campaign.  Results stream back through an optional
+``progress`` callback and are optionally persisted to a concurrency-safe
+:class:`~repro.storage.store.ExperimentStore` as they arrive.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..core.consultant import run_diagnosis
+from ..core.directives import DirectiveSet
+from ..core.extraction import extract_directives
+from ..storage.records import RunRecord
+from ..storage.store import ExperimentStore
+from .executors import SerialExecutor, default_executor
+from .spec import RunSpec, Stage
+
+__all__ = ["Campaign", "CampaignResult", "StageResult", "CampaignError"]
+
+ProgressCallback = Callable[[Dict[str, Any]], None]
+
+
+class CampaignError(RuntimeError):
+    """Raised for campaign configuration problems."""
+
+
+# ---------------------------------------------------------------------------
+# the worker function (module-level: it crosses process boundaries)
+# ---------------------------------------------------------------------------
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one spec; returns the record as a dict plus worker telemetry.
+
+    Directives travel as text (the directive file format) rather than as
+    objects, so the payload's pickle surface stays small and version-
+    stable; records come back as plain dicts for the same reason.
+    """
+    start = time.perf_counter()
+    if payload["pre_delay"] > 0.0:
+        time.sleep(payload["pre_delay"])
+    app = payload["builder"](*payload["builder_args"], **payload["builder_kwargs"])
+    directives = None
+    if payload["directives_text"] is not None:
+        directives = DirectiveSet.from_text(payload["directives_text"])
+    record = run_diagnosis(
+        app,
+        directives=directives,
+        config=payload["config"],
+        run_id=payload["run_id"],
+        **payload["session_kwargs"],
+    )
+    return {
+        "record": record.to_dict(),
+        "wall": time.perf_counter() - start,
+        "pid": os.getpid(),
+    }
+
+
+def _payload_for(spec: RunSpec, run_id: str) -> Dict[str, Any]:
+    return {
+        "builder": spec.builder,
+        "builder_args": tuple(spec.builder_args),
+        "builder_kwargs": dict(spec.builder_kwargs),
+        "config": spec.config,
+        "directives_text": spec.directives.to_text() if spec.directives else None,
+        "run_id": run_id,
+        "pre_delay": spec.pre_delay,
+        "session_kwargs": dict(spec.session_kwargs),
+    }
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+@dataclass
+class StageResult:
+    """Everything one stage produced."""
+
+    name: str
+    records: List[Optional[RunRecord]]
+    failures: Dict[str, str] = field(default_factory=dict)
+    retried: List[str] = field(default_factory=list)
+    wall: float = 0.0
+    #: The harvested directive set injected via ``directives_from``.
+    harvested: Optional[DirectiveSet] = None
+
+    @property
+    def ok(self) -> List[RunRecord]:
+        return [r for r in self.records if r is not None]
+
+
+@dataclass
+class CampaignResult:
+    """Per-stage results plus campaign-level aggregates."""
+
+    name: str
+    stages: Dict[str, StageResult]
+    wall: float = 0.0
+
+    @property
+    def records(self) -> List[RunRecord]:
+        return [r for stage in self.stages.values() for r in stage.ok]
+
+    @property
+    def failures(self) -> Dict[str, str]:
+        out: Dict[str, str] = {}
+        for stage in self.stages.values():
+            out.update(stage.failures)
+        return out
+
+    def stage(self, name: str) -> StageResult:
+        return self.stages[name]
+
+    def summary(self) -> str:
+        lines = [f"campaign {self.name}: {self.wall:.1f} s wall"]
+        for stage in self.stages.values():
+            lines.append(
+                f"  stage {stage.name}: {len(stage.ok)}/{len(stage.records)} ok, "
+                f"{len(stage.failures)} failed, {stage.wall:.1f} s"
+            )
+            for record in stage.ok:
+                t_all = record.time_to_find_all()
+                lines.append(
+                    f"    {record.run_id}: {record.bottleneck_count()} bottlenecks, "
+                    f"{record.pairs_tested} pairs"
+                    + (f", found all at {t_all:.1f} s" if t_all else "")
+                )
+            for run_id, error in stage.failures.items():
+                lines.append(f"    {run_id}: FAILED ({error})")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the campaign itself
+# ---------------------------------------------------------------------------
+class Campaign:
+    """A staged set of diagnoses executed through one executor.
+
+    Single-stage convenience::
+
+        Campaign(specs=[RunSpec(build_poisson, ("C",)) for _ in range(8)])
+
+    Full pipeline (baseline → harvest → directed)::
+
+        Campaign(stages=[
+            Stage("baseline", base_specs),
+            Stage("directed", directed_specs, directives_from="baseline"),
+        ])
+    """
+
+    def __init__(
+        self,
+        stages: Optional[Sequence[Stage]] = None,
+        *,
+        specs: Optional[Sequence[RunSpec]] = None,
+        name: str = "campaign",
+        retries: int = 1,
+    ):
+        if (stages is None) == (specs is None):
+            raise CampaignError("pass exactly one of stages= or specs=")
+        if specs is not None:
+            stages = [Stage("runs", list(specs))]
+        self.stages = list(stages)
+        self.name = name
+        self.retries = retries
+        if not self.stages:
+            raise CampaignError("campaign has no stages")
+        seen: set = set()
+        for stage in self.stages:
+            if stage.name in seen:
+                raise CampaignError(f"duplicate stage name {stage.name!r}")
+            if stage.directives_from is not None and stage.directives_from not in seen:
+                raise CampaignError(
+                    f"stage {stage.name!r} harvests from {stage.directives_from!r}, "
+                    "which is not an earlier stage"
+                )
+            seen.add(stage.name)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        executor=None,
+        *,
+        store: Union[ExperimentStore, str, Path, None] = None,
+        progress: Optional[ProgressCallback] = None,
+        overwrite: bool = False,
+        workers: Optional[int] = None,
+    ) -> CampaignResult:
+        """Execute every stage; never raises for individual run failures.
+
+        ``executor`` defaults to :class:`SerialExecutor` (or a pool when
+        ``workers`` is given).  ``store`` may be a path or an
+        :class:`ExperimentStore`; records are saved as they complete.
+        ``progress`` receives event dicts (``stage-started``,
+        ``run-finished``, ``run-failed``, ``run-retried``,
+        ``stage-finished``) for live reporting.
+        """
+        if executor is None:
+            executor = default_executor(workers) if workers else SerialExecutor()
+        if store is not None and not isinstance(store, ExperimentStore):
+            store = ExperimentStore(store)
+        emit = progress or (lambda event: None)
+
+        campaign_start = time.perf_counter()
+        result = CampaignResult(name=self.name, stages={})
+        for stage in self.stages:
+            result.stages[stage.name] = self._run_stage(
+                stage, executor, result, store, emit, overwrite
+            )
+        result.wall = time.perf_counter() - campaign_start
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_stage(
+        self,
+        stage: Stage,
+        executor,
+        result: CampaignResult,
+        store: Optional[ExperimentStore],
+        emit: ProgressCallback,
+        overwrite: bool,
+    ) -> StageResult:
+        stage_start = time.perf_counter()
+        specs = [
+            spec if spec.run_id else spec.with_run_id(
+                f"{self.name}-{stage.name}-{index:03d}"
+            )
+            for index, spec in enumerate(stage.specs)
+        ]
+
+        harvested = None
+        if stage.directives_from is not None:
+            # The extraction barrier: directives come from a fully
+            # completed earlier stage, mirroring the paper's harvest step.
+            source = result.stages[stage.directives_from].ok
+            if not source:
+                raise CampaignError(
+                    f"stage {stage.name!r}: no successful runs in "
+                    f"{stage.directives_from!r} to harvest directives from"
+                )
+            harvested = extract_directives(source, **dict(stage.extract))
+            specs = [
+                spec if spec.directives is not None else spec.with_directives(harvested)
+                for spec in specs
+            ]
+
+        emit({
+            "event": "stage-started",
+            "campaign": self.name,
+            "stage": stage.name,
+            "runs": len(specs),
+            "executor": repr(executor),
+            "harvested_directives": len(harvested) if harvested else 0,
+        })
+
+        payloads = [_payload_for(spec, spec.run_id) for spec in specs]
+        records: List[Optional[RunRecord]] = [None] * len(specs)
+        failures: Dict[str, str] = {}
+        retried: List[str] = []
+
+        def handle(index: int, outcome: Any, attempt: int) -> bool:
+            """Record one outcome; returns True when the run succeeded."""
+            run_id = specs[index].run_id
+            if isinstance(outcome, Exception):
+                if attempt < self.retries:
+                    retried.append(run_id)
+                    emit({
+                        "event": "run-retried",
+                        "stage": stage.name,
+                        "run_id": run_id,
+                        "error": str(outcome),
+                        "attempt": attempt + 1,
+                    })
+                else:
+                    failures[run_id] = str(outcome)
+                    emit({
+                        "event": "run-failed",
+                        "stage": stage.name,
+                        "run_id": run_id,
+                        "error": str(outcome),
+                    })
+                return False
+            record = RunRecord.from_dict(outcome["record"])
+            records[index] = record
+            if store is not None:
+                store.save(record, overwrite=overwrite)
+            emit({
+                "event": "run-finished",
+                "stage": stage.name,
+                "run_id": run_id,
+                "wall": outcome["wall"],
+                "pid": outcome["pid"],
+                "bottlenecks": record.bottleneck_count(),
+                "pairs_tested": record.pairs_tested,
+                "time_to_find_all": record.time_to_find_all(),
+            })
+            return True
+
+        pending = list(range(len(payloads)))
+        for attempt in range(self.retries + 1):
+            if not pending:
+                break
+            batch = pending
+            outcomes = executor.run(_execute_payload, [payloads[i] for i in batch])
+            failed: List[int] = []
+            for local_index, outcome in outcomes:
+                index = batch[local_index]
+                if not handle(index, outcome, attempt):
+                    failed.append(index)
+            pending = sorted(failed)
+
+        stage_result = StageResult(
+            name=stage.name,
+            records=records,
+            failures=failures,
+            retried=retried,
+            wall=time.perf_counter() - stage_start,
+            harvested=harvested,
+        )
+        emit({
+            "event": "stage-finished",
+            "stage": stage.name,
+            "ok": len(stage_result.ok),
+            "failed": len(failures),
+            "wall": stage_result.wall,
+        })
+        return stage_result

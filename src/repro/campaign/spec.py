@@ -1,0 +1,89 @@
+"""Declarative descriptions of campaign work: run specs and stages.
+
+A :class:`RunSpec` is everything one diagnosis needs, in picklable form:
+instead of a live :class:`~repro.apps.base.Application` (whose per-process
+program generators cannot cross a process boundary) it carries the
+*builder* — a module-level callable such as
+:func:`~repro.apps.poisson.build_poisson` — plus its arguments, and the
+application is constructed inside whichever worker executes the spec.
+
+A :class:`Stage` groups specs that may run concurrently.  Stages execute
+in order with a barrier between them; a stage can declare that its
+directives are harvested from an earlier stage's records
+(``directives_from``), which is how the paper's "baseline runs → extract
+directives → directed runs" workflow becomes a single pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..apps.base import Application
+from ..core.directives import DirectiveSet
+from ..core.search import SearchConfig
+
+__all__ = ["RunSpec", "Stage"]
+
+
+@dataclass
+class RunSpec:
+    """One diagnosis to execute, serialisable across process boundaries.
+
+    ``pre_delay`` models wall-clock latency that precedes the diagnosis
+    itself — in a real deployment the time spent launching the monitored
+    program or fetching a remote trace.  Workers sleep for it without
+    holding the CPU, so campaigns overlap these waits; the scaling
+    benchmark uses it to represent external execution time.
+    """
+
+    builder: Callable[..., Application]
+    builder_args: Tuple[Any, ...] = ()
+    builder_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    config: Optional[SearchConfig] = None
+    directives: Optional[DirectiveSet] = None
+    run_id: Optional[str] = None
+    label: str = ""
+    pre_delay: float = 0.0
+    #: Extra :class:`~repro.core.consultant.DiagnosisSession` keywords
+    #: (``cost_model``, ``discover_resources``, ...); must be picklable.
+    session_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Application:
+        return self.builder(*self.builder_args, **dict(self.builder_kwargs))
+
+    def with_directives(self, directives: DirectiveSet) -> "RunSpec":
+        return replace(self, directives=directives)
+
+    def with_run_id(self, run_id: str) -> "RunSpec":
+        return replace(self, run_id=run_id)
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        name = getattr(self.builder, "__name__", str(self.builder))
+        return f"{name}{self.builder_args!r}"
+
+
+@dataclass
+class Stage:
+    """An ordered barrier group of runs inside a campaign.
+
+    ``directives_from`` names an earlier stage; at this stage's start the
+    campaign extracts directives from that stage's records (the keyword
+    arguments in ``extract`` are forwarded to
+    :func:`~repro.core.extraction.extract_directives`) and injects them
+    into every spec that does not carry an explicit directive set of its
+    own.
+    """
+
+    name: str
+    specs: Sequence[RunSpec]
+    directives_from: Optional[str] = None
+    extract: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("stage needs a non-empty name")
+        if self.directives_from == self.name:
+            raise ValueError(f"stage {self.name!r} cannot harvest from itself")

@@ -10,6 +10,7 @@ The workflows of the paper as shell commands around an experiment store::
     repro combine --union a.directives b.directives --out ab.directives
     repro automap --store runs/ poisson-A-0001 poisson-B-0001 --out ab.maps
     repro list --store runs/
+    repro campaign poisson --runs 8 --workers 4 --directed --store runs/
 """
 
 from __future__ import annotations
@@ -25,10 +26,10 @@ from .apps.base import Application
 from .apps.ocean import OceanConfig, build_ocean
 from .apps.poisson import PoissonConfig, build_poisson
 from .apps.tester import TesterConfig, build_tester
+from .campaign import Campaign, RunSpec, Stage, default_executor
 from .core import (
     DirectiveSet,
     SearchConfig,
-    extract_directives,
     intersect_directives,
     run_diagnosis,
     union_directives,
@@ -36,7 +37,8 @@ from .core import (
 from .core.automap import suggest_mappings_for_records
 from .core.postmortem import extract_directives_postmortem
 from .core.shg import NodeState
-from .storage import ExperimentStore, StoreError
+from .facade import as_store, diagnose, harvest, load_directives
+from .storage import StoreError
 from .visualize import bar_chart, render_shg, render_space, sparkline
 
 __all__ = ["main"]
@@ -73,22 +75,19 @@ def _parse_threshold(text: str):
 # ---------------------------------------------------------------------------
 def cmd_diagnose(args: argparse.Namespace) -> int:
     app = _build_app(args.application, args.app_version, args.iterations)
-    directives = None
-    if args.directives:
-        directives = DirectiveSet.from_text(Path(args.directives).read_text())
     config = SearchConfig(
         stop_engine_when_done=args.stop_when_done,
         threshold_overrides=dict(args.threshold or ()),
     )
-    record = run_diagnosis(
+    record = diagnose(
         app,
-        directives=directives,
-        config=config,
+        history=args.directives,
+        store=args.store,
         run_id=args.run_id,
+        overwrite=args.overwrite,
+        config=config,
         discover_resources=args.discover,
     )
-    if args.store:
-        ExperimentStore(args.store).save(record, overwrite=args.overwrite)
     t_all = record.time_to_find_all()
     print(f"run id          : {record.run_id}")
     print(f"application     : {record.app_name} version {record.version} "
@@ -103,8 +102,8 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
 
 
 def cmd_extract(args: argparse.Namespace) -> int:
-    store = ExperimentStore(args.store)
-    records = [store.load(run_id) for run_id in args.runs]
+    store = as_store(args.store)
+    records = store.load_all(args.runs)
     if args.postmortem:
         rec = records[0]
         directives = extract_directives_postmortem(
@@ -118,7 +117,7 @@ def cmd_extract(args: argparse.Namespace) -> int:
             )
             directives = union_directives(directives, more)
     else:
-        directives = extract_directives(
+        directives = harvest(
             records,
             include_pair_prunes=not args.no_pair_prunes,
             include_priorities=not args.no_priorities,
@@ -134,7 +133,7 @@ def cmd_extract(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    store = ExperimentStore(args.store)
+    store = as_store(args.store)
     record = store.load(args.run)
     print(f"run {record.run_id}: {record.app_name} v{record.version}, "
           f"{record.n_processes} processes on {len(record.nodes)} nodes")
@@ -183,7 +182,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
-    store = ExperimentStore(args.store)
+    store = as_store(args.store)
     run_ids = store.list(app_name=args.app)
     if not run_ids:
         print("(no stored runs)")
@@ -201,7 +200,7 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_combine(args: argparse.Namespace) -> int:
-    sets = [DirectiveSet.from_text(Path(f).read_text()) for f in args.files]
+    sets = [load_directives(f) for f in args.files]
     combine = union_directives if args.mode == "union" else intersect_directives
     out = combine(*sets)
     text = out.to_text()
@@ -245,7 +244,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    store = ExperimentStore(args.store)
+    store = as_store(args.store)
     old = store.load(args.old_run)
     new = store.load(args.new_run)
     mapper = None
@@ -261,7 +260,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_history(args: argparse.Namespace) -> int:
     from .storage import resource_history
 
-    store = ExperimentStore(args.store)
+    store = as_store(args.store)
     history = resource_history(
         store, args.resource, activity=args.activity, app_name=args.app
     )
@@ -281,7 +280,7 @@ def cmd_history(args: argparse.Namespace) -> int:
 
 
 def cmd_automap(args: argparse.Namespace) -> int:
-    store = ExperimentStore(args.store)
+    store = as_store(args.store)
     old = store.load(args.old_run)
     new = store.load(args.new_run)
     suggestions = suggest_mappings_for_records(old, new, min_score=args.min_score)
@@ -293,6 +292,67 @@ def cmd_automap(args: argparse.Namespace) -> int:
         for s in suggestions:
             print(s.as_line())
     return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    # Validate the application arguments eagerly (the workers would only
+    # fail later, once per run).
+    _build_app(args.application, args.app_version, args.iterations)
+    config = SearchConfig(
+        stop_engine_when_done=args.stop_when_done,
+        threshold_overrides=dict(args.threshold or ()),
+    )
+
+    def specs() -> list:
+        return [
+            RunSpec(
+                builder=_build_app,
+                builder_args=(args.application, args.app_version, args.iterations),
+                config=config,
+            )
+            for _ in range(args.runs)
+        ]
+
+    stages = [Stage("baseline", specs())]
+    if args.directed:
+        stages.append(Stage(
+            "directed", specs(),
+            directives_from="baseline",
+            extract={"include_thresholds": args.thresholds},
+        ))
+    campaign = Campaign(stages, name=args.name)
+
+    def progress(event: dict) -> None:
+        if event["event"] == "stage-started":
+            print(f"stage {event['stage']}: {event['runs']} runs "
+                  f"on {event['executor']}"
+                  + (f", {event['harvested_directives']} harvested directives"
+                     if event["harvested_directives"] else ""))
+        elif event["event"] == "run-finished":
+            print(f"  {event['run_id']}: {event['bottlenecks']} bottlenecks, "
+                  f"{event['pairs_tested']} pairs ({event['wall']:.1f} s wall)")
+        elif event["event"] == "run-retried":
+            print(f"  {event['run_id']}: retrying ({event['error']})")
+        elif event["event"] == "run-failed":
+            print(f"  {event['run_id']}: FAILED ({event['error']})")
+
+    result = campaign.run(
+        default_executor(args.workers),
+        store=args.store,
+        progress=progress,
+        overwrite=args.overwrite,
+    )
+
+    table = Table(f"Campaign {args.name}", ["stage", "ok", "failed", "wall (s)"])
+    for stage in result.stages.values():
+        table.add_row([
+            stage.name, len(stage.ok), len(stage.failures), f"{stage.wall:.1f}",
+        ])
+    print()
+    print(table.render())
+    if args.store:
+        print(f"records stored in {args.store}")
+    return 1 if result.failures else 0
 
 
 # ---------------------------------------------------------------------------
@@ -321,6 +381,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", action="append", type=_parse_threshold,
                    metavar="HYP=VALUE", help="override a hypothesis threshold")
     p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser("campaign",
+                       help="run a parallel set of diagnoses (optionally "
+                            "baseline -> harvest -> directed)")
+    p.add_argument("application", help="poisson | ocean | tester | anneal")
+    p.add_argument("--app-version", help="poisson version A/B/C/D (default C)")
+    p.add_argument("--iterations", type=int, help="workload iteration count")
+    p.add_argument("--runs", type=int, default=4, help="diagnoses per stage")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = serial)")
+    p.add_argument("--directed", action="store_true",
+                   help="add a second stage that harvests directives from "
+                        "the baseline stage and runs directed")
+    p.add_argument("--thresholds", action="store_true",
+                   help="include threshold directives in the harvest")
+    p.add_argument("--store", help="experiment store directory to save runs in")
+    p.add_argument("--overwrite", action="store_true",
+                   help="replace existing stored runs")
+    p.add_argument("--name", default="campaign", help="campaign (and run id) prefix")
+    p.add_argument("--stop-when-done", action="store_true",
+                   help="stop each program once its search has concluded everything")
+    p.add_argument("--threshold", action="append", type=_parse_threshold,
+                   metavar="HYP=VALUE", help="override a hypothesis threshold")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("extract", help="harvest search directives from stored runs")
     p.add_argument("runs", nargs="+", help="run ids to extract from")

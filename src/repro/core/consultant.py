@@ -9,6 +9,8 @@ get back a fully populated :class:`~repro.storage.records.RunRecord`.
 from __future__ import annotations
 
 import itertools
+import os
+import uuid
 from dataclasses import dataclass
 from typing import Optional
 
@@ -26,10 +28,24 @@ from .search import PerformanceConsultantSearch, SearchConfig
 __all__ = ["DiagnosisSession", "run_diagnosis"]
 
 _run_counter = itertools.count(1)
+_process_tag: Optional[str] = None
+_process_tag_pid: Optional[int] = None
+
+
+def _current_process_tag() -> str:
+    # Recomputed whenever the pid changes: forked campaign workers inherit
+    # the parent's module state, so a tag captured at import time (and the
+    # counter value itself) would collide across processes.
+    global _process_tag, _process_tag_pid
+    pid = os.getpid()
+    if _process_tag_pid != pid:
+        _process_tag = f"{pid:x}{uuid.uuid4().hex[:6]}"
+        _process_tag_pid = pid
+    return _process_tag
 
 
 def _default_run_id(app: Application) -> str:
-    return f"{app.name}-{app.version}-{next(_run_counter):04d}"
+    return f"{app.name}-{app.version}-{_current_process_tag()}-{next(_run_counter):04d}"
 
 
 @dataclass

@@ -1,0 +1,183 @@
+"""The stable top-level API: diagnose, harvest, and input resolution.
+
+Three workflows cover almost every use of this package — run a diagnosis,
+harvest directives from history, run a directed diagnosis — and this
+module gives each a single entry point with uniform argument handling.
+``diagnose``/``harvest`` accept history and store arguments in whatever
+form is at hand (paths, stores, records, directive sets, directive
+files); the same resolvers back the CLI subcommands, so ``--store`` and
+``--directives`` flags behave identically everywhere.
+
+These names, plus :class:`~repro.campaign.runner.Campaign`, are the
+supported surface; the underlying classes remain importable for
+compatibility and for fine-grained control.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any, Iterable, List, Optional, Union
+
+from .apps.base import Application
+from .core.consultant import DiagnosisSession
+from .core.directives import DirectiveSet
+from .core.extraction import extract_directives
+from .core.search import SearchConfig
+from .storage.records import RunRecord
+from .storage.store import ExperimentStore, StoreError
+
+__all__ = [
+    "diagnose",
+    "harvest",
+    "as_store",
+    "load_directives",
+    "resolve_history",
+]
+
+_SEARCH_FIELDS = {f.name for f in dataclasses.fields(SearchConfig)}
+_SESSION_FIELDS = {
+    "cost_model",
+    "hypotheses",
+    "apply_resource_mapping",
+    "discover_resources",
+}
+
+HistoryLike = Union[
+    None, DirectiveSet, RunRecord, ExperimentStore, str, Path, Iterable[RunRecord]
+]
+StoreLike = Union[ExperimentStore, str, Path]
+
+
+# ---------------------------------------------------------------------------
+# input resolution (shared by the facade and the CLI)
+# ---------------------------------------------------------------------------
+def as_store(store: StoreLike) -> ExperimentStore:
+    """Coerce a path-or-store argument to an :class:`ExperimentStore`."""
+    if isinstance(store, ExperimentStore):
+        return store
+    return ExperimentStore(store)
+
+
+def load_directives(path: Union[str, Path]) -> DirectiveSet:
+    """Parse a directive file (the ``prune``/``priority``/... text format)."""
+    return DirectiveSet.from_text(Path(path).read_text())
+
+
+def _app_name(app: Union[Application, str, None]) -> Optional[str]:
+    if app is None:
+        return None
+    return app if isinstance(app, str) else app.name
+
+
+def resolve_history(
+    history: HistoryLike, app: Union[Application, str, None] = None, **options
+) -> Optional[DirectiveSet]:
+    """Turn any history-like argument into a directive set.
+
+    * ``None`` → ``None`` (undirected);
+    * a :class:`DirectiveSet` → itself;
+    * a :class:`RunRecord` or iterable of records → extraction over them;
+    * an :class:`ExperimentStore` or a store directory path → extraction
+      over its stored runs (filtered to *app* when given);
+    * a path to a directive file → its parsed contents.
+    """
+    if history is None:
+        return None
+    if isinstance(history, DirectiveSet):
+        return history
+    if isinstance(history, (str, Path)):
+        path = Path(history)
+        if path.is_dir():
+            return harvest(ExperimentStore(path), app=app, **options)
+        if path.is_file():
+            return load_directives(path)
+        raise StoreError(f"history path {str(path)!r} does not exist")
+    return harvest(history, app=app, **options)
+
+
+def _history_records(
+    source: Union[ExperimentStore, str, Path, RunRecord, Iterable[RunRecord]],
+    app_name: Optional[str],
+) -> List[RunRecord]:
+    if isinstance(source, RunRecord):
+        return [source]
+    if isinstance(source, (str, Path)):
+        source = ExperimentStore(source)
+    if isinstance(source, ExperimentStore):
+        return source.load_all(source.list(app_name=app_name))
+    records = list(source)
+    for record in records:
+        if not isinstance(record, RunRecord):
+            raise TypeError(f"expected RunRecord history, got {type(record).__name__}")
+    if app_name is not None:
+        records = [r for r in records if r.app_name == app_name]
+    return records
+
+
+# ---------------------------------------------------------------------------
+# the facade
+# ---------------------------------------------------------------------------
+def diagnose(
+    app: Application,
+    *,
+    history: HistoryLike = None,
+    store: Optional[StoreLike] = None,
+    run_id: Optional[str] = None,
+    overwrite: bool = False,
+    config: Optional[SearchConfig] = None,
+    **cfg,
+) -> RunRecord:
+    """Run one Performance Consultant diagnosis of *app*.
+
+    ``history`` supplies search directives in any form
+    (:func:`resolve_history`); ``store`` persists the resulting record.
+    Keyword arguments matching :class:`SearchConfig` fields
+    (``min_interval=5.0``, ``stop_engine_when_done=True``, ...) build the
+    search configuration; session keywords (``cost_model``,
+    ``hypotheses``, ``discover_resources``, ``apply_resource_mapping``)
+    pass through to :class:`DiagnosisSession`.
+
+    >>> record = diagnose(build_poisson("C"), history="runs/", store="runs/")
+    """
+    search_kwargs = {k: v for k, v in cfg.items() if k in _SEARCH_FIELDS}
+    session_kwargs = {k: v for k, v in cfg.items() if k in _SESSION_FIELDS}
+    unknown = set(cfg) - _SEARCH_FIELDS - _SESSION_FIELDS
+    if unknown:
+        raise TypeError(f"diagnose() got unexpected keyword(s): {sorted(unknown)}")
+    if config is not None and search_kwargs:
+        raise TypeError(
+            "pass either config= or individual search fields "
+            f"({sorted(search_kwargs)}), not both"
+        )
+    record = DiagnosisSession(
+        app=app,
+        directives=resolve_history(history, app=app),
+        config=config or (SearchConfig(**search_kwargs) if search_kwargs else None),
+        run_id=run_id,
+        **session_kwargs,
+    ).run()
+    if store is not None:
+        as_store(store).save(record, overwrite=overwrite)
+    return record
+
+
+def harvest(
+    store_or_records: Union[ExperimentStore, str, Path, RunRecord, Iterable[RunRecord]],
+    *,
+    app: Union[Application, str, None] = None,
+    **options,
+) -> DirectiveSet:
+    """Extract search directives from stored history.
+
+    Accepts an :class:`ExperimentStore`, a store directory path, a single
+    :class:`RunRecord`, or an iterable of records; *app* (an
+    :class:`Application` or name) filters which stored runs count as
+    history.  ``options`` forward to
+    :func:`~repro.core.extraction.extract_directives`
+    (``include_thresholds=True``, ``include_pair_prunes=False``, ...).
+
+    >>> directives = harvest("runs/", app="poisson", include_thresholds=True)
+    """
+    records = _history_records(store_or_records, _app_name(app))
+    return extract_directives(records, **options)

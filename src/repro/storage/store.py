@@ -6,39 +6,103 @@ for storing, naming, and querying multi-execution performance data".  This
 module is that infrastructure at the scale the experiments need: a
 directory of JSON run records plus an index, with query helpers over app
 name, code version, and recency.
+
+Concurrency model: record bodies live in per-run files written with an
+atomic rename, and every index merge (save / delete / initial creation)
+runs under an exclusive advisory lock on ``index.lock``, so any number of
+writer processes — campaign pool workers, parallel CLI invocations —
+interleave without losing entries.  ``seq`` values are assigned
+monotonically under the same lock; readers see consistent snapshots
+because the index file itself is only ever replaced atomically.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
+import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
+
+try:  # POSIX advisory locks; absent e.g. on Windows
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only off-POSIX
+    fcntl = None
 
 from .records import RunRecord
 
 __all__ = ["ExperimentStore", "StoreError"]
 
 _INDEX_NAME = "index.json"
+_LOCK_NAME = "index.lock"
 
 
 class StoreError(RuntimeError):
     """Raised for store consistency problems."""
 
 
+@contextmanager
+def _locked(lock_path: Path):
+    """Hold an exclusive inter-process lock for the duration of the block.
+
+    Uses ``flock`` where available; otherwise falls back to an
+    ``O_EXCL``-based spin lock so the store still serialises writers on
+    platforms without ``fcntl``.
+    """
+    if fcntl is not None:
+        fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+    else:  # pragma: no cover - exercised only off-POSIX
+        spin = lock_path.with_suffix(".spin")
+        deadline = time.monotonic() + 30.0
+        while True:
+            try:
+                fd = os.open(spin, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except OSError as exc:
+                if exc.errno != errno.EEXIST:
+                    raise
+                if time.monotonic() > deadline:
+                    raise StoreError(f"timed out waiting for store lock {spin}")
+                time.sleep(0.005)
+        try:
+            yield
+        finally:
+            os.close(fd)
+            spin.unlink(missing_ok=True)
+
+
 class ExperimentStore:
-    """A directory-backed store of :class:`RunRecord` objects."""
+    """A directory-backed store of :class:`RunRecord` objects.
+
+    Safe for concurrent use from multiple processes: all index mutations
+    are merged under an exclusive file lock and record files are written
+    atomically, so simultaneous writers never lose each other's updates.
+    """
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._index_path = self.root / _INDEX_NAME
+        self._lock_path = self.root / _LOCK_NAME
         if not self._index_path.exists():
-            self._write_index({})
+            with self._lock():
+                if not self._index_path.exists():
+                    self._write_index({})
 
     # ------------------------------------------------------------------
     # index handling
     # ------------------------------------------------------------------
+    def _lock(self):
+        return _locked(self._lock_path)
+
     def _read_index(self) -> Dict[str, dict]:
         with open(self._index_path, "r", encoding="utf-8") as fh:
             return json.load(fh)
@@ -52,28 +116,43 @@ class ExperimentStore:
     def _record_path(self, run_id: str) -> Path:
         return self.root / f"{run_id}.json"
 
+    @staticmethod
+    def _next_seq(index: Dict[str, dict]) -> int:
+        return 1 + max((meta.get("seq", -1) for meta in index.values()), default=-1)
+
     # ------------------------------------------------------------------
     # CRUD
     # ------------------------------------------------------------------
     def save(self, record: RunRecord, overwrite: bool = False) -> str:
-        """Persist a run record; returns its id."""
+        """Persist a run record; returns its id.
+
+        The existence check, record write, and index merge all happen
+        under the store lock, so concurrent savers of distinct runs both
+        land and concurrent savers of the *same* run id race cleanly (one
+        wins, the other gets :class:`StoreError` unless ``overwrite``).
+        An overwritten record keeps its original ``seq``; new records get
+        the next monotonic value.
+        """
         path = self._record_path(record.run_id)
-        if path.exists() and not overwrite:
-            raise StoreError(f"run {record.run_id!r} already stored")
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(record.to_dict(), fh)
-        os.replace(tmp, path)
-        index = self._read_index()
-        index[record.run_id] = {
-            "app_name": record.app_name,
-            "version": record.version,
-            "n_processes": record.n_processes,
-            "bottlenecks": record.bottleneck_count(),
-            "pairs_tested": record.pairs_tested,
-            "seq": len(index),
-        }
-        self._write_index(index)
+        with self._lock():
+            if path.exists() and not overwrite:
+                raise StoreError(f"run {record.run_id!r} already stored")
+            tmp = path.with_suffix(".tmp")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(record.to_dict(), fh)
+            os.replace(tmp, path)
+            index = self._read_index()
+            prior = index.get(record.run_id)
+            seq = prior["seq"] if prior and "seq" in prior else self._next_seq(index)
+            index[record.run_id] = {
+                "app_name": record.app_name,
+                "version": record.version,
+                "n_processes": record.n_processes,
+                "bottlenecks": record.bottleneck_count(),
+                "pairs_tested": record.pairs_tested,
+                "seq": seq,
+            }
+            self._write_index(index)
         return record.run_id
 
     def load(self, run_id: str) -> RunRecord:
@@ -84,12 +163,13 @@ class ExperimentStore:
             return RunRecord.from_dict(json.load(fh))
 
     def delete(self, run_id: str) -> None:
-        path = self._record_path(run_id)
-        if path.exists():
-            path.unlink()
-        index = self._read_index()
-        index.pop(run_id, None)
-        self._write_index(index)
+        with self._lock():
+            path = self._record_path(run_id)
+            if path.exists():
+                path.unlink()
+            index = self._read_index()
+            index.pop(run_id, None)
+            self._write_index(index)
 
     def __contains__(self, run_id: str) -> bool:
         return self._record_path(run_id).exists()
@@ -123,3 +203,48 @@ class ExperimentStore:
 
     def __len__(self) -> int:
         return len(self._read_index())
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def rebuild_index(self) -> int:
+        """Reconstruct the index from the record files on disk.
+
+        Recovery tool for a corrupted or missing index: every
+        ``<run_id>.json`` is re-read and re-registered.  Existing ``seq``
+        values are preserved where the old index still has them; records
+        the index lost are appended in file-modification order.  Returns
+        the number of indexed records.
+        """
+        with self._lock():
+            try:
+                old = self._read_index()
+            except (OSError, json.JSONDecodeError):
+                old = {}
+            paths = sorted(
+                (p for p in self.root.glob("*.json") if p.name != _INDEX_NAME),
+                key=lambda p: p.stat().st_mtime,
+            )
+            index: Dict[str, dict] = {}
+            recovered = []
+            for path in paths:
+                with open(path, "r", encoding="utf-8") as fh:
+                    record = RunRecord.from_dict(json.load(fh))
+                meta = {
+                    "app_name": record.app_name,
+                    "version": record.version,
+                    "n_processes": record.n_processes,
+                    "bottlenecks": record.bottleneck_count(),
+                    "pairs_tested": record.pairs_tested,
+                }
+                prior = old.get(record.run_id)
+                if prior and "seq" in prior:
+                    meta["seq"] = prior["seq"]
+                    index[record.run_id] = meta
+                else:
+                    recovered.append((record.run_id, meta))
+            for run_id, meta in recovered:
+                meta["seq"] = self._next_seq(index)
+                index[run_id] = meta
+            self._write_index(index)
+            return len(index)

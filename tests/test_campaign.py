@@ -1,0 +1,168 @@
+"""Tests for the campaign runner: stages, executors, retries, determinism."""
+
+import os
+
+import pytest
+
+from repro.apps.synthetic import make_pingpong
+from repro.campaign import (
+    Campaign,
+    CampaignError,
+    PoolExecutor,
+    RunSpec,
+    SerialExecutor,
+    Stage,
+)
+from repro.core import DirectiveSet, SearchConfig
+from repro.storage import ExperimentStore
+
+FAST = SearchConfig(min_interval=5.0, check_period=0.5, insertion_latency=0.2, cost_limit=50.0)
+
+
+def _spec(**kwargs):
+    kwargs.setdefault("config", FAST)
+    return RunSpec(make_pingpong, builder_kwargs={"iterations": 60}, **kwargs)
+
+
+# module-level so the pool executor can pickle them
+def _flaky_builder(flag_path, iterations=60):
+    if not os.path.exists(flag_path):
+        open(flag_path, "w").close()
+        raise RuntimeError("transient failure")
+    return make_pingpong(iterations=iterations)
+
+
+def _always_fails(iterations=0):
+    raise RuntimeError("boom")
+
+
+class TestCampaignBasics:
+    def test_single_stage_convenience(self):
+        result = Campaign(specs=[_spec(), _spec()], name="c").run()
+        assert [r.run_id for r in result.records] == ["c-runs-000", "c-runs-001"]
+        assert not result.failures
+        assert result.wall > 0
+
+    def test_explicit_run_ids_kept(self):
+        result = Campaign(specs=[_spec(run_id="mine")]).run()
+        assert result.records[0].run_id == "mine"
+
+    def test_store_persistence(self, tmp_path):
+        Campaign(specs=[_spec()], name="c").run(store=tmp_path / "runs")
+        store = ExperimentStore(tmp_path / "runs")
+        assert store.list() == ["c-runs-000"]
+
+    def test_progress_events(self):
+        events = []
+        Campaign(specs=[_spec()], name="c").run(progress=events.append)
+        kinds = [e["event"] for e in events]
+        assert kinds == ["stage-started", "run-finished", "stage-finished"]
+        finished = events[1]
+        assert finished["run_id"] == "c-runs-000"
+        assert finished["wall"] > 0
+        assert finished["pairs_tested"] > 0
+
+    def test_workers_shortcut(self):
+        result = Campaign(specs=[_spec(), _spec()], name="c").run(workers=2)
+        assert len(result.records) == 2
+
+
+class TestValidation:
+    def test_needs_stages_or_specs(self):
+        with pytest.raises(CampaignError):
+            Campaign()
+        with pytest.raises(CampaignError):
+            Campaign([Stage("a", [_spec()])], specs=[_spec()])
+
+    def test_duplicate_stage_names(self):
+        with pytest.raises(CampaignError):
+            Campaign([Stage("a", [_spec()]), Stage("a", [_spec()])])
+
+    def test_directives_from_must_be_earlier(self):
+        with pytest.raises(CampaignError):
+            Campaign([Stage("a", [_spec()], directives_from="b")])
+        with pytest.raises(ValueError):
+            Stage("a", [_spec()], directives_from="a")
+
+
+class TestPipeline:
+    def test_extraction_barrier_injects_directives(self):
+        campaign = Campaign(
+            [
+                Stage("baseline", [_spec()]),
+                Stage("directed", [_spec()], directives_from="baseline"),
+            ],
+            name="p",
+        )
+        result = campaign.run()
+        directed = result.stage("directed")
+        assert directed.harvested is not None
+        assert len(directed.harvested) > 0
+        assert len(directed.ok) == 1
+
+    def test_explicit_directives_win(self):
+        own = DirectiveSet()
+        campaign = Campaign(
+            [
+                Stage("baseline", [_spec()]),
+                Stage("directed", [_spec(directives=own)], directives_from="baseline"),
+            ],
+            name="p",
+        )
+        # the stage still harvests, but the explicit (empty) set is used:
+        # the directed run tests at least as many pairs as the baseline
+        result = campaign.run()
+        base = result.stage("baseline").ok[0]
+        directed = result.stage("directed").ok[0]
+        assert directed.pairs_tested >= base.pairs_tested
+
+    def test_harvest_from_all_failed_stage_raises(self, tmp_path):
+        campaign = Campaign(
+            [
+                Stage("baseline", [RunSpec(_always_fails)]),
+                Stage("directed", [_spec()], directives_from="baseline"),
+            ],
+        )
+        with pytest.raises(CampaignError):
+            campaign.run()
+
+
+class TestRetries:
+    def test_transient_failure_retried_once(self, tmp_path):
+        flag = tmp_path / "flaky.flag"
+        spec = RunSpec(
+            _flaky_builder, builder_args=(str(flag),),
+            builder_kwargs={"iterations": 60}, config=FAST,
+        )
+        events = []
+        result = Campaign(specs=[spec], name="r").run(progress=events.append)
+        assert not result.failures
+        assert result.stage("runs").retried == ["r-runs-000"]
+        assert "run-retried" in [e["event"] for e in events]
+        assert len(result.records) == 1
+
+    def test_permanent_failure_recorded(self):
+        result = Campaign(specs=[RunSpec(_always_fails), _spec()], name="r").run()
+        assert result.failures == {"r-runs-000": "boom"}
+        stage = result.stage("runs")
+        assert stage.records[0] is None
+        assert stage.records[1] is not None
+        assert len(result.records) == 1
+
+    def test_no_retries(self):
+        result = Campaign(specs=[RunSpec(_always_fails)], name="r", retries=0).run()
+        assert result.stage("runs").retried == []
+        assert result.failures
+
+
+class TestDeterminism:
+    def test_serial_equals_pool(self):
+        stages = lambda: [
+            Stage("baseline", [_spec(), _spec()]),
+            Stage("directed", [_spec(), _spec()], directives_from="baseline"),
+        ]
+        serial = Campaign(stages(), name="d").run(SerialExecutor())
+        pooled = Campaign(stages(), name="d").run(PoolExecutor(2))
+        serial_dicts = [r.to_dict() for r in serial.records]
+        pooled_dicts = [r.to_dict() for r in pooled.records]
+        assert serial_dicts == pooled_dicts

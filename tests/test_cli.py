@@ -59,6 +59,32 @@ class TestDiagnose:
         assert "error" in capsys.readouterr().err
 
 
+class TestCampaign:
+    def test_directed_pipeline(self, tmp_path, capsys):
+        assert run_cli(
+            "campaign", "tester", "--iterations", 40, "--runs", 2,
+            "--directed", "--store", tmp_path / "runs", "--name", "camp",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stage baseline: 2 runs" in out
+        assert "harvested directives" in out
+        assert "camp-directed-001" in out
+        from repro.storage import ExperimentStore
+
+        assert len(ExperimentStore(tmp_path / "runs")) == 4
+
+    def test_workers_flag(self, tmp_path, capsys):
+        assert run_cli(
+            "campaign", "tester", "--iterations", 40, "--runs", 2,
+            "--workers", 2,
+        ) == 0
+        assert "PoolExecutor(workers=2)" in capsys.readouterr().out
+
+    def test_unknown_app_fails(self):
+        with pytest.raises(SystemExit):
+            run_cli("campaign", "fortnite")
+
+
 class TestExtractCombineReport:
     def test_extract_to_file(self, store_with_runs, tmp_path):
         out = tmp_path / "a.directives"

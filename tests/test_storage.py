@@ -114,3 +114,39 @@ class TestExperimentStore:
         again = ExperimentStore(tmp_path / "runs")
         assert "pp-base" in again
         assert again.list() == ["pp-base"]
+
+
+class TestSequenceNumbers:
+    def _clones(self, record, *run_ids):
+        out = []
+        for run_id in run_ids:
+            clone = RunRecord.from_dict(record.to_dict())
+            clone.run_id = run_id
+            out.append(clone)
+        return out
+
+    def _seqs(self, store):
+        return {rid: meta["seq"] for rid, meta in store._read_index().items()}
+
+    def test_overwrite_preserves_seq(self, tmp_path, record):
+        store = ExperimentStore(tmp_path / "runs")
+        a, b, c = self._clones(record, "a", "b", "c")
+        for rec in (a, b, c):
+            store.save(rec)
+        before = self._seqs(store)
+        store.save(a, overwrite=True)
+        after = self._seqs(store)
+        assert after == before  # regression: overwrite used to get seq=len(index)
+        assert sorted(after.values()) == [0, 1, 2]
+        assert store.list() == ["a", "b", "c"]
+
+    def test_seq_monotonic_after_delete(self, tmp_path, record):
+        store = ExperimentStore(tmp_path / "runs")
+        a, b, c = self._clones(record, "a", "b", "c")
+        store.save(a)
+        store.save(b)
+        store.delete("a")
+        store.save(c)
+        seqs = self._seqs(store)
+        assert seqs["c"] > seqs["b"]  # never reuses a live seq
+        assert store.list() == ["b", "c"]
