@@ -4,22 +4,29 @@ The scale-out layer above single diagnosis sessions.  Declare *what* to
 run (:class:`RunSpec`, grouped into :class:`Stage` barriers), pick an
 execution backend (:class:`SerialExecutor` or :class:`PoolExecutor`), and
 :class:`Campaign` handles fan-out, the between-stage directive-extraction
-barrier, one retry per failed run, progress streaming, and persistence
-into the concurrency-safe experiment store.
+barrier, retries with exponential backoff, per-run wall-clock timeouts,
+salvage of fault-stricken runs into degraded partial records, progress
+streaming, persistence into the concurrency-safe experiment store, and —
+through the :class:`CampaignJournal` — resumption after a crash without
+redoing finished runs.
 """
 
-from .executors import PoolExecutor, SerialExecutor, default_executor
+from .executors import PoolExecutor, RunTimeout, SerialExecutor, default_executor
+from .journal import CampaignJournal, JournalError
 from .runner import Campaign, CampaignError, CampaignResult, StageResult
 from .spec import RunSpec, Stage
 
 __all__ = [
     "PoolExecutor",
     "SerialExecutor",
+    "RunTimeout",
     "default_executor",
     "Campaign",
     "CampaignError",
     "CampaignResult",
     "StageResult",
+    "CampaignJournal",
+    "JournalError",
     "RunSpec",
     "Stage",
 ]

@@ -1,0 +1,122 @@
+"""The campaign journal: a crash-durable log of finished runs.
+
+A campaign that dies mid-flight — OOM-killed worker pool, SIGKILL, power
+loss — should not have to redo the runs that already finished.  The
+journal is an append-only JSONL file; every *final* run outcome (ok,
+degraded, or exhausted-retries failure) is one line, flushed and
+``fsync``'d before the campaign moves on, so anything the journal claims
+finished really is on disk.  ``Campaign.run(..., journal=path,
+resume=True)`` then replays those lines: journalled successes are
+rehydrated into :class:`~repro.storage.records.RunRecord` objects without
+re-executing anything, and only the missing runs go to the executor.
+
+Resume keys on the deterministic run id (``<campaign>-<stage>-<index>``
+unless the spec names its own), so the same campaign definition maps onto
+the same journal across invocations.  Journalled *failures* are re-run on
+resume — a crash is exactly the situation in which a previously failing
+run deserves another chance — while ok/degraded entries are trusted.
+
+A torn final line (the crash landed mid-write) is tolerated and dropped;
+any other malformed line raises, since it means the file is not a journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+__all__ = ["CampaignJournal", "JournalError"]
+
+_FINISHED = ("ok", "degraded")
+
+
+class JournalError(RuntimeError):
+    """The journal file exists but cannot be understood."""
+
+
+class CampaignJournal:
+    """Append-only JSONL journal of completed campaign runs.
+
+    Each entry::
+
+        {"campaign": ..., "stage": ..., "run_id": ...,
+         "status": "ok" | "degraded" | "failed",
+         "error": <str | null>, "record": <RunRecord dict | null>,
+         "wall": <seconds>}
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    # reading (resume)
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[dict]:
+        """Yield every journalled entry; tolerate one torn trailing line."""
+        if not self.path.exists():
+            return
+        lines = self.path.read_text().splitlines()
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    # The crash interrupted the final append; everything
+                    # before it was fsync'd and is still good.
+                    return
+                raise JournalError(
+                    f"{self.path}: corrupt journal line {lineno + 1}"
+                ) from None
+            if not isinstance(entry, dict) or "run_id" not in entry:
+                raise JournalError(
+                    f"{self.path}: journal line {lineno + 1} is not a run entry"
+                )
+            yield entry
+
+    def finished(self, campaign: Optional[str] = None) -> Dict[str, dict]:
+        """run_id → entry for runs that need no re-execution.
+
+        Later entries win, so a re-run that succeeded after a journalled
+        failure supersedes it.  Failures are excluded: resume retries
+        them.
+        """
+        out: Dict[str, dict] = {}
+        for entry in self.entries():
+            if campaign is not None and entry.get("campaign") != campaign:
+                continue
+            if entry.get("status") in _FINISHED:
+                out[entry["run_id"]] = entry
+            else:
+                out.pop(entry["run_id"], None)
+        return out
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, entry: dict) -> None:
+        """Durably append one entry (flush + fsync before returning)."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"CampaignJournal({str(self.path)!r})"

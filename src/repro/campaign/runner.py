@@ -1,4 +1,4 @@
-"""The campaign runner: staged, parallel, retried diagnosis sets.
+"""The campaign runner: staged, parallel, retried, resumable diagnosis sets.
 
 A :class:`Campaign` executes stages of :class:`~repro.campaign.spec.RunSpec`
 in order.  Within a stage every run is independent — exactly the shape of
@@ -9,10 +9,29 @@ the configured executor.  Between stages the campaign provides the
 for the baseline stage, harvests directives from its records, and injects
 them into its own specs before any of them start.
 
-Failure policy: a run whose worker raises is retried (``retries`` times,
-default once) and recorded as a failure afterwards; one bad run never
-takes down the campaign.  Results stream back through an optional
-``progress`` callback and are optionally persisted to a concurrency-safe
+Failure policy, in escalation order:
+
+1. a run whose worker raises is retried up to ``retries`` times, with
+   exponential backoff (``backoff * backoff_factor**attempt`` seconds)
+   between rounds;
+2. a run still failing on a *simulator* error is salvaged — re-executed
+   once with ``on_failure="degrade"`` so the Performance Consultant
+   finalises over whatever data it gathered and returns a partial record
+   (``status="degraded"``) instead of nothing;
+3. only then is the run recorded as a failure — and one bad run never
+   takes down the campaign.
+
+``run_timeout`` bounds each run's wall clock in either executor; an
+expired run fails with :class:`~repro.campaign.executors.RunTimeout` and
+goes through the same retry ladder.
+
+Crash resumability: pass ``journal=`` a path and every *final* outcome is
+fsync'd to an append-only JSONL file before the campaign proceeds.  After
+a kill, the same campaign re-run with ``resume=True`` rehydrates the
+journalled records and sends only the unfinished runs to the executor.
+
+Results stream back through an optional ``progress`` callback and are
+optionally persisted to a concurrency-safe
 :class:`~repro.storage.store.ExperimentStore` as they arrive.
 """
 
@@ -27,9 +46,12 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 from ..core.consultant import run_diagnosis
 from ..core.directives import DirectiveSet
 from ..core.extraction import extract_directives
+from ..faults import FaultPlan
+from ..simulator.errors import SimulationError
 from ..storage.records import RunRecord
 from ..storage.store import ExperimentStore
 from .executors import SerialExecutor, default_executor
+from .journal import CampaignJournal
 from .spec import RunSpec, Stage
 
 __all__ = ["Campaign", "CampaignResult", "StageResult", "CampaignError"]
@@ -47,9 +69,10 @@ class CampaignError(RuntimeError):
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Run one spec; returns the record as a dict plus worker telemetry.
 
-    Directives travel as text (the directive file format) rather than as
-    objects, so the payload's pickle surface stays small and version-
-    stable; records come back as plain dicts for the same reason.
+    Directives travel as text (the directive file format) and fault plans
+    as their dict form rather than as objects, so the payload's pickle
+    surface stays small and version-stable; records come back as plain
+    dicts for the same reason.
     """
     start = time.perf_counter()
     if payload["pre_delay"] > 0.0:
@@ -58,12 +81,15 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     directives = None
     if payload["directives_text"] is not None:
         directives = DirectiveSet.from_text(payload["directives_text"])
+    session_kwargs = dict(payload["session_kwargs"])
+    if payload.get("faults") is not None:
+        session_kwargs["faults"] = FaultPlan.from_dict(payload["faults"])
     record = run_diagnosis(
         app,
         directives=directives,
         config=payload["config"],
         run_id=payload["run_id"],
-        **payload["session_kwargs"],
+        **session_kwargs,
     )
     return {
         "record": record.to_dict(),
@@ -82,6 +108,7 @@ def _payload_for(spec: RunSpec, run_id: str) -> Dict[str, Any]:
         "run_id": run_id,
         "pre_delay": spec.pre_delay,
         "session_kwargs": dict(spec.session_kwargs),
+        "faults": spec.faults.to_dict() if spec.faults else None,
     }
 
 
@@ -96,6 +123,12 @@ class StageResult:
     records: List[Optional[RunRecord]]
     failures: Dict[str, str] = field(default_factory=dict)
     retried: List[str] = field(default_factory=list)
+    #: Run ids whose record is partial: the run failed outright and was
+    #: salvaged with ``on_failure="degrade"``, or its record came back
+    #: with ``status="degraded"`` (crashed processes, injected faults).
+    degraded: List[str] = field(default_factory=list)
+    #: Run ids restored from the journal instead of re-executed.
+    resumed: List[str] = field(default_factory=list)
     wall: float = 0.0
     #: The harvested directive set injected via ``directives_from``.
     harvested: Optional[DirectiveSet] = None
@@ -124,23 +157,36 @@ class CampaignResult:
             out.update(stage.failures)
         return out
 
+    @property
+    def degraded(self) -> List[str]:
+        return [run_id for stage in self.stages.values() for run_id in stage.degraded]
+
     def stage(self, name: str) -> StageResult:
         return self.stages[name]
 
     def summary(self) -> str:
         lines = [f"campaign {self.name}: {self.wall:.1f} s wall"]
         for stage in self.stages.values():
-            lines.append(
+            line = (
                 f"  stage {stage.name}: {len(stage.ok)}/{len(stage.records)} ok, "
-                f"{len(stage.failures)} failed, {stage.wall:.1f} s"
+                f"{len(stage.failures)} failed"
             )
+            if stage.degraded:
+                line += f", {len(stage.degraded)} degraded"
+            if stage.resumed:
+                line += f", {len(stage.resumed)} resumed"
+            lines.append(line + f", {stage.wall:.1f} s")
             for record in stage.ok:
                 t_all = record.time_to_find_all()
-                lines.append(
+                detail = (
                     f"    {record.run_id}: {record.bottleneck_count()} bottlenecks, "
                     f"{record.pairs_tested} pairs"
-                    + (f", found all at {t_all:.1f} s" if t_all else "")
                 )
+                if t_all:
+                    detail += f", found all at {t_all:.1f} s"
+                if record.degraded:
+                    detail += f" [DEGRADED {record.coverage:.0%} coverage: {record.failure}]"
+                lines.append(detail)
             for run_id, error in stage.failures.items():
                 lines.append(f"    {run_id}: FAILED ({error})")
         return "\n".join(lines)
@@ -162,6 +208,10 @@ class Campaign:
             Stage("baseline", base_specs),
             Stage("directed", directed_specs, directives_from="baseline"),
         ])
+
+    ``retries`` is the number of re-executions after the first attempt;
+    round *n* of retries starts after ``backoff * backoff_factor**(n-1)``
+    seconds (exponential backoff, shared by the whole retry round).
     """
 
     def __init__(
@@ -171,14 +221,25 @@ class Campaign:
         specs: Optional[Sequence[RunSpec]] = None,
         name: str = "campaign",
         retries: int = 1,
+        backoff: float = 0.1,
+        backoff_factor: float = 2.0,
     ):
         if (stages is None) == (specs is None):
             raise CampaignError("pass exactly one of stages= or specs=")
         if specs is not None:
             stages = [Stage("runs", list(specs))]
+        if retries < 0:
+            raise CampaignError(f"retries must be >= 0, got {retries}")
+        if backoff < 0 or backoff_factor < 1.0:
+            raise CampaignError(
+                f"need backoff >= 0 and backoff_factor >= 1, "
+                f"got {backoff}/{backoff_factor}"
+            )
         self.stages = list(stages)
         self.name = name
         self.retries = retries
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
         if not self.stages:
             raise CampaignError("campaign has no stages")
         seen: set = set()
@@ -201,28 +262,51 @@ class Campaign:
         progress: Optional[ProgressCallback] = None,
         overwrite: bool = False,
         workers: Optional[int] = None,
+        journal: Union[CampaignJournal, str, Path, None] = None,
+        resume: bool = False,
+        run_timeout: Optional[float] = None,
     ) -> CampaignResult:
         """Execute every stage; never raises for individual run failures.
 
         ``executor`` defaults to :class:`SerialExecutor` (or a pool when
         ``workers`` is given).  ``store`` may be a path or an
         :class:`ExperimentStore`; records are saved as they complete.
+        ``journal`` (a path or :class:`CampaignJournal`) makes every
+        final outcome crash-durable; with ``resume=True`` runs the
+        journal already holds are restored instead of re-executed.
+        ``run_timeout`` caps each run's wall-clock seconds.
         ``progress`` receives event dicts (``stage-started``,
         ``run-finished``, ``run-failed``, ``run-retried``,
-        ``stage-finished``) for live reporting.
+        ``run-salvaged``, ``run-skipped``, ``stage-finished``) for live
+        reporting.
         """
         if executor is None:
             executor = default_executor(workers) if workers else SerialExecutor()
         if store is not None and not isinstance(store, ExperimentStore):
             store = ExperimentStore(store)
+        if resume and journal is None:
+            raise CampaignError("resume=True needs a journal")
+        if journal is not None and not isinstance(journal, CampaignJournal):
+            journal = CampaignJournal(journal)
+        # A kill can land between a record's store.save and its journal
+        # append; the resumed campaign then legitimately re-executes a run
+        # the store already holds, so its own run ids may be overwritten.
+        if resume:
+            overwrite = True
         emit = progress or (lambda event: None)
+        finished = journal.finished(campaign=self.name) if (journal and resume) else {}
 
         campaign_start = time.perf_counter()
         result = CampaignResult(name=self.name, stages={})
-        for stage in self.stages:
-            result.stages[stage.name] = self._run_stage(
-                stage, executor, result, store, emit, overwrite
-            )
+        try:
+            for stage in self.stages:
+                result.stages[stage.name] = self._run_stage(
+                    stage, executor, result, store, emit, overwrite,
+                    journal, finished, run_timeout,
+                )
+        finally:
+            if journal is not None:
+                journal.close()
         result.wall = time.perf_counter() - campaign_start
         return result
 
@@ -235,6 +319,9 @@ class Campaign:
         store: Optional[ExperimentStore],
         emit: ProgressCallback,
         overwrite: bool,
+        journal: Optional[CampaignJournal],
+        finished: Mapping[str, dict],
+        run_timeout: Optional[float],
     ) -> StageResult:
         stage_start = time.perf_counter()
         specs = [
@@ -248,11 +335,18 @@ class Campaign:
         if stage.directives_from is not None:
             # The extraction barrier: directives come from a fully
             # completed earlier stage, mirroring the paper's harvest step.
-            source = result.stages[stage.directives_from].ok
+            # Partial records below the coverage floor are not trusted as
+            # history.
+            source = [
+                r
+                for r in result.stages[stage.directives_from].ok
+                if r.coverage >= stage.min_coverage
+            ]
             if not source:
                 raise CampaignError(
                     f"stage {stage.name!r}: no successful runs in "
-                    f"{stage.directives_from!r} to harvest directives from"
+                    f"{stage.directives_from!r} (coverage >= {stage.min_coverage:g}) "
+                    "to harvest directives from"
                 )
             harvested = extract_directives(source, **dict(stage.extract))
             specs = [
@@ -273,35 +367,36 @@ class Campaign:
         records: List[Optional[RunRecord]] = [None] * len(specs)
         failures: Dict[str, str] = {}
         retried: List[str] = []
+        degraded: List[str] = []
+        resumed: List[str] = []
 
-        def handle(index: int, outcome: Any, attempt: int) -> bool:
-            """Record one outcome; returns True when the run succeeded."""
+        def journal_entry(run_id: str, status: str, error=None, outcome=None) -> None:
+            if journal is None:
+                return
+            journal.append({
+                "campaign": self.name,
+                "stage": stage.name,
+                "run_id": run_id,
+                "status": status,
+                "error": error,
+                "record": outcome["record"] if outcome else None,
+                "wall": outcome["wall"] if outcome else None,
+            })
+
+        def accept(index: int, outcome: Dict[str, Any], salvaged: bool = False) -> None:
+            """A final successful (possibly degraded) worker result."""
             run_id = specs[index].run_id
-            if isinstance(outcome, Exception):
-                if attempt < self.retries:
-                    retried.append(run_id)
-                    emit({
-                        "event": "run-retried",
-                        "stage": stage.name,
-                        "run_id": run_id,
-                        "error": str(outcome),
-                        "attempt": attempt + 1,
-                    })
-                else:
-                    failures[run_id] = str(outcome)
-                    emit({
-                        "event": "run-failed",
-                        "stage": stage.name,
-                        "run_id": run_id,
-                        "error": str(outcome),
-                    })
-                return False
             record = RunRecord.from_dict(outcome["record"])
             records[index] = record
+            if record.degraded:
+                degraded.append(run_id)
             if store is not None:
                 store.save(record, overwrite=overwrite)
+            journal_entry(
+                run_id, "degraded" if record.degraded else "ok", outcome=outcome
+            )
             emit({
-                "event": "run-finished",
+                "event": "run-salvaged" if salvaged else "run-finished",
                 "stage": stage.name,
                 "run_id": run_id,
                 "wall": outcome["wall"],
@@ -309,27 +404,111 @@ class Campaign:
                 "bottlenecks": record.bottleneck_count(),
                 "pairs_tested": record.pairs_tested,
                 "time_to_find_all": record.time_to_find_all(),
+                "status": record.status,
+                "coverage": record.coverage,
             })
-            return True
 
-        pending = list(range(len(payloads)))
+        def reject(index: int, outcome: Exception) -> None:
+            """A run that exhausted every recovery path."""
+            run_id = specs[index].run_id
+            failures[run_id] = str(outcome)
+            journal_entry(run_id, "failed", error=str(outcome))
+            emit({
+                "event": "run-failed",
+                "stage": stage.name,
+                "run_id": run_id,
+                "error": str(outcome),
+            })
+
+        # Runs the journal already finished: restore, don't re-execute.
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            entry = finished.get(spec.run_id)
+            if entry and entry.get("record"):
+                record = RunRecord.from_dict(entry["record"])
+                records[index] = record
+                resumed.append(spec.run_id)
+                if record.degraded:
+                    degraded.append(spec.run_id)
+                emit({
+                    "event": "run-skipped",
+                    "stage": stage.name,
+                    "run_id": spec.run_id,
+                    "status": entry["status"],
+                })
+            else:
+                pending.append(index)
+
+        # Attempt 0 plus `retries` backoff rounds.
+        last_error: Dict[int, Exception] = {}
         for attempt in range(self.retries + 1):
             if not pending:
                 break
+            if attempt > 0:
+                delay = self.backoff * self.backoff_factor ** (attempt - 1)
+                for index in pending:
+                    retried.append(specs[index].run_id)
+                    emit({
+                        "event": "run-retried",
+                        "stage": stage.name,
+                        "run_id": specs[index].run_id,
+                        "error": str(last_error[index]),
+                        "attempt": attempt,
+                        "backoff": delay,
+                    })
+                if delay > 0:
+                    time.sleep(delay)
             batch = pending
-            outcomes = executor.run(_execute_payload, [payloads[i] for i in batch])
             failed: List[int] = []
-            for local_index, outcome in outcomes:
+            for local_index, outcome in executor.run(
+                _execute_payload, [payloads[i] for i in batch], timeout=run_timeout
+            ):
                 index = batch[local_index]
-                if not handle(index, outcome, attempt):
+                if isinstance(outcome, Exception):
+                    last_error[index] = outcome
                     failed.append(index)
+                else:
+                    accept(index, outcome)
             pending = sorted(failed)
+
+        # Salvage: runs that keep dying on a *simulator* failure get one
+        # degraded re-execution, so the campaign reports a partial record
+        # (what the search concluded before the fault) instead of nothing.
+        # Builder bugs, timeouts, and other infrastructure errors are not
+        # salvageable that way and go straight to the failure list.
+        salvage = [
+            i
+            for i in pending
+            if isinstance(last_error[i], SimulationError)
+            and payloads[i]["session_kwargs"].get("on_failure") != "degrade"
+        ]
+        for index in pending:
+            if index not in salvage:
+                reject(index, last_error[index])
+        if salvage:
+            degrade_payloads = []
+            for index in salvage:
+                payload = dict(payloads[index])
+                payload["session_kwargs"] = dict(
+                    payload["session_kwargs"], on_failure="degrade"
+                )
+                degrade_payloads.append(payload)
+            for local_index, outcome in executor.run(
+                _execute_payload, degrade_payloads, timeout=run_timeout
+            ):
+                index = salvage[local_index]
+                if isinstance(outcome, Exception):
+                    reject(index, outcome)
+                else:
+                    accept(index, outcome, salvaged=True)
 
         stage_result = StageResult(
             name=stage.name,
             records=records,
             failures=failures,
             retried=retried,
+            degraded=degraded,
+            resumed=resumed,
             wall=time.perf_counter() - stage_start,
             harvested=harvested,
         )
@@ -338,6 +517,8 @@ class Campaign:
             "stage": stage.name,
             "ok": len(stage_result.ok),
             "failed": len(failures),
+            "degraded": len(degraded),
+            "resumed": len(resumed),
             "wall": stage_result.wall,
         })
         return stage_result

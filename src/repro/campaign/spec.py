@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 from ..apps.base import Application
 from ..core.directives import DirectiveSet
 from ..core.search import SearchConfig
+from ..faults import FaultPlan
 
 __all__ = ["RunSpec", "Stage"]
 
@@ -46,8 +47,12 @@ class RunSpec:
     label: str = ""
     pre_delay: float = 0.0
     #: Extra :class:`~repro.core.consultant.DiagnosisSession` keywords
-    #: (``cost_model``, ``discover_resources``, ...); must be picklable.
+    #: (``cost_model``, ``discover_resources``, ``on_failure``, ...);
+    #: must be picklable.
     session_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    #: Fault injection for this run; travels as its dict form so the
+    #: payload pickle surface stays plain data.
+    faults: Optional[FaultPlan] = None
 
     def build(self) -> Application:
         return self.builder(*self.builder_args, **dict(self.builder_kwargs))
@@ -81,9 +86,19 @@ class Stage:
     specs: Sequence[RunSpec]
     directives_from: Optional[str] = None
     extract: Mapping[str, Any] = field(default_factory=dict)
+    #: Minimum record coverage for a run to contribute to harvesting.
+    #: Degraded runs report the fraction of tests that reached a full
+    #: conclusion; 0.0 (the default) harvests from everything, 1.0
+    #: restricts the barrier to fully-covered runs.
+    min_coverage: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("stage needs a non-empty name")
         if self.directives_from == self.name:
             raise ValueError(f"stage {self.name!r} cannot harvest from itself")
+        if not 0.0 <= self.min_coverage <= 1.0:
+            raise ValueError(
+                f"stage {self.name!r}: min_coverage must be in [0, 1], "
+                f"got {self.min_coverage}"
+            )

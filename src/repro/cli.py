@@ -26,7 +26,7 @@ from .apps.base import Application
 from .apps.ocean import OceanConfig, build_ocean
 from .apps.poisson import PoissonConfig, build_poisson
 from .apps.tester import TesterConfig, build_tester
-from .campaign import Campaign, RunSpec, Stage, default_executor
+from .campaign import Campaign, CampaignError, JournalError, RunSpec, Stage, default_executor
 from .core import (
     DirectiveSet,
     SearchConfig,
@@ -38,10 +38,21 @@ from .core.automap import suggest_mappings_for_records
 from .core.postmortem import extract_directives_postmortem
 from .core.shg import NodeState
 from .facade import as_store, diagnose, harvest, load_directives
-from .storage import StoreError
+from .faults import FaultPlan, FaultPlanError
+from .simulator.errors import SimulationError
+from .storage import StoreCorruption, StoreError
 from .visualize import bar_chart, render_shg, render_space, sparkline
 
 __all__ = ["main"]
+
+# Distinct exit codes per failure family, so scripts driving the CLI can
+# branch without parsing stderr.  2 = store/usage problems (argparse also
+# exits 2), 3 = on-disk corruption, 4 = the simulated program failed,
+# 5 = campaign configuration.
+EXIT_STORE = 2
+EXIT_CORRUPTION = 3
+EXIT_SIMULATION = 4
+EXIT_CAMPAIGN = 5
 
 
 def _build_app(name: str, version: Optional[str], iterations: Optional[int]) -> Application:
@@ -79,6 +90,7 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
         stop_engine_when_done=args.stop_when_done,
         threshold_overrides=dict(args.threshold or ()),
     )
+    faults = FaultPlan.load(args.faults) if args.faults else None
     record = diagnose(
         app,
         history=args.directives,
@@ -87,6 +99,8 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
         overwrite=args.overwrite,
         config=config,
         discover_resources=args.discover,
+        faults=faults,
+        on_failure=args.on_failure,
     )
     t_all = record.time_to_find_all()
     print(f"run id          : {record.run_id}")
@@ -96,6 +110,10 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     print(f"pairs tested    : {record.pairs_tested}")
     print(f"time to find all: {t_all:.1f} s" if t_all else "time to find all: n/a")
     print(f"program ran     : {record.finish_time:.1f} s (simulated)")
+    if record.degraded:
+        print(f"status          : DEGRADED ({record.coverage:.0%} coverage)")
+        if record.failure:
+            print(f"failure         : {record.failure}")
     if args.store:
         print(f"stored in       : {args.store}")
     return 0
@@ -302,6 +320,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         stop_engine_when_done=args.stop_when_done,
         threshold_overrides=dict(args.threshold or ()),
     )
+    faults = FaultPlan.load(args.faults) if args.faults else None
 
     def specs() -> list:
         return [
@@ -309,6 +328,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 builder=_build_app,
                 builder_args=(args.application, args.app_version, args.iterations),
                 config=config,
+                faults=faults,
             )
             for _ in range(args.runs)
         ]
@@ -319,8 +339,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             "directed", specs(),
             directives_from="baseline",
             extract={"include_thresholds": args.thresholds},
+            min_coverage=args.min_coverage,
         ))
-    campaign = Campaign(stages, name=args.name)
+    campaign = Campaign(stages, name=args.name, retries=args.retries)
 
     def progress(event: dict) -> None:
         if event["event"] == "stage-started":
@@ -329,10 +350,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                   + (f", {event['harvested_directives']} harvested directives"
                      if event["harvested_directives"] else ""))
         elif event["event"] == "run-finished":
-            print(f"  {event['run_id']}: {event['bottlenecks']} bottlenecks, "
-                  f"{event['pairs_tested']} pairs ({event['wall']:.1f} s wall)")
+            line = (f"  {event['run_id']}: {event['bottlenecks']} bottlenecks, "
+                    f"{event['pairs_tested']} pairs ({event['wall']:.1f} s wall)")
+            if event.get("status") == "degraded":
+                line += f" [degraded, {event['coverage']:.0%} coverage]"
+            print(line)
+        elif event["event"] == "run-salvaged":
+            print(f"  {event['run_id']}: salvaged as degraded "
+                  f"({event['coverage']:.0%} coverage)")
+        elif event["event"] == "run-skipped":
+            print(f"  {event['run_id']}: already in journal ({event['status']}), skipped")
         elif event["event"] == "run-retried":
-            print(f"  {event['run_id']}: retrying ({event['error']})")
+            print(f"  {event['run_id']}: retry {event['attempt']} "
+                  f"after {event['backoff']:.2f} s ({event['error']})")
         elif event["event"] == "run-failed":
             print(f"  {event['run_id']}: FAILED ({event['error']})")
 
@@ -341,12 +371,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         store=args.store,
         progress=progress,
         overwrite=args.overwrite,
+        journal=args.journal,
+        resume=args.resume,
+        run_timeout=args.run_timeout,
     )
 
-    table = Table(f"Campaign {args.name}", ["stage", "ok", "failed", "wall (s)"])
+    table = Table(
+        f"Campaign {args.name}",
+        ["stage", "ok", "degraded", "failed", "resumed", "wall (s)"],
+    )
     for stage in result.stages.values():
         table.add_row([
-            stage.name, len(stage.ok), len(stage.failures), f"{stage.wall:.1f}",
+            stage.name, len(stage.ok), len(stage.degraded), len(stage.failures),
+            len(stage.resumed), f"{stage.wall:.1f}",
         ])
     print()
     print(table.render())
@@ -364,6 +401,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="History-directed online performance diagnosis "
                     "(Karavanic & Miller, SC'99 reproduction).",
     )
+    parser.add_argument("--debug", action="store_true",
+                        help="re-raise errors with full tracebacks instead of "
+                             "one-line messages")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("diagnose", help="run the Performance Consultant on an application")
@@ -380,6 +420,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="register resources discovered during the run")
     p.add_argument("--threshold", action="append", type=_parse_threshold,
                    metavar="HYP=VALUE", help="override a hypothesis threshold")
+    p.add_argument("--faults", help="JSON fault plan to inject into the run")
+    p.add_argument("--on-failure", choices=("raise", "degrade"), default="raise",
+                   help="degrade: return a partial record on simulator "
+                        "failure instead of erroring out")
     p.set_defaults(func=cmd_diagnose)
 
     p = sub.add_parser("campaign",
@@ -404,6 +448,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop each program once its search has concluded everything")
     p.add_argument("--threshold", action="append", type=_parse_threshold,
                    metavar="HYP=VALUE", help="override a hypothesis threshold")
+    p.add_argument("--faults", help="JSON fault plan injected into every run")
+    p.add_argument("--retries", type=int, default=1,
+                   help="re-executions per failed run (with exponential backoff)")
+    p.add_argument("--run-timeout", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget per run")
+    p.add_argument("--journal", help="JSONL journal of finished runs (crash recovery)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip runs the journal already holds (needs --journal)")
+    p.add_argument("--min-coverage", type=float, default=0.0,
+                   help="exclude records below this coverage from the "
+                        "directed stage's harvest")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("extract", help="harvest search directives from stored runs")
@@ -475,9 +530,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except StoreError as exc:
+    except (StoreCorruption, JournalError) as exc:
+        if args.debug:
+            raise
+        print(f"corruption: {exc}", file=sys.stderr)
+        return EXIT_CORRUPTION
+    except (StoreError, FaultPlanError, OSError) as exc:
+        if args.debug:
+            raise
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_STORE
+    except SimulationError as exc:
+        if args.debug:
+            raise
+        print(f"simulation failed: {exc}", file=sys.stderr)
+        print("hint: rerun with --on-failure degrade to keep the partial "
+              "diagnosis, or --debug for the traceback", file=sys.stderr)
+        return EXIT_SIMULATION
+    except CampaignError as exc:
+        if args.debug:
+            raise
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return EXIT_CAMPAIGN
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,9 +15,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..apps.base import Application
+from ..faults import FaultInjector, FaultPlan
 from ..metrics.cost import CostModel
 from ..metrics.instrumentation import InstrumentationManager
 from ..metrics.profile import ProfileCollector
+from ..simulator.errors import SimulationError
 from ..storage.records import RunRecord
 from .directives import DirectiveSet
 from .discovery import DiscoverySink
@@ -62,9 +64,22 @@ class DiagnosisSession:
     #: Register resources the trace reveals but the application did not
     #: declare (late discovery, paper Section 6 future work).
     discover_resources: bool = False
+    #: Fault injection: anomalies applied to this execution.
+    faults: Optional[FaultPlan] = None
+    #: What a simulator failure (deadlock, watchdog timeout) does:
+    #: ``"raise"`` propagates it; ``"degrade"`` finalises the search over
+    #: the data gathered so far and returns a record with
+    #: ``status="degraded"``, the failure line, and the coverage fraction.
+    on_failure: str = "raise"
+    #: Watchdog budgets forwarded to ``Engine.run`` (a fault plan's own
+    #: budgets take precedence when set).
+    max_events: Optional[int] = None
+    max_virtual_time: Optional[float] = None
 
     def run(self) -> RunRecord:
         """Execute the application with the online search attached."""
+        if self.on_failure not in ("raise", "degrade"):
+            raise ValueError(f"unknown on_failure policy {self.on_failure!r}")
         config = self.config or SearchConfig()
         space = self.app.make_space()
         directives = self.directives or DirectiveSet()
@@ -75,6 +90,19 @@ class DiagnosisSession:
             # directives are read into the Performance Consultant).
             directives, _report = apply_mappings(directives, space)
         engine = self.app.make_engine()
+        injector = None
+        max_time = self.max_virtual_time if self.max_virtual_time is not None else 1e9
+        max_events = self.max_events
+        if self.faults is not None and not self.faults.is_empty():
+            injector = FaultInjector(self.faults).attach(engine)
+        if self.faults is not None:
+            plan_time, plan_events = (
+                self.faults.max_virtual_time, self.faults.max_events,
+            )
+            if plan_time is not None:
+                max_time = plan_time
+            if plan_events is not None:
+                max_events = plan_events
         instr = InstrumentationManager(
             engine,
             space,
@@ -95,7 +123,21 @@ class DiagnosisSession:
             config=config,
         )
         search.start()
-        finish = engine.run()
+        failure: Optional[str] = None
+        try:
+            finish = engine.run(max_time=max_time, max_events=max_events)
+        except SimulationError as exc:
+            if self.on_failure == "raise":
+                raise
+            # Graceful degradation: finalise over what was gathered, keep
+            # the surviving conclusions, annotate the rest.
+            failure = f"{type(exc).__name__}: {exc}"
+            search.final_pass(reason=failure)
+            finish = engine.now
+        degraded = failure is not None or bool(engine.crashed())
+        if failure is None and engine.crashed():
+            crashed = sorted(p.name for p in engine.crashed())
+            failure = f"crashed processes: {crashed}"
         shg = search.shg
         return RunRecord(
             run_id=self.run_id or _default_run_id(self.app),
@@ -122,6 +164,10 @@ class DiagnosisSession:
                 "cost_limit": config.cost_limit,
                 "insertion_latency": config.insertion_latency,
             },
+            notes=self.faults.describe() if self.faults else "",
+            status="degraded" if degraded else "complete",
+            failure=failure,
+            coverage=search.coverage(),
         )
 
 

@@ -207,7 +207,14 @@ class PerformanceConsultantSearch:
 
     def _evaluate_active(self, min_interval: float, force: bool = False) -> None:
         for node in self._active_nodes():
-            frac, elapsed = self.instr.normalized_read(node.handle)
+            try:
+                frac, elapsed = self.instr.normalized_read(node.handle)
+            except KeyError:
+                # The sample vanished (lost instrumentation data).  Mark
+                # this one pair unknown and keep searching the surviving
+                # foci instead of aborting the whole diagnosis.
+                self._mark_unknown(node, "lost instrumentation sample")
+                continue
             if elapsed < min_interval:
                 continue
             node.value = frac
@@ -224,6 +231,15 @@ class PerformanceConsultantSearch:
                 node.state = NodeState.TRUE
                 node.t_concluded = self.engine.now
                 self._refine(node)
+
+    def _mark_unknown(self, node: SHGNode, reason: str) -> None:
+        """Give up on one pair with a data-quality annotation; the search
+        continues elsewhere (graceful degradation)."""
+        node.state = NodeState.UNKNOWN
+        node.quality = reason
+        if node.handle is not None:
+            self.instr.delete(node.handle)
+            node.handle = None
 
     def _conclude(self, node: SHGNode, is_true: bool) -> None:
         node.state = NodeState.TRUE if is_true else NodeState.FALSE
@@ -260,17 +276,20 @@ class PerformanceConsultantSearch:
     # ------------------------------------------------------------------
     # end of run
     # ------------------------------------------------------------------
-    def final_pass(self) -> None:
-        """The program ended: conclude what has enough data, mark the rest."""
+    def final_pass(self, reason: Optional[str] = None) -> None:
+        """The program ended: conclude what has enough data, mark the rest.
+
+        ``reason`` annotates the leftover pairs when the run ended
+        abnormally (deadlock, watchdog timeout, injected fault), so a
+        degraded record explains *why* each pair has no conclusion."""
         self._evaluate_active(self.config.final_interval, force=True)
         for node in self.shg:
             if node.state is NodeState.ACTIVE:
-                node.state = NodeState.UNKNOWN
-                if node.handle is not None:
-                    self.instr.delete(node.handle)
-                    node.handle = None
+                self._mark_unknown(node, reason or "insufficient data at program end")
             elif node.state is NodeState.QUEUED:
                 node.state = NodeState.NEVER_RUN
+                if reason is not None:
+                    node.quality = reason
         if self.done_at is None:
             self.done_at = self.engine.now
 
@@ -288,6 +307,21 @@ class PerformanceConsultantSearch:
             if node.state in (NodeState.ACTIVE, NodeState.QUEUED):
                 return False
         return True
+
+    def coverage(self) -> float:
+        """Fraction of instrumented pairs that reached a full-data
+        conclusion (true or false).  1.0 means every test the search
+        started was decided; lost samples, fault-aborted runs, and
+        end-of-program truncation all lower it.  Harvesters use it to
+        flag directives extracted from degraded runs."""
+        tested = concluded = 0
+        for node in self.shg:
+            if node.t_requested is None or node.hypothesis == TOP_LEVEL:
+                continue
+            tested += 1
+            if node.concluded:
+                concluded += 1
+        return concluded / tested if tested else 1.0
 
     def true_pairs(self) -> List[Tuple[str, str]]:
         return [

@@ -57,6 +57,9 @@ class SHGNode:
     handle: Optional[int] = None
     t_requested: Optional[float] = None
     t_concluded: Optional[float] = None
+    #: Data-quality annotation for pairs that could not be concluded
+    #: normally (lost sample, run aborted by a fault, ...).
+    quality: Optional[str] = None
     parents: Set[int] = field(default_factory=set)
     children: Set[int] = field(default_factory=set)
 
@@ -79,6 +82,7 @@ class SHGNode:
             "value": self.value,
             "t_requested": self.t_requested,
             "t_concluded": self.t_concluded,
+            "quality": self.quality,
             "parents": sorted(self.parents),
             "children": sorted(self.children),
         }
@@ -95,6 +99,7 @@ class SHGNode:
             value=data.get("value"),
             t_requested=data.get("t_requested"),
             t_concluded=data.get("t_concluded"),
+            quality=data.get("quality"),
             parents=set(data.get("parents", ())),
             children=set(data.get("children", ())),
         )

@@ -41,6 +41,10 @@ _SESSION_FIELDS = {
     "hypotheses",
     "apply_resource_mapping",
     "discover_resources",
+    "faults",
+    "on_failure",
+    "max_events",
+    "max_virtual_time",
 }
 
 HistoryLike = Union[

@@ -1,0 +1,133 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` describes every anomaly one simulated execution
+should suffer: probabilistic message faults (drop / duplicate / delay),
+slow nodes (computation stretched by a factor), processes that crash or
+hang at a given virtual time, and the watchdog budgets that bound a run
+once a fault has wedged it.  The plan is a plain picklable dataclass with
+a JSON round-trip, so campaigns ship it to pool workers and the CLI loads
+it from ``--faults plan.json``.
+
+Determinism: message-fault decisions are drawn from ``random.Random(seed)``
+in engine event order, and the engine itself is deterministic — so the
+same plan applied to the same application yields byte-identical traces
+and diagnosis records, which is what makes faulty runs debuggable and
+fault tests reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["FaultPlan", "FaultPlanError"]
+
+
+class FaultPlanError(ValueError):
+    """Raised for an inconsistent or unparsable fault plan."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that should go wrong in one run.
+
+    ``drop`` / ``duplicate`` / ``delay`` are per-message probabilities;
+    a delayed (or duplicated) copy arrives ``delay_seconds`` late.
+    ``slow_nodes`` maps node names to compute stretch factors (2.0 = the
+    node computes at half speed).  ``crash_at`` / ``hang_at`` map process
+    names to the virtual time the fault strikes.  ``max_events`` /
+    ``max_virtual_time`` are watchdog budgets passed to
+    :meth:`~repro.simulator.engine.Engine.run`, converting a fault-induced
+    hang into :class:`~repro.simulator.errors.SimTimeout`.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_seconds: float = 1.0
+    slow_nodes: Dict[str, float] = field(default_factory=dict)
+    crash_at: Dict[str, float] = field(default_factory=dict)
+    hang_at: Dict[str, float] = field(default_factory=dict)
+    max_events: Optional[int] = None
+    max_virtual_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise FaultPlanError(f"{name} must be a probability, got {p}")
+        if self.delay_seconds < 0.0:
+            raise FaultPlanError(f"delay_seconds must be >= 0, got {self.delay_seconds}")
+        for node, factor in self.slow_nodes.items():
+            if factor < 1.0:
+                raise FaultPlanError(
+                    f"slow_nodes[{node!r}] must be a stretch factor >= 1, got {factor}"
+                )
+        for label, times in (("crash_at", self.crash_at), ("hang_at", self.hang_at)):
+            for proc, t in times.items():
+                if t < 0.0:
+                    raise FaultPlanError(f"{label}[{proc!r}] must be >= 0, got {t}")
+        if self.max_events is not None and self.max_events < 1:
+            raise FaultPlanError(f"max_events must be >= 1, got {self.max_events}")
+        if self.max_virtual_time is not None and self.max_virtual_time <= 0:
+            raise FaultPlanError(
+                f"max_virtual_time must be > 0, got {self.max_virtual_time}"
+            )
+
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not (
+            self.drop or self.duplicate or self.delay
+            or self.slow_nodes or self.crash_at or self.hang_at
+        )
+
+    def describe(self) -> str:
+        parts = []
+        for name in ("drop", "duplicate", "delay"):
+            p = getattr(self, name)
+            if p:
+                parts.append(f"{name}={p:g}")
+        if self.slow_nodes:
+            parts.append("slow " + ",".join(f"{n}x{f:g}" for n, f in self.slow_nodes.items()))
+        if self.crash_at:
+            parts.append("crash " + ",".join(f"{p}@{t:g}" for p, t in self.crash_at.items()))
+        if self.hang_at:
+            parts.append("hang " + ",".join(f"{p}@{t:g}" for p, t in self.hang_at.items()))
+        return f"FaultPlan(seed={self.seed}" + (": " + "; ".join(parts) if parts else "") + ")"
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultPlan":
+        known = {f for f in FaultPlan.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultPlanError(f"unknown fault plan field(s): {sorted(unknown)}")
+        return FaultPlan(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise FaultPlanError("fault plan JSON must be an object")
+        return FaultPlan.from_dict(data)
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "FaultPlan":
+        return FaultPlan.from_json(Path(path).read_text())
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json() + "\n")

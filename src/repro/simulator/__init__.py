@@ -6,7 +6,7 @@ coroutines, tagged blocking/non-blocking messaging, barriers, blocking
 I/O, per-function time attribution, and instrumentation perturbation.
 """
 
-from .errors import ProgramError, SimDeadlock, SimulationError
+from .errors import ProgramError, SimDeadlock, SimTimeout, SimulationError
 from .events import EventQueue
 from .engine import Engine
 from .machine import Machine
@@ -30,6 +30,7 @@ from .tracefile import TraceWriter, profile_from_trace, read_trace, write_trace
 __all__ = [
     "ProgramError",
     "SimDeadlock",
+    "SimTimeout",
     "SimulationError",
     "EventQueue",
     "Engine",

@@ -19,9 +19,10 @@ Two properties matter for reproducing the paper's dynamics:
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from .errors import ProgramError, SimDeadlock, SimulationError
+from .errors import ProgramError, SimDeadlock, SimTimeout, SimulationError
 from .events import EventQueue
 from .machine import Machine
 from .messages import ANY_SOURCE, LatencyModel, Mailbox, Message
@@ -72,6 +73,9 @@ class Engine:
         self._pending_irecvs: Dict[str, List[Request]] = {}
         self._sinks: List[TraceSink] = []
         self._perturbation_sources: List[Callable[[str], float]] = []
+        # message filters: fn(msg) -> sequence of extra delays, one
+        # delivery per element ([] drops, [0, 0] duplicates, [d] delays)
+        self._message_filters: List[Callable[[Message], Iterable[float]]] = []
         self._barrier_waiting: List[SimProcess] = []
         # rendezvous senders blocked until the destination posts a receive:
         # dest name -> [(sender process, Send syscall)]
@@ -102,6 +106,17 @@ class Engine:
     def add_perturbation_source(self, fn: Callable[[str], float]) -> None:
         """Register a callable mapping process name -> overhead fraction."""
         self._perturbation_sources.append(fn)
+
+    def add_message_filter(self, fn: Callable[[Message], Iterable[float]]) -> None:
+        """Register a fault-injection hook over message deliveries.
+
+        For every in-flight message the filter returns the extra delays of
+        the copies to actually deliver: ``[0.0]`` passes it through
+        unchanged, ``[]`` drops it, ``[0.0, 0.0]`` duplicates it, and
+        ``[2.5]`` delays it by 2.5 virtual seconds.  Filters compose: each
+        one is applied to every copy the previous filters produced.
+        """
+        self._message_filters.append(fn)
 
     def on_finish(self, fn: Callable[["Engine"], None]) -> None:
         """Run *fn* once when the last process completes."""
@@ -160,6 +175,84 @@ class Engine:
     def perturbation(self, proc_name: str) -> float:
         return sum(src(proc_name) for src in self._perturbation_sources)
 
+    def blocked_report(self) -> List[Dict]:
+        """Structured diagnostics for every process that is not done:
+        which function it was in, what operation it is stuck on, the
+        pending send/recv tag, and since when (virtual time)."""
+        rdv_senders = {
+            sender.name: (dest, call)
+            for dest, waiting in self._rdv_waiting.items()
+            for sender, call in waiting
+        }
+        out: List[Dict] = []
+        for name, proc in self.procs.items():
+            if proc.state in (ProcState.DONE, ProcState.CRASHED):
+                continue
+            module, fn = proc.block_frame if proc.block_tag is not None else proc.current_frame
+            entry: Dict = {
+                "process": name,
+                "node": proc.node,
+                "function": f"{module}:{fn}",
+                "tag": proc.block_tag,
+                "since": proc.block_start if proc.state is ProcState.BLOCKED else None,
+            }
+            want = getattr(proc, "_recv_want", None)
+            if proc.hung:
+                entry["kind"] = "hang"
+            elif proc.block_tag == "Barrier":
+                entry["kind"] = "barrier"
+            elif want is not None:
+                entry["kind"] = "recv"
+                entry["peer"] = want[0]
+            elif getattr(proc, "_wait_req", None) is not None:
+                entry["kind"] = "wait"
+                entry["peer"] = proc._wait_req.src
+            elif name in rdv_senders:
+                entry["kind"] = "send"
+                entry["peer"] = rdv_senders[name][0]
+            else:
+                entry["kind"] = "blocked" if proc.state is ProcState.BLOCKED else "runnable"
+            out.append(entry)
+        return out
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def crash_process(self, name: str, exc: Optional[BaseException] = None) -> None:
+        """Kill a process from the outside (fault injection): it is marked
+        crashed exactly as if its program had raised under
+        ``crash_policy="record"``, peers blocked on it surface in the
+        deadlock/timeout diagnostics, and barriers stop counting it."""
+        proc = self.procs[name]
+        if proc.state in (ProcState.DONE, ProcState.CRASHED):
+            return
+        proc.state = ProcState.CRASHED
+        proc.crash = exc or RuntimeError(f"process {name} killed at t={self.now}")
+        proc.finish_time = self.now
+        self._clear_current(proc)
+        # It can no longer participate in a barrier or complete a
+        # rendezvous handshake.
+        self._barrier_waiting = [p for p in self._barrier_waiting if p.name != name]
+        for waiting in self._rdv_waiting.values():
+            waiting[:] = [(s, c) for s, c in waiting if s.name != name]
+        self._maybe_finish()
+
+    def hang_process(self, name: str) -> None:
+        """Freeze a process from the outside (fault injection): it keeps
+        its state but is never stepped again, so peers observe an
+        unbounded wait and the watchdog converts the stall into
+        :class:`SimTimeout`."""
+        proc = self.procs[name]
+        if proc.state in (ProcState.DONE, ProcState.CRASHED):
+            return
+        proc.hung = True
+        if proc.state is not ProcState.BLOCKED:
+            proc.state = ProcState.BLOCKED
+            proc.block_start = self.now
+            proc.block_tag = "<hang>"
+            proc.block_frame = proc.current_frame
+        self._clear_current(proc)
+
     def in_progress(self) -> Iterable[TimeSegment]:
         """Pseudo-segments for activity that has started but not finished,
         so metric reads are exact at any instant."""
@@ -185,10 +278,17 @@ class Engine:
     # ------------------------------------------------------------------
     # run loop
     # ------------------------------------------------------------------
-    def run(self, max_time: float = 1e9) -> float:
+    def run(self, max_time: float = 1e9, max_events: Optional[int] = None) -> float:
         """Execute until every process finishes (or :meth:`stop`).
 
+        ``max_time`` and ``max_events`` are the watchdog budgets: a run
+        that exceeds either raises :class:`SimTimeout` carrying
+        per-process blocked-state diagnostics — a hung program (e.g. an
+        injected hang plus a periodic callback that keeps virtual time
+        advancing) becomes a diagnosable error instead of an endless loop.
+
         Returns the finish time (or the stop time)."""
+        events = 0
         for proc in self.procs.values():
             if proc.gen is None:
                 proc.start()
@@ -202,11 +302,26 @@ class Engine:
                 crashed = [p.name for p in self.crashed()]
                 detail = f"; crashed processes: {crashed}" if crashed else ""
                 raise SimDeadlock(
-                    f"no runnable events; blocked processes: {blocked}{detail}"
+                    f"no runnable events; blocked processes: {blocked}{detail}",
+                    blocked=self.blocked_report(),
+                    crashed=crashed,
                 )
             t, fn = item
             if t > max_time:
-                raise SimulationError(f"simulation exceeded max_time={max_time}")
+                raise SimTimeout(
+                    f"simulation exceeded max_time={max_time}",
+                    blocked=self.blocked_report(),
+                    crashed=[p.name for p in self.crashed()],
+                    budget={"max_time": max_time},
+                )
+            events += 1
+            if max_events is not None and events > max_events:
+                raise SimTimeout(
+                    f"simulation exceeded max_events={max_events}",
+                    blocked=self.blocked_report(),
+                    crashed=[p.name for p in self.crashed()],
+                    budget={"max_events": max_events},
+                )
             self.now = max(self.now, t)
             fn()
         if self.finished_at is None:
@@ -226,6 +341,10 @@ class Engine:
         tag: Optional[str] = None,
     ) -> None:
         if duration <= _EPS:
+            return
+        if proc.state is ProcState.CRASHED:
+            # An injected crash loses the in-flight interval: nothing is
+            # recorded past the instant of death.
             return
         # The generator is suspended between dispatch and emission, so the
         # process's current stack is exactly the stack during the interval.
@@ -260,6 +379,17 @@ class Engine:
 
     def _step(self, proc: SimProcess, value) -> None:
         """Resume *proc*'s generator and dispatch its next syscall."""
+        if proc.state is ProcState.CRASHED:
+            return  # an injected crash beat a previously scheduled resume
+        if proc.hung:
+            # An injected hang: the process never advances again; it sits
+            # blocked so peers and the watchdog can observe the stall.
+            proc.state = ProcState.BLOCKED
+            proc.block_start = self.now
+            proc.block_tag = "<hang>"
+            proc.block_frame = proc.current_frame
+            self._clear_current(proc)
+            return
         self._clear_current(proc)
         proc.state = ProcState.RUNNING
         try:
@@ -357,7 +487,7 @@ class Engine:
             send_time=self.now,
             arrival_time=arrival,
         )
-        self.schedule(arrival, lambda: self._deliver(msg))
+        self._schedule_delivery(msg)
         self._set_current(proc, Activity.COMPUTE, frame)
         start = self.now
         result = Request(proc.name, call.tag) if isinstance(call, Isend) else None
@@ -369,6 +499,22 @@ class Engine:
             self._step(p, r)
 
         self.schedule(self.now + overhead, finish_send)
+
+    def _schedule_delivery(self, msg: Message) -> None:
+        """Schedule the arrival of *msg*, applying message filters (fault
+        injection: drops, duplicates, delays) along the way."""
+        deliveries = [msg]
+        for filt in self._message_filters:
+            passed: List[Message] = []
+            for m in deliveries:
+                for extra in filt(m):
+                    passed.append(
+                        m if extra <= 0.0
+                        else dataclasses.replace(m, arrival_time=m.arrival_time + extra)
+                    )
+            deliveries = passed
+        for m in deliveries:
+            self.schedule(m.arrival_time, lambda mm=m: self._deliver(mm))
 
     def _deliver(self, msg: Message) -> None:
         dest = self.procs[msg.dest]
@@ -437,7 +583,7 @@ class Engine:
                 send_time=sender.block_start,
                 arrival_time=arrival,
             )
-            self.schedule(arrival, lambda m=msg: self._deliver(m))
+            self._schedule_delivery(msg)
             self._unblock_sync(sender, call.tag)
             return
 

@@ -1,17 +1,90 @@
-"""Simulator exception types."""
+"""Simulator exception types.
+
+``SimDeadlock`` and ``SimTimeout`` carry structured per-process
+diagnostics (``blocked`` / ``crashed``) so callers — the Performance
+Consultant's graceful-degradation path, the CLI's one-line error
+reporting — can explain *which* processes were stuck, in *which*
+functions, on *which* pending send/recv tags, without parsing the
+message text.
+"""
 
 from __future__ import annotations
 
-__all__ = ["SimulationError", "SimDeadlock", "ProgramError"]
+from typing import Dict, List, Optional
+
+__all__ = ["SimulationError", "SimDeadlock", "SimTimeout", "ProgramError"]
 
 
 class SimulationError(RuntimeError):
     """Base class for simulator failures."""
 
 
+def _format_blocked(blocked: List[Dict]) -> str:
+    """One human line per stuck process: name, function, operation, tag."""
+    lines = []
+    for entry in blocked:
+        where = entry.get("function", "?")
+        kind = entry.get("kind", "blocked")
+        tag = entry.get("tag")
+        peer = entry.get("peer")
+        detail = kind
+        if tag is not None:
+            detail += f" tag {tag}"
+        if peer is not None:
+            detail += f" {'from' if kind == 'recv' else 'to'} {peer}"
+        lines.append(f"{entry['process']} in {where} ({detail})")
+    return "; ".join(lines)
+
+
 class SimDeadlock(SimulationError):
     """Raised when the event queue drains while processes are still blocked
-    (a send/recv mismatch in the simulated program)."""
+    (a send/recv mismatch in the simulated program, or peers waiting on a
+    crashed process).
+
+    ``blocked`` is a list of dicts — one per stuck process — with keys
+    ``process``, ``node``, ``function`` (``module:fn``), ``kind``
+    (``recv``/``send``/``wait``/``barrier``/``hang``), ``tag``, ``peer``,
+    and ``since`` (virtual time the wait began).  ``crashed`` lists the
+    names of processes that died before the deadlock.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        blocked: Optional[List[Dict]] = None,
+        crashed: Optional[List[str]] = None,
+    ) -> None:
+        self.blocked = list(blocked or [])
+        self.crashed = list(crashed or [])
+        if self.blocked:
+            message += f"; blocked: {_format_blocked(self.blocked)}"
+        super().__init__(message)
+
+
+class SimTimeout(SimulationError):
+    """Raised by the engine watchdog when a run exhausts its event or
+    virtual-time budget — the simulator's rendering of a hung program.
+
+    Carries the same ``blocked``/``crashed`` diagnostics as
+    :class:`SimDeadlock` plus the ``budget`` dict that was exceeded
+    (``{"max_events": ...}`` or ``{"max_time": ...}``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        blocked: Optional[List[Dict]] = None,
+        crashed: Optional[List[str]] = None,
+        budget: Optional[Dict] = None,
+    ) -> None:
+        self.blocked = list(blocked or [])
+        self.crashed = list(crashed or [])
+        self.budget = dict(budget or {})
+        if self.blocked:
+            message += f"; blocked: {_format_blocked(self.blocked)}"
+        if self.crashed:
+            message += f"; crashed processes: {self.crashed}"
+        super().__init__(message)
 
 
 class ProgramError(SimulationError):

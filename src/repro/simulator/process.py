@@ -175,6 +175,8 @@ class SimProcess:
         self.finish_time: Optional[float] = None
         #: The exception that killed the process (crash_policy="record").
         self.crash: Optional[BaseException] = None
+        #: Frozen by an injected hang fault: never stepped again.
+        self.hung: bool = False
 
     # -- program-facing API --------------------------------------------------
     def function(self, module: str, function: str) -> _FunctionFrame:

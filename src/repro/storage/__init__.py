@@ -8,7 +8,7 @@ from .query import (
     select,
 )
 from .records import RunRecord
-from .store import ExperimentStore, StoreError
+from .store import ExperimentStore, RecoveryReport, StoreCorruption, StoreError
 
 __all__ = [
     "ResourceHistory",
@@ -18,5 +18,7 @@ __all__ = [
     "select",
     "RunRecord",
     "ExperimentStore",
+    "RecoveryReport",
+    "StoreCorruption",
     "StoreError",
 ]

@@ -41,6 +41,15 @@ class RunRecord:
     thresholds: Dict[str, float] = field(default_factory=dict)
     config: Dict[str, float] = field(default_factory=dict)
     notes: str = ""
+    #: "complete" for a normal run; "degraded" when the run ended on a
+    #: simulator failure (deadlock, watchdog timeout, injected fault) and
+    #: the record holds only the data gathered before the failure.
+    status: str = "complete"
+    #: The simulator failure that degraded the run, as one line of text.
+    failure: Optional[str] = None
+    #: Fraction of instrumented (hypothesis : focus) pairs that reached a
+    #: full-data conclusion — directives harvested below 1.0 are suspect.
+    coverage: float = 1.0
 
     # ------------------------------------------------------------------
     # reconstruction helpers
@@ -97,6 +106,10 @@ class RunRecord:
     def bottleneck_count(self) -> int:
         return len(self.true_pairs())
 
+    @property
+    def degraded(self) -> bool:
+        return self.status != "complete"
+
     def efficiency(self) -> float:
         """Bottlenecks found per pair tested (Table 2's final column)."""
         tested = self.pairs_tested
@@ -124,6 +137,9 @@ class RunRecord:
             "thresholds": dict(self.thresholds),
             "config": dict(self.config),
             "notes": self.notes,
+            "status": self.status,
+            "failure": self.failure,
+            "coverage": self.coverage,
         }
 
     @staticmethod
@@ -146,4 +162,7 @@ class RunRecord:
             thresholds=dict(data.get("thresholds", {})),
             config=dict(data.get("config", {})),
             notes=data.get("notes", ""),
+            status=data.get("status", "complete"),
+            failure=data.get("failure"),
+            coverage=data.get("coverage", 1.0),
         )

@@ -14,15 +14,25 @@ writer processes — campaign pool workers, parallel CLI invocations —
 interleave without losing entries.  ``seq`` values are assigned
 monotonically under the same lock; readers see consistent snapshots
 because the index file itself is only ever replaced atomically.
+
+Integrity model: each record file wraps its payload with a SHA-256
+checksum (``{"format": 2, "sha256": ..., "record": {...}}``).  Loads
+verify the checksum; a mismatched or unparseable file is *quarantined* —
+moved to ``<store>/quarantine/`` and dropped from the index — rather than
+silently skipped or half-read, so on-disk corruption (torn writes, bad
+sectors, hand-edits) is visible and recoverable.  Checksum-less format-1
+files from older stores still load.
 """
 
 from __future__ import annotations
 
 import errno
+import hashlib
 import json
 import os
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
@@ -33,14 +43,50 @@ except ImportError:  # pragma: no cover - exercised only off-POSIX
 
 from .records import RunRecord
 
-__all__ = ["ExperimentStore", "StoreError"]
+__all__ = ["ExperimentStore", "StoreError", "StoreCorruption", "RecoveryReport"]
 
 _INDEX_NAME = "index.json"
 _LOCK_NAME = "index.lock"
+_QUARANTINE_DIR = "quarantine"
+_FORMAT = 2
 
 
 class StoreError(RuntimeError):
     """Raised for store consistency problems."""
+
+
+class StoreCorruption(StoreError):
+    """A record file failed its integrity check and was quarantined."""
+
+    def __init__(self, message: str, quarantined_to: Optional[Path] = None) -> None:
+        super().__init__(message)
+        self.quarantined_to = quarantined_to
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`ExperimentStore.rebuild_index` found on disk."""
+
+    #: Run ids re-registered in the rebuilt index.
+    kept: List[str] = field(default_factory=list)
+    #: Files that failed parsing or their checksum, now in quarantine/.
+    quarantined: List[str] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.kept)
+
+    def __str__(self) -> str:
+        out = f"{len(self.kept)} record(s) indexed"
+        if self.quarantined:
+            out += f", {len(self.quarantined)} corrupt file(s) quarantined"
+        return out
+
+
+def _checksum(payload: dict) -> str:
+    """SHA-256 over the canonical JSON encoding of a record dict."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @contextmanager
@@ -116,6 +162,67 @@ class ExperimentStore:
     def _record_path(self, run_id: str) -> Path:
         return self.root / f"{run_id}.json"
 
+    # ------------------------------------------------------------------
+    # record files: checksummed envelope
+    # ------------------------------------------------------------------
+    def _write_record(self, path: Path, payload: dict) -> None:
+        tmp = path.with_suffix(".tmp")
+        envelope = {
+            "format": _FORMAT,
+            "sha256": _checksum(payload),
+            "record": payload,
+        }
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(envelope, fh)
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _read_record_payload(path: Path) -> dict:
+        """Parse one record file, verifying the checksum when present.
+
+        Raises ``StoreCorruption`` (without quarantining — callers decide)
+        on unparseable JSON, a malformed envelope, or a checksum mismatch.
+        Format-1 files (a bare record dict) predate checksums and are
+        accepted as-is.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise StoreCorruption(f"{path.name}: unparseable record file ({exc})")
+        if not isinstance(data, dict):
+            raise StoreCorruption(f"{path.name}: record file is not an object")
+        if "format" not in data:
+            if "run_id" in data:  # legacy checksum-less record
+                return data
+            raise StoreCorruption(f"{path.name}: not a run record")
+        payload = data.get("record")
+        if not isinstance(payload, dict) or "run_id" not in payload:
+            raise StoreCorruption(f"{path.name}: envelope has no record payload")
+        if _checksum(payload) != data.get("sha256"):
+            raise StoreCorruption(f"{path.name}: payload checksum mismatch")
+        return payload
+
+    def _quarantine(self, path: Path) -> Path:
+        """Move a corrupt file out of the store (index entry included).
+
+        The original name is preserved inside ``quarantine/``; a second
+        quarantine of the same name gets a numeric suffix so nothing is
+        overwritten.
+        """
+        qdir = self.root / _QUARANTINE_DIR
+        qdir.mkdir(exist_ok=True)
+        dest = qdir / path.name
+        counter = 1
+        while dest.exists():
+            dest = qdir / f"{path.stem}.{counter}{path.suffix}"
+            counter += 1
+        os.replace(path, dest)
+        index = self._read_index()
+        if index.pop(path.stem, None) is not None:
+            self._write_index(index)
+        return dest
+
     @staticmethod
     def _next_seq(index: Dict[str, dict]) -> int:
         return 1 + max((meta.get("seq", -1) for meta in index.values()), default=-1)
@@ -137,10 +244,7 @@ class ExperimentStore:
         with self._lock():
             if path.exists() and not overwrite:
                 raise StoreError(f"run {record.run_id!r} already stored")
-            tmp = path.with_suffix(".tmp")
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(record.to_dict(), fh)
-            os.replace(tmp, path)
+            self._write_record(path, record.to_dict())
             index = self._read_index()
             prior = index.get(record.run_id)
             seq = prior["seq"] if prior and "seq" in prior else self._next_seq(index)
@@ -156,11 +260,25 @@ class ExperimentStore:
         return record.run_id
 
     def load(self, run_id: str) -> RunRecord:
+        """Load one record, verifying its payload checksum.
+
+        A file that fails the check is quarantined and the raised
+        :class:`StoreCorruption` carries the quarantine path, so callers
+        (and the CLI) can report what happened and where the bytes went.
+        """
         path = self._record_path(run_id)
         if not path.exists():
             raise StoreError(f"no stored run {run_id!r}")
-        with open(path, "r", encoding="utf-8") as fh:
-            return RunRecord.from_dict(json.load(fh))
+        try:
+            payload = self._read_record_payload(path)
+        except StoreCorruption as exc:
+            with self._lock():
+                dest = self._quarantine(path) if path.exists() else None
+            raise StoreCorruption(
+                f"{exc}" + (f"; quarantined to {dest}" if dest else ""),
+                quarantined_to=dest,
+            ) from None
+        return RunRecord.from_dict(payload)
 
     def delete(self, run_id: str) -> None:
         with self._lock():
@@ -207,15 +325,18 @@ class ExperimentStore:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
-    def rebuild_index(self) -> int:
+    def rebuild_index(self) -> RecoveryReport:
         """Reconstruct the index from the record files on disk.
 
         Recovery tool for a corrupted or missing index: every
-        ``<run_id>.json`` is re-read and re-registered.  Existing ``seq``
-        values are preserved where the old index still has them; records
-        the index lost are appended in file-modification order.  Returns
-        the number of indexed records.
+        ``<run_id>.json`` is re-read, checksum-verified, and
+        re-registered.  Existing ``seq`` values are preserved where the
+        old index still has them; records the index lost are appended in
+        file-modification order.  Files that fail parsing or their
+        checksum are moved to ``quarantine/`` instead of aborting the
+        rebuild.  Returns a :class:`RecoveryReport` listing both.
         """
+        report = RecoveryReport()
         with self._lock():
             try:
                 old = self._read_index()
@@ -227,9 +348,13 @@ class ExperimentStore:
             )
             index: Dict[str, dict] = {}
             recovered = []
+            quarantined: List[Path] = []
             for path in paths:
-                with open(path, "r", encoding="utf-8") as fh:
-                    record = RunRecord.from_dict(json.load(fh))
+                try:
+                    record = RunRecord.from_dict(self._read_record_payload(path))
+                except (StoreCorruption, KeyError, TypeError, ValueError):
+                    quarantined.append(path)
+                    continue
                 meta = {
                     "app_name": record.app_name,
                     "version": record.version,
@@ -243,8 +368,14 @@ class ExperimentStore:
                     index[record.run_id] = meta
                 else:
                     recovered.append((record.run_id, meta))
+                report.kept.append(record.run_id)
             for run_id, meta in recovered:
                 meta["seq"] = self._next_seq(index)
                 index[run_id] = meta
             self._write_index(index)
-            return len(index)
+            # Quarantine after the index write: _quarantine re-reads the
+            # index to drop the entry, so the rebuilt index must be the
+            # one on disk.
+            for path in quarantined:
+                report.quarantined.append(str(self._quarantine(path)))
+        return report

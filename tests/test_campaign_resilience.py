@@ -1,0 +1,319 @@
+"""Campaign robustness: backoff, timeouts, salvage, the journal, and
+resume-after-SIGKILL."""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.apps.poisson import PoissonConfig, build_poisson
+from repro.apps.synthetic import make_pingpong
+from repro.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignJournal,
+    JournalError,
+    PoolExecutor,
+    RunSpec,
+    RunTimeout,
+    SerialExecutor,
+)
+from repro.campaign.executors import _timed_call
+from repro.core import SearchConfig
+from repro.faults import FaultPlan
+from repro.storage import ExperimentStore
+
+FAST = SearchConfig(min_interval=5.0, check_period=0.5, insertion_latency=0.2, cost_limit=50.0)
+
+# A plan that kills one Poisson process mid-run: its peers wedge on their
+# recvs, the watchdog fires, and an undirected session raises SimTimeout.
+CRASH_PLAN = FaultPlan(seed=3, crash_at={"Poisson:2": 12.0}, max_virtual_time=60.0)
+
+
+def _spec(**kwargs):
+    kwargs.setdefault("config", FAST)
+    return RunSpec(make_pingpong, builder_kwargs={"iterations": 60}, **kwargs)
+
+
+def _poisson_spec(faults=None):
+    return RunSpec(
+        build_poisson, ("C", PoissonConfig(iterations=40)),
+        config=FAST, faults=faults,
+    )
+
+
+def _always_fails(iterations=0):
+    raise RuntimeError("boom")
+
+
+def _slow_builder(iterations=60):
+    time.sleep(5.0)
+    return make_pingpong(iterations=iterations)
+
+
+class TestBackoff:
+    def test_exponential_backoff_between_retry_rounds(self):
+        events = []
+        start = time.perf_counter()
+        result = Campaign(
+            specs=[RunSpec(_always_fails)], name="b",
+            retries=2, backoff=0.05, backoff_factor=2.0,
+        ).run(progress=events.append)
+        elapsed = time.perf_counter() - start
+        assert result.failures == {"b-runs-000": "boom"}
+        retries = [e for e in events if e["event"] == "run-retried"]
+        assert [e["attempt"] for e in retries] == [1, 2]
+        assert [e["backoff"] for e in retries] == [0.05, 0.1]
+        assert elapsed >= 0.15  # both sleeps actually happened
+
+    def test_zero_retries_never_retries(self):
+        events = []
+        result = Campaign(
+            specs=[RunSpec(_always_fails)], name="b", retries=0,
+        ).run(progress=events.append)
+        assert result.stage("runs").retried == []
+        assert "run-retried" not in [e["event"] for e in events]
+        assert result.failures
+
+    def test_invalid_retry_config_rejected(self):
+        with pytest.raises(CampaignError):
+            Campaign(specs=[_spec()], retries=-1)
+        with pytest.raises(CampaignError):
+            Campaign(specs=[_spec()], backoff=-0.1)
+        with pytest.raises(CampaignError):
+            Campaign(specs=[_spec()], backoff_factor=0.5)
+
+
+class TestRunTimeout:
+    def test_timed_call_passes_results_and_errors_through(self):
+        assert _timed_call(lambda x: x + 1, 1, timeout=5.0) == 2
+        with pytest.raises(ValueError):
+            _timed_call(lambda x: (_ for _ in ()).throw(ValueError("v")), 0, 5.0)
+
+    def test_serial_run_timeout(self):
+        result = Campaign(
+            specs=[RunSpec(_slow_builder)], name="t", retries=0,
+        ).run(SerialExecutor(), run_timeout=0.2)
+        [(run_id, error)] = result.failures.items()
+        assert "wall clock" in error
+
+    def test_pool_run_timeout(self):
+        result = Campaign(
+            specs=[RunSpec(_slow_builder), _spec()], name="t", retries=0,
+        ).run(PoolExecutor(2), run_timeout=2.0)
+        assert "wall clock" in result.failures["t-runs-000"]
+        assert len(result.records) == 1  # the healthy run still landed
+
+    def test_timeout_is_not_salvaged(self):
+        """RunTimeout is an infrastructure failure, not a simulator fault —
+        no degraded re-execution should be attempted."""
+        events = []
+        Campaign(specs=[RunSpec(_slow_builder)], name="t", retries=0).run(
+            run_timeout=0.2, progress=events.append,
+        )
+        assert "run-salvaged" not in [e["event"] for e in events]
+
+
+class TestSalvage:
+    def test_simulator_failure_salvaged_as_degraded(self):
+        events = []
+        result = Campaign(
+            specs=[_poisson_spec(faults=CRASH_PLAN), _poisson_spec()],
+            name="s", retries=0,
+        ).run(progress=events.append)
+        assert not result.failures
+        assert result.stage("runs").degraded == ["s-runs-000"]
+        assert "run-salvaged" in [e["event"] for e in events]
+        salvaged = result.stage("runs").records[0]
+        assert salvaged.status == "degraded"
+        assert "SimTimeout" in salvaged.failure
+        healthy = result.stage("runs").records[1]
+        assert healthy.status == "complete"
+
+    def test_builder_failure_not_salvaged(self):
+        events = []
+        result = Campaign(specs=[RunSpec(_always_fails)], name="s", retries=0).run(
+            progress=events.append,
+        )
+        assert result.failures == {"s-runs-000": "boom"}
+        assert "run-salvaged" not in [e["event"] for e in events]
+
+
+class TestJournal:
+    def test_final_outcomes_journalled(self, tmp_path):
+        jpath = tmp_path / "j.jsonl"
+        Campaign(
+            specs=[_spec(), RunSpec(_always_fails)], name="j", retries=0,
+        ).run(journal=jpath)
+        entries = list(CampaignJournal(jpath).entries())
+        assert [(e["run_id"], e["status"]) for e in entries] == [
+            ("j-runs-000", "ok"), ("j-runs-001", "failed"),
+        ]
+        assert entries[0]["record"]["run_id"] == "j-runs-000"
+        assert entries[1]["error"] == "boom"
+
+    def test_finished_excludes_failures_and_respects_campaign(self, tmp_path):
+        jpath = tmp_path / "j.jsonl"
+        Campaign(
+            specs=[_spec(), RunSpec(_always_fails)], name="j", retries=0,
+        ).run(journal=jpath)
+        journal = CampaignJournal(jpath)
+        assert sorted(journal.finished("j")) == ["j-runs-000"]
+        assert journal.finished("other-campaign") == {}
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        jpath = tmp_path / "j.jsonl"
+        Campaign(specs=[_spec()], name="j").run(journal=jpath)
+        with open(jpath, "a") as fh:
+            fh.write('{"campaign": "j", "run_id": "torn", "sta')  # the kill landed here
+        assert sorted(CampaignJournal(jpath).finished("j")) == ["j-runs-000"]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        jpath = tmp_path / "j.jsonl"
+        jpath.write_text('not json\n{"run_id": "x", "status": "ok"}\n')
+        with pytest.raises(JournalError):
+            list(CampaignJournal(jpath).entries())
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(CampaignError, match="needs a journal"):
+            Campaign(specs=[_spec()], name="j").run(resume=True)
+
+    def test_resume_skips_journalled_runs(self, tmp_path):
+        jpath = tmp_path / "j.jsonl"
+        campaign = Campaign(specs=[_spec(), _spec()], name="j")
+        first = campaign.run(journal=jpath)
+        events = []
+        second = campaign.run(journal=jpath, resume=True, progress=events.append)
+        kinds = [e["event"] for e in events]
+        assert kinds.count("run-skipped") == 2
+        assert "run-finished" not in kinds
+        assert second.stage("runs").resumed == ["j-runs-000", "j-runs-001"]
+        # restored records equal the originals
+        assert [r.to_dict() for r in second.records] == [
+            r.to_dict() for r in first.records
+        ]
+
+    def test_resume_reruns_journalled_failures(self, tmp_path):
+        jpath = tmp_path / "j.jsonl"
+        flag = tmp_path / "fixed.flag"
+
+        Campaign(
+            specs=[RunSpec(_fail_until_flag, (str(flag),))], name="j", retries=0,
+        ).run(journal=jpath)
+        assert CampaignJournal(jpath).finished("j") == {}
+
+        flag.write_text("")  # the transient condition clears
+        result = Campaign(
+            specs=[RunSpec(_fail_until_flag, (str(flag),))], name="j", retries=0,
+        ).run(journal=jpath, resume=True)
+        assert not result.failures
+        assert sorted(CampaignJournal(jpath).finished("j")) == ["j-runs-000"]
+
+
+def _fail_until_flag(flag_path, iterations=60):
+    if not os.path.exists(flag_path):
+        raise RuntimeError("still broken")
+    return make_pingpong(iterations=iterations)
+
+
+# ---------------------------------------------------------------------------
+# resume after SIGKILL
+# ---------------------------------------------------------------------------
+N_KILL_RUNS = 8
+
+
+def _killable_campaign(root):
+    specs = [
+        RunSpec(
+            make_pingpong, builder_kwargs={"iterations": 60},
+            config=FAST, pre_delay=0.15,
+        )
+        for _ in range(N_KILL_RUNS)
+    ]
+    Campaign(specs=specs, name="kill", retries=0).run(
+        journal=os.path.join(root, "j.jsonl"),
+        store=os.path.join(root, "store"),
+    )
+
+
+def _journal_lines(path):
+    if not os.path.exists(path):
+        return 0
+    with open(path) as fh:
+        return sum(1 for line in fh if line.strip())
+
+
+class TestResumeAfterKill:
+    def test_sigkill_mid_campaign_then_resume(self, tmp_path):
+        jpath = tmp_path / "j.jsonl"
+        ctx = multiprocessing.get_context()
+        child = ctx.Process(target=_killable_campaign, args=(str(tmp_path),))
+        child.start()
+        # wait until some (but not all) runs are journalled, then kill -9
+        deadline = time.monotonic() + 60.0
+        while _journal_lines(jpath) < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        os.kill(child.pid, signal.SIGKILL)
+        child.join(timeout=30)
+        assert child.exitcode == -signal.SIGKILL
+
+        done_before = set(CampaignJournal(jpath).finished("kill"))
+        assert done_before, "journal should hold the completed runs"
+        assert len(done_before) < N_KILL_RUNS, "kill landed after completion"
+
+        specs = [
+            RunSpec(
+                make_pingpong, builder_kwargs={"iterations": 60},
+                config=FAST, pre_delay=0.15,
+            )
+            for _ in range(N_KILL_RUNS)
+        ]
+        events = []
+        result = Campaign(specs=specs, name="kill", retries=0).run(
+            journal=jpath, resume=True,
+            store=tmp_path / "store", progress=events.append,
+        )
+        # only the unfinished runs were re-executed
+        kinds = [e["event"] for e in events]
+        assert kinds.count("run-skipped") == len(done_before)
+        assert kinds.count("run-finished") == N_KILL_RUNS - len(done_before)
+        assert not result.failures
+        assert len(result.records) == N_KILL_RUNS
+        assert len(CampaignJournal(jpath).finished("kill")) == N_KILL_RUNS
+        # every record is in the store exactly once
+        store = ExperimentStore(tmp_path / "store")
+        assert len(store.list()) == N_KILL_RUNS
+
+
+# ---------------------------------------------------------------------------
+# the acceptance scenario: faults + retries + salvage, end to end
+# ---------------------------------------------------------------------------
+class TestFaultyCampaignEndToEnd:
+    def test_eight_runs_two_crashing(self, tmp_path):
+        specs = [
+            _poisson_spec(faults=CRASH_PLAN if i in (2, 5) else None)
+            for i in range(8)
+        ]
+        events = []
+        result = Campaign(
+            specs=specs, name="e2e", retries=1, backoff=0.01,
+        ).run(workers=4, store=tmp_path / "runs", progress=events.append)
+
+        # the campaign completed: crashing runs degraded, none fatal
+        assert not result.failures
+        assert len(result.records) == 8
+        assert sorted(result.stage("runs").degraded) == ["e2e-runs-002", "e2e-runs-005"]
+        for run_id in ("e2e-runs-002", "e2e-runs-005"):
+            record = next(r for r in result.records if r.run_id == run_id)
+            assert record.status == "degraded"
+            assert record.failure
+        # the crashing runs were retried (with backoff) before salvage
+        retried = result.stage("runs").retried
+        assert sorted(set(retried)) == ["e2e-runs-002", "e2e-runs-005"]
+        assert [e["event"] for e in events].count("run-salvaged") == 2
+        healthy = [r for r in result.records if not r.degraded]
+        assert len(healthy) == 6
+        assert all(r.coverage == 1.0 for r in healthy)

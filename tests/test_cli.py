@@ -213,3 +213,84 @@ class TestFigures:
     def test_unknown_figure(self):
         with pytest.raises(SystemExit):
             run_cli("figure", 9)
+
+
+class TestErrorExitCodes:
+    """Satellite: one-line stderr messages with distinct exit codes."""
+
+    @pytest.fixture()
+    def crash_plan(self, tmp_path):
+        import json
+
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "seed": 1, "crash_at": {"Poisson:2": 12.0}, "max_virtual_time": 60.0,
+        }))
+        return path
+
+    def test_simulation_error_exit_4(self, crash_plan, capsys):
+        code = run_cli("diagnose", "poisson", "--iterations", 40,
+                       "--faults", crash_plan)
+        assert code == 4
+        err = capsys.readouterr().err
+        assert err.startswith("simulation failed:")
+        assert "Traceback" not in err
+        assert "--on-failure degrade" in err  # the recovery hint
+
+    def test_on_failure_degrade_exit_0(self, crash_plan, capsys):
+        code = run_cli("diagnose", "poisson", "--iterations", 40,
+                       "--faults", crash_plan, "--on-failure", "degrade")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+
+    def test_debug_reraises(self, crash_plan):
+        from repro.simulator.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            run_cli("--debug", "diagnose", "poisson", "--iterations", 40,
+                    "--faults", crash_plan)
+
+    def test_store_corruption_exit_3(self, tmp_path, capsys):
+        import json
+
+        store = tmp_path / "runs"
+        assert run_cli("diagnose", "tester", "--iterations", 40,
+                       "--store", store, "--run-id", "x1") == 0
+        path = store / "x1.json"
+        data = json.loads(path.read_text())
+        data["record"]["pairs_tested"] = 9999
+        path.write_text(json.dumps(data))
+        capsys.readouterr()
+        code = run_cli("report", "x1", "--store", store)
+        assert code == 3
+        assert "corruption" in capsys.readouterr().err
+        assert (store / "quarantine" / "x1.json").exists()
+
+    def test_campaign_error_exit_5(self, capsys):
+        code = run_cli("campaign", "tester", "--resume")
+        assert code == 5
+        assert "needs a journal" in capsys.readouterr().err
+
+    def test_missing_fault_plan_exit_2(self, capsys):
+        code = run_cli("diagnose", "tester", "--faults", "/nonexistent/plan.json")
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCampaignCli:
+    def test_journal_and_resume_flags(self, tmp_path, capsys):
+        journal = tmp_path / "j.jsonl"
+        assert run_cli(
+            "campaign", "tester", "--iterations", 60, "--runs", 2,
+            "--name", "cj", "--journal", journal, "--store", tmp_path / "runs",
+        ) == 0
+        assert journal.exists()
+        capsys.readouterr()
+        assert run_cli(
+            "campaign", "tester", "--iterations", 60, "--runs", 2,
+            "--name", "cj", "--journal", journal, "--resume",
+            "--store", tmp_path / "runs",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out

@@ -1,0 +1,250 @@
+"""Fault injection: plans, the injector, watchdogs, and determinism."""
+
+import pytest
+
+from repro.apps.poisson import PoissonConfig, build_poisson
+from repro.core import SearchConfig, run_diagnosis
+from repro.faults import FaultInjector, FaultPlan, FaultPlanError, apply_faults
+from repro.simulator import (
+    Compute,
+    Engine,
+    LatencyModel,
+    Machine,
+    ProcState,
+    Recv,
+    Send,
+    SimDeadlock,
+    SimTimeout,
+    SimulationError,
+    TraceCollector,
+)
+
+LAT = LatencyModel(alpha=0.0, beta=0.0, send_overhead=0.0, recv_overhead=0.0)
+FAST = SearchConfig(min_interval=5.0, check_period=0.5, insertion_latency=0.2, cost_limit=50.0)
+
+
+def pingpong(n_rounds=5, payload=10):
+    def sender(proc):
+        with proc.function("pp.c", "driver"):
+            for i in range(n_rounds):
+                yield Send("q", f"t/{i}", size=payload)
+                yield Compute(1.0)
+
+    def receiver(proc):
+        with proc.function("pp.c", "driver"):
+            for i in range(n_rounds):
+                yield Recv("p", f"t/{i}")
+                yield Compute(1.0)
+
+    eng = Engine(Machine.named("n", 2), latency=LAT, crash_policy="record")
+    eng.add_process("p", "n0", sender)
+    eng.add_process("q", "n1", receiver)
+    return eng
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(drop=1.5)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(delay_seconds=-1)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(slow_nodes={"n0": 0.5})
+        with pytest.raises(FaultPlanError):
+            FaultPlan(crash_at={"p": -1.0})
+        with pytest.raises(FaultPlanError):
+            FaultPlan(max_events=0)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(max_virtual_time=0.0)
+
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(seed=7, drop=0.1, slow_nodes={"n0": 2.0},
+                         crash_at={"p": 3.0}, max_events=500)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultPlanError, match="unknown fault plan field"):
+            FaultPlan.from_dict({"seed": 1, "typo": True})
+
+    def test_empty_plan(self):
+        assert FaultPlan().is_empty()
+        assert not FaultPlan(drop=0.1).is_empty()
+
+    def test_describe_mentions_faults(self):
+        text = FaultPlan(drop=0.25, crash_at={"p": 3.0}).describe()
+        assert "drop=0.25" in text and "crash p@3" in text
+
+
+class TestInjector:
+    def test_unknown_process_rejected(self):
+        eng = pingpong()
+        with pytest.raises(FaultPlanError, match="unknown process"):
+            apply_faults(eng, FaultPlan(crash_at={"ghost": 1.0}))
+
+    def test_double_attach_rejected(self):
+        inj = FaultInjector(FaultPlan(drop=0.5))
+        inj.attach(pingpong())
+        with pytest.raises(FaultPlanError, match="already attached"):
+            inj.attach(pingpong())
+
+    def test_drop_all_messages_deadlocks_with_diagnostics(self):
+        eng = pingpong()
+        inj = apply_faults(eng, FaultPlan(seed=1, drop=1.0))
+        with pytest.raises(SimDeadlock) as info:
+            eng.run()
+        assert any(kind == "drop" for _, kind, _ in inj.injected)
+        blocked = info.value.blocked
+        assert any(b["process"] == "q" and b["kind"] == "recv" for b in blocked)
+        # the message names the stuck function and tag
+        assert "pp.c:driver" in str(info.value)
+        assert "tag" in str(info.value)
+
+    def test_delay_stretches_execution(self):
+        base = pingpong()
+        t_clean = base.run()
+        eng = pingpong()
+        apply_faults(eng, FaultPlan(seed=2, delay=1.0, delay_seconds=2.0))
+        t_delayed = eng.run()
+        # Later arrivals overlap the receiver's compute, so the run
+        # stretches by at least the first delivery's extra latency.
+        assert t_delayed >= t_clean + 2.0
+
+    def test_duplicates_are_harmless_extra_arrivals(self):
+        # Duplicated messages arrive late into the void (no matching recv);
+        # the program still completes in order.
+        eng = pingpong()
+        inj = apply_faults(eng, FaultPlan(seed=3, duplicate=1.0, delay_seconds=0.5))
+        eng.run()
+        assert any(kind == "duplicate" for _, kind, _ in inj.injected)
+        assert all(p.state is ProcState.DONE for p in eng.procs.values())
+
+    def test_slow_node_stretches_compute(self):
+        def worker(proc):
+            with proc.function("m.c", "f"):
+                yield Compute(10.0)
+
+        def make(plan=None):
+            eng = Engine(Machine.named("n", 1), latency=LAT)
+            eng.add_process("p", "n0", worker)
+            if plan:
+                apply_faults(eng, plan)
+            return eng.run()
+
+        assert make() == pytest.approx(10.0)
+        assert make(FaultPlan(slow_nodes={"n0": 3.0})) == pytest.approx(30.0)
+
+    def test_crash_at_time_kills_process(self):
+        eng = pingpong(n_rounds=50)
+        apply_faults(eng, FaultPlan(crash_at={"p": 5.0}, max_virtual_time=100.0))
+        with pytest.raises(SimulationError) as info:
+            eng.run()
+        assert eng.procs["p"].state is ProcState.CRASHED
+        assert "crashed processes: ['p']" in str(info.value)
+
+    def test_hang_at_time_trips_watchdog(self):
+        eng = pingpong(n_rounds=50)
+        eng.schedule_periodic(1.0, lambda _: None)  # keeps virtual time flowing
+        apply_faults(eng, FaultPlan(hang_at={"q": 5.0}))
+        with pytest.raises(SimTimeout) as info:
+            eng.run(max_time=40.0)
+        assert any(b["process"] == "q" and b["kind"] == "hang"
+                   for b in info.value.blocked)
+        assert info.value.budget == {"max_time": 40.0}
+
+    def test_max_events_budget(self):
+        eng = pingpong(n_rounds=200)
+        with pytest.raises(SimTimeout) as info:
+            eng.run(max_events=20)
+        assert info.value.budget == {"max_events": 20}
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def trace(seed):
+            eng = pingpong(n_rounds=20)
+            sink = TraceCollector()
+            eng.add_sink(sink)
+            apply_faults(eng, FaultPlan(seed=seed, drop=0.2, delay=0.3,
+                                        delay_seconds=0.7))
+            try:
+                eng.run(max_time=500.0)
+            except SimulationError:
+                pass
+            return [
+                (s.process, s.start, s.end, s.activity, s.module, s.function)
+                for s in sink.segments
+            ]
+
+        assert trace(11) == trace(11)
+        assert trace(11) != trace(12)
+
+    def test_same_plan_same_diagnosis_record(self):
+        plan = FaultPlan(seed=5, delay=0.3, delay_seconds=0.5,
+                         slow_nodes={"node09": 1.5}, max_virtual_time=400.0)
+
+        def record():
+            return run_diagnosis(
+                build_poisson("C", PoissonConfig(iterations=40)),
+                config=FAST, run_id="det", faults=plan, on_failure="degrade",
+            ).to_dict()
+
+        first, second = record(), record()
+        assert first == second
+
+    def test_faulty_run_differs_from_clean(self):
+        clean = run_diagnosis(
+            build_poisson("C", PoissonConfig(iterations=40)),
+            config=FAST, run_id="det",
+        ).to_dict()
+        faulty = run_diagnosis(
+            build_poisson("C", PoissonConfig(iterations=40)),
+            config=FAST, run_id="det",
+            faults=FaultPlan(seed=5, slow_nodes={"node09": 4.0}),
+        ).to_dict()
+        assert clean["finish_time"] != faulty["finish_time"]
+
+
+class TestGracefulDegradation:
+    def test_crash_degrades_instead_of_raising(self):
+        plan = FaultPlan(seed=3, crash_at={"Poisson:2": 12.0}, max_virtual_time=60.0)
+        app = build_poisson("C", PoissonConfig(iterations=40))
+        with pytest.raises(SimulationError):
+            run_diagnosis(app, config=FAST, faults=plan)
+        record = run_diagnosis(
+            build_poisson("C", PoissonConfig(iterations=40)),
+            config=FAST, faults=plan, on_failure="degrade",
+        )
+        assert record.status == "degraded"
+        assert record.degraded
+        assert "SimTimeout" in record.failure
+        assert 0.0 <= record.coverage <= 1.0
+        assert record.pairs_tested > 0  # partial results survived
+        assert "FaultPlan" in record.notes
+
+    def test_unknown_pairs_annotated_with_reason(self):
+        plan = FaultPlan(seed=3, hang_at={"Poisson:1": 8.0}, max_virtual_time=30.0)
+        record = run_diagnosis(
+            build_poisson("C", PoissonConfig(iterations=40)),
+            config=FAST, faults=plan, on_failure="degrade",
+        )
+        assert record.status == "degraded"
+        annotated = [n for n in record.shg_nodes if n.get("quality")]
+        assert annotated, "degraded run should annotate undecided pairs"
+        assert any("SimTimeout" in n["quality"] for n in annotated)
+
+    def test_healthy_run_reports_full_coverage(self):
+        record = run_diagnosis(
+            build_poisson("C", PoissonConfig(iterations=40)), config=FAST,
+        )
+        assert record.status == "complete"
+        assert record.failure is None
+        assert record.coverage == 1.0
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_failure"):
+            run_diagnosis(
+                build_poisson("C", PoissonConfig(iterations=10)),
+                config=FAST, on_failure="ignore",
+            )

@@ -84,7 +84,10 @@ def test_rebuild_index_recovers_lost_entries(tmp_path):
     # simulate index corruption
     (root / "index.json").write_text("{}")
     assert ExperimentStore(root).list() == []
-    assert store.rebuild_index() == 3
+    report = store.rebuild_index()
+    assert report.count == 3
+    assert sorted(report.kept) == ["r0", "r1", "r2"]
+    assert report.quarantined == []
     assert set(store.list()) == {"r0", "r1", "r2"}
     seqs = sorted(m["seq"] for m in store._read_index().values())
     assert seqs == [0, 1, 2]
