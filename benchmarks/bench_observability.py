@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Observability benchmark harness: search + campaign trajectories.
+
+Not a paper artifact: this harness measures the reproduction's own
+observability layer and emits machine-readable trajectory files into
+``results/``:
+
+* ``BENCH_pc_search.json`` — one Performance Consultant diagnosis run
+  untraced and traced: wall seconds, events/sec, the peak/mean enabled
+  instrumentation cost, the cost *series* sampled by the tracer's
+  ``progress`` events, and the measured tracing overhead;
+* ``BENCH_campaign.json`` — a small serial campaign with per-run and
+  aggregated metrics.
+
+The traced run is also replayed (``repro.obs.replay_conclusions``) and
+must reproduce the record's exact conclusion set — tracing that lies is
+worse than no tracing.
+
+``--check`` compares the measured tracing overhead against the
+checked-in baseline (``benchmarks/baselines/observability.json``) and
+exits non-zero when the overhead regressed by more than the baseline's
+tolerance (absolute percentage points).  Only *ratios* are compared —
+absolute wall times are machine-dependent and never gate CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.apps.poisson import PoissonConfig, build_poisson  # noqa: E402
+from repro.campaign import Campaign, RunSpec  # noqa: E402
+from repro.core import SearchConfig, run_diagnosis  # noqa: E402
+from repro.obs import Tracer, replay_conclusions  # noqa: E402
+
+RESULTS_DIR = REPO / "results"
+BASELINE = Path(__file__).resolve().parent / "baselines" / "observability.json"
+
+WORKLOAD = dict(version="C", iterations=400)
+CONFIG = SearchConfig(min_interval=10.0, check_period=1.0,
+                      insertion_latency=1.0, cost_limit=20.0)
+
+
+def _diagnose(tracer=None):
+    app = build_poisson(WORKLOAD["version"],
+                        PoissonConfig(iterations=WORKLOAD["iterations"]))
+    start = time.perf_counter()
+    record = run_diagnosis(app, config=CONFIG, run_id="bench-obs",
+                           tracer=tracer)
+    return time.perf_counter() - start, record
+
+
+def bench_pc_search(reps: int) -> dict:
+    """Untraced vs traced diagnosis of the same workload.
+
+    One warm-up run absorbs import/JIT effects, then the two modes
+    alternate so drift (frequency scaling, page cache) hits both
+    equally; medians blunt the remaining outliers.
+    """
+    _diagnose()  # warm-up, discarded
+    untraced = []
+    traced_walls = []
+    tracer = None
+    record = None
+    for _ in range(reps):
+        untraced.append(_diagnose()[0])
+        tracer = Tracer()
+        wall, record = _diagnose(tracer)
+        traced_walls.append(wall)
+
+    replayed = replay_conclusions(tracer.events())
+    actual = {(n["hypothesis"], n["focus"]): n["state"]
+              for n in record.shg_nodes}
+    if replayed != actual:
+        raise AssertionError(
+            "trace replay diverged from the record's conclusion set: "
+            f"{sorted(set(replayed.items()) ^ set(actual.items()))[:5]}"
+        )
+
+    wall_untraced = statistics.median(untraced)
+    wall_traced = statistics.median(traced_walls)
+    samples = tracer.events("progress")
+    cost_series = [e.data["cost"] for e in samples]
+    return {
+        "workload": dict(WORKLOAD),
+        "reps": reps,
+        "wall_seconds_untraced": wall_untraced,
+        "wall_seconds_traced": wall_traced,
+        "trace_overhead_ratio": (wall_traced - wall_untraced) / wall_untraced
+        if wall_untraced > 0 else 0.0,
+        "events_per_sec": record.metrics["engine_events"] / wall_traced
+        if wall_traced > 0 else 0.0,
+        "engine_events": record.metrics["engine_events"],
+        "virtual_seconds": record.metrics["virtual_seconds"],
+        "peak_cost": record.metrics["peak_cost"],
+        "mean_cost": record.metrics["mean_cost"],
+        "cost_series": cost_series,
+        "cost_series_times": [e.t for e in samples],
+        "trace_events": tracer.count,
+        "trace_dropped": tracer.dropped,
+        "replay_faithful": True,
+        "metrics": record.metrics,
+    }
+
+
+def bench_campaign(runs: int) -> dict:
+    """A small serial campaign, reported through the aggregate metrics."""
+    specs = [
+        RunSpec(
+            build_poisson,
+            (WORKLOAD["version"], PoissonConfig(iterations=WORKLOAD["iterations"])),
+            config=CONFIG,
+        )
+        for _ in range(runs)
+    ]
+    start = time.perf_counter()
+    result = Campaign(specs=specs, name="bench-obs").run()
+    wall = time.perf_counter() - start
+    aggregate = result.metrics()
+    return {
+        "runs": runs,
+        "wall_seconds": wall,
+        "failures": len(result.failures),
+        "events_per_sec": (aggregate.get("engine_events_total") or 0) / wall
+        if wall > 0 else 0.0,
+        "peak_cost_max": aggregate.get("peak_cost_max"),
+        "aggregate_metrics": aggregate,
+        "per_run_wall": [r.metrics.get("wall_seconds") for r in result.records],
+    }
+
+
+def check_against_baseline(search: dict) -> int:
+    if not BASELINE.is_file():
+        print(f"no baseline at {BASELINE}; skipping regression check")
+        return 0
+    baseline = json.loads(BASELINE.read_text())
+    tolerance = baseline.get("tolerance", 0.05)
+    # A noise-negative baseline must not tighten the gate below the
+    # nominal tolerance.
+    allowed = max(baseline["trace_overhead_ratio"], 0.0) + tolerance
+    measured = search["trace_overhead_ratio"]
+    print(f"trace overhead: measured {measured:+.2%}, "
+          f"baseline {baseline['trace_overhead_ratio']:+.2%}, "
+          f"allowed <= {allowed:+.2%}")
+    if measured > allowed:
+        print("FAIL: tracing overhead regressed past the baseline tolerance")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=3,
+                        help="diagnosis repetitions per mode (median wall)")
+    parser.add_argument("--campaign-runs", type=int, default=4)
+    parser.add_argument("--check", action="store_true",
+                        help="fail on trace-overhead regression vs the "
+                             "checked-in baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the checked-in overhead baseline from "
+                             "this measurement")
+    args = parser.parse_args(argv)
+
+    search = bench_pc_search(args.reps)
+    campaign = bench_campaign(args.campaign_runs)
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_pc_search.json").write_text(
+        json.dumps(search, indent=2, sort_keys=True) + "\n")
+    (RESULTS_DIR / "BENCH_campaign.json").write_text(
+        json.dumps(campaign, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {RESULTS_DIR / 'BENCH_pc_search.json'}")
+    print(f"wrote {RESULTS_DIR / 'BENCH_campaign.json'}")
+    print(f"search: {search['events_per_sec']:.0f} ev/s, "
+          f"peak cost {search['peak_cost']:.2f}, "
+          f"trace overhead {search['trace_overhead_ratio']:+.2%} "
+          f"({search['trace_events']} events)")
+    print(f"campaign: {campaign['runs']} runs in "
+          f"{campaign['wall_seconds']:.2f} s, "
+          f"{campaign['events_per_sec']:.0f} ev/s aggregate")
+
+    if args.update_baseline:
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(json.dumps({
+            "trace_overhead_ratio": round(max(search["trace_overhead_ratio"], 0.0), 4),
+            "tolerance": 0.05,
+            "workload": dict(WORKLOAD),
+            "reps": args.reps,
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {BASELINE}")
+
+    if args.check:
+        return check_against_baseline(search)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,7 @@ import pytest
 
 from repro.apps.poisson import PoissonConfig, build_poisson
 from repro.campaign import Campaign, PoolExecutor, RunSpec, SerialExecutor
+from repro.obs import deterministic_metrics
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -69,8 +70,13 @@ def test_campaign_scaling_4_workers():
     pool_wall, pooled = _timed_run(PoolExecutor(WORKERS), PRE_DELAY)
 
     # same science either way
-    assert [r.to_dict() for r in serial.records] == [
-        r.to_dict() for r in pooled.records
+    def comparable(record):
+        data = record.to_dict()
+        data["metrics"] = deterministic_metrics(data["metrics"])
+        return data
+
+    assert [comparable(r) for r in serial.records] == [
+        comparable(r) for r in pooled.records
     ]
 
     speedup = serial_wall / pool_wall

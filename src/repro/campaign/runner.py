@@ -47,6 +47,7 @@ from ..core.consultant import run_diagnosis
 from ..core.directives import DirectiveSet
 from ..core.extraction import extract_directives
 from ..faults import FaultPlan
+from ..obs.metrics import aggregate_metrics
 from ..simulator.errors import SimulationError
 from ..storage.records import RunRecord
 from ..storage.store import ExperimentStore
@@ -137,6 +138,11 @@ class StageResult:
     def ok(self) -> List[RunRecord]:
         return [r for r in self.records if r is not None]
 
+    def metrics(self) -> Dict[str, Any]:
+        """Stage-level aggregate of the runs' observability metrics
+        (:func:`repro.obs.metrics.aggregate_metrics`)."""
+        return aggregate_metrics(r.metrics for r in self.ok)
+
 
 @dataclass
 class CampaignResult:
@@ -163,6 +169,10 @@ class CampaignResult:
 
     def stage(self, name: str) -> StageResult:
         return self.stages[name]
+
+    def metrics(self) -> Dict[str, Any]:
+        """Campaign-level aggregate of every run's observability metrics."""
+        return aggregate_metrics(r.metrics for r in self.records)
 
     def summary(self) -> str:
         lines = [f"campaign {self.name}: {self.wall:.1f} s wall"]

@@ -11,6 +11,9 @@ The workflows of the paper as shell commands around an experiment store::
     repro automap --store runs/ poisson-A-0001 poisson-B-0001 --out ab.maps
     repro list --store runs/
     repro campaign poisson --runs 8 --workers 4 --directed --store runs/
+    repro diagnose poisson --store runs/ --trace
+    repro trace poisson-C-0002 --store runs/
+    repro report --store runs/ poisson-C-0002 --metrics
 """
 
 from __future__ import annotations
@@ -39,9 +42,16 @@ from .core.postmortem import extract_directives_postmortem
 from .core.shg import NodeState
 from .facade import as_store, diagnose, harvest, load_directives
 from .faults import FaultPlan, FaultPlanError
+from .obs import TraceError, metrics_to_json, metrics_to_prometheus, read_trace
 from .simulator.errors import SimulationError
 from .storage import StoreCorruption, StoreError
-from .visualize import bar_chart, render_shg, render_space, sparkline
+from .visualize import (
+    bar_chart,
+    render_shg,
+    render_space,
+    render_trace_timeline,
+    sparkline,
+)
 
 __all__ = ["main"]
 
@@ -91,6 +101,10 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
         threshold_overrides=dict(args.threshold or ()),
     )
     faults = FaultPlan.load(args.faults) if args.faults else None
+    trace = args.trace
+    if trace is True and not args.store:
+        raise SystemExit("--trace without a PATH writes under the store; "
+                         "add --store or give --trace a file path")
     record = diagnose(
         app,
         history=args.directives,
@@ -101,6 +115,7 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
         discover_resources=args.discover,
         faults=faults,
         on_failure=args.on_failure,
+        trace=trace,
     )
     t_all = record.time_to_find_all()
     print(f"run id          : {record.run_id}")
@@ -116,6 +131,11 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
             print(f"failure         : {record.failure}")
     if args.store:
         print(f"stored in       : {args.store}")
+    if trace is True:
+        print(f"trace written   : "
+              f"{Path(args.store) / 'traces' / (record.run_id + '.jsonl')}")
+    elif trace:
+        print(f"trace written   : {trace}")
     return 0
 
 
@@ -196,6 +216,46 @@ def cmd_report(args: argparse.Namespace) -> int:
     if args.hierarchies:
         print()
         print(render_space(record.space()))
+    if args.metrics:
+        print()
+        if not record.metrics:
+            print("(record has no observability metrics — stored by an "
+                  "older version)")
+        elif args.metrics_format == "json":
+            print(metrics_to_json(record.metrics))
+        elif args.metrics_format == "prom":
+            sys.stdout.write(metrics_to_prometheus(
+                record.metrics,
+                labels={"run_id": record.run_id, "app": record.app_name},
+            ))
+        else:
+            mtable = Table("Run metrics", ["metric", "value"])
+            for name in sorted(record.metrics):
+                value = record.metrics[name]
+                mtable.add_row([
+                    name, "n/a" if value is None else f"{value:g}",
+                ])
+            print(mtable.render())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render a stored (or free-standing) trace file as a timeline."""
+    direct = Path(args.run)
+    if direct.is_file():
+        path = direct
+    else:
+        if not args.store:
+            raise SystemExit(
+                f"{args.run!r} is not a trace file; to resolve it as a run "
+                "id, pass --store")
+        path = Path(args.store) / "traces" / f"{args.run}.jsonl"
+        if not path.is_file():
+            raise SystemExit(
+                f"no trace for run {args.run!r} under {path.parent} "
+                "(was the run diagnosed with --trace?)")
+    events = read_trace(path)
+    print(render_trace_timeline(events, verbose=args.verbose))
     return 0
 
 
@@ -424,6 +484,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--on-failure", choices=("raise", "degrade"), default="raise",
                    help="degrade: return a partial record on simulator "
                         "failure instead of erroring out")
+    p.add_argument("--trace", nargs="?", const=True, default=None, metavar="PATH",
+                   help="record a structured search trace; with PATH write "
+                        "the JSONL there, without PATH write it under the "
+                        "store as traces/<run_id>.jsonl")
     p.set_defaults(func=cmd_diagnose)
 
     p = sub.add_parser("campaign",
@@ -481,7 +545,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true", help="show the code profile")
     p.add_argument("--top", type=int, default=10, help="profile rows to show")
     p.add_argument("--hierarchies", action="store_true", help="render resource hierarchies")
+    p.add_argument("--metrics", action="store_true",
+                   help="show the run's observability metrics")
+    p.add_argument("--metrics-format", choices=("table", "json", "prom"),
+                   default="table",
+                   help="metrics rendering: table (default), json, or "
+                        "Prometheus text exposition")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("trace", help="render a recorded search trace as a timeline")
+    p.add_argument("run", help="run id (with --store) or a trace file path")
+    p.add_argument("--store", help="experiment store holding traces/<run>.jsonl")
+    p.add_argument("--verbose", action="store_true",
+                   help="list every event, not just milestones")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("list", help="list stored runs")
     p.add_argument("--store", required=True)
@@ -535,7 +612,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             raise
         print(f"corruption: {exc}", file=sys.stderr)
         return EXIT_CORRUPTION
-    except (StoreError, FaultPlanError, OSError) as exc:
+    except (StoreError, FaultPlanError, TraceError, OSError) as exc:
         if args.debug:
             raise
         print(f"error: {exc}", file=sys.stderr)

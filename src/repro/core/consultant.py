@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import time
 import uuid
 from dataclasses import dataclass
 from typing import Optional
@@ -19,11 +20,13 @@ from ..faults import FaultInjector, FaultPlan
 from ..metrics.cost import CostModel
 from ..metrics.instrumentation import InstrumentationManager
 from ..metrics.profile import ProfileCollector
+from ..obs.metrics import run_metrics
+from ..obs.trace import Tracer
 from ..simulator.errors import SimulationError
 from ..storage.records import RunRecord
 from .directives import DirectiveSet
 from .discovery import DiscoverySink
-from .hypotheses import HypothesisTree, standard_tree
+from .hypotheses import TOP_LEVEL, HypothesisTree, standard_tree
 from .mapping import apply_mappings
 from .search import PerformanceConsultantSearch, SearchConfig
 
@@ -75,11 +78,17 @@ class DiagnosisSession:
     #: budgets take precedence when set).
     max_events: Optional[int] = None
     max_virtual_time: Optional[float] = None
+    #: Observability: attach a :class:`~repro.obs.trace.Tracer` and the
+    #: search, the instrumentation manager, and the cost gate stream
+    #: structured events into it.  ``None`` (the default) adds zero
+    #: overhead — no callback is ever consulted.
+    tracer: Optional[Tracer] = None
 
     def run(self) -> RunRecord:
         """Execute the application with the online search attached."""
         if self.on_failure not in ("raise", "degrade"):
             raise ValueError(f"unknown on_failure policy {self.on_failure!r}")
+        wall_start = time.perf_counter()
         config = self.config or SearchConfig()
         space = self.app.make_space()
         directives = self.directives or DirectiveSet()
@@ -114,6 +123,7 @@ class DiagnosisSession:
         engine.add_sink(profiler)
         if self.discover_resources:
             engine.add_sink(DiscoverySink(space))
+        run_id = self.run_id or _default_run_id(self.app)
         search = PerformanceConsultantSearch(
             engine,
             instr,
@@ -121,7 +131,13 @@ class DiagnosisSession:
             hypotheses=self.hypotheses or standard_tree(),
             directives=directives,
             config=config,
+            tracer=self.tracer,
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "run-start", run_id=run_id, app=self.app.name,
+                version=self.app.version, n_processes=self.app.n_processes,
+            )
         search.start()
         failure: Optional[str] = None
         try:
@@ -139,8 +155,30 @@ class DiagnosisSession:
             crashed = sorted(p.name for p in engine.crashed())
             failure = f"crashed processes: {crashed}"
         shg = search.shg
+        states = shg.state_counts()
+        concluded = sum(
+            1 for n in shg if n.concluded and n.hypothesis != TOP_LEVEL
+        )
+        metrics = run_metrics(
+            engine_events=engine.events_processed,
+            wall_seconds=time.perf_counter() - wall_start,
+            virtual_seconds=finish,
+            peak_cost=instr.peak_cost,
+            mean_cost=instr.mean_cost,
+            pairs_instrumented=shg.tested_count(),
+            pairs_concluded=concluded,
+            pairs_pruned=states.get("pruned", 0),
+            pairs_unknown=states.get("unknown", 0),
+            instr_requests=instr.total_requests,
+            instr_deletes=instr.total_deletes,
+            instr_decimates=instr.total_decimates,
+            time_to_first_true=search.first_true_time(),
+            time_to_last_true=search.last_true_time(),
+            trace_events=self.tracer.count if self.tracer else 0,
+            trace_dropped=self.tracer.dropped if self.tracer else 0,
+        )
         return RunRecord(
-            run_id=self.run_id or _default_run_id(self.app),
+            run_id=run_id,
             app_name=self.app.name,
             version=self.app.version,
             n_processes=self.app.n_processes,
@@ -168,6 +206,7 @@ class DiagnosisSession:
             status="degraded" if degraded else "complete",
             failure=failure,
             coverage=search.coverage(),
+            metrics=metrics,
         )
 
 

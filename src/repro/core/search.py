@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..metrics.instrumentation import InstrumentationManager
+from ..obs.trace import Tracer
 from ..resources.focus import Focus, whole_program
 from ..resources.resource import ResourceSpace
 from ..simulator.engine import Engine
@@ -69,6 +70,7 @@ class PerformanceConsultantSearch:
         hypotheses: Optional[HypothesisTree] = None,
         directives: Optional[DirectiveSet] = None,
         config: Optional[SearchConfig] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.engine = engine
         self.instr = instrumentation
@@ -76,6 +78,15 @@ class PerformanceConsultantSearch:
         self.hypotheses = hypotheses or standard_tree()
         self.directives = directives or DirectiveSet()
         self.config = config or SearchConfig()
+        #: Optional structured trace sink; every emission is guarded by a
+        #: ``None`` check so an untraced run pays nothing.
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.clock = lambda: engine.now
+            instrumentation.tracer = tracer
+            instrumentation.gate.on_transition = (
+                lambda kind, **data: tracer.emit(kind, **data)
+            )
         self.shg = SearchHistoryGraph()
         self._pending: List[Tuple[int, int, int, int]] = []  # (prio, depth, seq, node_id)
         self._seq = itertools.count()
@@ -114,6 +125,15 @@ class PerformanceConsultantSearch:
         root, _ = self.shg.add(TOP_LEVEL, whole_program(self.space))
         root.state = NodeState.TRUE
         root.t_concluded = self.engine.now
+        if self.tracer is not None:
+            self.tracer.emit(
+                "node-queued", node=root.node_id, hypothesis=root.hypothesis,
+                focus=str(root.focus), priority=str(root.priority), persistent=False,
+            )
+            self.tracer.emit(
+                "node-concluded", node=root.node_id, state=root.state.value,
+                value=None, threshold=None,
+            )
 
         # High-priority directives are instrumented at search start and are
         # persistent (paper, Section 3.1).  Pruning directives are applied
@@ -148,6 +168,11 @@ class PerformanceConsultantSearch:
             node, created = self.shg.add(hypothesis, focus, parent=parent)
             if created:
                 node.state = NodeState.PRUNED
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "node-pruned", node=node.node_id,
+                        hypothesis=hypothesis, focus=str(focus),
+                    )
             return
         priority = self.directives.priority_of(hypothesis, focus)
         node, created = self.shg.add(hypothesis, focus, parent=parent, priority=priority)
@@ -161,6 +186,12 @@ class PerformanceConsultantSearch:
             self._pending,
             (int(node.priority), node.focus.depth(), next(self._seq), node.node_id),
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "node-queued", node=node.node_id, hypothesis=node.hypothesis,
+                focus=str(node.focus), priority=str(node.priority),
+                persistent=node.persistent,
+            )
 
     def _refine(self, node: SHGNode) -> None:
         """Expand a true node: more specific hypotheses at the same focus,
@@ -177,6 +208,14 @@ class PerformanceConsultantSearch:
         self._rescan_if_grown()
         self._evaluate_active(self.config.min_interval)
         self._expand()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "progress",
+                events=self.engine.events_processed,
+                cost=self.instr.total_cost,
+                active=self.instr.active_count,
+                pending=len(self._pending),
+            )
         if self.done_at is None and self.is_complete():
             self.done_at = self.engine.now
             if self.config.stop_engine_when_done:
@@ -210,10 +249,24 @@ class PerformanceConsultantSearch:
             try:
                 frac, elapsed = self.instr.normalized_read(node.handle)
             except KeyError:
-                # The sample vanished (lost instrumentation data).  Mark
-                # this one pair unknown and keep searching the surviving
-                # foci instead of aborting the whole diagnosis.
-                self._mark_unknown(node, "lost instrumentation sample")
+                # The sample vanished (lost instrumentation data).
+                if node.concluded:
+                    # A persistent pair that already concluded keeps its
+                    # conclusion — only the ongoing watch is lost; wiping
+                    # it to UNKNOWN would silently drop a confirmed
+                    # bottleneck from extraction.
+                    node.quality = "lost instrumentation sample"
+                    node.handle = None
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            "node-sample-lost", node=node.node_id,
+                            reason=node.quality,
+                        )
+                else:
+                    # Undecided: mark this one pair unknown and keep
+                    # searching the surviving foci instead of aborting
+                    # the whole diagnosis.
+                    self._mark_unknown(node, "lost instrumentation sample")
                 continue
             if elapsed < min_interval:
                 continue
@@ -226,11 +279,28 @@ class PerformanceConsultantSearch:
                 if borderline and not decisive and not force:
                     continue
                 self._conclude(node, is_true)
-            elif node.persistent and node.state is NodeState.FALSE and is_true:
-                # Persistent tests continue for the whole run and may flip.
-                node.state = NodeState.TRUE
-                node.t_concluded = self.engine.now
-                self._refine(node)
+            elif node.persistent and node.concluded:
+                # Persistent tests continue for the whole run and may flip
+                # in either direction; the flip needs to clear the noise
+                # band around the threshold (hysteresis), so a value
+                # hovering at the threshold cannot oscillate every tick.
+                flip_to: Optional[NodeState] = None
+                if node.state is NodeState.FALSE and frac > threshold + self.config.noise_band:
+                    flip_to = NodeState.TRUE
+                elif node.state is NodeState.TRUE and frac < threshold - self.config.noise_band:
+                    flip_to = NodeState.FALSE
+                if flip_to is not None:
+                    was = node.state
+                    node.state = flip_to
+                    node.t_concluded = self.engine.now
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            "node-flip", node=node.node_id,
+                            **{"from": was.value, "to": flip_to.value},
+                            value=frac, threshold=threshold,
+                        )
+                    if flip_to is NodeState.TRUE:
+                        self._refine(node)
 
     def _mark_unknown(self, node: SHGNode, reason: str) -> None:
         """Give up on one pair with a data-quality annotation; the search
@@ -240,10 +310,17 @@ class PerformanceConsultantSearch:
         if node.handle is not None:
             self.instr.delete(node.handle)
             node.handle = None
+        if self.tracer is not None:
+            self.tracer.emit("node-unknown", node=node.node_id, reason=reason)
 
     def _conclude(self, node: SHGNode, is_true: bool) -> None:
         node.state = NodeState.TRUE if is_true else NodeState.FALSE
         node.t_concluded = self.engine.now
+        if self.tracer is not None:
+            self.tracer.emit(
+                "node-concluded", node=node.node_id, state=node.state.value,
+                value=node.value, threshold=self.threshold(node.hypothesis),
+            )
         if node.persistent:
             # Persistent tests keep watching for the whole run, but at a
             # decimated sampling rate that releases their cost-gate share.
@@ -269,9 +346,18 @@ class PerformanceConsultantSearch:
                 break
             heapq.heappop(self._pending)
             metric = self.hypotheses.get(node.hypothesis).metric
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "gate-admit", node=node.node_id, cost=cost,
+                    total=self.instr.gate.total,
+                )
             node.handle = self.instr.request(metric, node.focus, persistent=node.persistent)
             node.t_requested = self.engine.now
             node.state = NodeState.ACTIVE
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "node-active", node=node.node_id, handle=node.handle, cost=cost,
+                )
 
     # ------------------------------------------------------------------
     # end of run
@@ -290,8 +376,12 @@ class PerformanceConsultantSearch:
                 node.state = NodeState.NEVER_RUN
                 if reason is not None:
                     node.quality = reason
+                if self.tracer is not None:
+                    self.tracer.emit("node-never-run", node=node.node_id)
         if self.done_at is None:
             self.done_at = self.engine.now
+        if self.tracer is not None:
+            self.tracer.emit("run-end", reason=reason)
 
     # ------------------------------------------------------------------
     # status
@@ -333,3 +423,7 @@ class PerformanceConsultantSearch:
     def last_true_time(self) -> Optional[float]:
         times = [n.t_concluded for n in self.shg.true_nodes() if n.hypothesis != TOP_LEVEL]
         return max(times) if times else None
+
+    def first_true_time(self) -> Optional[float]:
+        times = [n.t_concluded for n in self.shg.true_nodes() if n.hypothesis != TOP_LEVEL]
+        return min(times) if times else None

@@ -24,6 +24,7 @@ from .core.consultant import DiagnosisSession
 from .core.directives import DirectiveSet
 from .core.extraction import extract_directives
 from .core.search import SearchConfig
+from .obs.trace import Tracer
 from .storage.records import RunRecord
 from .storage.store import ExperimentStore, StoreError
 
@@ -130,6 +131,7 @@ def diagnose(
     run_id: Optional[str] = None,
     overwrite: bool = False,
     config: Optional[SearchConfig] = None,
+    trace: Union[None, bool, str, Path, Tracer] = None,
     **cfg,
 ) -> RunRecord:
     """Run one Performance Consultant diagnosis of *app*.
@@ -141,6 +143,13 @@ def diagnose(
     search configuration; session keywords (``cost_model``,
     ``hypotheses``, ``discover_resources``, ``apply_resource_mapping``)
     pass through to :class:`DiagnosisSession`.
+
+    ``trace`` records a structured search trace: pass a path to write a
+    JSONL trace file there, ``True`` to write it under the store's
+    ``traces/`` directory as ``<run_id>.jsonl`` (requires ``store``), or
+    a pre-built :class:`~repro.obs.trace.Tracer` to keep the events
+    in memory under your control.  ``None`` (the default) records
+    nothing and adds no overhead.
 
     >>> record = diagnose(build_poisson("C"), history="runs/", store="runs/")
     """
@@ -154,15 +163,33 @@ def diagnose(
             "pass either config= or individual search fields "
             f"({sorted(search_kwargs)}), not both"
         )
+    if trace is True and store is None:
+        raise TypeError("trace=True writes under the store; pass store= too")
+    tracer: Optional[Tracer] = None
+    trace_path: Optional[Path] = None
+    if isinstance(trace, Tracer):
+        tracer = trace
+    elif isinstance(trace, (str, Path)):
+        tracer = Tracer()
+        trace_path = Path(trace)
+    elif trace:
+        tracer = Tracer()
     record = DiagnosisSession(
         app=app,
         directives=resolve_history(history, app=app),
         config=config or (SearchConfig(**search_kwargs) if search_kwargs else None),
         run_id=run_id,
+        tracer=tracer,
         **session_kwargs,
     ).run()
     if store is not None:
-        as_store(store).save(record, overwrite=overwrite)
+        store = as_store(store)
+        store.save(record, overwrite=overwrite)
+        if trace is True:
+            trace_path = Path(store.root) / "traces" / f"{record.run_id}.jsonl"
+    if trace_path is not None:
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        tracer.write(trace_path)
     return record
 
 

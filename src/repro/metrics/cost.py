@@ -69,17 +69,27 @@ class CostGate:
         self.total = 0.0
         self.halted = False
         self.peak = 0.0
+        #: Optional observer called as ``on_transition("gate-halt", ...)``
+        #: / ``on_transition("gate-resume", ...)`` when the gate changes
+        #: state — the observability layer's hook.  ``None`` costs nothing.
+        self.on_transition = None
 
     def add(self, cost: float) -> None:
         self.total += cost
         self.peak = max(self.peak, self.total)
-        if self.total >= self.limit:
+        if self.total >= self.limit and not self.halted:
             self.halted = True
+            if self.on_transition is not None:
+                self.on_transition("gate-halt", total=self.total, limit=self.limit)
 
     def remove(self, cost: float) -> None:
         self.total = max(self.total - cost, 0.0)
         if self.halted and self.total <= self.resume_level:
             self.halted = False
+            if self.on_transition is not None:
+                self.on_transition(
+                    "gate-resume", total=self.total, resume_level=self.resume_level
+                )
 
     def can_admit(self, cost: float) -> bool:
         """True when a new pair of the given cost may be instrumented."""

@@ -88,6 +88,15 @@ class InstrumentationManager:
         self._handles = itertools.count(1)
         self._per_proc_cost: Dict[str, float] = {p: 0.0 for p in engine.procs}
         self.total_requests = 0
+        self.total_deletes = 0
+        self.total_decimates = 0
+        #: Optional structured trace sink (set by the session when tracing
+        #: is on); every use is guarded so an untraced run pays nothing.
+        self.tracer = None
+        # time-weighted integral of enabled cost, for the mean-cost metric
+        self._cost_integral = 0.0
+        self._cost_t0 = engine.now
+        self._cost_last = engine.now
         engine.add_sink(self)
         engine.add_perturbation_source(self._overhead_for)
 
@@ -112,6 +121,7 @@ class InstrumentationManager:
         cost = self.cost_model.pair_cost(len(procs), persistent=persistent)
         handle = next(self._handles)
         now = self.engine.now
+        self._accrue_cost()
         instr = ActiveInstrumentation(
             handle=handle,
             metric=metric,
@@ -127,6 +137,12 @@ class InstrumentationManager:
         for p in procs:
             self._per_proc_cost[p] = self._per_proc_cost.get(p, 0.0) + cost
         self.total_requests += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "instr-insert", handle=handle, metric=metric_name,
+                focus=str(focus), cost=cost, processes=list(procs),
+                persistent=persistent,
+            )
         return handle
 
     def delete(self, handle: int) -> None:
@@ -134,7 +150,11 @@ class InstrumentationManager:
         if instr is None:
             return
         instr.deleted_at = self.engine.now
+        self._accrue_cost()
         self._release_cost(instr)
+        self.total_deletes += 1
+        if self.tracer is not None:
+            self.tracer.emit("instr-delete", handle=handle, cost=instr.cost)
 
     def decimate(self, handle: int) -> None:
         """Downgrade a persistent probe set to decimated sampling.
@@ -148,8 +168,18 @@ class InstrumentationManager:
         instr = self._active.get(handle)
         if instr is None or instr.cost == 0.0:
             return
+        self._accrue_cost()
         self._release_cost(instr)
+        self.total_decimates += 1
+        if self.tracer is not None:
+            self.tracer.emit("instr-decimate", handle=handle, released=instr.cost)
         instr.cost = 0.0
+
+    def _accrue_cost(self) -> None:
+        """Advance the time-weighted enabled-cost integral to now."""
+        now = self.engine.now
+        self._cost_integral += self.gate.total * (now - self._cost_last)
+        self._cost_last = now
 
     def _release_cost(self, instr: ActiveInstrumentation) -> None:
         self.gate.remove(instr.cost)
@@ -232,6 +262,13 @@ class InstrumentationManager:
     @property
     def peak_cost(self) -> float:
         return self.gate.peak
+
+    @property
+    def mean_cost(self) -> float:
+        """Time-weighted mean enabled instrumentation cost so far."""
+        self._accrue_cost()
+        elapsed = self._cost_last - self._cost_t0
+        return self._cost_integral / elapsed if elapsed > 0 else 0.0
 
     def instrumentation(self, handle: int) -> ActiveInstrumentation:
         return self._active[handle]

@@ -1,0 +1,50 @@
+"""Observability: structured search tracing, run metrics, exports.
+
+The Performance Consultant is an *online* search whose behaviour —
+expansion order, cost-gate halts and resumes, instrumentation churn —
+is otherwise invisible in the final record.  This package makes it
+observable without perturbing it:
+
+* :mod:`repro.obs.trace` — a low-overhead structured trace sink
+  (bounded buffer, JSONL, versioned schema) fed by optional callbacks
+  in the search, the instrumentation manager, and the cost gate;
+  zero overhead when no tracer is attached;
+* :mod:`repro.obs.metrics` — per-run scalar metrics (events/sec,
+  virtual-vs-wall ratio, instrumentation cost statistics, pair counts,
+  time-to-first/last-true), aggregation across runs, and JSON /
+  Prometheus-style text exports.
+"""
+
+from .metrics import (
+    WALL_CLOCK_METRICS,
+    aggregate_metrics,
+    deterministic_metrics,
+    metrics_to_json,
+    metrics_to_prometheus,
+    run_metrics,
+)
+from .trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceError,
+    TraceEvent,
+    Tracer,
+    read_trace,
+    replay_conclusions,
+    write_trace,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceError",
+    "TraceEvent",
+    "Tracer",
+    "read_trace",
+    "replay_conclusions",
+    "write_trace",
+    "run_metrics",
+    "aggregate_metrics",
+    "deterministic_metrics",
+    "WALL_CLOCK_METRICS",
+    "metrics_to_json",
+    "metrics_to_prometheus",
+]

@@ -83,6 +83,9 @@ class Engine:
         self._on_finish: List[Callable[["Engine"], None]] = []
         self._stopped = False
         self.finished_at: Optional[float] = None
+        #: Events dispatched across all :meth:`run` calls — the numerator
+        #: of the events/sec run metric.
+        self.events_processed = 0
         # per-process in-progress activity: (activity, start, module, fn, tag)
         self._current: Dict[str, Optional[Tuple[Activity, float, str, str, Optional[str]]]] = {}
 
@@ -315,6 +318,7 @@ class Engine:
                     budget={"max_time": max_time},
                 )
             events += 1
+            self.events_processed += 1
             if max_events is not None and events > max_events:
                 raise SimTimeout(
                     f"simulation exceeded max_events={max_events}",

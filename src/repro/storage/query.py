@@ -15,7 +15,18 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from .records import RunRecord
 from .store import ExperimentStore
 
-__all__ = ["ResourceHistory", "resource_history", "bottleneck_persistence", "best_run", "select"]
+__all__ = [
+    "ResourceHistory",
+    "AmbiguousResourceError",
+    "resource_history",
+    "bottleneck_persistence",
+    "best_run",
+    "select",
+]
+
+
+class AmbiguousResourceError(ValueError):
+    """A bare resource name matched more than one hierarchy's table."""
 
 
 @dataclass(frozen=True)
@@ -36,14 +47,46 @@ class ResourceHistory:
 
 
 def _fraction(record: RunRecord, resource: str, activity: str) -> float:
+    """Fraction of total execution time *resource* spent in *activity*.
+
+    A resource path dispatches on its hierarchy prefix (``/Process/...``
+    reads the process table, ``/Machine/...`` the node table, ...), so a
+    process that happens to share a name with a node or tag can never
+    resolve against the wrong table.  Foreign profiles sometimes key
+    tables by bare names; those are matched by the path's last component
+    inside the dispatched table.  A bare-name query (no hierarchy
+    prefix) is accepted only when it is unambiguous — present in exactly
+    one table — and raises :class:`AmbiguousResourceError` otherwise.
+    """
     profile = record.flat_profile()
     total = profile.total_time()
     if total <= 0:
         return 0.0
-    for table in (profile.by_code, profile.by_process, profile.by_node, profile.by_tag):
-        if resource in table:
-            return table[resource].get(activity, 0.0) / total
-    return 0.0
+    tables = {
+        "Code": profile.by_code,
+        "Process": profile.by_process,
+        "Machine": profile.by_node,
+        "SyncObject": profile.by_tag,
+    }
+    if resource.startswith("/"):
+        parts = resource.split("/")
+        table = tables.get(parts[1]) if len(parts) > 1 else None
+        if table is None:
+            return 0.0
+        entry = table.get(resource)
+        if entry is None and len(parts) > 2:
+            entry = table.get(parts[-1])
+        return (entry or {}).get(activity, 0.0) / total
+    hits = [(hierarchy, t[resource]) for hierarchy, t in tables.items() if resource in t]
+    if len(hits) > 1:
+        raise AmbiguousResourceError(
+            f"resource name {resource!r} exists in several hierarchies "
+            f"({', '.join(h for h, _ in hits)}); qualify it with a path "
+            f"prefix such as /{hits[0][0]}/{resource}"
+        )
+    if not hits:
+        return 0.0
+    return hits[0][1].get(activity, 0.0) / total
 
 
 def resource_history(

@@ -50,6 +50,11 @@ class RunRecord:
     #: Fraction of instrumented (hypothesis : focus) pairs that reached a
     #: full-data conclusion — directives harvested below 1.0 are suspect.
     coverage: float = 1.0
+    #: Observability: per-run scalar metrics (events/sec, virtual-vs-wall
+    #: ratio, cost statistics, pair counts, ...) as produced by
+    #: :func:`repro.obs.metrics.run_metrics`.  Empty for records from
+    #: older stores.
+    metrics: Dict[str, Optional[float]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # reconstruction helpers
@@ -140,6 +145,7 @@ class RunRecord:
             "status": self.status,
             "failure": self.failure,
             "coverage": self.coverage,
+            "metrics": dict(self.metrics),
         }
 
     @staticmethod
@@ -165,4 +171,5 @@ class RunRecord:
             status=data.get("status", "complete"),
             failure=data.get("failure"),
             coverage=data.get("coverage", 1.0),
+            metrics=dict(data.get("metrics", {})),
         )

@@ -5,6 +5,7 @@ from .ascii import (
     render_hierarchy,
     render_shg,
     render_space,
+    render_trace_timeline,
 )
 from .charts import bar_chart, sparkline
 
@@ -13,6 +14,7 @@ __all__ = [
     "render_hierarchy",
     "render_shg",
     "render_space",
+    "render_trace_timeline",
     "bar_chart",
     "sparkline",
 ]

@@ -21,6 +21,7 @@ __all__ = [
     "render_space",
     "render_shg",
     "render_combined_spaces",
+    "render_trace_timeline",
 ]
 
 _STATE_MARK = {
@@ -135,3 +136,96 @@ def render_combined_spaces(
     for m in maps:
         lines.append(f"  {m.as_line()}")
     return "\n".join(lines)
+
+
+def render_trace_timeline(events, width: int = 58, verbose: bool = False) -> str:
+    """A structured search trace as a virtual-time timeline.
+
+    *events* is a sequence of :class:`~repro.obs.trace.TraceEvent` (from
+    a live :class:`~repro.obs.trace.Tracer` or
+    :func:`~repro.obs.trace.read_trace`).  By default only milestones
+    are listed — conclusions, persistent flips, cost-gate halts and
+    resumes, degradations — with a cost sparkline built from the
+    ``progress`` samples; ``verbose=True`` lists every event.
+    """
+    from .charts import sparkline
+
+    events = list(events)
+    if not events:
+        return "(empty trace)"
+
+    # node id -> (hypothesis, focus) labels, learned from queue/prune events
+    pairs = {}
+    for event in events:
+        if event.kind in ("node-queued", "node-pruned"):
+            pairs[event.data.get("node")] = (
+                str(event.data.get("hypothesis")),
+                str(event.data.get("focus")),
+            )
+
+    def label(event) -> str:
+        pair = pairs.get(event.data.get("node"))
+        return f"{pair[0]} : {pair[1]}" if pair else ""
+
+    def clip(text: str) -> str:
+        return text if len(text) <= width else text[: width - 1] + "…"
+
+    milestones = {
+        "run-start", "run-end", "node-concluded", "node-flip",
+        "node-unknown", "node-sample-lost", "gate-halt", "gate-resume",
+    }
+    lines: List[str] = [f"Trace timeline ({len(events)} events)"]
+    for event in events:
+        if not verbose and event.kind not in milestones:
+            continue
+        data = event.data
+        if event.kind == "run-start":
+            text = (f"run-start   {data.get('app')} v{data.get('version')} "
+                    f"({data.get('n_processes')} processes) run={data.get('run_id')}")
+        elif event.kind == "run-end":
+            reason = data.get("reason")
+            text = "run-end" + (f"     {reason}" if reason else "")
+        elif event.kind == "node-concluded":
+            text = (f"concluded   {data.get('state'):<5} {label(event)} "
+                    f"(value={_num(data.get('value'))} vs {_num(data.get('threshold'))})")
+        elif event.kind == "node-flip":
+            text = (f"FLIP        {data.get('from')} -> {data.get('to')} {label(event)} "
+                    f"(value={_num(data.get('value'))})")
+        elif event.kind == "node-unknown":
+            text = f"unknown     {label(event)} ({data.get('reason')})"
+        elif event.kind == "node-sample-lost":
+            text = f"sample-lost {label(event)} (conclusion kept)"
+        elif event.kind == "gate-halt":
+            text = (f"gate HALT   cost {_num(data.get('total'))} "
+                    f"over limit {_num(data.get('limit'))}")
+        elif event.kind == "gate-resume":
+            text = (f"gate resume cost {_num(data.get('total'))} "
+                    f"below {_num(data.get('resume_level'))}")
+        else:
+            payload = " ".join(f"{k}={v}" for k, v in data.items())
+            text = f"{event.kind:<11} {payload}"
+        lines.append(f"  {event.t:9.1f}  {clip(text)}")
+
+    samples = [e for e in events if e.kind == "progress"]
+    if samples:
+        costs = [float(e.data.get("cost", 0.0)) for e in samples]
+        active = [float(e.data.get("active", 0)) for e in samples]
+        lines.append("")
+        lines.append(f"  cost    {sparkline(costs)}  "
+                     f"(peak {max(costs):.2f}, {len(samples)} samples)")
+        lines.append(f"  active  {sparkline(active)}  "
+                     f"(peak {int(max(active))} instrumented pairs)")
+    counts: dict = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    lines.append("")
+    lines.append("  events: " + ", ".join(
+        f"{kind}={counts[kind]}" for kind in sorted(counts)))
+    return "\n".join(lines)
+
+
+def _num(value) -> str:
+    try:
+        return f"{float(value):.3g}"
+    except (TypeError, ValueError):
+        return "n/a"

@@ -14,6 +14,7 @@ from repro.campaign import (
     Stage,
 )
 from repro.core import DirectiveSet, SearchConfig
+from repro.obs import deterministic_metrics
 from repro.storage import ExperimentStore
 
 FAST = SearchConfig(min_interval=5.0, check_period=0.5, insertion_latency=0.2, cost_limit=50.0)
@@ -163,6 +164,11 @@ class TestDeterminism:
         ]
         serial = Campaign(stages(), name="d").run(SerialExecutor())
         pooled = Campaign(stages(), name="d").run(PoolExecutor(2))
-        serial_dicts = [r.to_dict() for r in serial.records]
-        pooled_dicts = [r.to_dict() for r in pooled.records]
+        def comparable(record):
+            data = record.to_dict()
+            data["metrics"] = deterministic_metrics(data["metrics"])
+            return data
+
+        serial_dicts = [comparable(r) for r in serial.records]
+        pooled_dicts = [comparable(r) for r in pooled.records]
         assert serial_dicts == pooled_dicts

@@ -294,3 +294,71 @@ class TestCampaignCli:
         ) == 0
         out = capsys.readouterr().out
         assert "skipped" in out
+
+
+class TestObservability:
+    def test_diagnose_trace_into_store(self, tmp_path, capsys):
+        assert run_cli(
+            "diagnose", "tester", "--iterations", 40, "--store", tmp_path,
+            "--run-id", "traced", "--trace",
+        ) == 0
+        path = tmp_path / "traces" / "traced.jsonl"
+        assert path.is_file()
+        assert "trace written" in capsys.readouterr().out
+        assert run_cli("trace", "traced", "--store", tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "Trace timeline" in out
+        assert "run-start" in out
+
+    def test_diagnose_trace_explicit_path(self, tmp_path, capsys):
+        trace_file = tmp_path / "out.jsonl"
+        assert run_cli(
+            "diagnose", "tester", "--iterations", 40,
+            "--trace", trace_file,
+        ) == 0
+        assert trace_file.is_file()
+        capsys.readouterr()
+        assert run_cli("trace", trace_file, "--verbose") == 0
+        assert "node-queued" in capsys.readouterr().out
+
+    def test_trace_true_needs_store(self):
+        with pytest.raises(SystemExit):
+            run_cli("diagnose", "tester", "--iterations", 40, "--trace")
+
+    def test_trace_unknown_run(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli("trace", "nonesuch", "--store", tmp_path)
+
+    def test_trace_corrupt_file_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert run_cli("trace", bad) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_report_metrics_table(self, store_with_runs, capsys):
+        assert run_cli(
+            "report", "pa-base", "--store", store_with_runs, "--metrics",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Run metrics" in out
+        assert "engine_events" in out
+
+    def test_report_metrics_json(self, store_with_runs, capsys):
+        import json as _json
+
+        assert run_cli(
+            "report", "pa-base", "--store", store_with_runs,
+            "--metrics", "--metrics-format", "json",
+        ) == 0
+        tail = capsys.readouterr().out.split("\n{", 1)
+        metrics = _json.loads("{" + tail[1])
+        assert metrics["pairs_instrumented"] > 0
+
+    def test_report_metrics_prometheus(self, store_with_runs, capsys):
+        assert run_cli(
+            "report", "pa-base", "--store", store_with_runs,
+            "--metrics", "--metrics-format", "prom",
+        ) == 0
+        out = capsys.readouterr().out
+        assert '# TYPE repro_run_engine_events gauge' in out
+        assert 'run_id="pa-base"' in out

@@ -12,6 +12,7 @@ import pytest
 from repro.apps.ocean import OceanConfig, build_ocean
 from repro.apps.poisson import PoissonConfig, build_poisson
 from repro.core import SearchConfig, extract_directives, run_diagnosis
+from repro.obs import deterministic_metrics
 
 SC = SearchConfig(min_interval=15.0, check_period=1.0, insertion_latency=1.0, cost_limit=8.0)
 
@@ -19,6 +20,9 @@ SC = SearchConfig(min_interval=15.0, check_period=1.0, insertion_latency=1.0, co
 def normalized(record):
     data = record.to_dict()
     data["run_id"] = "X"
+    # Wall-clock metrics (events/sec, ...) legitimately differ between
+    # byte-identical runs; every virtual-domain metric must reproduce.
+    data["metrics"] = deterministic_metrics(data["metrics"])
     return json.dumps(data, sort_keys=True)
 
 

@@ -5,6 +5,7 @@ import pytest
 from repro.apps.poisson import PoissonConfig, build_poisson
 from repro.core import SearchConfig, run_diagnosis
 from repro.faults import FaultInjector, FaultPlan, FaultPlanError, apply_faults
+from repro.obs import deterministic_metrics
 from repro.simulator import (
     Compute,
     Engine,
@@ -185,10 +186,12 @@ class TestDeterminism:
                          slow_nodes={"node09": 1.5}, max_virtual_time=400.0)
 
         def record():
-            return run_diagnosis(
+            data = run_diagnosis(
                 build_poisson("C", PoissonConfig(iterations=40)),
                 config=FAST, run_id="det", faults=plan, on_failure="degrade",
             ).to_dict()
+            data["metrics"] = deterministic_metrics(data["metrics"])
+            return data
 
         first, second = record(), record()
         assert first == second

@@ -1,0 +1,136 @@
+"""Run metrics: assembly, aggregation, exports, record integration."""
+
+import json
+
+import pytest
+
+from repro.apps.poisson import PoissonConfig, build_poisson
+from repro.core import SearchConfig, run_diagnosis
+from repro.obs import (
+    WALL_CLOCK_METRICS,
+    aggregate_metrics,
+    deterministic_metrics,
+    metrics_to_json,
+    metrics_to_prometheus,
+    run_metrics,
+)
+from repro.storage.records import RunRecord
+
+FAST = SearchConfig(min_interval=5.0, check_period=0.5, insertion_latency=0.5,
+                    cost_limit=50.0)
+
+
+def sample(**overrides):
+    base = dict(
+        engine_events=1000, wall_seconds=2.0, virtual_seconds=50.0,
+        peak_cost=4.0, mean_cost=2.5, pairs_instrumented=10,
+        pairs_concluded=8, pairs_pruned=1, pairs_unknown=1,
+        instr_requests=12, instr_deletes=10, instr_decimates=2,
+        time_to_first_true=6.0, time_to_last_true=30.0,
+    )
+    base.update(overrides)
+    return run_metrics(**base)
+
+
+class TestRunMetrics:
+    def test_rates_computed(self):
+        m = sample()
+        assert m["events_per_sec"] == pytest.approx(500.0)
+        assert m["virtual_wall_ratio"] == pytest.approx(25.0)
+
+    def test_zero_wall_guard(self):
+        m = sample(wall_seconds=0.0)
+        assert m["events_per_sec"] == 0.0
+        assert m["virtual_wall_ratio"] == 0.0
+
+    def test_none_times_allowed(self):
+        m = sample(time_to_first_true=None, time_to_last_true=None)
+        assert m["time_to_first_true"] is None
+
+    def test_deterministic_subset(self):
+        m = sample()
+        kept = deterministic_metrics(m)
+        assert not WALL_CLOCK_METRICS & set(kept)
+        assert set(m) - set(kept) == set(WALL_CLOCK_METRICS)
+
+
+class TestAggregate:
+    def test_totals_max_and_means(self):
+        agg = aggregate_metrics([sample(), sample(engine_events=3000,
+                                                  peak_cost=9.0)])
+        assert agg["runs"] == 2
+        assert agg["engine_events_total"] == 4000
+        assert agg["peak_cost_max"] == 9.0
+        assert agg["mean_cost_mean"] == pytest.approx(2.5)
+
+    def test_rates_recomputed_from_totals(self):
+        # 1000 ev / 2 s and 3000 ev / 2 s -> 4000 / 4 = 1000 ev/s,
+        # not the mean of the per-run rates (500 + 1500) / 2.
+        agg = aggregate_metrics([sample(), sample(engine_events=3000)])
+        assert agg["events_per_sec_mean"] == pytest.approx(1000.0)
+
+    def test_none_excluded_from_means(self):
+        agg = aggregate_metrics([
+            sample(time_to_first_true=None), sample(time_to_first_true=4.0),
+        ])
+        assert agg["time_to_first_true_mean"] == pytest.approx(4.0)
+
+    def test_empty_and_missing_rows(self):
+        assert aggregate_metrics([]) == {"runs": 0}
+        assert aggregate_metrics([{}, sample()])["runs"] == 1  # {} skipped
+
+
+class TestExports:
+    def test_json_round_trip(self):
+        m = sample()
+        assert json.loads(metrics_to_json(m)) == m
+
+    def test_prometheus_format(self):
+        text = metrics_to_prometheus(
+            {"peak_cost": 4.0, "time_to_first_true": None},
+            labels={"run_id": "r1"},
+        )
+        assert '# TYPE repro_run_peak_cost gauge' in text
+        assert 'repro_run_peak_cost{run_id="r1"} 4' in text
+        assert "time_to_first_true" not in text  # None omitted
+        assert text.endswith("\n")
+
+    def test_prometheus_label_escaping(self):
+        text = metrics_to_prometheus({"x": 1}, labels={"app": 'a"b\\c'})
+        assert 'app="a\\"b\\\\c"' in text
+
+
+class TestRecordIntegration:
+    def test_run_record_carries_metrics(self):
+        record = run_diagnosis(
+            build_poisson("C", PoissonConfig(iterations=8)), config=FAST,
+        )
+        m = record.metrics
+        assert m["engine_events"] > 0
+        assert m["wall_seconds"] > 0
+        assert m["pairs_instrumented"] == record.pairs_tested
+        assert m["peak_cost"] == record.peak_cost
+        assert 0.0 < m["mean_cost"] <= m["peak_cost"]
+        assert m["trace_events"] == 0  # untraced run
+        round_tripped = RunRecord.from_dict(record.to_dict())
+        assert round_tripped.metrics == m
+
+    def test_old_records_default_to_empty(self):
+        data = run_diagnosis(
+            build_poisson("C", PoissonConfig(iterations=8)), config=FAST,
+        ).to_dict()
+        del data["metrics"]
+        assert RunRecord.from_dict(data).metrics == {}
+
+    def test_campaign_aggregates(self):
+        from repro.campaign import Campaign, RunSpec
+
+        result = Campaign(specs=[
+            RunSpec(build_poisson, ("C", PoissonConfig(iterations=8)),
+                    config=FAST)
+            for _ in range(2)
+        ], name="m").run()
+        stage = result.stage("runs")
+        assert stage.metrics()["runs"] == 2
+        assert stage.metrics()["engine_events_total"] > 0
+        assert result.metrics()["runs"] == 2

@@ -1,0 +1,155 @@
+"""The structured trace: schema round-trip, bounded buffer, replay."""
+
+import io
+import json
+
+import pytest
+
+from repro.apps.poisson import PoissonConfig, build_poisson
+from repro.core import SearchConfig
+from repro.core.consultant import DiagnosisSession
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    TraceError,
+    TraceEvent,
+    Tracer,
+    read_trace,
+    replay_conclusions,
+    write_trace,
+)
+
+FAST = SearchConfig(min_interval=5.0, check_period=0.5, insertion_latency=0.5,
+                    cost_limit=50.0)
+
+
+def traced_run(iterations=8):
+    tracer = Tracer()
+    record = DiagnosisSession(
+        app=build_poisson("C", PoissonConfig(iterations=iterations)),
+        config=FAST, run_id="traced", tracer=tracer,
+    ).run()
+    return record, tracer
+
+
+class TestTracer:
+    def test_emit_stamps_clock(self):
+        t = [0.0]
+        tracer = Tracer(clock=lambda: t[0])
+        tracer.emit("progress", cost=1.0)
+        t[0] = 7.5
+        tracer.emit("progress", cost=2.0)
+        assert [e.t for e in tracer.events()] == [0.0, 7.5]
+
+    def test_capacity_counts_drops(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            tracer.emit("progress", i=i)
+        assert len(tracer.events()) == 3
+        assert tracer.dropped == 2
+        assert tracer.count == 5
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(TraceError):
+            Tracer(capacity=0)
+
+    def test_stream_survives_buffer_overflow(self):
+        sink = io.StringIO()
+        tracer = Tracer(capacity=2, stream=sink)
+        for i in range(5):
+            tracer.emit("progress", i=i)
+        lines = sink.getvalue().splitlines()
+        assert json.loads(lines[0])["kind"] == "trace-header"
+        assert len(lines) == 6  # header + every event, drops included
+        assert tracer.dropped == 3
+
+    def test_kind_filter(self):
+        tracer = Tracer()
+        tracer.emit("progress", i=0)
+        tracer.emit("gate-halt", total=9.0)
+        assert [e.kind for e in tracer.events("gate-halt")] == ["gate-halt"]
+
+
+class TestRoundTrip:
+    def test_write_read_preserves_events(self, tmp_path):
+        events = [
+            TraceEvent(t=0.0, kind="run-start", data={"run_id": "r"}),
+            TraceEvent(t=1.5, kind="node-queued",
+                       data={"node": 1, "hypothesis": "CPUbound", "focus": "/"}),
+        ]
+        path = write_trace(events, tmp_path / "t.jsonl")
+        assert read_trace(path) == events
+
+    def test_header_carries_schema_and_drops(self, tmp_path):
+        path = write_trace([], tmp_path / "t.jsonl", dropped=4)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"kind": "trace-header",
+                          "schema": TRACE_SCHEMA_VERSION, "dropped": 4}
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 0.0, "kind": "progress"}\n')
+        with pytest.raises(TraceError, match="not a trace header"):
+            read_trace(path)
+
+    def test_future_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps(
+            {"kind": "trace-header", "schema": TRACE_SCHEMA_VERSION + 1}) + "\n")
+        with pytest.raises(TraceError, match="schema"):
+            read_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError, match="empty"):
+            read_trace(path)
+
+    def test_torn_final_line_dropped(self, tmp_path):
+        events = [TraceEvent(t=0.0, kind="run-start", data={})]
+        path = write_trace(events, tmp_path / "t.jsonl")
+        with path.open("a") as fh:
+            fh.write('{"t": 3.0, "kind": "progr')  # crash mid-append
+        assert read_trace(path) == events
+
+    def test_torn_middle_line_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"kind": "trace-header", "schema": TRACE_SCHEMA_VERSION,
+                        "dropped": 0}) + "\n"
+            + '{"t": 0.0, "kind"\n'
+            + '{"t": 1.0, "kind": "run-end"}\n'
+        )
+        with pytest.raises(TraceError, match="bad trace line"):
+            read_trace(path)
+
+
+class TestReplay:
+    def test_replay_matches_record_conclusions(self):
+        record, tracer = traced_run()
+        replayed = replay_conclusions(tracer.events())
+        actual = {
+            (n["hypothesis"], n["focus"]): n["state"] for n in record.shg_nodes
+        }
+        assert replayed == actual
+
+    def test_replay_survives_file_round_trip(self, tmp_path):
+        record, tracer = traced_run()
+        path = tracer.write(tmp_path / "run.jsonl")
+        assert replay_conclusions(read_trace(path)) == replay_conclusions(
+            tracer.events()
+        )
+
+    def test_virtual_timestamps_monotonic(self):
+        _, tracer = traced_run()
+        times = [e.t for e in tracer.events()]
+        assert times == sorted(times)
+
+    def test_untraced_run_matches_traced(self):
+        """Attaching a tracer must not perturb the diagnosis itself."""
+        traced, _ = traced_run()
+        untraced = DiagnosisSession(
+            app=build_poisson("C", PoissonConfig(iterations=8)),
+            config=FAST, run_id="traced",
+        ).run()
+        assert untraced.shg_nodes == traced.shg_nodes
+        assert untraced.finish_time == traced.finish_time

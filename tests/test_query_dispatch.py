@@ -1,0 +1,92 @@
+"""Hierarchy-prefix dispatch in cross-execution resource queries.
+
+Regression coverage for the old ``_fraction`` behaviour of scanning the
+profile tables in a fixed order: a process that shared its name with a
+node (or tag) silently read whichever table happened to come first.
+"""
+
+import pytest
+
+from repro.storage.query import AmbiguousResourceError, _fraction, resource_history
+from repro.storage.records import RunRecord
+from repro.storage.store import ExperimentStore
+
+
+def make_record(run_id="r1", by_code=None, by_process=None, by_node=None,
+                by_tag=None, total=10.0):
+    return RunRecord(
+        run_id=run_id, app_name="app", version="1", n_processes=1,
+        nodes=["n0"], placement={},
+        hierarchies={"Code": [], "Process": [], "Machine": [], "SyncObject": []},
+        shg_nodes=[],
+        profile={
+            "by_code": by_code or {},
+            "by_process": by_process or {},
+            "by_node": by_node or {},
+            "by_tag": by_tag or {},
+            "totals": {"compute": total},
+            "elapsed": total,
+        },
+        finish_time=total, search_done_time=None,
+        pairs_tested=0, total_requests=0, peak_cost=0.0,
+    )
+
+
+# A name collision: "alpha" is both a process and a machine node, with
+# different sync costs.  A fixed-order scan always returns the process
+# figure, whichever hierarchy was asked about.
+COLLIDING = make_record(
+    by_process={"/Process/alpha": {"sync": 5.0}},
+    by_node={"/Machine/alpha": {"sync": 1.0}},
+)
+
+
+class TestPathDispatch:
+    def test_prefix_selects_the_right_table(self):
+        assert _fraction(COLLIDING, "/Process/alpha", "sync") == pytest.approx(0.5)
+        assert _fraction(COLLIDING, "/Machine/alpha", "sync") == pytest.approx(0.1)
+
+    def test_unknown_hierarchy_is_zero(self):
+        assert _fraction(COLLIDING, "/Widget/alpha", "sync") == 0.0
+
+    def test_missing_resource_is_zero(self):
+        assert _fraction(COLLIDING, "/Process/beta", "sync") == 0.0
+
+    def test_foreign_profile_bare_key_fallback(self):
+        # Foreign profiles sometimes key tables by bare names; the path's
+        # last component still resolves inside the dispatched table only.
+        record = make_record(
+            by_process={"alpha": {"sync": 5.0}},
+            by_node={"alpha": {"sync": 1.0}},
+        )
+        assert _fraction(record, "/Machine/alpha", "sync") == pytest.approx(0.1)
+        assert _fraction(record, "/Process/alpha", "sync") == pytest.approx(0.5)
+
+
+class TestBareNames:
+    def test_unambiguous_bare_name_resolves(self):
+        record = make_record(by_code={"main": {"compute": 2.0}})
+        assert _fraction(record, "main", "compute") == pytest.approx(0.2)
+
+    def test_ambiguous_bare_name_raises(self):
+        record = make_record(
+            by_process={"alpha": {"sync": 5.0}},
+            by_node={"alpha": {"sync": 1.0}},
+        )
+        with pytest.raises(AmbiguousResourceError, match="alpha"):
+            _fraction(record, "alpha", "sync")
+
+    def test_unknown_bare_name_is_zero(self):
+        assert _fraction(COLLIDING, "nonesuch", "sync") == 0.0
+
+    def test_zero_total_short_circuits(self):
+        record = make_record(total=0.0)
+        assert _fraction(record, "anything", "sync") == 0.0
+
+
+class TestResourceHistory:
+    def test_history_uses_dispatch(self, tmp_path):
+        store = ExperimentStore(tmp_path / "runs")
+        store.save(COLLIDING)
+        history = resource_history(store, "/Machine/alpha", activity="sync")
+        assert history.values() == [pytest.approx(0.1)]
