@@ -90,3 +90,47 @@ def test_profile_accumulation(benchmark):
         return profile.total_time()
 
     assert benchmark(fill) > 0
+
+
+def test_directive_lookup_hot_path(benchmark):
+    """DirectiveSet.is_pruned()/priority_of() micro-benchmark: the
+    per-candidate-pair checks inside the search inner loop, against a
+    directive set with hundreds of prunes (indexed prefix probes must
+    stay flat as the prune count grows)."""
+    from repro.core.directives import (
+        ANY_HYPOTHESIS,
+        DirectiveSet,
+        PriorityDirective,
+        PruneDirective,
+    )
+    from repro.core.shg import Priority
+    from repro.resources.focus import parse_focus
+
+    tail = ", /Machine, /Process, /SyncObject >"
+    prunes = [
+        PruneDirective(ANY_HYPOTHESIS, f"/Code/mod{i // 16}.c/fn{i:03d}")
+        for i in range(400)
+    ]
+    prunes.append(PruneDirective("CPUbound", "/SyncObject"))
+    priorities = [
+        PriorityDirective(
+            "CPUbound", parse_focus(f"< /Code/hot.c/h{i}{tail}"), Priority.HIGH
+        )
+        for i in range(50)
+    ]
+    ds = DirectiveSet(prunes=prunes, priorities=priorities)
+    pruned_focus = parse_focus(f"< /Code/mod3.c/fn050{tail}")
+    kept_focus = parse_focus(f"< /Code/hot.c/h7{tail}")
+
+    def probe_many():
+        hits = 0
+        for _ in range(500):
+            if ds.is_pruned("CPUbound", pruned_focus):
+                hits += 1
+            if not ds.is_pruned("CPUbound", kept_focus):
+                hits += 1
+            if ds.priority_of("CPUbound", kept_focus) is Priority.HIGH:
+                hits += 1
+        return hits
+
+    assert benchmark(probe_many) == 1500

@@ -50,7 +50,7 @@ from ..faults import FaultPlan
 from ..obs.metrics import aggregate_metrics
 from ..simulator.errors import SimulationError
 from ..storage.records import RunRecord
-from ..storage.store import ExperimentStore
+from ..storage.store import ExperimentStore, StoreCorruption, StoreError
 from .executors import SerialExecutor, default_executor
 from .journal import CampaignJournal
 from .spec import RunSpec, Stage
@@ -358,6 +358,15 @@ class Campaign:
                     f"{stage.directives_from!r} (coverage >= {stage.min_coverage:g}) "
                     "to harvest directives from"
                 )
+            if store is not None:
+                # Harvest what the store holds: load_many serves the
+                # records this process just saved straight from the store
+                # cache, and picks up any concurrent overwrite (the stat
+                # signature changes) instead of a stale in-memory copy.
+                try:
+                    source = store.load_many([r.run_id for r in source])
+                except (StoreError, StoreCorruption):
+                    pass  # harvest from the in-memory records instead
             harvested = extract_directives(source, **dict(stage.extract))
             specs = [
                 spec if spec.directives is not None else spec.with_directives(harvested)

@@ -170,24 +170,72 @@ def cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_run_summary(
+    run_id: str,
+    app_name: str,
+    version: str,
+    n_processes: int,
+    n_nodes: int,
+    pairs_tested: int,
+    bottlenecks: int,
+    state_counts: dict,
+    peak_cost: float,
+    t_all: Optional[float],
+    duration: float,
+) -> None:
+    print(f"run {run_id}: {app_name} v{version}, "
+          f"{n_processes} processes on {n_nodes} nodes")
+    table = Table("Search summary", ["quantity", "value"])
+    table.add_row(["pairs tested", pairs_tested])
+    table.add_row(["bottlenecks (true)", bottlenecks])
+    for state, count in sorted(state_counts.items()):
+        table.add_row([f"nodes {state}", count])
+    table.add_row(["peak instrumentation cost", f"{peak_cost:.2f}"])
+    table.add_row(["time to find all (s)", f"{t_all:.1f}" if t_all else "n/a"])
+    table.add_row(["program duration (s)", f"{duration:.1f}"])
+    print(table.render())
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     store = as_store(args.store)
+    wants_record = args.profile or args.shg or args.hierarchies or args.metrics
+    if not wants_record:
+        # Summary-only report: everything comes from the store index, so
+        # no record file is parsed at all.
+        meta = store.summaries(run_ids=[args.run])[args.run]
+        if all(k in meta for k in ("app_name", "version", "n_processes")):
+            summary = meta["summary"]
+            _print_run_summary(
+                args.run,
+                meta["app_name"],
+                meta["version"],
+                meta["n_processes"],
+                summary["n_nodes"],
+                meta.get("pairs_tested", 0),
+                meta.get("bottlenecks", len(summary["true_pairs"])),
+                summary["state_counts"],
+                summary["peak_cost"],
+                summary["time_to_find_all"],
+                summary["duration"],
+            )
+            return 0
     record = store.load(args.run)
-    print(f"run {record.run_id}: {record.app_name} v{record.version}, "
-          f"{record.n_processes} processes on {len(record.nodes)} nodes")
     counts = {}
     for n in record.shg_nodes:
         counts[n["state"]] = counts.get(n["state"], 0) + 1
-    table = Table("Search summary", ["quantity", "value"])
-    table.add_row(["pairs tested", record.pairs_tested])
-    table.add_row(["bottlenecks (true)", record.bottleneck_count()])
-    for state, count in sorted(counts.items()):
-        table.add_row([f"nodes {state}", count])
-    table.add_row(["peak instrumentation cost", f"{record.peak_cost:.2f}"])
-    t_all = record.time_to_find_all()
-    table.add_row(["time to find all (s)", f"{t_all:.1f}" if t_all else "n/a"])
-    table.add_row(["program duration (s)", f"{record.finish_time:.1f}"])
-    print(table.render())
+    _print_run_summary(
+        record.run_id,
+        record.app_name,
+        record.version,
+        record.n_processes,
+        len(record.nodes),
+        record.pairs_tested,
+        record.bottleneck_count(),
+        counts,
+        record.peak_cost,
+        record.time_to_find_all(),
+        record.finish_time,
+    )
     if args.profile:
         prof = record.flat_profile()
         total = prof.total_time()
@@ -254,6 +302,16 @@ def cmd_trace(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"no trace for run {args.run!r} under {path.parent} "
                 "(was the run diagnosed with --trace?)")
+        try:
+            # One-line run header from the index summary — no record parse.
+            meta = as_store(args.store).summaries(run_ids=[args.run])[args.run]
+            summary = meta["summary"]
+            print(f"run {args.run}: {meta.get('app_name', '?')} "
+                  f"v{meta.get('version', '?')}, status {summary['status']}, "
+                  f"{len(summary['true_pairs'])} bottleneck(s), "
+                  f"duration {summary['duration']:.1f}s")
+        except (StoreError, StoreCorruption, KeyError):
+            pass  # trace files can outlive their run record
     events = read_trace(path)
     print(render_trace_timeline(events, verbose=args.verbose))
     return 0
@@ -261,17 +319,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_list(args: argparse.Namespace) -> int:
     store = as_store(args.store)
-    run_ids = store.list(app_name=args.app)
-    if not run_ids:
+    entries = store.index_entries(app_name=args.app)
+    if not entries:
         print("(no stored runs)")
         return 0
     table = Table(f"Stored runs in {args.store}",
                   ["run id", "app", "version", "procs", "bottlenecks", "pairs"])
-    for run_id in run_ids:
-        rec = store.load(run_id)
+    for run_id, meta in entries.items():
         table.add_row([
-            rec.run_id, rec.app_name, rec.version, rec.n_processes,
-            rec.bottleneck_count(), rec.pairs_tested,
+            run_id, meta.get("app_name", "?"), meta.get("version", "?"),
+            meta.get("n_processes", "?"), meta.get("bottlenecks", "?"),
+            meta.get("pairs_tested", "?"),
         ])
     print(table.render())
     return 0

@@ -158,12 +158,36 @@ class DirectiveSet:
             (p.hypothesis, str(p.focus)) for p in self.pair_prunes
         }
         self._threshold_index = {t.hypothesis: t.value for t in self.thresholds}
+        # Pruned resource paths as tuples keyed by hypothesis (including
+        # "*"): is_pruned probes selection prefixes against these sets
+        # instead of scanning every PruneDirective per candidate pair.
+        # Path tuples start with the hierarchy name, so a selection from
+        # one hierarchy can never collide with a prune in another.
+        self._prune_paths: Dict[str, set] = {}
+        self._prune_max_depth = 0
+        for p in self.prunes:
+            path = split_path(p.resource)
+            self._prune_paths.setdefault(p.hypothesis, set()).add(path)
+            self._prune_max_depth = max(self._prune_max_depth, len(path))
 
     # -- queries used by the search -------------------------------------------
     def is_pruned(self, hypothesis: str, focus: Focus) -> bool:
         if (hypothesis, str(focus)) in self._pair_prune_index:
             return True
-        return any(p.matches(hypothesis, focus) for p in self.prunes)
+        if not self._prune_paths:
+            return False
+        for hyp_key in (hypothesis, ANY_HYPOTHESIS):
+            paths = self._prune_paths.get(hyp_key)
+            if not paths:
+                continue
+            for hier in focus.hierarchies:
+                sel = focus.selection_parts(hier)
+                if len(sel) == 1:
+                    continue  # root selection is never pruned away
+                for depth in range(1, min(len(sel), self._prune_max_depth) + 1):
+                    if sel[:depth] in paths:
+                        return True
+        return False
 
     def priority_of(self, hypothesis: str, focus: Focus) -> Priority:
         return self._priority_index.get((hypothesis, str(focus)), Priority.MEDIUM)

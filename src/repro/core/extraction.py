@@ -15,6 +15,13 @@ Implements Section 3's three extraction mechanisms over stored
 * **thresholds** — chosen from the observed hypothesis-value distribution
   by largest-gap separation, the automated version of the paper's
   "keep the number of bottlenecks reported in a practically useful range".
+
+Every mechanism also has a ``*_from_summaries`` form that reads the
+store's denormalized index summaries
+(:func:`repro.storage.store.summarize_record`) instead of full records —
+the fast path :func:`repro.harvest` takes over an
+:class:`~repro.storage.store.ExperimentStore`.  Both forms produce
+identical directives for the same runs.
 """
 
 from __future__ import annotations
@@ -37,25 +44,49 @@ from .shg import NodeState, Priority
 
 __all__ = [
     "extract_priorities",
+    "extract_priorities_from_summaries",
     "extract_general_prunes",
+    "extract_general_prunes_from_summary",
     "extract_historic_prunes",
+    "extract_historic_prunes_from_summaries",
     "extract_pair_prunes",
+    "extract_pair_prunes_from_summaries",
     "suggest_threshold",
     "extract_thresholds",
+    "extract_thresholds_from_summaries",
     "extract_directives",
+    "extract_directives_from_summaries",
 ]
+
+_Pair = Tuple[str, str]
+
+
+def _collect_pairs(records: Sequence[RunRecord]) -> Tuple[Set[_Pair], Set[_Pair]]:
+    ever_true: Set[_Pair] = set()
+    ever_false: Set[_Pair] = set()
+    for rec in records:
+        ever_true.update(rec.true_pairs())
+        ever_false.update(rec.false_pairs())
+    return ever_true, ever_false
+
+
+def _collect_summary_pairs(
+    summaries: Sequence[dict],
+) -> Tuple[Set[_Pair], Set[_Pair]]:
+    ever_true: Set[_Pair] = set()
+    ever_false: Set[_Pair] = set()
+    for summary in summaries:
+        ever_true.update(tuple(p) for p in summary["true_pairs"])
+        ever_false.update(tuple(p) for p in summary["false_pairs"])
+    return ever_true, ever_false
 
 
 # --------------------------------------------------------------------------
 # priorities
 # --------------------------------------------------------------------------
-def extract_priorities(records: Sequence[RunRecord]) -> List[PriorityDirective]:
-    """High for ever-true pairs, Low for always-false pairs (Section 3.1)."""
-    ever_true: Set[Tuple[str, str]] = set()
-    ever_false: Set[Tuple[str, str]] = set()
-    for rec in records:
-        ever_true.update(rec.true_pairs())
-        ever_false.update(rec.false_pairs())
+def _priority_directives(
+    ever_true: Set[_Pair], ever_false: Set[_Pair]
+) -> List[PriorityDirective]:
     out: List[PriorityDirective] = []
     for hyp, focus_text in sorted(ever_true):
         out.append(PriorityDirective(hyp, parse_focus(focus_text), Priority.HIGH))
@@ -64,9 +95,37 @@ def extract_priorities(records: Sequence[RunRecord]) -> List[PriorityDirective]:
     return out
 
 
+def extract_priorities(records: Sequence[RunRecord]) -> List[PriorityDirective]:
+    """High for ever-true pairs, Low for always-false pairs (Section 3.1)."""
+    return _priority_directives(*_collect_pairs(records))
+
+
+def extract_priorities_from_summaries(
+    summaries: Sequence[dict],
+) -> List[PriorityDirective]:
+    """Summary-table form of :func:`extract_priorities`."""
+    return _priority_directives(*_collect_summary_pairs(summaries))
+
+
 # --------------------------------------------------------------------------
 # prunes
 # --------------------------------------------------------------------------
+def _general_prunes(
+    machine_nodes: Optional[int],
+    n_processes: Optional[int],
+    hypotheses: Optional[HypothesisTree],
+) -> List[PruneDirective]:
+    tree = hypotheses or standard_tree()
+    out = [
+        PruneDirective(h.name, "/SyncObject")
+        for h in tree.testable()
+        if not h.sync_related
+    ]
+    if machine_nodes is not None and machine_nodes == n_processes and machine_nodes > 0:
+        out.append(PruneDirective(ANY_HYPOTHESIS, "/Machine"))
+    return out
+
+
 def extract_general_prunes(
     record: Optional[RunRecord] = None,
     hypotheses: Optional[HypothesisTree] = None,
@@ -77,43 +136,27 @@ def extract_general_prunes(
     prunes ``/Machine`` entirely when the record shows a one-to-one
     process/node correspondence (paper, Section 3.1).
     """
-    tree = hypotheses or standard_tree()
-    out = [
-        PruneDirective(h.name, "/SyncObject")
-        for h in tree.testable()
-        if not h.sync_related
-    ]
+    machine_nodes = n_processes = None
     if record is not None:
-        n_nodes = len([n for n in record.hierarchies.get("Machine", []) if n != "/Machine"])
-        if n_nodes == record.n_processes and n_nodes > 0:
-            out.append(PruneDirective(ANY_HYPOTHESIS, "/Machine"))
-    return out
+        machine_nodes = len(
+            [n for n in record.hierarchies.get("Machine", []) if n != "/Machine"]
+        )
+        n_processes = record.n_processes
+    return _general_prunes(machine_nodes, n_processes, hypotheses)
 
 
-def extract_historic_prunes(
-    records: Sequence[RunRecord],
-    min_exec_fraction: float = 0.005,
+def extract_general_prunes_from_summary(
+    summary: Optional[dict] = None,
+    hypotheses: Optional[HypothesisTree] = None,
 ) -> List[PruneDirective]:
-    """Prune code resources that history shows are insignificant.
+    """Summary-table form of :func:`extract_general_prunes`."""
+    machine_nodes = summary["machine_nodes"] if summary is not None else None
+    n_processes = summary["n_processes"] if summary is not None else None
+    return _general_prunes(machine_nodes, n_processes, hypotheses)
 
-    A function is pruned when its execution-time fraction (any activity
-    class) stays below ``min_exec_fraction`` in *every* previous run; a
-    module is pruned as a unit when all of its functions are.
-    """
-    if not records:
-        return []
-    # candidate leaves: every /Code function in any record's hierarchy
-    candidates: Set[str] = set()
-    for rec in records:
-        for name in rec.hierarchies.get("Code", []):
-            if name.count("/") == 3:  # /Code/module/function
-                candidates.add(name)
-    tiny: Set[str] = set()
-    for name in sorted(candidates):
-        fractions = [rec.flat_profile().code_exec_fraction(name) for rec in records]
-        if all(f < min_exec_fraction for f in fractions):
-            tiny.add(name)
-    # fold complete modules
+
+def _fold_tiny(candidates: Set[str], tiny: Set[str]) -> List[PruneDirective]:
+    """Fold complete modules; emit remaining tiny functions individually."""
     by_module: Dict[str, List[str]] = defaultdict(list)
     for name in candidates:
         by_module["/".join(name.split("/")[:3])].append(name)
@@ -128,18 +171,85 @@ def extract_historic_prunes(
     return out
 
 
-def extract_pair_prunes(records: Sequence[RunRecord]) -> List[PairPruneDirective]:
-    """Previously-false pairs, prunable outright (with the robustness
-    caveat the paper raises: pruning can miss new behaviour)."""
-    ever_true: Set[Tuple[str, str]] = set()
-    ever_false: Set[Tuple[str, str]] = set()
+def extract_historic_prunes(
+    records: Sequence[RunRecord],
+    min_exec_fraction: float = 0.005,
+) -> List[PruneDirective]:
+    """Prune code resources that history shows are insignificant.
+
+    A function is pruned when its execution-time fraction (any activity
+    class) stays below ``min_exec_fraction`` in *every* previous run; a
+    module is pruned as a unit when all of its functions are.
+
+    Single pass per record: the surviving-candidate set shrinks as runs
+    disqualify functions, and the scan stops early once it is empty —
+    instead of rebuilding each record's profile once per candidate
+    (O(functions × records) reconstructions, the old shape).
+    """
+    if not records:
+        return []
+    # candidate leaves: every /Code function in any record's hierarchy
+    candidates: Set[str] = set()
     for rec in records:
-        ever_true.update(rec.true_pairs())
-        ever_false.update(rec.false_pairs())
+        for name in rec.hierarchies.get("Code", []):
+            if name.count("/") == 3:  # /Code/module/function
+                candidates.add(name)
+    tiny: Set[str] = set(candidates)
+    for rec in records:
+        if not tiny:
+            break
+        profile = rec.flat_profile()
+        total = profile.total_time()
+        tiny = {
+            name
+            for name in tiny
+            if (profile.code_exec_fraction(name) if total > 0 else 0.0)
+            < min_exec_fraction
+        }
+    return _fold_tiny(candidates, tiny)
+
+
+def extract_historic_prunes_from_summaries(
+    summaries: Sequence[dict],
+    min_exec_fraction: float = 0.005,
+) -> List[PruneDirective]:
+    """Summary-table form of :func:`extract_historic_prunes`."""
+    if not summaries:
+        return []
+    candidates: Set[str] = set()
+    for summary in summaries:
+        candidates.update(summary["code_leaves"])
+    tiny: Set[str] = set(candidates)
+    for summary in summaries:
+        if not tiny:
+            break
+        fractions = summary["code_exec_fractions"]
+        tiny = {
+            name for name in tiny if fractions.get(name, 0.0) < min_exec_fraction
+        }
+    return _fold_tiny(candidates, tiny)
+
+
+def _pair_prune_directives(
+    ever_true: Set[_Pair], ever_false: Set[_Pair]
+) -> List[PairPruneDirective]:
     return [
         PairPruneDirective(hyp, parse_focus(focus_text))
         for hyp, focus_text in sorted(ever_false - ever_true)
     ]
+
+
+def extract_pair_prunes(records: Sequence[RunRecord]) -> List[PairPruneDirective]:
+    """Previously-false pairs, prunable outright (with the robustness
+    caveat the paper raises: pruning can miss new behaviour)."""
+    return _pair_prune_directives(*_collect_pairs(records))
+
+
+def extract_pair_prunes_from_summaries(
+    summaries: Sequence[dict],
+) -> List[PairPruneDirective]:
+    """Summary-table form of :func:`extract_pair_prunes`."""
+    return _pair_prune_directives(*_collect_summary_pairs(summaries))
 
 
 # --------------------------------------------------------------------------
@@ -177,20 +287,12 @@ def suggest_threshold(
     return default if best_mid is None else round(best_mid, 3)
 
 
-def extract_thresholds(
-    records: Sequence[RunRecord],
-    hypotheses: Optional[HypothesisTree] = None,
+def _threshold_directives(
+    values_by_hyp: Dict[str, List[float]],
+    hypotheses: Optional[HypothesisTree],
     **kwargs,
 ) -> List[ThresholdDirective]:
-    """Per-hypothesis thresholds from the historical value distribution."""
     tree = hypotheses or standard_tree()
-    values_by_hyp: Dict[str, List[float]] = defaultdict(list)
-    for rec in records:
-        for node in rec.shg_nodes:
-            if node.get("value") is None:
-                continue
-            if node["state"] in (NodeState.TRUE.value, NodeState.FALSE.value):
-                values_by_hyp[node["hypothesis"]].append(node["value"])
     out: List[ThresholdDirective] = []
     for h in tree.testable():
         vals = values_by_hyp.get(h.name)
@@ -199,6 +301,35 @@ def extract_thresholds(
         value = suggest_threshold(vals, default=h.default_threshold, **kwargs)
         out.append(ThresholdDirective(h.name, value))
     return out
+
+
+def extract_thresholds(
+    records: Sequence[RunRecord],
+    hypotheses: Optional[HypothesisTree] = None,
+    **kwargs,
+) -> List[ThresholdDirective]:
+    """Per-hypothesis thresholds from the historical value distribution."""
+    values_by_hyp: Dict[str, List[float]] = defaultdict(list)
+    for rec in records:
+        for node in rec.shg_nodes:
+            if node.get("value") is None:
+                continue
+            if node["state"] in (NodeState.TRUE.value, NodeState.FALSE.value):
+                values_by_hyp[node["hypothesis"]].append(node["value"])
+    return _threshold_directives(values_by_hyp, hypotheses, **kwargs)
+
+
+def extract_thresholds_from_summaries(
+    summaries: Sequence[dict],
+    hypotheses: Optional[HypothesisTree] = None,
+    **kwargs,
+) -> List[ThresholdDirective]:
+    """Summary-table form of :func:`extract_thresholds`."""
+    values_by_hyp: Dict[str, List[float]] = defaultdict(list)
+    for summary in summaries:
+        for hyp, vals in summary["hyp_values"].items():
+            values_by_hyp[hyp].extend(vals)
+    return _threshold_directives(values_by_hyp, hypotheses, **kwargs)
 
 
 # --------------------------------------------------------------------------
@@ -233,4 +364,46 @@ def extract_directives(
         pair_prunes=extract_pair_prunes(records) if include_pair_prunes else (),
         priorities=extract_priorities(records) if include_priorities else (),
         thresholds=extract_thresholds(records, hypotheses) if include_thresholds else (),
+    )
+
+
+def extract_directives_from_summaries(
+    summaries: Sequence[dict],
+    include_priorities: bool = True,
+    include_general_prunes: bool = True,
+    include_historic_prunes: bool = True,
+    include_pair_prunes: bool = True,
+    include_thresholds: bool = False,
+    hypotheses: Optional[HypothesisTree] = None,
+    min_exec_fraction: float = 0.005,
+) -> DirectiveSet:
+    """Build a full directive set from store index summaries.
+
+    Produces exactly the directives :func:`extract_directives` would
+    for the same runs, without deserializing any record — the fast path
+    behind ``repro.harvest`` on a store.
+    """
+    summaries = list(summaries)
+    prunes: List[PruneDirective] = []
+    if include_general_prunes:
+        prunes.extend(
+            extract_general_prunes_from_summary(
+                summaries[0] if summaries else None, hypotheses
+            )
+        )
+    if include_historic_prunes:
+        prunes.extend(
+            extract_historic_prunes_from_summaries(summaries, min_exec_fraction)
+        )
+    return DirectiveSet(
+        prunes=prunes,
+        pair_prunes=extract_pair_prunes_from_summaries(summaries)
+        if include_pair_prunes
+        else (),
+        priorities=extract_priorities_from_summaries(summaries)
+        if include_priorities
+        else (),
+        thresholds=extract_thresholds_from_summaries(summaries, hypotheses)
+        if include_thresholds
+        else (),
     )

@@ -22,7 +22,7 @@ from typing import Any, Iterable, List, Optional, Union
 from .apps.base import Application
 from .core.consultant import DiagnosisSession
 from .core.directives import DirectiveSet
-from .core.extraction import extract_directives
+from .core.extraction import extract_directives, extract_directives_from_summaries
 from .core.search import SearchConfig
 from .obs.trace import Tracer
 from .storage.records import RunRecord
@@ -110,7 +110,7 @@ def _history_records(
     if isinstance(source, (str, Path)):
         source = ExperimentStore(source)
     if isinstance(source, ExperimentStore):
-        return source.load_all(source.list(app_name=app_name))
+        return source.load_many(source.list(app_name=app_name))
     records = list(source)
     for record in records:
         if not isinstance(record, RunRecord):
@@ -209,6 +209,18 @@ def harvest(
     (``include_thresholds=True``, ``include_pair_prunes=False``, ...).
 
     >>> directives = harvest("runs/", app="poisson", include_thresholds=True)
+
+    Store (and store path) arguments take the summary fast path: the
+    extraction reads the format-3 index's denormalized per-run summaries
+    and deserializes no records.  Record arguments extract directly.
     """
-    records = _history_records(store_or_records, _app_name(app))
+    source = store_or_records
+    if isinstance(source, (str, Path)) and Path(source).is_dir():
+        source = ExperimentStore(source)
+    if isinstance(source, ExperimentStore):
+        metas = source.summaries(app_name=_app_name(app))
+        return extract_directives_from_summaries(
+            [meta["summary"] for meta in metas.values()], **options
+        )
+    records = _history_records(source, _app_name(app))
     return extract_directives(records, **options)

@@ -8,7 +8,13 @@ from .query import (
     select,
 )
 from .records import RunRecord
-from .store import ExperimentStore, RecoveryReport, StoreCorruption, StoreError
+from .store import (
+    ExperimentStore,
+    RecoveryReport,
+    StoreCorruption,
+    StoreError,
+    summarize_record,
+)
 
 __all__ = [
     "ResourceHistory",
@@ -21,4 +27,5 @@ __all__ = [
     "RecoveryReport",
     "StoreCorruption",
     "StoreError",
+    "summarize_record",
 ]

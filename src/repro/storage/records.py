@@ -19,10 +19,27 @@ from ..resources.resource import ResourceSpace
 
 __all__ = ["RunRecord"]
 
+#: Which memoised reconstruction each serialised field backs: reassigning
+#: the field drops the cached object (see ``RunRecord.__setattr__``).
+_MEMO_DEPS = {
+    "shg_nodes": ("shg",),
+    "hierarchies": ("space",),
+    "profile": ("flat_profile",),
+}
+
 
 @dataclass
 class RunRecord:
-    """A complete, serialisable description of one diagnosed execution."""
+    """A complete, serialisable description of one diagnosed execution.
+
+    The reconstruction helpers (:meth:`shg`, :meth:`space`,
+    :meth:`flat_profile`) are memoised: history consumers call them per
+    query, and rebuilding a :class:`FlatProfile` from its dict on every
+    access dominated cross-run extraction.  The cache is invalidated when
+    the backing field is *reassigned*; mutating a backing container in
+    place (``record.shg_nodes.append(...)``) is not detectable — call
+    :meth:`invalidate_caches` after doing so.
+    """
 
     run_id: str
     app_name: str
@@ -57,21 +74,51 @@ class RunRecord:
     metrics: Dict[str, Optional[float]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
+    # memoisation plumbing
+    # ------------------------------------------------------------------
+    def __setattr__(self, name, value) -> None:
+        memo = self.__dict__.get("_memo")
+        if memo:
+            for key in _MEMO_DEPS.get(name, ()):
+                memo.pop(key, None)
+        object.__setattr__(self, name, value)
+
+    def invalidate_caches(self) -> None:
+        """Drop every memoised reconstruction (needed after mutating a
+        backing container in place — reassignment invalidates on its own)."""
+        self.__dict__["_memo"] = {}
+
+    def _memoised(self, key: str, build):
+        memo = self.__dict__.setdefault("_memo", {})
+        try:
+            return memo[key]
+        except KeyError:
+            memo[key] = value = build()
+            return value
+
+    # ------------------------------------------------------------------
     # reconstruction helpers
     # ------------------------------------------------------------------
     def shg(self) -> SearchHistoryGraph:
-        return SearchHistoryGraph.from_dicts(self.shg_nodes)
+        return self._memoised(
+            "shg", lambda: SearchHistoryGraph.from_dicts(self.shg_nodes)
+        )
 
     def space(self) -> ResourceSpace:
-        space = ResourceSpace(tuple(self.hierarchies))
-        for hierarchy, names in self.hierarchies.items():
-            for name in names:
-                if name != f"/{hierarchy}":
-                    space.add(name)
-        return space
+        def build() -> ResourceSpace:
+            space = ResourceSpace(tuple(self.hierarchies))
+            for hierarchy, names in self.hierarchies.items():
+                for name in names:
+                    if name != f"/{hierarchy}":
+                        space.add(name)
+            return space
+
+        return self._memoised("space", build)
 
     def flat_profile(self) -> FlatProfile:
-        return FlatProfile.from_dict(self.profile)
+        return self._memoised(
+            "flat_profile", lambda: FlatProfile.from_dict(self.profile)
+        )
 
     # ------------------------------------------------------------------
     # common queries

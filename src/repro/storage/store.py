@@ -22,6 +22,21 @@ moved to ``<store>/quarantine/`` and dropped from the index — rather than
 silently skipped or half-read, so on-disk corruption (torn writes, bad
 sectors, hand-edits) is visible and recoverable.  Checksum-less format-1
 files from older stores still load.
+
+Query fast path: the index is a format-3 envelope
+(``{"format": 3, "runs": {...}}``) whose per-run metadata carries a
+denormalized *summary* — duration, status, true/false pairs,
+per-hierarchy fraction tables, observed per-hypothesis values — so the
+cross-run queries (:mod:`repro.storage.query`) and directive extraction
+answer from one index read instead of deserializing every record.
+Format-2 indexes (a plain run→meta dict, no summaries) load
+transparently; summaries are backfilled lazily on first use and
+:meth:`ExperimentStore.rebuild_index` upgrades a whole store in one pass.
+Loaded records are also kept in a bounded in-process LRU keyed by the
+record file's stat signature, so a cross-process overwrite (atomic
+rename → new inode) invalidates stale entries without any coordination
+beyond the existing lock discipline.  Records obtained from the cache
+are shared objects: treat loaded (and saved) records as immutable.
 """
 
 from __future__ import annotations
@@ -29,26 +44,42 @@ from __future__ import annotations
 import errno
 import hashlib
 import json
+import multiprocessing
 import os
 import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 try:  # POSIX advisory locks; absent e.g. on Windows
     import fcntl
 except ImportError:  # pragma: no cover - exercised only off-POSIX
     fcntl = None
 
+from ..core.shg import NodeState
 from .records import RunRecord
 
-__all__ = ["ExperimentStore", "StoreError", "StoreCorruption", "RecoveryReport"]
+__all__ = [
+    "ExperimentStore",
+    "StoreError",
+    "StoreCorruption",
+    "RecoveryReport",
+    "summarize_record",
+]
 
 _INDEX_NAME = "index.json"
 _LOCK_NAME = "index.lock"
 _QUARANTINE_DIR = "quarantine"
 _FORMAT = 2
+#: On-disk index format: a ``{"format": 3, "runs": {...}}`` envelope whose
+#: per-run metadata may carry a denormalized query summary.  Format-2
+#: indexes (the bare run→meta mapping) are still read transparently.
+_INDEX_FORMAT = 3
+_SUMMARY_VERSION = 1
+_DEFAULT_CACHE_SIZE = 64
 
 
 class StoreError(RuntimeError):
@@ -87,6 +118,130 @@ def _checksum(payload: dict) -> str:
     """SHA-256 over the canonical JSON encoding of a record dict."""
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+_CONCLUDED = (NodeState.TRUE.value, NodeState.FALSE.value)
+
+
+def summarize_record(record: RunRecord) -> dict:
+    """Denormalize one record into the index summary the queries read.
+
+    Everything the cross-run consumers need without the full record:
+    duration/status/coverage, the true/false conclusion pairs, SHG state
+    counts, the per-hypothesis observed value distribution (threshold
+    extraction), per-hierarchy fraction-of-total tables (resource
+    histories), and per-function execution fractions plus the candidate
+    function list (historic prunes).
+    """
+    profile = record.flat_profile()
+    total = profile.total_time()
+
+    def fraction_table(table: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
+        if total <= 0:
+            return {}
+        return {
+            name: {activity: value / total for activity, value in entry.items()}
+            for name, entry in table.items()
+        }
+
+    hyp_values: Dict[str, List[float]] = {}
+    state_counts: Dict[str, int] = {}
+    for node in record.shg_nodes:
+        state = node["state"]
+        state_counts[state] = state_counts.get(state, 0) + 1
+        if node.get("value") is not None and state in _CONCLUDED:
+            hyp_values.setdefault(node["hypothesis"], []).append(node["value"])
+
+    machine_nodes = len(
+        [n for n in record.hierarchies.get("Machine", []) if n != "/Machine"]
+    )
+    code_leaves = [
+        name for name in record.hierarchies.get("Code", []) if name.count("/") == 3
+    ]
+    return {
+        "version": _SUMMARY_VERSION,
+        "duration": record.finish_time,
+        "status": record.status,
+        "coverage": record.coverage,
+        "failure": record.failure,
+        "peak_cost": record.peak_cost,
+        "time_to_find_all": record.time_to_find_all(),
+        "n_processes": record.n_processes,
+        "n_nodes": len(record.nodes),
+        "machine_nodes": machine_nodes,
+        "true_pairs": [list(pair) for pair in record.true_pairs()],
+        "false_pairs": [list(pair) for pair in record.false_pairs()],
+        "state_counts": state_counts,
+        "hyp_values": hyp_values,
+        "total_time": total,
+        "fractions": {
+            "Code": fraction_table(profile.by_code),
+            "Process": fraction_table(profile.by_process),
+            "Machine": fraction_table(profile.by_node),
+            "SyncObject": fraction_table(profile.by_tag),
+        },
+        "code_exec_fractions": {
+            name: sum(entry.values()) / total
+            for name, entry in profile.by_code.items()
+        }
+        if total > 0
+        else {},
+        "code_leaves": code_leaves,
+    }
+
+
+def _stat_sig(path: Path) -> Tuple[int, int, int]:
+    """Identity of a record file's current contents.
+
+    Atomic-rename writes always produce a fresh inode, so any overwrite —
+    same process or not — changes the signature and invalidates cache
+    entries without cross-process coordination.
+    """
+    st = path.stat()
+    return (st.st_ino, st.st_mtime_ns, st.st_size)
+
+
+class _RecordCache:
+    """Bounded LRU of parsed records keyed by run id + file signature."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._items: "OrderedDict[str, Tuple[Tuple[int, int, int], RunRecord]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, run_id: str, sig: Tuple[int, int, int]) -> Optional[RunRecord]:
+        entry = self._items.get(run_id)
+        if entry is None or entry[0] != sig:
+            self.misses += 1
+            return None
+        self._items.move_to_end(run_id)
+        self.hits += 1
+        return entry[1]
+
+    def put(self, run_id: str, sig: Tuple[int, int, int], record: RunRecord) -> None:
+        if self.maxsize <= 0:
+            return
+        self._items[run_id] = (sig, record)
+        self._items.move_to_end(run_id)
+        while len(self._items) > self.maxsize:
+            self._items.popitem(last=False)
+
+    def evict(self, run_id: str) -> None:
+        self._items.pop(run_id, None)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+def _read_payload_task(path_str: str) -> dict:
+    """Parse one record file in a pool worker (module-level: picklable)."""
+    return ExperimentStore._read_record_payload(Path(path_str))
 
 
 @contextmanager
@@ -133,11 +288,16 @@ class ExperimentStore:
     atomically, so simultaneous writers never lose each other's updates.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, cache_size: int = _DEFAULT_CACHE_SIZE):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._index_path = self.root / _INDEX_NAME
         self._lock_path = self.root / _LOCK_NAME
+        self._cache = _RecordCache(cache_size)
+        #: Parsed index keyed by the index file's stat signature, so warm
+        #: queries skip the JSON parse; any writer's atomic replace (this
+        #: process or another) changes the signature and forces a re-read.
+        self._index_cache: Optional[Tuple[Tuple[int, int, int], Dict[str, dict]]] = None
         if not self._index_path.exists():
             with self._lock():
                 if not self._index_path.exists():
@@ -150,14 +310,41 @@ class ExperimentStore:
         return _locked(self._lock_path)
 
     def _read_index(self) -> Dict[str, dict]:
+        """The run→meta mapping, whatever the on-disk index format.
+
+        Format-3 stores wrap it in a ``{"format": ..., "runs": ...}``
+        envelope; format-2 stores are the bare mapping.  Both load
+        transparently, so old stores keep working until the next write
+        (or :meth:`rebuild_index`) upgrades them.
+        """
+        try:
+            sig = _stat_sig(self._index_path)
+        except OSError:
+            sig = None
+        if sig is not None and self._index_cache is not None \
+                and self._index_cache[0] == sig:
+            return dict(self._index_cache[1])
         with open(self._index_path, "r", encoding="utf-8") as fh:
-            return json.load(fh)
+            data = json.load(fh)
+        if isinstance(data, dict) and isinstance(data.get("runs"), dict) \
+                and isinstance(data.get("format"), int):
+            data = data["runs"]
+        if sig is not None:
+            # sig was taken before the read: if a writer replaced the file
+            # in between we may cache newer content under the older
+            # signature, which is safe — the next stat mismatches.
+            self._index_cache = (sig, data)
+        return dict(data)
 
     def _write_index(self, index: Dict[str, dict]) -> None:
         tmp = self._index_path.with_suffix(".tmp")
+        envelope = {"format": _INDEX_FORMAT, "runs": index}
         with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(index, fh, indent=1, sort_keys=True)
+            json.dump(envelope, fh, indent=1, sort_keys=True)
         os.replace(tmp, self._index_path)
+        # Writes happen under the store lock, so no other writer can
+        # replace the file between our rename and this stat.
+        self._index_cache = (_stat_sig(self._index_path), dict(index))
 
     def _record_path(self, run_id: str) -> Path:
         return self.root / f"{run_id}.json"
@@ -218,6 +405,7 @@ class ExperimentStore:
             dest = qdir / f"{path.stem}.{counter}{path.suffix}"
             counter += 1
         os.replace(path, dest)
+        self._cache.evict(path.stem)
         index = self._read_index()
         if index.pop(path.stem, None) is not None:
             self._write_index(index)
@@ -239,12 +427,19 @@ class ExperimentStore:
         wins, the other gets :class:`StoreError` unless ``overwrite``).
         An overwritten record keeps its original ``seq``; new records get
         the next monotonic value.
+
+        The index entry carries the record's query summary
+        (:func:`summarize_record`) and the saved record is installed in
+        the load cache, so a campaign's post-save harvest never re-parses
+        what it just wrote.  Treat a record as immutable once saved.
         """
         path = self._record_path(record.run_id)
+        payload = record.to_dict()
+        summary = summarize_record(record)  # outside the lock: pure CPU
         with self._lock():
             if path.exists() and not overwrite:
                 raise StoreError(f"run {record.run_id!r} already stored")
-            self._write_record(path, record.to_dict())
+            self._write_record(path, payload)
             index = self._read_index()
             prior = index.get(record.run_id)
             seq = prior["seq"] if prior and "seq" in prior else self._next_seq(index)
@@ -255,36 +450,54 @@ class ExperimentStore:
                 "bottlenecks": record.bottleneck_count(),
                 "pairs_tested": record.pairs_tested,
                 "seq": seq,
+                "summary": summary,
             }
             self._write_index(index)
+            self._cache.put(record.run_id, _stat_sig(path), record)
         return record.run_id
 
     def load(self, run_id: str) -> RunRecord:
         """Load one record, verifying its payload checksum.
+
+        Served from the in-process LRU when the record file's stat
+        signature is unchanged; an overwrite by any process produces a
+        new inode and forces a fresh parse.  Cached records are shared
+        objects — do not mutate them.
 
         A file that fails the check is quarantined and the raised
         :class:`StoreCorruption` carries the quarantine path, so callers
         (and the CLI) can report what happened and where the bytes went.
         """
         path = self._record_path(run_id)
-        if not path.exists():
-            raise StoreError(f"no stored run {run_id!r}")
+        try:
+            sig = _stat_sig(path)
+        except OSError:
+            raise StoreError(f"no stored run {run_id!r}") from None
+        cached = self._cache.get(run_id, sig)
+        if cached is not None:
+            return cached
         try:
             payload = self._read_record_payload(path)
         except StoreCorruption as exc:
-            with self._lock():
-                dest = self._quarantine(path) if path.exists() else None
-            raise StoreCorruption(
-                f"{exc}" + (f"; quarantined to {dest}" if dest else ""),
-                quarantined_to=dest,
-            ) from None
-        return RunRecord.from_dict(payload)
+            self._quarantine_and_raise(path, exc)
+        record = RunRecord.from_dict(payload)
+        self._cache.put(run_id, sig, record)
+        return record
+
+    def _quarantine_and_raise(self, path: Path, exc: StoreCorruption) -> None:
+        with self._lock():
+            dest = self._quarantine(path) if path.exists() else None
+        raise StoreCorruption(
+            f"{exc}" + (f"; quarantined to {dest}" if dest else ""),
+            quarantined_to=dest,
+        ) from None
 
     def delete(self, run_id: str) -> None:
         with self._lock():
             path = self._record_path(run_id)
             if path.exists():
                 path.unlink()
+            self._cache.evict(run_id)
             index = self._read_index()
             index.pop(run_id, None)
             self._write_index(index)
@@ -295,32 +508,164 @@ class ExperimentStore:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def index_entries(
+        self,
+        app_name: Optional[str] = None,
+        version: Optional[str] = None,
+    ) -> Dict[str, dict]:
+        """Index metadata matching the filters, oldest first — one index
+        read, no record parsing.  Entries may or may not carry a
+        ``summary`` (format-2 stores lack them until backfilled)."""
+        index = self._read_index()
+        items = sorted(index.items(), key=lambda kv: kv[1].get("seq", 0))
+        out: Dict[str, dict] = {}
+        for run_id, meta in items:
+            if app_name is not None and meta.get("app_name") != app_name:
+                continue
+            if version is not None and meta.get("version") != version:
+                continue
+            out[run_id] = meta
+        return out
+
     def list(
         self,
         app_name: Optional[str] = None,
         version: Optional[str] = None,
     ) -> List[str]:
         """Run ids matching the filters, oldest first."""
-        index = self._read_index()
-        items = sorted(index.items(), key=lambda kv: kv[1].get("seq", 0))
-        out = []
-        for run_id, meta in items:
-            if app_name is not None and meta.get("app_name") != app_name:
-                continue
-            if version is not None and meta.get("version") != version:
-                continue
-            out.append(run_id)
-        return out
+        return list(self.index_entries(app_name=app_name, version=version))
 
     def latest(self, app_name: str, version: Optional[str] = None) -> Optional[RunRecord]:
         ids = self.list(app_name=app_name, version=version)
         return self.load(ids[-1]) if ids else None
 
     def load_all(self, run_ids: Iterable[str]) -> List[RunRecord]:
-        return [self.load(r) for r in run_ids]
+        return self.load_many(run_ids)
+
+    def load_many(
+        self,
+        run_ids: Iterable[str],
+        processes: Optional[int] = None,
+    ) -> List[RunRecord]:
+        """Load a batch of records, served from the cache where possible.
+
+        With ``processes`` > 1 the cache misses are parsed (JSON +
+        checksum, the expensive part) in a process pool; records are
+        rebuilt and cached in the calling process.  Corrupt files are
+        quarantined exactly as :meth:`load` would.  Order follows
+        ``run_ids``.
+        """
+        ids = list(run_ids)
+        records: List[Optional[RunRecord]] = [None] * len(ids)
+        pending: List[Tuple[int, str, Path, Tuple[int, int, int]]] = []
+        for i, run_id in enumerate(ids):
+            path = self._record_path(run_id)
+            try:
+                sig = _stat_sig(path)
+            except OSError:
+                raise StoreError(f"no stored run {run_id!r}") from None
+            cached = self._cache.get(run_id, sig)
+            if cached is not None:
+                records[i] = cached
+            else:
+                pending.append((i, run_id, path, sig))
+        if processes and processes > 1 and len(pending) > 1:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else methods[0]
+            )
+            with ProcessPoolExecutor(
+                max_workers=min(processes, len(pending)), mp_context=ctx
+            ) as pool:
+                futures = {
+                    pool.submit(_read_payload_task, str(path)): (i, run_id, path, sig)
+                    for i, run_id, path, sig in pending
+                }
+                for future in as_completed(futures):
+                    i, run_id, path, sig = futures[future]
+                    try:
+                        payload = future.result()
+                    except StoreCorruption as exc:
+                        self._quarantine_and_raise(path, exc)
+                    record = RunRecord.from_dict(payload)
+                    self._cache.put(run_id, sig, record)
+                    records[i] = record
+        else:
+            for i, run_id, _path, _sig in pending:
+                records[i] = self.load(run_id)
+        return records  # type: ignore[return-value]
 
     def __len__(self) -> int:
         return len(self._read_index())
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    def summary(self, run_id: str) -> dict:
+        """The query summary for one run — from the index when present,
+        otherwise computed from the record and backfilled into the index
+        (the lazy format-2 → format-3 upgrade path)."""
+        index = self._read_index()
+        meta = index.get(run_id)
+        if meta is not None and isinstance(meta.get("summary"), dict):
+            return meta["summary"]
+        summary = summarize_record(self.load(run_id))
+        if meta is not None:
+            self._backfill_summaries({run_id: summary})
+        return summary
+
+    def summaries(
+        self,
+        run_ids: Optional[Sequence[str]] = None,
+        app_name: Optional[str] = None,
+    ) -> Dict[str, dict]:
+        """Index entries with their summaries guaranteed present.
+
+        Returns ``run_id -> meta`` (each meta carrying ``"summary"``) in
+        ``run_ids`` order when given, else seq order filtered by
+        *app_name*.  Entries whose summary is missing — a format-2 store
+        — are computed from the record once and written back under the
+        store lock, so the cost is paid on first touch only.
+        """
+        if run_ids is None:
+            items = list(self.index_entries(app_name=app_name).items())
+        else:
+            index = self._read_index()
+            items = [(run_id, index.get(run_id)) for run_id in run_ids]
+        out: Dict[str, dict] = {}
+        backfill: Dict[str, dict] = {}
+        for run_id, meta in items:
+            meta = {} if meta is None else dict(meta)
+            if not isinstance(meta.get("summary"), dict):
+                meta["summary"] = summarize_record(self.load(run_id))
+                backfill[run_id] = meta["summary"]
+            out[run_id] = meta
+        if backfill:
+            self._backfill_summaries(backfill)
+        return out
+
+    def _backfill_summaries(self, summaries: Dict[str, dict]) -> None:
+        """Merge lazily computed summaries into the index under the lock
+        (skipping entries another process already upgraded or removed)."""
+        with self._lock():
+            index = self._read_index()
+            changed = False
+            for run_id, summary in summaries.items():
+                meta = index.get(run_id)
+                if meta is not None and not isinstance(meta.get("summary"), dict):
+                    meta["summary"] = summary
+                    changed = True
+            if changed:
+                self._write_index(index)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Cache statistics (for tests and benchmarks)."""
+        return {
+            "size": len(self._cache),
+            "maxsize": self._cache.maxsize,
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+        }
 
     # ------------------------------------------------------------------
     # maintenance
@@ -335,8 +680,13 @@ class ExperimentStore:
         file-modification order.  Files that fail parsing or their
         checksum are moved to ``quarantine/`` instead of aborting the
         rebuild.  Returns a :class:`RecoveryReport` listing both.
+
+        Doubles as the eager format-3 upgrade: every re-registered entry
+        gets a fresh query summary, so rebuilding an old format-2 store
+        leaves it fully denormalized in one pass.
         """
         report = RecoveryReport()
+        self._cache.clear()
         with self._lock():
             try:
                 old = self._read_index()
@@ -361,7 +711,9 @@ class ExperimentStore:
                     "n_processes": record.n_processes,
                     "bottlenecks": record.bottleneck_count(),
                     "pairs_tested": record.pairs_tested,
+                    "summary": summarize_record(record),
                 }
+                self._cache.put(record.run_id, _stat_sig(path), record)
                 prior = old.get(record.run_id)
                 if prior and "seq" in prior:
                     meta["seq"] = prior["seq"]

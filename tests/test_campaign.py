@@ -172,3 +172,47 @@ class TestDeterminism:
         serial_dicts = [comparable(r) for r in serial.records]
         pooled_dicts = [comparable(r) for r in pooled.records]
         assert serial_dicts == pooled_dicts
+
+
+class TestCampaignSummaries:
+    def test_pool_writers_store_fresh_summaries(self, tmp_path):
+        """Concurrent campaign writers never leave a stale or missing
+        summary: every stored record's index summary matches the record
+        the campaign produced, and the extraction barrier harvested from
+        the store's copies."""
+        stages = [
+            Stage("baseline", [_spec(), _spec()]),
+            Stage("directed", [_spec(), _spec()], directives_from="baseline"),
+        ]
+        result = Campaign(stages, name="sumcamp").run(
+            PoolExecutor(2), store=tmp_path / "runs"
+        )
+        store = ExperimentStore(tmp_path / "runs")
+        metas = store.summaries()
+        by_id = {r.run_id: r for r in result.records}
+        assert set(metas) == set(by_id)
+        for run_id, meta in metas.items():
+            record = by_id[run_id]
+            summary = meta["summary"]
+            assert summary["true_pairs"] == [list(p) for p in record.true_pairs()]
+            assert summary["duration"] == record.finish_time
+            assert summary["status"] == record.status
+        assert result.stages["directed"].harvested is not None
+        assert len(result.stages["directed"].harvested) > 0
+
+    def test_overwrite_updates_summary(self, tmp_path):
+        """Re-running a campaign with overwrite refreshes the summaries."""
+        stage = [Stage("baseline", [_spec(run_id="fixed")])]
+        Campaign(stage, name="ow1").run(SerialExecutor(), store=tmp_path / "runs")
+        store = ExperimentStore(tmp_path / "runs")
+        first = store.summaries(run_ids=["fixed"])["fixed"]["summary"]
+        stage2 = [Stage("baseline", [
+            RunSpec(make_pingpong, builder_kwargs={"iterations": 90},
+                    config=FAST, run_id="fixed"),
+        ])]
+        Campaign(stage2, name="ow2").run(
+            SerialExecutor(), store=tmp_path / "runs", overwrite=True
+        )
+        second = store.summaries(run_ids=["fixed"])["fixed"]["summary"]
+        assert second["duration"] != first["duration"]
+        assert store.load("fixed").finish_time == second["duration"]

@@ -262,7 +262,10 @@ class TestErrorExitCodes:
         data["record"]["pairs_tested"] = 9999
         path.write_text(json.dumps(data))
         capsys.readouterr()
-        code = run_cli("report", "x1", "--store", store)
+        # The summary-only report answers from the index and never touches
+        # the tampered record file; corruption surfaces on the record path.
+        assert run_cli("report", "x1", "--store", store) == 0
+        code = run_cli("report", "x1", "--store", store, "--profile")
         assert code == 3
         assert "corruption" in capsys.readouterr().err
         assert (store / "quarantine" / "x1.json").exists()
@@ -362,3 +365,53 @@ class TestObservability:
         out = capsys.readouterr().out
         assert '# TYPE repro_run_engine_events gauge' in out
         assert 'run_id="pa-base"' in out
+
+
+class TestSummaryFastPath:
+    """Summary-only CLI paths must not deserialize any record file."""
+
+    @pytest.fixture()
+    def count_parses(self, monkeypatch):
+        from repro.storage.store import ExperimentStore
+
+        calls = []
+        original = ExperimentStore._read_record_payload
+
+        def counting(path):
+            calls.append(path.name)
+            return original(path)
+
+        monkeypatch.setattr(
+            ExperimentStore, "_read_record_payload", staticmethod(counting)
+        )
+        return calls
+
+    def test_report_parses_no_record(self, store_with_runs, count_parses, capsys):
+        assert run_cli("report", "pa-base", "--store", store_with_runs) == 0
+        assert count_parses == []
+        out = capsys.readouterr().out
+        assert "pairs tested" in out and "poisson" in out
+
+    def test_report_profile_parses_the_record(self, store_with_runs, count_parses):
+        assert run_cli(
+            "report", "pa-base", "--store", store_with_runs, "--profile",
+        ) == 0
+        assert count_parses == ["pa-base.json"]
+
+    def test_list_parses_no_record(self, store_with_runs, count_parses, capsys):
+        assert run_cli("list", "--store", store_with_runs) == 0
+        assert count_parses == []
+        assert "pa-base" in capsys.readouterr().out
+
+    def test_trace_header_without_record_parse(self, tmp_path, count_parses, capsys):
+        count_parses.clear()
+        assert run_cli(
+            "diagnose", "tester", "--iterations", 40, "--store", tmp_path,
+            "--run-id", "traced", "--trace",
+        ) == 0
+        capsys.readouterr()
+        count_parses.clear()
+        assert run_cli("trace", "traced", "--store", tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "run traced: tester v1, status complete" in out
+        assert count_parses == []

@@ -143,3 +143,54 @@ class TestExtractDirectives:
         ds1 = extract_directives(pingpong_record)
         ds2 = extract_directives([pingpong_record])
         assert ds1.to_text() == ds2.to_text()
+
+
+class TestSummaryEquivalence:
+    """Summary-based extraction must match record-based extraction
+    directive-for-directive on real diagnosed runs."""
+
+    @pytest.fixture(scope="class")
+    def records(self, pingpong_record):
+        io_record = run_diagnosis(
+            make_io_app(iterations=100),
+            config=FAST,
+            cost_model=CostModel(perturb_per_unit=0.0),
+        )
+        return [pingpong_record, io_record]
+
+    def test_extract_directives_matches(self, records):
+        from repro.core.extraction import extract_directives_from_summaries
+        from repro.storage.store import summarize_record
+
+        summaries = [summarize_record(r) for r in records]
+        from_records = extract_directives(records, include_thresholds=True)
+        from_summaries = extract_directives_from_summaries(
+            summaries, include_thresholds=True
+        )
+        assert from_summaries.to_text() == from_records.to_text()
+
+    def test_harvest_store_matches_harvest_records(self, records, tmp_path):
+        from repro.facade import harvest
+        from repro.storage import ExperimentStore
+
+        store = ExperimentStore(tmp_path / "runs")
+        for record in records:
+            store.save(record)
+        via_store = harvest(store, include_thresholds=True)
+        via_records = harvest(records, include_thresholds=True)
+        assert via_store.to_text() == via_records.to_text()
+
+    def test_harvest_store_parses_no_records(self, records, tmp_path):
+        from repro.facade import harvest
+        from repro.storage import ExperimentStore
+
+        root = tmp_path / "runs"
+        store = ExperimentStore(root)
+        for record in records:
+            store.save(record)
+        fresh = ExperimentStore(root)
+        fresh.load = lambda run_id: pytest.fail(
+            f"harvest deserialized record {run_id!r}"
+        )
+        fresh.load_many = lambda *a, **k: pytest.fail("harvest used load_many")
+        assert len(harvest(fresh)) > 0

@@ -101,3 +101,52 @@ def test_rebuild_preserves_existing_seq(tmp_path):
     store.rebuild_index()
     after = {rid: m["seq"] for rid, m in store._read_index().items()}
     assert after == before
+
+
+def test_concurrent_writers_all_have_summaries(tmp_path):
+    """Every entry landed by racing writers carries its query summary —
+    the locked merge must not drop another process's format-3 metadata."""
+    root = tmp_path / "runs"
+    ctx = multiprocessing.get_context()
+    barrier = ctx.Barrier(N_PROCS)
+    procs = [
+        ctx.Process(target=_writer, args=(root, worker, barrier))
+        for worker in range(N_PROCS)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+    assert all(p.exitcode == 0 for p in procs)
+
+    store = ExperimentStore(root)
+    metas = store.summaries()
+    assert len(metas) == N_PROCS * RECORDS_EACH
+    for meta in metas.values():
+        assert meta["summary"]["status"] == "complete"
+
+
+def _overwriter(root, version, barrier):
+    store = ExperimentStore(root)
+    barrier.wait()
+    rec = _tiny_record("shared", version=version)
+    store.save(rec, overwrite=True)
+
+
+def test_cross_process_overwrite_never_serves_stale_record(tmp_path):
+    """A reader that cached the record before another process overwrote
+    it must re-read: record body, index summary, and cache agree."""
+    root = tmp_path / "runs"
+    reader = ExperimentStore(root)
+    reader.save(_tiny_record("shared", version="old"))
+    assert reader.load("shared").version == "old"  # now cached
+
+    ctx = multiprocessing.get_context()
+    barrier = ctx.Barrier(1)
+    p = ctx.Process(target=_overwriter, args=(root, "new", barrier))
+    p.start()
+    p.join(timeout=60)
+    assert p.exitcode == 0
+
+    assert reader.load("shared").version == "new"
+    assert reader.summaries(run_ids=["shared"])["shared"]["version"] == "new"
