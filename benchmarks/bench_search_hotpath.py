@@ -1,0 +1,442 @@
+#!/usr/bin/env python
+"""Online hot-path benchmark: indexed segment routing vs the legacy scan.
+
+Not a paper artifact: this harness measures the single most executed
+piece of the online Performance Consultant — ``record()``, called once
+per simulated time segment.  The routing index buckets active probes by
+(activity, Code selection, Process selection) so a segment touches only
+candidate probes; the legacy path scans every active probe per segment.
+
+Two layers are measured, equivalence first in both:
+
+* ``record()`` microbenchmark — one 64-process engine, ~500 active
+  probes spanning per-function, per-module, per-process, combined and
+  whole-program foci, and a deterministic stream of synthetic segments.
+  Both managers fold the identical stream and every probe's accumulated
+  value is asserted *byte-identical* before any timing runs.
+* full diagnosis — a large synthetic app (64 processes, >200 code
+  leaves), diagnosed undirected and directed (directives harvested from
+  the undirected run), with routing on vs forced off.  The normalized
+  run records (conclusions, profiles, SHG) must be identical; only the
+  hot-path accounting counters may differ.
+
+Emits ``results/BENCH_search_hotpath.json``.  ``--check`` compares the
+measured ``record()`` speedup against the floor in
+``benchmarks/baselines/search_hotpath.json`` and exits non-zero on
+regression.  Only *ratios* gate CI — absolute wall times are
+machine-dependent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.apps.base import Application  # noqa: E402
+from repro.core import SearchConfig, extract_directives, run_diagnosis  # noqa: E402
+from repro.metrics import CostModel, InstrumentationManager  # noqa: E402
+from repro.obs import deterministic_metrics  # noqa: E402
+from repro.resources import ResourceSpace, whole_program  # noqa: E402
+from repro.simulator import (  # noqa: E402
+    Barrier,
+    Compute,
+    Engine,
+    LatencyModel,
+    Machine,
+    Recv,
+    Send,
+)
+from repro.simulator.records import Activity, TimeSegment  # noqa: E402
+
+RESULTS_DIR = REPO / "results"
+BASELINE = Path(__file__).resolve().parent / "baselines" / "search_hotpath.json"
+
+N_PROCS = 64
+N_NODES = 16
+N_MODULES = 25
+FNS_PER_MODULE = 8  # 25 x 8 = 200 leaf functions, plus main.c
+
+#: Counters that legitimately differ between the routed and scan paths —
+#: they describe delivery cost, not diagnosis outcome.
+HOT_PATH_COUNTERS = ("segments_routed", "segments_scanned", "probes_examined")
+
+RING_TAG = "7/0"
+
+CONFIG = SearchConfig(
+    min_interval=5.0,
+    check_period=0.5,
+    insertion_latency=0.5,
+    cost_limit=40.0,
+)
+
+
+def code_leaves():
+    return [
+        (f"m{m:02d}.c", f"fn{m:02d}_{k}")
+        for m in range(N_MODULES)
+        for k in range(FNS_PER_MODULE)
+    ]
+
+
+def proc_names():
+    return [f"w:{i + 1}" for i in range(N_PROCS)]
+
+
+def node_for(rank: int) -> str:
+    return f"n{rank % N_NODES}"
+
+
+# ---------------------------------------------------------------------------
+# full-diagnosis workload
+# ---------------------------------------------------------------------------
+def make_big_app(iterations: int = 10) -> Application:
+    """64 ring-coupled processes over 200+ code leaves.
+
+    Every rank touches a rank-dependent slice of the leaf functions (so
+    the /Code hierarchy is genuinely wide), ranks divisible by 8 carry a
+    compute bottleneck in the first leaf, and a per-iteration barrier
+    turns that skew into synchronisation waiting for everyone else.
+    """
+    leaves = code_leaves()
+    procs = proc_names()
+    modules = {mod: [] for mod, _ in leaves}
+    for mod, fn in leaves:
+        modules[mod].append(fn)
+    modules["main.c"] = ["main", "exchange"]
+
+    def make_program(rank: int):
+        def program(proc):
+            nxt = procs[(rank + 1) % N_PROCS]
+            prv = procs[(rank - 1) % N_PROCS]
+            with proc.function("main.c", "main"):
+                for it in range(iterations):
+                    for k in range(6):
+                        mod, fn = leaves[(rank * 11 + it * 17 + k * 31) % len(leaves)]
+                        with proc.function(mod, fn):
+                            yield Compute(0.06 + 0.005 * ((rank + k) % 4))
+                    mod, fn = leaves[0]
+                    with proc.function(mod, fn):
+                        yield Compute(0.6 if rank % 8 == 0 else 0.1)
+                    yield Send(nxt, RING_TAG, 64.0)
+                    with proc.function("main.c", "exchange"):
+                        yield Recv(prv, RING_TAG)
+                    yield Barrier()
+
+        return program
+
+    return Application(
+        name="hotpath",
+        version="1",
+        modules={m: tuple(fns) for m, fns in modules.items()},
+        tags=(RING_TAG,),
+        processes=tuple(procs),
+        placement={p: node_for(i) for i, p in enumerate(procs)},
+        programs={p: make_program(i) for i, p in enumerate(procs)},
+        uses_barrier=True,
+        description="wide synthetic app exercising the record() hot path",
+    )
+
+
+def comparable(record) -> dict:
+    """A run record reduced to what must match across delivery paths:
+    everything except the run id, wall-clock metrics, and the hot-path
+    accounting counters (those *describe* the delivery path)."""
+    data = record.to_dict()
+    data["run_id"] = "X"
+    metrics = deterministic_metrics(data["metrics"])
+    for key in HOT_PATH_COUNTERS:
+        metrics.pop(key, None)
+    data["metrics"] = metrics
+    return data
+
+
+def conclusions(record) -> dict:
+    return {
+        (n["hypothesis"], n["focus"]): n["state"]
+        for n in record.to_dict()["shg_nodes"]
+    }
+
+
+def bench_diagnosis(iterations: int) -> dict:
+    app = make_big_app(iterations=iterations)
+
+    def run(routed: bool, directives=None):
+        start = time.perf_counter()
+        rec = run_diagnosis(
+            app,
+            directives=directives,
+            config=CONFIG,
+            run_id="bench",
+            segment_routing=routed,
+        )
+        return rec, time.perf_counter() - start
+
+    undirected_fast, undirected_fast_s = run(routed=True)
+    undirected_scan, undirected_scan_s = run(routed=False)
+    if comparable(undirected_fast) != comparable(undirected_scan):
+        raise AssertionError("undirected: routed and scan records diverged")
+    if conclusions(undirected_fast) != conclusions(undirected_scan):
+        raise AssertionError("undirected: conclusion sets diverged")
+
+    directives = extract_directives([undirected_fast])
+    directed_fast, directed_fast_s = run(routed=True, directives=directives)
+    directed_scan, directed_scan_s = run(routed=False, directives=directives)
+    if comparable(directed_fast) != comparable(directed_scan):
+        raise AssertionError("directed: routed and scan records diverged")
+    if conclusions(directed_fast) != conclusions(directed_scan):
+        raise AssertionError("directed: conclusion sets diverged")
+
+    def entry(fast_rec, fast_s, scan_rec, scan_s):
+        fast_m, scan_m = fast_rec.metrics, scan_rec.metrics
+        return {
+            "routed_s": fast_s,
+            "scan_s": scan_s,
+            "speedup": scan_s / fast_s if fast_s > 0 else float("inf"),
+            "segments": fast_m["segments_routed"],
+            "probes_examined_routed": fast_m["probes_examined"],
+            "probes_examined_scan": scan_m["probes_examined"],
+            "examined_ratio": (
+                scan_m["probes_examined"] / fast_m["probes_examined"]
+                if fast_m["probes_examined"] else float("inf")
+            ),
+            "pairs_tested": fast_rec.pairs_tested,
+            "true_pairs": sum(
+                1 for state in conclusions(fast_rec).values() if state == "true"
+            ),
+        }
+
+    return {
+        "records_equal": True,
+        "undirected": entry(
+            undirected_fast, undirected_fast_s, undirected_scan, undirected_scan_s
+        ),
+        "directed": entry(
+            directed_fast, directed_fast_s, directed_scan, directed_scan_s
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# record() microbenchmark
+# ---------------------------------------------------------------------------
+def build_probe_fixture(routing_enabled: bool):
+    """One manager over a 64-process engine with ~500 live probes."""
+    leaves = code_leaves()
+    procs = proc_names()
+    engine = Engine(Machine.named("n", N_NODES), latency=LatencyModel())
+    for i, p in enumerate(procs):
+        engine.add_process(p, node_for(i), lambda proc: iter(()))
+    space = ResourceSpace()
+    for mod, fn in leaves:
+        space.add(f"/Code/{mod}/{fn}")
+    for p in procs:
+        space.add(f"/Process/{p}")
+    for i in range(N_NODES):
+        space.add(f"/Machine/n{i}")
+    space.add("/SyncObject/Message/7/0")
+    mgr = InstrumentationManager(
+        engine,
+        space,
+        cost_model=CostModel(perturb_per_unit=0.0),
+        cost_limit=1e9,
+        insertion_latency=0.0,
+        routing_enabled=routing_enabled,
+    )
+    whole = whole_program(space)
+    handles = []
+    # per-function CPU probes over every leaf
+    for mod, fn in leaves:
+        handles.append(mgr.request("cpu_time", whole.with_selection("Code", f"/Code/{mod}/{fn}")))
+    # per-function sync probes over half the leaves
+    for mod, fn in leaves[::2]:
+        handles.append(mgr.request("sync_wait_time", whole.with_selection("Code", f"/Code/{mod}/{fn}")))
+    # per-module rollups
+    for m in range(N_MODULES):
+        handles.append(mgr.request("cpu_time", whole.with_selection("Code", f"/Code/m{m:02d}.c")))
+    # per-process exec probes
+    for p in procs:
+        handles.append(mgr.request("exec_time", whole.with_selection("Process", f"/Process/{p}")))
+    # combined Code x Process probes
+    for i in range(100):
+        mod, fn = leaves[(i * 3) % len(leaves)]
+        focus = whole.with_selection("Code", f"/Code/{mod}/{fn}").with_selection(
+            "Process", f"/Process/{procs[i % N_PROCS]}"
+        )
+        handles.append(mgr.request("cpu_time", focus))
+    # whole-program probes
+    for metric in ("exec_time", "cpu_time", "sync_wait_time", "io_op_count"):
+        handles.append(mgr.request(metric, whole))
+    return mgr, handles
+
+
+def make_segments(n: int):
+    """Deterministic synthetic stream shaped like real traffic: mostly
+    compute attributed across the leaf set, some tagged sync, some I/O."""
+    leaves = code_leaves()
+    procs = proc_names()
+    out = []
+    for i in range(n):
+        rank = i % N_PROCS
+        mod, fn = leaves[(i * 13 + rank * 7) % len(leaves)]
+        r = i % 10
+        if r < 7:
+            activity, tag = Activity.COMPUTE, None
+        elif r < 9:
+            activity, tag = Activity.SYNC, RING_TAG
+        else:
+            activity, tag = Activity.IO, None
+        out.append(TimeSegment.make(
+            start=0.001 * i,
+            duration=0.01,
+            activity=activity,
+            process=procs[rank],
+            node=node_for(rank),
+            module=mod,
+            function=fn,
+            tag=tag,
+        ))
+    return out
+
+
+def feed(mgr, segments) -> None:
+    record = mgr.record
+    for seg in segments:
+        record(seg)
+
+
+def timed(fn, reps: int) -> float:
+    walls = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - start)
+    return statistics.median(walls)
+
+
+def bench_record(n_segments: int, reps: int, legacy_reps: int) -> dict:
+    routed, routed_handles = build_probe_fixture(routing_enabled=True)
+    scan, scan_handles = build_probe_fixture(routing_enabled=False)
+    if routed_handles != scan_handles:
+        raise AssertionError("probe fixtures diverged")
+    segments = make_segments(n_segments)
+
+    # correctness first: identical stream, byte-identical accumulators
+    feed(routed, segments)
+    feed(scan, segments)
+    for handle in routed_handles:
+        fast = routed.instrumentation(handle).accumulated
+        legacy = scan.instrumentation(handle).accumulated
+        if fast != legacy:
+            raise AssertionError(
+                f"handle {handle}: routed accumulated {fast!r} "
+                f"!= scan {legacy!r}"
+            )
+    examined_routed = routed.probes_examined
+    examined_scan = scan.probes_examined
+
+    # the equivalence pass doubles as warmup (memos and buckets are hot)
+    fast_s = timed(lambda: feed(routed, segments), reps)
+    legacy_s = timed(lambda: feed(scan, segments), legacy_reps)
+
+    return {
+        "probes": len(routed_handles),
+        "segments": n_segments,
+        "accumulators_equal": True,
+        "legacy_s": legacy_s,
+        "fast_s": fast_s,
+        "speedup": legacy_s / fast_s if fast_s > 0 else float("inf"),
+        "probes_examined_routed": examined_routed,
+        "probes_examined_scan": examined_scan,
+        "examined_ratio": (
+            examined_scan / examined_routed if examined_routed else float("inf")
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# baseline gate
+# ---------------------------------------------------------------------------
+def check_against_baseline(results: dict) -> int:
+    if not BASELINE.is_file():
+        print(f"no baseline at {BASELINE}; skipping regression check")
+        return 0
+    baseline = json.loads(BASELINE.read_text())
+    floor = baseline["record_speedup_min"]
+    measured = results["record"]["speedup"]
+    print(f"warm record() speedup: {measured:.1f}x (floor {floor:g}x)")
+    if measured < floor:
+        print("FAIL: record() speedup regressed below the baseline floor")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=5,
+                        help="fast-path repetitions (median wall)")
+    parser.add_argument("--legacy-reps", type=int, default=2,
+                        help="legacy-path repetitions (median wall)")
+    parser.add_argument("--segments", type=int, default=20000,
+                        help="synthetic segments in the record() microbenchmark")
+    parser.add_argument("--iterations", type=int, default=10,
+                        help="application iterations in the diagnosis benchmark")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when the measured record() speedup falls "
+                             "below the floor in the checked-in baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the checked-in speedup floor")
+    args = parser.parse_args(argv)
+
+    record_results = bench_record(args.segments, args.reps, args.legacy_reps)
+    diagnosis_results = bench_diagnosis(args.iterations)
+    results = {
+        "workload": {
+            "processes": N_PROCS,
+            "code_leaves": N_MODULES * FNS_PER_MODULE,
+            "probes": record_results["probes"],
+            "segments": record_results["segments"],
+            "reps": args.reps,
+            "legacy_reps": args.legacy_reps,
+        },
+        "record": record_results,
+        "diagnosis": diagnosis_results,
+    }
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_search_hotpath.json"
+    out_path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    rec = results["record"]
+    print(f"record(): {rec['segments']} segments x {rec['probes']} probes: "
+          f"{rec['legacy_s'] * 1e3:.1f} ms scan -> {rec['fast_s'] * 1e3:.1f} ms "
+          f"routed ({rec['speedup']:.1f}x, {rec['examined_ratio']:.0f}x fewer "
+          f"probes examined)")
+    for phase in ("undirected", "directed"):
+        d = results["diagnosis"][phase]
+        print(f"diagnosis {phase}: {d['scan_s']:.2f} s scan -> "
+              f"{d['routed_s']:.2f} s routed ({d['speedup']:.2f}x), "
+              f"records equal, {d['true_pairs']} true pairs")
+
+    if args.update_baseline:
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(json.dumps({
+            "record_speedup_min": 5.0,
+            "note": "floor on the warm routed-vs-scan record() speedup "
+                    "measured by bench_search_hotpath.py",
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {BASELINE}")
+
+    if args.check:
+        return check_against_baseline(results)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -83,6 +83,11 @@ class DiagnosisSession:
     #: structured events into it.  ``None`` (the default) adds zero
     #: overhead — no callback is ever consulted.
     tracer: Optional[Tracer] = None
+    #: Debug/reference: ``False`` delivers trace segments through the
+    #: legacy full probe scan instead of the routing index (see
+    #: :class:`~repro.metrics.instrumentation.InstrumentationManager`).
+    #: Conclusions are identical either way; only the cost shape differs.
+    segment_routing: bool = True
 
     def run(self) -> RunRecord:
         """Execute the application with the online search attached."""
@@ -118,6 +123,7 @@ class DiagnosisSession:
             cost_model=self.cost_model or CostModel(),
             cost_limit=config.cost_limit,
             insertion_latency=config.insertion_latency,
+            routing_enabled=self.segment_routing,
         )
         profiler = ProfileCollector()
         engine.add_sink(profiler)
@@ -172,6 +178,9 @@ class DiagnosisSession:
             instr_requests=instr.total_requests,
             instr_deletes=instr.total_deletes,
             instr_decimates=instr.total_decimates,
+            segments_routed=instr.segments_routed,
+            segments_scanned=instr.segments_scanned,
+            probes_examined=instr.probes_examined,
             time_to_first_true=search.first_true_time(),
             time_to_last_true=search.last_true_time(),
             trace_events=self.tracer.count if self.tracer else 0,

@@ -57,6 +57,10 @@ class SearchConfig:
     decisive_factor: float = 3.0
     threshold_overrides: Dict[str, float] = field(default_factory=dict)
     stop_engine_when_done: bool = False
+    #: Emit the tracer ``progress`` event every N ticks (default every
+    #: tick).  Large searches tick thousands of times; raising this keeps
+    #: per-tick stat polling from dominating the trace file.
+    progress_every: int = 1
 
 
 class PerformanceConsultantSearch:
@@ -94,6 +98,12 @@ class PerformanceConsultantSearch:
         self.done_at: Optional[float] = None
         self._space_version = space.version
         self._thresholds = self._resolve_thresholds()
+        #: Nodes with a live read handle, maintained incrementally on
+        #: state transitions so the per-tick evaluation never rescans the
+        #: whole SHG (node_id -> node; iterated in node_id order).
+        self._watched: Dict[int, SHGNode] = {}
+        self._ticks = 0
+        self._progress_every = max(1, int(self.config.progress_every))
 
     # ------------------------------------------------------------------
     # configuration
@@ -208,13 +218,16 @@ class PerformanceConsultantSearch:
         self._rescan_if_grown()
         self._evaluate_active(self.config.min_interval)
         self._expand()
-        if self.tracer is not None:
+        self._ticks += 1
+        if self.tracer is not None and self._ticks % self._progress_every == 0:
             self.tracer.emit(
                 "progress",
                 events=self.engine.events_processed,
                 cost=self.instr.total_cost,
                 active=self.instr.active_count,
                 pending=len(self._pending),
+                routed=self.instr.segments_routed,
+                scanned=self.instr.segments_scanned,
             )
         if self.done_at is None and self.is_complete():
             self.done_at = self.engine.now
@@ -236,16 +249,42 @@ class PerformanceConsultantSearch:
             if node.state is NodeState.TRUE and not self.hypotheses.get(node.hypothesis).is_virtual:
                 self._refine(node)
 
+    def _watch(self, node: SHGNode) -> None:
+        """Register a node with a live read handle for per-tick evaluation."""
+        self._watched[node.node_id] = node
+
+    def _unwatch(self, node: SHGNode) -> None:
+        self._watched.pop(node.node_id, None)
+
     def _active_nodes(self) -> List[SHGNode]:
-        return [
-            n
-            for n in self.shg
-            if n.handle is not None
-            and (n.state is NodeState.ACTIVE or (n.persistent and n.concluded))
-        ]
+        """Nodes due for evaluation, in node_id order.
+
+        Derived from the incrementally maintained watch set rather than a
+        full SHG scan; entries that stopped satisfying the predicate
+        through an out-of-band mutation are dropped here.
+        """
+        out: List[SHGNode] = []
+        stale: List[int] = []
+        for nid in sorted(self._watched):
+            n = self._watched[nid]
+            if n.handle is not None and (
+                n.state is NodeState.ACTIVE or (n.persistent and n.concluded)
+            ):
+                out.append(n)
+            else:
+                stale.append(nid)
+        for nid in stale:
+            del self._watched[nid]
+        return out
 
     def _evaluate_active(self, min_interval: float, force: bool = False) -> None:
-        for node in self._active_nodes():
+        with self.instr.batched_reads():
+            self._evaluate_nodes(self._active_nodes(), min_interval, force)
+
+    def _evaluate_nodes(
+        self, nodes: List[SHGNode], min_interval: float, force: bool = False
+    ) -> None:
+        for node in nodes:
             try:
                 frac, elapsed = self.instr.normalized_read(node.handle)
             except KeyError:
@@ -257,6 +296,7 @@ class PerformanceConsultantSearch:
                     # bottleneck from extraction.
                     node.quality = "lost instrumentation sample"
                     node.handle = None
+                    self._unwatch(node)
                     if self.tracer is not None:
                         self.tracer.emit(
                             "node-sample-lost", node=node.node_id,
@@ -310,6 +350,7 @@ class PerformanceConsultantSearch:
         if node.handle is not None:
             self.instr.delete(node.handle)
             node.handle = None
+        self._unwatch(node)
         if self.tracer is not None:
             self.tracer.emit("node-unknown", node=node.node_id, reason=reason)
 
@@ -328,6 +369,7 @@ class PerformanceConsultantSearch:
         else:
             self.instr.delete(node.handle)
             node.handle = None
+            self._unwatch(node)
         if is_true:
             self._refine(node)
 
@@ -354,6 +396,7 @@ class PerformanceConsultantSearch:
             node.handle = self.instr.request(metric, node.focus, persistent=node.persistent)
             node.t_requested = self.engine.now
             node.state = NodeState.ACTIVE
+            self._watch(node)
             if self.tracer is not None:
                 self.tracer.emit(
                     "node-active", node=node.node_id, handle=node.handle, cost=cost,

@@ -7,22 +7,52 @@ and are *deleted* when the Performance Consultant concludes a test.  The
 manager is a trace sink on the simulator engine and doubles as a
 perturbation source — active instrumentation slows the matched processes'
 computation per the cost model.
+
+Hot-path design.  ``record()`` runs once per emitted
+:class:`~repro.simulator.records.TimeSegment` — the single most executed
+piece of the online search.  Instead of scanning every active probe per
+segment (O(segments × probes)), probes are bucketed in a **routing
+index** keyed by ``(activity, Code selection parts, Process selection
+parts)``; a segment looks up only the buckets reachable from the
+prefixes of its own Code and Process attribution (at most
+``len(code parts) × len(process parts)`` dict hits), so untouched
+probes cost nothing.  Residual constraints (Machine, SyncObject) are
+checked by :meth:`Focus.matches_parts` through a bounded identity memo —
+sound because segment ``parts`` dicts are interned
+(:func:`~repro.simulator.records.intern_parts`) and the memo pins its
+keys, so an id can never be reused while its entry is live.  The legacy
+full scan is kept as a reference path (``routing_enabled = False``) and
+the benchmark/property tests assert both paths accumulate byte-identical
+values.
 """
 
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..resources.focus import Focus
 from ..resources.resource import ResourceSpace
 from ..simulator.engine import Engine
-from ..simulator.records import TimeSegment
+from ..simulator.records import Activity, TimeSegment
 from .cost import CostGate, CostModel
 from .metric import METRICS, Metric
 
 __all__ = ["ActiveInstrumentation", "InstrumentationManager", "matched_processes"]
+
+#: Cap on the identity-keyed match/prefix memos; cleared wholesale when
+#: full.  Big enough that a realistic search never evicts (entries are
+#: bounded by distinct (focus, attribution) pairs), small enough that an
+#: adversarial stream cannot grow memory without bound.
+_MEMO_MAX = 1 << 16
+
+#: Routing key for a hierarchy the probe's focus does not constrain (or
+#: does not even carry): the hierarchy root, which is also the 1-prefix
+#: of every segment attribution in that hierarchy.
+_CODE_ROOT = ("Code",)
+_PROC_ROOT = ("Process",)
 
 
 def matched_processes(focus: Focus, engine: Engine) -> Tuple[str, ...]:
@@ -48,7 +78,14 @@ def matched_processes(focus: Focus, engine: Engine) -> Tuple[str, ...]:
 
 @dataclass
 class ActiveInstrumentation:
-    """One live (metric : focus) probe set."""
+    """One live (metric : focus) probe set.
+
+    ``processes`` is the *current* matched-process set (recounted when
+    the engine's process table grows — late process discovery must not
+    skew the normalisation denominator); ``charged`` freezes the set the
+    probe's cost was charged against at request time, so cost release
+    stays symmetric with the original charge.
+    """
 
     handle: int
     metric: Metric
@@ -58,6 +95,7 @@ class ActiveInstrumentation:
     cost: float
     processes: Tuple[str, ...]
     persistent: bool = False
+    charged: Tuple[str, ...] = ()
     accumulated: float = 0.0
     deleted_at: Optional[float] = None
 
@@ -78,6 +116,7 @@ class InstrumentationManager:
         cost_model: Optional[CostModel] = None,
         cost_limit: float = 20.0,
         insertion_latency: float = 2.0,
+        routing_enabled: bool = True,
     ) -> None:
         self.engine = engine
         self.space = space
@@ -97,16 +136,65 @@ class InstrumentationManager:
         self._cost_integral = 0.0
         self._cost_t0 = engine.now
         self._cost_last = engine.now
+        #: When False, ``record()`` falls back to the legacy full scan of
+        #: every active probe — the reference path routing is checked
+        #: against.
+        self.routing_enabled = routing_enabled
+        #: Segments dispatched through the routing index vs the scan path,
+        #: and candidate probes actually examined — the observability
+        #: counters behind the routed/scanned trace and run metrics.
+        self.segments_routed = 0
+        self.segments_scanned = 0
+        self.probes_examined = 0
+        # routing index: (activity, code key, process key) -> {handle: probe}
+        self._route: Dict[
+            Tuple[Activity, Tuple[str, ...], Tuple[str, ...]],
+            Dict[int, ActiveInstrumentation],
+        ] = {}
+        # identity memos (see module docstring); values pin their keys
+        self._match_memo: Dict[Tuple[int, int], Tuple[Focus, dict, bool]] = {}
+        self._prefix_memo: Dict[int, Tuple[dict, tuple, tuple]] = {}
+        # matched-process sets cached per focus, invalidated when the
+        # engine's process table grows
+        self._focus_procs: Dict[Focus, Tuple[str, ...]] = {}
+        self._proc_version = engine.proc_table_version
+        # one in-progress snapshot shared across a batched read pass
+        self._in_progress_snapshot: Optional[Tuple[TimeSegment, ...]] = None
         engine.add_sink(self)
         engine.add_perturbation_source(self._overhead_for)
+
+    # ------------------------------------------------------------------
+    # process-table tracking
+    # ------------------------------------------------------------------
+    def _sync_proc_table(self) -> None:
+        """Recount matched processes after late process discovery.
+
+        A probe requested before the engine learned about a process would
+        otherwise keep normalising by the stale count for the rest of the
+        run.  The charged cost is *not* restated — the gate accounted for
+        the processes that existed at request time (``charged``).
+        """
+        version = self.engine.proc_table_version
+        if version == self._proc_version:
+            return
+        self._proc_version = version
+        self._focus_procs.clear()
+        for instr in self._active.values():
+            instr.processes = self._matched(instr.focus)
+
+    def _matched(self, focus: Focus) -> Tuple[str, ...]:
+        procs = self._focus_procs.get(focus)
+        if procs is None:
+            procs = matched_processes(focus, self.engine)
+            self._focus_procs[focus] = procs
+        return procs
 
     # ------------------------------------------------------------------
     # request / delete
     # ------------------------------------------------------------------
     def pair_cost(self, focus: Focus, persistent: bool = False) -> float:
-        return self.cost_model.pair_cost(
-            len(matched_processes(focus, self.engine)), persistent=persistent
-        )
+        self._sync_proc_table()
+        return self.cost_model.pair_cost(len(self._matched(focus)), persistent=persistent)
 
     def request(self, metric_name: str, focus: Focus, persistent: bool = False) -> int:
         """Insert probes for (metric : focus); returns a read handle.
@@ -117,7 +205,8 @@ class InstrumentationManager:
         required to actually insert the instrumentation".
         """
         metric = METRICS[metric_name]
-        procs = matched_processes(focus, self.engine)
+        self._sync_proc_table()
+        procs = self._matched(focus)
         cost = self.cost_model.pair_cost(len(procs), persistent=persistent)
         handle = next(self._handles)
         now = self.engine.now
@@ -131,8 +220,11 @@ class InstrumentationManager:
             cost=cost,
             processes=procs,
             persistent=persistent,
+            charged=procs,
         )
         self._active[handle] = instr
+        for key in self._probe_keys(instr):
+            self._route.setdefault(key, {})[handle] = instr
         self.gate.add(cost)
         for p in procs:
             self._per_proc_cost[p] = self._per_proc_cost.get(p, 0.0) + cost
@@ -149,6 +241,12 @@ class InstrumentationManager:
         instr = self._active.pop(handle, None)
         if instr is None:
             return
+        for key in self._probe_keys(instr):
+            bucket = self._route.get(key)
+            if bucket is not None:
+                bucket.pop(handle, None)
+                if not bucket:
+                    del self._route[key]
         instr.deleted_at = self.engine.now
         self._accrue_cost()
         self._release_cost(instr)
@@ -183,31 +281,114 @@ class InstrumentationManager:
 
     def _release_cost(self, instr: ActiveInstrumentation) -> None:
         self.gate.remove(instr.cost)
-        for p in instr.processes:
+        for p in instr.charged or instr.processes:
             self._per_proc_cost[p] = max(self._per_proc_cost.get(p, 0.0) - instr.cost, 0.0)
+
+    # ------------------------------------------------------------------
+    # segment routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _probe_keys(
+        instr: ActiveInstrumentation,
+    ) -> List[Tuple[Activity, Tuple[str, ...], Tuple[str, ...]]]:
+        """Routing-index keys for one probe: its focus's Code and Process
+        selection parts, one key per activity class its metric counts."""
+        focus = instr.focus
+        code = (
+            focus.selection_parts("Code")
+            if "Code" in focus.hierarchies else _CODE_ROOT
+        )
+        proc = (
+            focus.selection_parts("Process")
+            if "Process" in focus.hierarchies else _PROC_ROOT
+        )
+        return [(act, code, proc) for act in sorted(instr.metric.activities, key=lambda a: a.value)]
+
+    def _segment_prefixes(self, parts: dict) -> Tuple[tuple, tuple]:
+        """All Code and Process prefixes of one (interned) attribution —
+        the candidate bucket coordinates for a segment."""
+        memo = self._prefix_memo
+        key = id(parts)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit[1], hit[2]
+        code = parts.get("Code")
+        proc = parts.get("Process")
+        # A segment without an attribution in a hierarchy can only match
+        # probes unconstrained there — exactly the root bucket.
+        code_keys = (
+            tuple(code[:i] for i in range(1, len(code) + 1)) if code else (_CODE_ROOT,)
+        )
+        proc_keys = (
+            tuple(proc[:i] for i in range(1, len(proc) + 1)) if proc else (_PROC_ROOT,)
+        )
+        if len(memo) >= _MEMO_MAX:
+            memo.clear()
+        memo[key] = (parts, code_keys, proc_keys)  # pin: id stays valid while cached
+        return code_keys, proc_keys
+
+    def _matches(self, focus: Focus, parts: dict) -> bool:
+        """Memoized ``focus.matches_parts(parts)`` keyed by identity."""
+        memo = self._match_memo
+        key = (id(focus), id(parts))
+        hit = memo.get(key)
+        if hit is not None:
+            return hit[2]
+        result = focus.matches_parts(parts)
+        if len(memo) >= _MEMO_MAX:
+            memo.clear()
+        memo[key] = (focus, parts, result)  # pin both: ids stay valid while cached
+        return result
+
+    def _accumulate(self, instr: ActiveInstrumentation, segment: TimeSegment) -> None:
+        """Fold one matching-activity segment into one probe (shared by
+        the routed and scan paths — equivalence is per-probe identical
+        fold order over the same segment stream)."""
+        if instr.metric.kind == "count":
+            # one completed operation per segment, counted when it
+            # finishes inside the active window
+            if (
+                instr.active_from <= segment.end
+                and (instr.deleted_at is None or segment.end <= instr.deleted_at)
+                and self._matches(instr.focus, segment.parts)
+            ):
+                instr.accumulated += 1.0
+            return
+        dt = instr.overlap(segment.start, segment.end)
+        if dt <= 0.0:
+            return
+        if self._matches(instr.focus, segment.parts):
+            instr.accumulated += dt
 
     # ------------------------------------------------------------------
     # trace sink + perturbation source
     # ------------------------------------------------------------------
     def record(self, segment: TimeSegment) -> None:
+        if not self.routing_enabled:
+            self.record_scan(segment)
+            return
+        self.segments_routed += 1
+        activity = segment.activity
+        route = self._route
+        code_keys, proc_keys = self._segment_prefixes(segment.parts)
+        examined = 0
+        for ck in code_keys:
+            for pk in proc_keys:
+                bucket = route.get((activity, ck, pk))
+                if bucket:
+                    examined += len(bucket)
+                    for instr in bucket.values():
+                        self._accumulate(instr, segment)
+        self.probes_examined += examined
+
+    def record_scan(self, segment: TimeSegment) -> None:
+        """Reference path: examine every active probe (the pre-index cost
+        shape; kept for debugging and equivalence checks)."""
+        self.segments_scanned += 1
+        self.probes_examined += len(self._active)
         for instr in self._active.values():
-            if not instr.metric.counts(segment.activity):
-                continue
-            if instr.metric.kind == "count":
-                # one completed operation per segment, counted when it
-                # finishes inside the active window
-                if (
-                    instr.active_from <= segment.end
-                    and (instr.deleted_at is None or segment.end <= instr.deleted_at)
-                    and instr.focus.matches_parts(segment.parts)
-                ):
-                    instr.accumulated += 1.0
-                continue
-            dt = instr.overlap(segment.start, segment.end)
-            if dt <= 0.0:
-                continue
-            if instr.focus.matches_parts(segment.parts):
-                instr.accumulated += dt
+            if instr.metric.counts(segment.activity):
+                self._accumulate(instr, segment)
 
     def _overhead_for(self, proc_name: str) -> float:
         return self.cost_model.overhead_fraction(self._per_proc_cost.get(proc_name, 0.0))
@@ -215,15 +396,37 @@ class InstrumentationManager:
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
+    def _lookup(self, handle: int) -> ActiveInstrumentation:
+        instr = self._active.get(handle)
+        if instr is None:
+            raise KeyError(f"unknown or deleted instrumentation handle {handle}")
+        return instr
+
+    @contextmanager
+    def batched_reads(self) -> Iterator[None]:
+        """Share one ``engine.in_progress()`` snapshot across every
+        :meth:`read` inside the block.
+
+        The evaluation pass reads many handles at one engine instant;
+        re-walking the per-process in-progress table for each handle is
+        pure waste.  Virtual time cannot advance inside the block (reads
+        do not step the engine), so one snapshot is exact for all of
+        them.
+        """
+        prev = self._in_progress_snapshot
+        self._in_progress_snapshot = tuple(self.engine.in_progress())
+        try:
+            yield
+        finally:
+            self._in_progress_snapshot = prev
+
     def read(self, handle: int) -> Tuple[float, float]:
         """Return (accumulated seconds, observed elapsed seconds).
 
         In-progress activity (e.g. a blocking receive that has not yet
         returned) is included, so reads are exact at any instant.
         """
-        instr = self._active.get(handle)
-        if instr is None:
-            raise KeyError(f"unknown or deleted instrumentation handle {handle}")
+        instr = self._lookup(handle)
         now = self.engine.now
         elapsed = max(now - instr.active_from, 0.0)
         if elapsed == 0.0:
@@ -232,18 +435,22 @@ class InstrumentationManager:
         if instr.metric.kind == "time":
             # in-progress activity only contributes to time metrics;
             # counts only include completed operations
-            for seg in self.engine.in_progress():
+            segs = self._in_progress_snapshot
+            if segs is None:
+                segs = tuple(self.engine.in_progress())
+            for seg in segs:
                 if not instr.metric.counts(seg.activity):
                     continue
                 dt = instr.overlap(seg.start, seg.end)
-                if dt > 0.0 and instr.focus.matches_parts(seg.parts):
+                if dt > 0.0 and self._matches(instr.focus, seg.parts):
                     value += dt
         return value, elapsed
 
     def normalized_read(self, handle: int) -> Tuple[float, float]:
         """Return (fraction, elapsed): accumulated time normalised by
         elapsed × matched-process count (the hypothesis test value)."""
-        instr = self._active[handle]
+        self._sync_proc_table()
+        instr = self._lookup(handle)
         value, elapsed = self.read(handle)
         denom = elapsed * max(len(instr.processes), 1)
         return (value / denom if denom > 0 else 0.0), elapsed

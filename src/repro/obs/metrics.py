@@ -19,6 +19,10 @@ Metric names (the run-metrics schema):
   ``pairs_unknown`` — search outcome counts;
 * ``instr_requests`` / ``instr_deletes`` / ``instr_decimates`` —
   instrumentation churn;
+* ``segments_routed`` / ``segments_scanned`` / ``probes_examined`` —
+  hot-path accounting: segments dispatched through the routing index vs
+  the legacy full scan, and candidate probes actually examined (the
+  routed/scanned ratio is the measured win of indexed delivery);
 * ``time_to_first_true`` / ``time_to_last_true`` — virtual timestamps
   of the first and last bottleneck conclusions (None when none);
 * ``trace_events`` / ``trace_dropped`` — observability self-accounting.
@@ -70,6 +74,9 @@ def run_metrics(
     time_to_last_true: Optional[float],
     trace_events: int = 0,
     trace_dropped: int = 0,
+    segments_routed: int = 0,
+    segments_scanned: int = 0,
+    probes_examined: int = 0,
 ) -> Metrics:
     """Assemble one run's metrics dict from its raw ingredients."""
     return {
@@ -87,6 +94,9 @@ def run_metrics(
         "instr_requests": instr_requests,
         "instr_deletes": instr_deletes,
         "instr_decimates": instr_decimates,
+        "segments_routed": segments_routed,
+        "segments_scanned": segments_scanned,
+        "probes_examined": probes_examined,
         "time_to_first_true": time_to_first_true,
         "time_to_last_true": time_to_last_true,
         "trace_events": trace_events,
@@ -107,6 +117,9 @@ _SUM = {
     "instr_requests",
     "instr_deletes",
     "instr_decimates",
+    "segments_routed",
+    "segments_scanned",
+    "probes_examined",
     "trace_events",
     "trace_dropped",
 }

@@ -86,6 +86,10 @@ class Engine:
         #: Events dispatched across all :meth:`run` calls — the numerator
         #: of the events/sec run metric.
         self.events_processed = 0
+        #: Bumped whenever the process table gains an entry, so consumers
+        #: caching anything derived from ``procs`` (matched-process sets,
+        #: normalisation denominators) can invalidate without rescanning.
+        self.proc_table_version = 0
         # per-process in-progress activity: (activity, start, module, fn, tag)
         self._current: Dict[str, Optional[Tuple[Activity, float, str, str, Optional[str]]]] = {}
 
@@ -101,6 +105,7 @@ class Engine:
         self._mailboxes[name] = Mailbox()
         self._pending_irecvs[name] = []
         self._current[name] = None
+        self.proc_table_version += 1
         return proc
 
     def add_sink(self, sink: TraceSink) -> None:

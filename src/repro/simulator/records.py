@@ -19,7 +19,14 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Protocol, Tuple
 
-__all__ = ["Activity", "TimeSegment", "TraceSink", "TraceCollector", "sync_tag_parts"]
+__all__ = [
+    "Activity",
+    "TimeSegment",
+    "TraceSink",
+    "TraceCollector",
+    "sync_tag_parts",
+    "intern_parts",
+]
 
 
 class Activity(enum.Enum):
@@ -46,6 +53,45 @@ def sync_tag_parts(tag: str) -> Tuple[str, ...]:
     return ("SyncObject", "Message") + tuple(tag.split("/"))
 
 
+#: Interned ``parts`` dicts, keyed by the attribution tuple.  A simulated
+#: run emits millions of segments drawn from a small set of
+#: (process, node, module, function, tag) combinations; sharing one dict
+#: per combination keeps ``id(segment.parts)`` stable, which is what lets
+#: the instrumentation hot path memoize ``Focus.matches_parts`` by
+#: identity.  Interned dicts are shared — treat them as immutable.
+_PARTS_CACHE: Dict[Tuple[str, str, str, str, Optional[str]], Dict[str, Tuple[str, ...]]] = {}
+_PARTS_CACHE_MAX = 65536
+
+
+def intern_parts(
+    process: str,
+    node: str,
+    module: str,
+    function: str,
+    tag: Optional[str] = None,
+) -> Dict[str, Tuple[str, ...]]:
+    """The shared per-hierarchy resource-path dict for one attribution.
+
+    Bounded: the cache is cleared wholesale if an adversarial workload
+    ever produces more distinct attributions than the cap (correctness is
+    unaffected — a fresh dict matches exactly like a shared one).
+    """
+    key = (process, node, module, function, tag)
+    parts = _PARTS_CACHE.get(key)
+    if parts is None:
+        if len(_PARTS_CACHE) >= _PARTS_CACHE_MAX:
+            _PARTS_CACHE.clear()
+        parts = {
+            "Code": ("Code", module, function),
+            "Machine": ("Machine", node),
+            "Process": ("Process", process),
+        }
+        if tag is not None:
+            parts["SyncObject"] = sync_tag_parts(tag)
+        _PARTS_CACHE[key] = parts
+    return parts
+
+
 @dataclass(frozen=True)
 class TimeSegment:
     """One attributed interval of process activity.
@@ -53,7 +99,8 @@ class TimeSegment:
     ``parts`` maps hierarchy name to the split resource path the segment
     belongs to (``None`` entries are simply absent); it is precomputed once
     so focus matching in the instrumentation hot path is tuple-prefix
-    comparison only.
+    comparison only.  Segments built through :meth:`make` share *interned*
+    parts dicts (see :func:`intern_parts`) — never mutate them.
     """
 
     start: float
@@ -86,13 +133,6 @@ class TimeSegment:
         tag: Optional[str] = None,
         stack: Optional[Tuple[Tuple[str, str], ...]] = None,
     ) -> "TimeSegment":
-        parts: Dict[str, Tuple[str, ...]] = {
-            "Code": ("Code", module, function),
-            "Machine": ("Machine", node),
-            "Process": ("Process", process),
-        }
-        if tag is not None:
-            parts["SyncObject"] = sync_tag_parts(tag)
         return TimeSegment(
             start=start,
             duration=duration,
@@ -103,7 +143,7 @@ class TimeSegment:
             function=function,
             tag=tag,
             stack=stack if stack is not None else ((module, function),),
-            parts=parts,
+            parts=intern_parts(process, node, module, function, tag),
         )
 
 

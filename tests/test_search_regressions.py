@@ -62,6 +62,9 @@ def persistent_node(search, state, handle=999):
     node.t_concluded = 1.0
     node.value = 0.5
     node.handle = handle
+    # Hand-forced transition: register with the incrementally maintained
+    # watch set the way _expand would have.
+    search._watch(node)
     return node
 
 
@@ -145,6 +148,7 @@ class TestLostSample:
         node = search.shg.find(SYNC, whole_program(search.space))
         node.state = NodeState.ACTIVE
         node.handle = 999
+        search._watch(node)
         search.instr.normalized_read = self.raising_read
         search._evaluate_active(min_interval=5.0)
         assert node.state is NodeState.UNKNOWN
