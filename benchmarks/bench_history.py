@@ -129,6 +129,10 @@ def build_store(root: Path, n_runs: int) -> ExperimentStore:
     store = ExperimentStore(root)
     for i in range(n_runs):
         store.save(make_record(i))
+    # fold index segments so the timings below keep measuring the query
+    # paths against a settled base index, as they did pre-sharding
+    # (bench_store_scale.py covers the segmented-write regime)
+    store.compact()
     return store
 
 

@@ -1,0 +1,303 @@
+#!/usr/bin/env python
+"""Store-scale benchmark: the segmented index vs the legacy rewrite path.
+
+Not a paper artifact: this harness checks that the experiment store holds
+up at archive scale — the paper's program histories accumulate for years,
+so saving run 100,001 must not cost what saving run 1 did.  Two phases:
+
+* **Equivalence** (always first): one mixed corpus is saved through the
+  ``file``, ``file-legacy``, and ``sqlite`` backends; summary queries and
+  harvested directives must come back byte-identical across all three
+  before any timing is believed.
+* **Scale**: a 10^5-entry index is preloaded through backend internals,
+  then append throughput is measured on top of it — the legacy path
+  rewrites the whole monolithic index per save, the segmented path seals
+  one O(1) segment file, sqlite inserts a row.  Cold query latency
+  (fresh process view: open + full summary scan) is measured on the same
+  stores.
+
+Emits ``results/BENCH_store_scale.json``.  ``--check`` gates two ratios
+against ``benchmarks/baselines/store_scale.json``: segmented write
+throughput must stay >= ``write_speedup_min`` times the legacy path, and
+the segmented cold query must stay within ``cold_query_slowdown_max`` of
+the legacy cold query.  Only ratios gate CI — absolute wall times are
+machine-dependent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_history import make_record  # noqa: E402
+from repro.facade import harvest  # noqa: E402
+from repro.storage import ExperimentStore, RunRecord  # noqa: E402
+
+RESULTS_DIR = REPO / "results"
+BASELINE = Path(__file__).resolve().parent / "baselines" / "store_scale.json"
+
+BACKENDS = ("file", "file-legacy", "sqlite")
+
+
+def small_record(i: int, prefix: str = "append") -> RunRecord:
+    """A minimal record for append-throughput timing (meta-dominated)."""
+    return RunRecord(
+        run_id=f"{prefix}-{i:06d}",
+        app_name="scale",
+        version="1",
+        n_processes=1,
+        nodes=["n0"],
+        placement={"p0": "n0"},
+        hierarchies={"Code": ["/Code"]},
+        shg_nodes=[],
+        profile={},
+        finish_time=1.0,
+        search_done_time=None,
+        pairs_tested=0,
+        total_requests=0,
+        peak_cost=0.0,
+    )
+
+
+def preload_meta(i: int) -> dict:
+    """One synthetic index entry of realistic shape (summary included)."""
+    return {
+        "app_name": "scale",
+        "version": str(i % 7),
+        "n_processes": 8,
+        "bottlenecks": 2,
+        "pairs_tested": 12,
+        "seq": i,
+        "summary": {
+            "version": 1,
+            "status": "complete",
+            "n_nodes": 14,
+            "true_pairs": [
+                ["CPUbound", f"< /Code/m.c/fn{i % 40:02d}, /Machine, "
+                             "/Process, /SyncObject >"],
+            ],
+            "state_counts": {"true": 1, "false": 11},
+            "peak_cost": 2.0,
+            "time_to_find_all": 50.0,
+            "duration": 100.0,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# phase 1: equivalence — a fast wrong answer is no answer
+# ---------------------------------------------------------------------------
+def assert_equivalence(workdir: Path, n_runs: int) -> None:
+    corpus = [make_record(i) for i in range(n_runs)]
+    stores = {}
+    for backend in BACKENDS:
+        store = ExperimentStore(workdir / f"equiv-{backend}", backend=backend)
+        for record in corpus:
+            store.save(record)
+        stores[backend] = store
+
+    summaries = {
+        backend: json.dumps(store.summaries(), sort_keys=True)
+        for backend, store in stores.items()
+    }
+    if len(set(summaries.values())) != 1:
+        raise AssertionError(
+            f"summary queries diverged across backends {sorted(summaries)}"
+        )
+    harvests = {
+        backend: harvest(store, include_thresholds=True).to_text()
+        for backend, store in stores.items()
+    }
+    if len(set(harvests.values())) != 1:
+        raise AssertionError(
+            f"harvested directives diverged across backends {sorted(harvests)}"
+        )
+    # cold re-open answers must match the writing instance's answers
+    for backend, store in stores.items():
+        cold = json.dumps(
+            ExperimentStore(store.root).summaries(), sort_keys=True
+        )
+        if cold != summaries[backend]:
+            raise AssertionError(f"{backend}: cold reader diverged from writer")
+    print(f"equivalence: {n_runs}-run corpus byte-identical across "
+          f"{', '.join(BACKENDS)}")
+
+
+# ---------------------------------------------------------------------------
+# phase 2: scale — preload a big index, measure appends + cold queries
+# ---------------------------------------------------------------------------
+def preload(root: Path, backend: str, n_entries: int) -> ExperimentStore:
+    """Build an *n_entries*-run store through backend internals.
+
+    Only the index is materialized (synthetic metas, no record bodies) —
+    append and query costs are index-dominated, which is the regime under
+    test; the appended records themselves are written for real.
+    """
+    store = ExperimentStore(root, backend=backend, auto_compact=0)
+    index = {f"pre-{i:06d}": preload_meta(i) for i in range(n_entries)}
+    if backend == "sqlite":
+        conn = store.backend._conn
+        conn.execute("BEGIN IMMEDIATE")
+        conn.executemany(
+            "INSERT INTO runs(run_id, seq, app_name, version, meta, payload,"
+            " sha256, rev) VALUES (?, ?, ?, ?, ?, '{}', '', 0)",
+            [
+                (run_id, meta["seq"], meta["app_name"], meta["version"],
+                 json.dumps(meta))
+                for run_id, meta in index.items()
+            ],
+        )
+        conn.execute("COMMIT")
+    else:
+        store.backend._write_base(index)
+    return store
+
+
+def timed_appends(store: ExperimentStore, n_appends: int, prefix: str) -> dict:
+    start = time.perf_counter()
+    for i in range(n_appends):
+        store.save(small_record(i, prefix))
+    wall = time.perf_counter() - start
+    return {
+        "appends": n_appends,
+        "wall_s": wall,
+        "throughput_per_s": n_appends / wall if wall > 0 else float("inf"),
+    }
+
+
+def timed_cold_query(root: Path, expect: int, reps: int = 3) -> float:
+    """Median cold-*process* query wall: every rep opens a fresh store
+    instance (no in-process caches), after one unmeasured warm-up so the
+    OS page cache — identical for every backend — stops dominating."""
+    entries = ExperimentStore(root).index_entries(app_name="scale")
+    if len(entries) < expect:
+        raise AssertionError(
+            f"cold query saw {len(entries)} entries, expected >= {expect}"
+        )
+    walls = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        ExperimentStore(root).index_entries(app_name="scale")
+        walls.append(time.perf_counter() - start)
+    return statistics.median(walls)
+
+
+def bench_scale(workdir: Path, n_entries: int, appends: dict) -> dict:
+    out: dict = {"entries": n_entries, "backends": {}}
+    for backend in BACKENDS:
+        root = workdir / f"scale-{backend}"
+        store = preload(root, backend, n_entries)
+        write = timed_appends(store, appends[backend], f"ap-{backend[:2]}")
+        cold = timed_cold_query(root, n_entries)
+        out["backends"][backend] = {"write": write, "cold_query_s": cold}
+        print(f"{backend:12s}: {write['throughput_per_s']:8.1f} saves/s "
+              f"over {n_entries} entries, cold query {cold * 1e3:.0f} ms")
+    seg = out["backends"]["file"]
+    legacy = out["backends"]["file-legacy"]
+    out["write_speedup_vs_legacy"] = (
+        seg["write"]["throughput_per_s"]
+        / legacy["write"]["throughput_per_s"]
+    )
+    out["cold_query_slowdown_vs_legacy"] = (
+        seg["cold_query_s"] / legacy["cold_query_s"]
+        if legacy["cold_query_s"] > 0 else float("inf")
+    )
+    return out
+
+
+def check_against_baseline(results: dict) -> int:
+    if not BASELINE.is_file():
+        print(f"no baseline at {BASELINE}; skipping regression check")
+        return 0
+    baseline = json.loads(BASELINE.read_text())
+    scale = results["scale"]
+    failures = []
+    speedup = scale["write_speedup_vs_legacy"]
+    slowdown = scale["cold_query_slowdown_vs_legacy"]
+    print(f"segmented write throughput vs legacy at "
+          f"{scale['entries']} entries: {speedup:.1f}x "
+          f"(floor {baseline['write_speedup_min']:g}x)")
+    print(f"segmented cold query vs legacy: {slowdown:.2f}x "
+          f"(ceiling {baseline['cold_query_slowdown_max']:g}x)")
+    if speedup < baseline["write_speedup_min"]:
+        failures.append("write_throughput")
+    if slowdown > baseline["cold_query_slowdown_max"]:
+        failures.append("cold_query")
+    if failures:
+        print(f"FAIL: store-scale regression: {failures}")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--entries", type=int, default=100_000,
+                        help="preloaded index entries (default 10^5)")
+    parser.add_argument("--equiv-runs", type=int, default=50,
+                        help="corpus size for the equivalence phase")
+    parser.add_argument("--appends", type=int, default=400,
+                        help="appends timed on the segmented/sqlite stores")
+    parser.add_argument("--legacy-appends", type=int, default=8,
+                        help="appends timed on the legacy store (each one "
+                             "rewrites the whole index)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when a gated ratio crosses its baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the checked-in floors")
+    args = parser.parse_args(argv)
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench-store-scale-"))
+    try:
+        assert_equivalence(workdir, args.equiv_runs)
+        scale = bench_scale(workdir, args.entries, {
+            "file": args.appends,
+            "file-legacy": args.legacy_appends,
+            "sqlite": args.appends,
+        })
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    results = {
+        "workload": {
+            "entries": args.entries,
+            "equiv_runs": args.equiv_runs,
+            "appends": args.appends,
+            "legacy_appends": args.legacy_appends,
+        },
+        "equivalence": {"backends": list(BACKENDS), "byte_identical": True},
+        "scale": scale,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_store_scale.json"
+    out_path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+
+    if args.update_baseline:
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(json.dumps({
+            "write_speedup_min": 5.0,
+            "cold_query_slowdown_max": 2.5,
+            "gate_entries": args.entries,
+            "note": "segmented-index floors measured by bench_store_scale.py:"
+                    " write throughput vs the legacy whole-index rewrite, and"
+                    " cold query latency vs the legacy monolithic read",
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {BASELINE}")
+
+    if args.check:
+        return check_against_baseline(results)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,7 +78,7 @@ from .campaign import (
     Stage,
     StageResult,
 )
-from .facade import diagnose, harvest
+from .facade import diagnose, harvest, resolve_store
 from .metrics import CostModel, FlatProfile, InstrumentationManager
 from .resources import Focus, ResourceSpace, parse_focus, whole_program
 from .simulator import Engine, Machine
@@ -89,6 +89,7 @@ __version__ = "1.0.0"
 __all__ = [
     "diagnose",
     "harvest",
+    "resolve_store",
     "Campaign",
     "CampaignResult",
     "PoolExecutor",

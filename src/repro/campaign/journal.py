@@ -102,10 +102,30 @@ class CampaignJournal:
         """Durably append one entry (flush + fsync before returning)."""
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._repair_torn_tail()
             self._fh = open(self.path, "a", encoding="utf-8")
         self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate a torn trailing line before the first append.
+
+        ``entries()`` tolerates a torn *final* line, but appending after
+        one would glue the new entry onto the fragment, turning a benign
+        tear into a corrupt mid-file line that every later read rejects.
+        """
+        try:
+            with open(self.path, "r+b") as fh:
+                data = fh.read()
+                if not data or data.endswith(b"\n"):
+                    return
+                keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+                fh.truncate(keep)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except FileNotFoundError:
+            return
 
     def close(self) -> None:
         if self._fh is not None:

@@ -293,7 +293,9 @@ class Campaign:
         if executor is None:
             executor = default_executor(workers) if workers else SerialExecutor()
         if store is not None and not isinstance(store, ExperimentStore):
-            store = ExperimentStore(store)
+            from ..facade import resolve_store
+
+            store = resolve_store(store).store
         if resume and journal is None:
             raise CampaignError("resume=True needs a journal")
         if journal is not None and not isinstance(journal, CampaignJournal):

@@ -40,11 +40,11 @@ from .core import (
 from .core.automap import suggest_mappings_for_records
 from .core.postmortem import extract_directives_postmortem
 from .core.shg import NodeState
-from .facade import as_store, diagnose, harvest, load_directives
+from .facade import diagnose, harvest, load_directives, resolve_store
 from .faults import FaultPlan, FaultPlanError
 from .obs import TraceError, metrics_to_json, metrics_to_prometheus, read_trace
 from .simulator.errors import SimulationError
-from .storage import StoreCorruption, StoreError
+from .storage import ExperimentStore, StoreCorruption, StoreError, migrate_store
 from .visualize import (
     bar_chart,
     render_shg,
@@ -140,7 +140,7 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
 
 
 def cmd_extract(args: argparse.Namespace) -> int:
-    store = as_store(args.store)
+    store = resolve_store(args.store).store
     records = store.load_all(args.runs)
     if args.postmortem:
         rec = records[0]
@@ -197,7 +197,7 @@ def _print_run_summary(
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    store = as_store(args.store)
+    store = resolve_store(args.store).store
     wants_record = args.profile or args.shg or args.hierarchies or args.metrics
     if not wants_record:
         # Summary-only report: everything comes from the store index, so
@@ -304,7 +304,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 "(was the run diagnosed with --trace?)")
         try:
             # One-line run header from the index summary — no record parse.
-            meta = as_store(args.store).summaries(run_ids=[args.run])[args.run]
+            meta = resolve_store(args.store).store.summaries(run_ids=[args.run])[args.run]
             summary = meta["summary"]
             print(f"run {args.run}: {meta.get('app_name', '?')} "
                   f"v{meta.get('version', '?')}, status {summary['status']}, "
@@ -318,7 +318,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
-    store = as_store(args.store)
+    store = resolve_store(args.store).store
     entries = store.index_entries(app_name=args.app)
     if not entries:
         print("(no stored runs)")
@@ -380,7 +380,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    store = as_store(args.store)
+    store = resolve_store(args.store).store
     old = store.load(args.old_run)
     new = store.load(args.new_run)
     mapper = None
@@ -396,7 +396,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_history(args: argparse.Namespace) -> int:
     from .storage import resource_history
 
-    store = as_store(args.store)
+    store = resolve_store(args.store).store
     history = resource_history(
         store, args.resource, activity=args.activity, app_name=args.app
     )
@@ -416,7 +416,7 @@ def cmd_history(args: argparse.Namespace) -> int:
 
 
 def cmd_automap(args: argparse.Namespace) -> int:
-    store = as_store(args.store)
+    store = resolve_store(args.store).store
     old = store.load(args.old_run)
     new = store.load(args.new_run)
     suggestions = suggest_mappings_for_records(old, new, min_score=args.min_score)
@@ -510,6 +510,47 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if result.failures else 0
 
 
+def cmd_store_stats(args: argparse.Namespace) -> int:
+    handle = resolve_store(args.store, backend=args.backend)
+    info = handle.info()
+    table = Table(f"Store {args.store}", ["property", "value"])
+    table.add_row(["backend", info.backend])
+    table.add_row(["runs", info.runs])
+    table.add_row(["index format", info.index_format])
+    table.add_row(["index generation", info.generation])
+    table.add_row(["unfolded segments", info.segments])
+    table.add_row(["index bytes", info.index_bytes])
+    print(table.render())
+    return 0
+
+
+def cmd_store_compact(args: argparse.Namespace) -> int:
+    handle = resolve_store(args.store, backend=args.backend)
+    stats = handle.store.compact()
+    print(stats)
+    return 0
+
+
+def cmd_store_rebuild(args: argparse.Namespace) -> int:
+    handle = resolve_store(args.store, backend=args.backend)
+    report = handle.store.rebuild_index()
+    print(report)
+    return 0
+
+
+def cmd_store_migrate(args: argparse.Namespace) -> int:
+    source = resolve_store(args.store, backend=args.backend)
+    dest = resolve_store(
+        args.dest, backend=args.to_backend or "file"
+    )
+    copied = migrate_store(
+        source.store, dest.store, overwrite=args.overwrite
+    )
+    print(f"{copied} record(s) migrated from {args.store} "
+          f"({source.backend}) to {args.dest} ({dest.backend})")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -528,7 +569,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("application", help="poisson | ocean | tester | anneal")
     p.add_argument("--app-version", help="poisson version A/B/C/D (default C)")
     p.add_argument("--iterations", type=int, help="workload iteration count")
-    p.add_argument("--directives", help="directive file to guide the search")
+    p.add_argument("--directives", action="append", metavar="PATH",
+                   help="directive file or store directory to guide the "
+                        "search; repeatable — multiple sources are "
+                        "harvested independently and merged (federated)")
     p.add_argument("--store", help="experiment store directory to save the run in")
     p.add_argument("--run-id", help="explicit run id")
     p.add_argument("--overwrite", action="store_true", help="replace an existing stored run")
@@ -656,6 +700,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write map directives to this file")
     p.add_argument("--min-score", type=float, default=0.45)
     p.set_defaults(func=cmd_automap)
+
+    backends = ("auto", "file", "file-legacy", "sqlite")
+    p = sub.add_parser("store", help="inspect and maintain an experiment store")
+    ssub = p.add_subparsers(dest="store_command", required=True)
+
+    sp = ssub.add_parser("stats", help="show a store's backend, size, and index shape")
+    sp.add_argument("--store", required=True)
+    sp.add_argument("--backend", choices=backends, default=None,
+                    help="pin the backend instead of auto-detecting")
+    sp.set_defaults(func=cmd_store_stats)
+
+    sp = ssub.add_parser(
+        "compact",
+        help="fold accumulated index segments into a new base generation")
+    sp.add_argument("--store", required=True)
+    sp.add_argument("--backend", choices=backends, default=None)
+    sp.set_defaults(func=cmd_store_compact)
+
+    sp = ssub.add_parser(
+        "rebuild",
+        help="reconstruct the index from record files, quarantining corrupt ones")
+    sp.add_argument("--store", required=True)
+    sp.add_argument("--backend", choices=backends, default=None)
+    sp.set_defaults(func=cmd_store_rebuild)
+
+    sp = ssub.add_parser(
+        "migrate",
+        help="copy every record into a new store (e.g. file -> sqlite)")
+    sp.add_argument("--store", required=True, help="source store directory")
+    sp.add_argument("--dest", required=True, help="destination store directory")
+    sp.add_argument("--backend", choices=backends, default=None,
+                    help="pin the source backend")
+    sp.add_argument("--to-backend", choices=("file", "file-legacy", "sqlite"),
+                    default=None, help="destination backend (default file)")
+    sp.add_argument("--overwrite", action="store_true",
+                    help="replace run ids already present in the destination")
+    sp.set_defaults(func=cmd_store_migrate)
 
     return parser
 

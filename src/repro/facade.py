@@ -16,21 +16,25 @@ compatibility and for fine-grained control.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from pathlib import Path
-from typing import Any, Iterable, List, Optional, Union
+from typing import Any, Iterable, List, Optional, Sequence, Union
 
 from .apps.base import Application
+from .core.combination import union_directives
 from .core.consultant import DiagnosisSession
 from .core.directives import DirectiveSet
 from .core.extraction import extract_directives, extract_directives_from_summaries
 from .core.search import SearchConfig
 from .obs.trace import Tracer
+from .storage.api import StoreHandle
 from .storage.records import RunRecord
 from .storage.store import ExperimentStore, StoreError
 
 __all__ = [
     "diagnose",
     "harvest",
+    "resolve_store",
     "as_store",
     "load_directives",
     "resolve_history",
@@ -49,7 +53,8 @@ _SESSION_FIELDS = {
 }
 
 HistoryLike = Union[
-    None, DirectiveSet, RunRecord, ExperimentStore, str, Path, Iterable[RunRecord]
+    None, DirectiveSet, RunRecord, ExperimentStore, str, Path,
+    Iterable[RunRecord], Sequence["HistoryLike"],
 ]
 StoreLike = Union[ExperimentStore, str, Path]
 
@@ -57,11 +62,44 @@ StoreLike = Union[ExperimentStore, str, Path]
 # ---------------------------------------------------------------------------
 # input resolution (shared by the facade and the CLI)
 # ---------------------------------------------------------------------------
-def as_store(store: StoreLike) -> ExperimentStore:
-    """Coerce a path-or-store argument to an :class:`ExperimentStore`."""
+def resolve_store(
+    store: StoreLike, *, backend: Optional[str] = None
+) -> StoreHandle:
+    """Resolve a path-or-store argument to a typed :class:`StoreHandle`.
+
+    This is the one resolution path behind every ``--store`` flag and
+    ``store=`` keyword: an already-open :class:`ExperimentStore` passes
+    through unchanged (``opened=False``); a path opens a store there,
+    auto-detecting the backend unless *backend* pins one (``"file"``,
+    ``"file-legacy"``, ``"sqlite"``, or ``"auto"``).
+    """
     if isinstance(store, ExperimentStore):
-        return store
-    return ExperimentStore(store)
+        if backend is not None and backend != "auto" \
+                and store.backend.name != backend:
+            raise StoreError(
+                f"store is already open with backend "
+                f"{store.backend.name!r}, not {backend!r}"
+            )
+        return StoreHandle(
+            store=store,
+            root=store.root,
+            backend=store.backend.name,
+            opened=False,
+        )
+    opened = ExperimentStore(store, backend=backend)
+    return StoreHandle(
+        store=opened, root=opened.root, backend=opened.backend.name,
+    )
+
+
+def as_store(store: StoreLike) -> ExperimentStore:
+    """Deprecated alias: use :func:`resolve_store` (``.store``) instead."""
+    warnings.warn(
+        "as_store() is deprecated; use resolve_store(store).store",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return resolve_store(store).store
 
 
 def load_directives(path: Union[str, Path]) -> DirectiveSet:
@@ -85,12 +123,28 @@ def resolve_history(
     * a :class:`RunRecord` or iterable of records → extraction over them;
     * an :class:`ExperimentStore` or a store directory path → extraction
       over its stored runs (filtered to *app* when given);
-    * a path to a directive file → its parsed contents.
+    * a path to a directive file → its parsed contents;
+    * a list/tuple mixing any of the above → the union of each element
+      resolved on its own (federated history — e.g. several stores, or a
+      store plus a directive file).
     """
     if history is None:
         return None
     if isinstance(history, DirectiveSet):
         return history
+    if isinstance(history, (list, tuple)) and not history:
+        return None
+    if isinstance(history, (list, tuple)) \
+            and not all(isinstance(h, RunRecord) for h in history):
+        parts = [
+            resolved
+            for h in history
+            for resolved in [resolve_history(h, app=app, **options)]
+            if resolved is not None
+        ]
+        if not parts:
+            return None
+        return union_directives(*parts) if len(parts) > 1 else parts[0]
     if isinstance(history, (str, Path)):
         path = Path(history)
         if path.is_dir():
@@ -183,7 +237,7 @@ def diagnose(
         **session_kwargs,
     ).run()
     if store is not None:
-        store = as_store(store)
+        store = resolve_store(store).store
         store.save(record, overwrite=overwrite)
         if trace is True:
             trace_path = Path(store.root) / "traces" / f"{record.run_id}.jsonl"
@@ -194,7 +248,10 @@ def diagnose(
 
 
 def harvest(
-    store_or_records: Union[ExperimentStore, str, Path, RunRecord, Iterable[RunRecord]],
+    store_or_records: Union[
+        ExperimentStore, str, Path, RunRecord, Iterable[RunRecord],
+        Sequence[StoreLike],
+    ],
     *,
     app: Union[Application, str, None] = None,
     **options,
@@ -202,21 +259,36 @@ def harvest(
     """Extract search directives from stored history.
 
     Accepts an :class:`ExperimentStore`, a store directory path, a single
-    :class:`RunRecord`, or an iterable of records; *app* (an
+    :class:`RunRecord`, an iterable of records, or a list/tuple of stores
+    and store paths (federated harvest — see below); *app* (an
     :class:`Application` or name) filters which stored runs count as
     history.  ``options`` forward to
     :func:`~repro.core.extraction.extract_directives`
     (``include_thresholds=True``, ``include_pair_prunes=False``, ...).
 
     >>> directives = harvest("runs/", app="poisson", include_thresholds=True)
+    >>> directives = harvest(["runs-a/", "runs-b/"], app="poisson")
 
     Store (and store path) arguments take the summary fast path: the
-    extraction reads the format-3 index's denormalized per-run summaries
-    and deserializes no records.  Record arguments extract directly.
+    extraction reads the index's denormalized per-run summaries and
+    deserializes no records.  Record arguments extract directly.
+
+    **Federated harvest** (a list/tuple of stores) harvests every store
+    independently and merges the directive sets with
+    :func:`~repro.core.combination.union_directives`; the merge is
+    deterministic and insensitive to store order, so a team can pool the
+    history of several archives without first copying records together.
     """
     source = store_or_records
+    if isinstance(source, (list, tuple)) and source and all(
+        isinstance(s, ExperimentStore)
+        or (isinstance(s, (str, Path)) and Path(s).is_dir())
+        for s in source
+    ):
+        parts = [harvest(s, app=app, **options) for s in source]
+        return union_directives(*parts) if len(parts) > 1 else parts[0]
     if isinstance(source, (str, Path)) and Path(source).is_dir():
-        source = ExperimentStore(source)
+        source = resolve_store(source).store
     if isinstance(source, ExperimentStore):
         metas = source.summaries(app_name=_app_name(app))
         return extract_directives_from_summaries(

@@ -1,5 +1,21 @@
-"""Multi-execution performance-data store (run records, persistence, queries)."""
+"""Multi-execution performance-data store (run records, persistence, queries).
 
+The public storage surface lives in :mod:`repro.storage.api`
+(:class:`StorageBackend`, :class:`StoreInfo`, the exception taxonomy);
+:class:`ExperimentStore` is the backend-agnostic frontend, with file
+(segmented index), file-legacy (monolithic index), and SQLite backends.
+"""
+
+from .api import (
+    CompactionStats,
+    RecoveryReport,
+    StorageBackend,
+    StoreCorruption,
+    StoreError,
+    StoreHandle,
+    StoreInfo,
+)
+from .file_backend import FileBackend
 from .query import (
     ResourceHistory,
     best_run,
@@ -8,13 +24,8 @@ from .query import (
     select,
 )
 from .records import RunRecord
-from .store import (
-    ExperimentStore,
-    RecoveryReport,
-    StoreCorruption,
-    StoreError,
-    summarize_record,
-)
+from .sqlite_backend import SQLiteBackend
+from .store import ExperimentStore, migrate_store, summarize_record
 
 __all__ = [
     "ResourceHistory",
@@ -24,8 +35,15 @@ __all__ = [
     "select",
     "RunRecord",
     "ExperimentStore",
+    "StorageBackend",
+    "FileBackend",
+    "SQLiteBackend",
+    "StoreHandle",
+    "StoreInfo",
+    "CompactionStats",
     "RecoveryReport",
     "StoreCorruption",
     "StoreError",
     "summarize_record",
+    "migrate_store",
 ]

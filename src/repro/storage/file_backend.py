@@ -1,0 +1,658 @@
+"""Directory-backed storage: file-per-record bodies + a sharded index.
+
+Record bodies are per-run JSON files written via atomic rename and
+wrapped in a SHA-256 envelope (``{"format": 2, "sha256": ..., "record":
+{...}}``); a file that fails its check is *quarantined* — moved to
+``<store>/quarantine/`` and dropped from the index — never silently
+skipped or half-read.  Checksum-less format-1 files from older stores
+still load.
+
+The index is **sharded into append-only segments** so a save is O(1)
+instead of O(store):
+
+* ``index.json`` — the *base generation*: a format-3 envelope
+  ``{"format": 3, "runs": {...}}`` exactly as older releases wrote it
+  (plus a ``"generation"`` counter newer readers use and older readers
+  ignore).
+* ``segments/NNNNNNNNNNNN.json`` — sealed segment files, each a short
+  list of index ops (``put``/``del``) appended by one writer under the
+  store lock and **never modified afterwards**.  The zero-padded name
+  carries a monotonic counter, so lexicographic order is write order.
+* ``segments/_state.json`` — a tiny atomically-replaced claim file
+  (``next_seq``/``counter``/``generation``) so writers assign ``seq``
+  and segment names without reading the merged index.
+
+Readers merge base + segments into one view.  Sealed segments are
+immutable, so they are parsed once and cached by name; the base is
+cached by stat signature; the merged view is cached by (base signature,
+segment-name tuple).  Read ordering — list segments, parse them, read
+the base *last* — guarantees the base is at least as new as the segment
+listing, so a compaction racing the read only makes some replayed ops
+idempotent, never loses them.
+
+Compaction (explicit ``compact()`` or auto past a segment threshold)
+folds segments into a new base generation under the lock: write the new
+base via atomic rename, then delete the folded segments, then bump the
+state generation.  A writer killed at *any* point leaves the store
+readable — replaying a folded segment over the new base is idempotent —
+and ``rebuild()`` recovers from anything worse.
+
+``segmented=False`` (the ``"file-legacy"`` backend) keeps the historical
+whole-index read-modify-write on every save, preserved as the
+equivalence reference and benchmark baseline; its writes fold any
+existing segments so the two modes can be mixed on one store.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+try:  # POSIX advisory locks; absent e.g. on Windows
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only off-POSIX
+    fcntl = None
+
+from .api import (
+    CompactionStats,
+    RecoveryReport,
+    StorageBackend,
+    StoreCorruption,
+    StoreError,
+    StoreInfo,
+)
+from .records import RunRecord
+from .summary import meta_for_record
+
+__all__ = ["FileBackend", "read_record_payload"]
+
+_INDEX_NAME = "index.json"
+_LOCK_NAME = "index.lock"
+_QUARANTINE_DIR = "quarantine"
+_SEGMENTS_DIR = "segments"
+_STATE_NAME = "_state.json"
+_RECORD_FORMAT = 2
+#: On-disk base-index format: a ``{"format": 3, "runs": {...}}`` envelope
+#: whose per-run metadata may carry a denormalized query summary.
+#: Format-2 indexes (the bare run→meta mapping) are still read
+#: transparently.
+_INDEX_FORMAT = 3
+_SEGMENT_FORMAT = 1
+_SEGMENT_CACHE_SIZE = 4096
+
+
+def _checksum(payload: dict) -> str:
+    """SHA-256 over the canonical JSON encoding of a record dict."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _stat_sig(path: Path) -> Tuple[int, int, int]:
+    """Identity of a file's current contents.
+
+    Atomic-rename writes always produce a fresh inode, so any overwrite —
+    same process or not — changes the signature and invalidates cache
+    entries without cross-process coordination.
+    """
+    st = path.stat()
+    return (st.st_ino, st.st_mtime_ns, st.st_size)
+
+
+def read_record_payload(path: Path) -> dict:
+    """Parse one record file, verifying the checksum when present.
+
+    Raises ``StoreCorruption`` (without quarantining — callers decide)
+    on unparseable JSON, a malformed envelope, or a checksum mismatch.
+    Format-1 files (a bare record dict) predate checksums and are
+    accepted as-is.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise StoreCorruption(f"{path.name}: unparseable record file ({exc})")
+    if not isinstance(data, dict):
+        raise StoreCorruption(f"{path.name}: record file is not an object")
+    if "format" not in data:
+        if "run_id" in data:  # legacy checksum-less record
+            return data
+        raise StoreCorruption(f"{path.name}: not a run record")
+    payload = data.get("record")
+    if not isinstance(payload, dict) or "run_id" not in payload:
+        raise StoreCorruption(f"{path.name}: envelope has no record payload")
+    if _checksum(payload) != data.get("sha256"):
+        raise StoreCorruption(f"{path.name}: payload checksum mismatch")
+    return payload
+
+
+@contextmanager
+def _locked(lock_path: Path):
+    """Hold an exclusive inter-process lock for the duration of the block.
+
+    Uses ``flock`` where available; otherwise falls back to an
+    ``O_EXCL``-based spin lock so the store still serialises writers on
+    platforms without ``fcntl``.
+    """
+    if fcntl is not None:
+        fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+    else:  # pragma: no cover - exercised only off-POSIX
+        spin = lock_path.with_suffix(".spin")
+        deadline = time.monotonic() + 30.0
+        while True:
+            try:
+                fd = os.open(spin, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except OSError as exc:
+                if exc.errno != errno.EEXIST:
+                    raise
+                if time.monotonic() > deadline:
+                    raise StoreError(f"timed out waiting for store lock {spin}")
+                time.sleep(0.005)
+        try:
+            yield
+        finally:
+            os.close(fd)
+            spin.unlink(missing_ok=True)
+
+
+def _atomic_write_json(path: Path, data: dict, *, indent: Optional[int] = None) -> None:
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=indent, sort_keys=indent is not None)
+    os.replace(tmp, path)
+
+
+class FileBackend(StorageBackend):
+    """File-per-record storage with a segmented (or legacy monolithic)
+    index.  See the module docstring for the on-disk layout and the
+    crash-safety argument."""
+
+    def __init__(self, root: str | Path, *, segmented: bool = True):
+        self.root = Path(root)
+        self.segmented = segmented
+        self.name = "file" if segmented else "file-legacy"
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index_path = self.root / _INDEX_NAME
+        self._lock_path = self.root / _LOCK_NAME
+        self._segments_dir = self.root / _SEGMENTS_DIR
+        self._state_path = self._segments_dir / _STATE_NAME
+        #: Parsed base index keyed by the file's stat signature.
+        self._base_cache: Optional[Tuple[Tuple[int, int, int], int, Dict[str, dict]]] = None
+        #: Parsed sealed segments keyed by file name (immutable once written).
+        self._segment_cache: "OrderedDict[str, List[dict]]" = OrderedDict()
+        #: Merged view keyed by (base signature, segment-name tuple).
+        self._merged_cache: Optional[Tuple[Hashable, Dict[str, dict]]] = None
+        if not self._index_path.exists():
+            with self.lock():
+                if not self._index_path.exists():
+                    self._write_base({})
+
+    # ------------------------------------------------------------------
+    # locking
+    # ------------------------------------------------------------------
+    def lock(self):
+        return _locked(self._lock_path)
+
+    # ------------------------------------------------------------------
+    # base index + segments
+    # ------------------------------------------------------------------
+    def _read_base(self) -> Tuple[Dict[str, dict], int]:
+        """The base-generation run→meta mapping and its generation.
+
+        Format-3 stores wrap it in a ``{"format": ..., "runs": ...}``
+        envelope; format-2 stores are the bare mapping.  Both load
+        transparently, so old stores keep working until the next write
+        (or ``rebuild``) upgrades them.
+        """
+        try:
+            sig = _stat_sig(self._index_path)
+        except OSError:
+            sig = None
+        if sig is not None and self._base_cache is not None \
+                and self._base_cache[0] == sig:
+            return dict(self._base_cache[2]), self._base_cache[1]
+        with open(self._index_path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        generation = 0
+        if isinstance(data, dict) and isinstance(data.get("runs"), dict) \
+                and isinstance(data.get("format"), int):
+            generation = int(data.get("generation", 0))
+            data = data["runs"]
+        if sig is not None:
+            # sig was taken before the read: if a writer replaced the file
+            # in between we may cache newer content under the older
+            # signature, which is safe — the next stat mismatches.
+            self._base_cache = (sig, generation, data)
+        return dict(data), generation
+
+    def _write_base(self, index: Dict[str, dict], generation: int = 0) -> None:
+        envelope = {"format": _INDEX_FORMAT, "runs": index}
+        if generation:
+            envelope["generation"] = generation
+        _atomic_write_json(self._index_path, envelope, indent=1)
+        # Writes happen under the store lock, so no other writer can
+        # replace the file between our rename and this stat.
+        self._base_cache = (_stat_sig(self._index_path), generation, dict(index))
+        self._merged_cache = None
+
+    def _segment_names(self) -> List[str]:
+        try:
+            names = os.listdir(self._segments_dir)
+        except OSError:
+            return []
+        return sorted(n for n in names
+                      if n.endswith(".json") and n != _STATE_NAME)
+
+    def _read_segment(self, name: str) -> Optional[List[dict]]:
+        """The ops of one sealed segment (cached — segments are immutable).
+
+        ``None`` when the file vanished: a concurrent compaction folded
+        it, and the base we read *afterwards* already contains its ops.
+        """
+        ops = self._segment_cache.get(name)
+        if ops is not None:
+            self._segment_cache.move_to_end(name)
+            return ops
+        try:
+            with open(self._segments_dir / name, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except OSError:
+            return None
+        ops = data.get("ops", []) if isinstance(data, dict) else []
+        self._segment_cache[name] = ops
+        while len(self._segment_cache) > _SEGMENT_CACHE_SIZE:
+            self._segment_cache.popitem(last=False)
+        return ops
+
+    def read_merged(self) -> Dict[str, dict]:
+        """One consistent run→meta view: base + segment ops in order.
+
+        Ordering matters: segments are listed and parsed *before* the
+        base is read, so the base is never older than the segment set —
+        a compaction racing this read can only make replayed ops
+        idempotent, not lose them.
+        """
+        names = self._segment_names()
+        segments = [(name, self._read_segment(name)) for name in names]
+        parsed = tuple(name for name, ops in segments if ops is not None)
+        try:
+            base_sig = _stat_sig(self._index_path)
+        except OSError:
+            base_sig = None
+        key = (base_sig, parsed)
+        if self._merged_cache is not None and self._merged_cache[0] == key:
+            return dict(self._merged_cache[1])
+        base, _generation = self._read_base()
+        merged = base  # _read_base returned a fresh dict
+        for _name, ops in segments:
+            for op in ops or ():
+                if op.get("op") == "put":
+                    merged[op["run_id"]] = op["meta"]
+                elif op.get("op") == "del":
+                    merged.pop(op["run_id"], None)
+        self._merged_cache = (key, merged)
+        return dict(merged)
+
+    # -- writer state ---------------------------------------------------
+    def _read_state(self) -> dict:
+        """The writer claim file — derived from the store when missing
+        (legacy store, first segmented write, or post-crash)."""
+        try:
+            with open(self._state_path, "r", encoding="utf-8") as fh:
+                state = json.load(fh)
+            if isinstance(state, dict) and "next_seq" in state:
+                return state
+        except (OSError, json.JSONDecodeError):
+            pass
+        merged = self.read_merged()
+        next_seq = 1 + max(
+            (meta.get("seq", -1) for meta in merged.values()), default=-1
+        )
+        counters = [int(Path(n).stem) for n in self._segment_names()
+                    if Path(n).stem.isdigit()]
+        _base, generation = self._read_base()
+        return {
+            "next_seq": next_seq,
+            "counter": 1 + max(counters, default=-1),
+            "generation": generation,
+        }
+
+    def _write_state(self, state: dict) -> None:
+        self._segments_dir.mkdir(exist_ok=True)
+        _atomic_write_json(self._state_path, state)
+
+    def _append_segment(self, ops: List[dict]) -> None:
+        """Claim a segment name and seal *ops* into it (under the lock)."""
+        state = self._read_state()
+        counter = state["counter"]
+        state["counter"] = counter + 1
+        self._write_state(state)
+        self._seal_segment(counter, ops)
+
+    def _seal_segment(self, counter: int, ops: List[dict]) -> None:
+        """Write one sealed, never-again-modified segment file.  The
+        counter must already be claimed in the state file, so a crash
+        here skips a name instead of colliding with a later writer."""
+        self._segments_dir.mkdir(exist_ok=True)
+        _atomic_write_json(
+            self._segments_dir / f"{counter:012d}.json",
+            {"format": _SEGMENT_FORMAT, "ops": ops},
+        )
+
+    # ------------------------------------------------------------------
+    # record files
+    # ------------------------------------------------------------------
+    def _record_file(self, run_id: str) -> Path:
+        return self.root / f"{run_id}.json"
+
+    def _write_record(self, path: Path, payload: dict) -> None:
+        envelope = {
+            "format": _RECORD_FORMAT,
+            "sha256": _checksum(payload),
+            "record": payload,
+        }
+        _atomic_write_json(path, envelope)
+
+    def _quarantine(self, path: Path) -> Path:
+        """Move a corrupt file out of the store (index entry included).
+
+        The original name is preserved inside ``quarantine/``; a second
+        quarantine of the same name gets a numeric suffix so nothing is
+        overwritten.  Must run under the lock.
+        """
+        qdir = self.root / _QUARANTINE_DIR
+        qdir.mkdir(exist_ok=True)
+        dest = qdir / path.name
+        counter = 1
+        while dest.exists():
+            dest = qdir / f"{path.stem}.{counter}{path.suffix}"
+            counter += 1
+        os.replace(path, dest)
+        self._drop_index_entry(path.stem)
+        return dest
+
+    def _drop_index_entry(self, run_id: str) -> None:
+        if self.read_merged().get(run_id) is None:
+            return
+        if self.segmented:
+            self._append_segment([{"op": "del", "run_id": run_id}])
+        else:
+            merged = self.read_merged()
+            merged.pop(run_id, None)
+            self._fold_to_base(merged)
+
+    def _fold_to_base(self, index: Dict[str, dict]) -> List[str]:
+        """Legacy-mode write: the whole merged view becomes the base and
+        any segments are consumed.  Must run under the lock."""
+        names = self._segment_names()
+        _base, generation = self._read_base()
+        self._write_base(index, generation)
+        for name in names:
+            try:
+                os.unlink(self._segments_dir / name)
+            except OSError:
+                pass
+            self._segment_cache.pop(name, None)
+        # Legacy writes bypass the claim file, so a stale one must not
+        # survive to hand out already-used seq values later; it is
+        # re-derived from the merged view on the next segmented write.
+        try:
+            self._state_path.unlink()
+        except OSError:
+            pass
+        return names
+
+    # ------------------------------------------------------------------
+    # StorageBackend: records
+    # ------------------------------------------------------------------
+    def put(self, run_id: str, payload: dict, meta: dict,
+            *, overwrite: bool = False) -> Tuple[int, Hashable]:
+        path = self._record_file(run_id)
+        with self.lock():
+            exists = path.exists()
+            if exists and not overwrite:
+                raise StoreError(f"run {run_id!r} already stored")
+            meta = dict(meta)
+            if exists:
+                prior = self.read_merged().get(run_id)
+                seq = prior["seq"] if prior and "seq" in prior else None
+            else:
+                seq = None
+            if self.segmented:
+                # Claim seq + segment name in one state write *before*
+                # touching anything else: a crash in between skips
+                # values instead of reusing them.
+                state = self._read_state()
+                if seq is None:
+                    seq = state["next_seq"]
+                    state["next_seq"] = seq + 1
+                counter = state["counter"]
+                state["counter"] = counter + 1
+                self._write_state(state)
+                meta["seq"] = seq
+                self._write_record(path, payload)
+                self._seal_segment(
+                    counter, [{"op": "put", "run_id": run_id, "meta": meta}]
+                )
+            else:
+                merged = self.read_merged()
+                if seq is None:
+                    seq = 1 + max(
+                        (m.get("seq", -1) for m in merged.values()), default=-1
+                    )
+                meta["seq"] = seq
+                self._write_record(path, payload)
+                merged[run_id] = meta
+                self._fold_to_base(merged)
+            token = _stat_sig(path)
+        return seq, token
+
+    def get(self, run_id: str) -> dict:
+        path = self._record_file(run_id)
+        if not path.exists():
+            raise StoreError(f"no stored run {run_id!r}")
+        try:
+            return read_record_payload(path)
+        except StoreCorruption as exc:
+            with self.lock():
+                dest = self._quarantine(path) if path.exists() else None
+            raise StoreCorruption(
+                f"{exc}" + (f"; quarantined to {dest}" if dest else ""),
+                quarantined_to=dest,
+            ) from None
+
+    def delete(self, run_id: str) -> None:
+        with self.lock():
+            path = self._record_file(run_id)
+            if path.exists():
+                path.unlink()
+            self._drop_index_entry(run_id)
+
+    def contains(self, run_id: str) -> bool:
+        return self._record_file(run_id).exists()
+
+    def record_token(self, run_id: str) -> Hashable:
+        try:
+            return _stat_sig(self._record_file(run_id))
+        except OSError:
+            raise StoreError(f"no stored run {run_id!r}") from None
+
+    def record_path(self, run_id: str) -> Optional[Path]:
+        return self._record_file(run_id)
+
+    # ------------------------------------------------------------------
+    # StorageBackend: index
+    # ------------------------------------------------------------------
+    def iter_summaries(self) -> Iterator[Tuple[str, dict]]:
+        merged = self.read_merged()
+        yield from sorted(merged.items(), key=lambda kv: kv[1].get("seq", 0))
+
+    def query_summaries(
+        self,
+        app_name: Optional[str] = None,
+        version: Optional[str] = None,
+        run_ids: Optional[Sequence[str]] = None,
+    ) -> Dict[str, dict]:
+        merged = self.read_merged()
+        if run_ids is not None:
+            return {run_id: merged.get(run_id) for run_id in run_ids}
+        out: Dict[str, dict] = {}
+        for run_id, meta in sorted(merged.items(),
+                                   key=lambda kv: kv[1].get("seq", 0)):
+            if app_name is not None and meta.get("app_name") != app_name:
+                continue
+            if version is not None and meta.get("version") != version:
+                continue
+            out[run_id] = meta
+        return out
+
+    def set_summaries(self, summaries: Dict[str, dict]) -> None:
+        with self.lock():
+            merged = self.read_merged()
+            ops: List[dict] = []
+            for run_id, summary in summaries.items():
+                meta = merged.get(run_id)
+                if meta is not None and not isinstance(meta.get("summary"), dict):
+                    meta = dict(meta)
+                    meta["summary"] = summary
+                    merged[run_id] = meta
+                    ops.append({"op": "put", "run_id": run_id, "meta": meta})
+            if not ops:
+                return
+            if self.segmented:
+                self._append_segment(ops)
+            else:
+                self._fold_to_base(merged)
+
+    # ------------------------------------------------------------------
+    # StorageBackend: maintenance
+    # ------------------------------------------------------------------
+    def rebuild(self) -> RecoveryReport:
+        report = RecoveryReport()
+        with self.lock():
+            try:
+                old = self.read_merged()
+            except (OSError, json.JSONDecodeError):
+                old = {}
+            paths = sorted(
+                (p for p in self.root.glob("*.json") if p.name != _INDEX_NAME),
+                key=lambda p: p.stat().st_mtime,
+            )
+            index: Dict[str, dict] = {}
+            recovered = []
+            quarantined: List[Path] = []
+            for path in paths:
+                try:
+                    record = RunRecord.from_dict(read_record_payload(path))
+                except (StoreCorruption, KeyError, TypeError, ValueError):
+                    quarantined.append(path)
+                    continue
+                meta = meta_for_record(record)
+                prior = old.get(record.run_id)
+                if prior and "seq" in prior:
+                    meta["seq"] = prior["seq"]
+                    index[record.run_id] = meta
+                else:
+                    recovered.append((record.run_id, meta))
+                report.kept.append(record.run_id)
+            next_seq = 1 + max(
+                (meta["seq"] for meta in index.values()), default=-1
+            )
+            for run_id, meta in recovered:
+                meta["seq"] = next_seq
+                next_seq += 1
+                index[run_id] = meta
+            try:
+                _base, generation = self._read_base()
+            except (OSError, json.JSONDecodeError):
+                generation = 0  # base unreadable: start a fresh lineage
+            self._write_base(index, generation + 1)
+            removed = self._segment_names()
+            for name in removed:
+                try:
+                    os.unlink(self._segments_dir / name)
+                except OSError:
+                    pass
+                self._segment_cache.pop(name, None)
+            if self.segmented:
+                self._write_state({
+                    "next_seq": next_seq,
+                    "counter": 1 + max(
+                        (int(Path(n).stem) for n in removed
+                         if Path(n).stem.isdigit()),
+                        default=-1,
+                    ),
+                    "generation": generation + 1,
+                })
+            # Quarantine after the index write: dropping the entry re-reads
+            # the index, so the rebuilt index must be the one on disk.
+            for path in quarantined:
+                report.quarantined.append(str(self._quarantine(path)))
+        return report
+
+    def compact(self) -> CompactionStats:
+        with self.lock():
+            names = self._segment_names()
+            merged = self.read_merged()
+            _base, generation = self._read_base()
+            generation += 1
+            # Crash-safety: each step leaves a readable store.  After the
+            # base rename, replaying any not-yet-deleted segment over it
+            # is idempotent; before it, the old base + segments still
+            # merge to the same view.
+            self._write_base(merged, generation)
+            for name in names:
+                try:
+                    os.unlink(self._segments_dir / name)
+                except OSError:
+                    pass
+                self._segment_cache.pop(name, None)
+            state = self._read_state()
+            state["generation"] = generation
+            self._write_state(state)
+        return CompactionStats(
+            segments_folded=len(names),
+            entries=len(merged),
+            generation=generation,
+        )
+
+    def segment_count(self) -> int:
+        """Unfolded index segments currently on disk (cheap: one listdir)."""
+        return len(self._segment_names())
+
+    def info(self) -> StoreInfo:
+        merged = self.read_merged()
+        names = self._segment_names()
+        index_bytes = 0
+        try:
+            index_bytes += self._index_path.stat().st_size
+        except OSError:
+            pass
+        for name in names:
+            try:
+                index_bytes += (self._segments_dir / name).stat().st_size
+            except OSError:
+                pass
+        _base, generation = self._read_base()
+        return StoreInfo(
+            root=self.root,
+            backend=self.name,
+            runs=len(merged),
+            index_format=_INDEX_FORMAT,
+            generation=generation,
+            segments=len(names),
+            index_bytes=index_bytes,
+        )

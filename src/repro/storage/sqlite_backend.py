@@ -1,0 +1,320 @@
+"""SQLite storage backend, optimized for summary queries.
+
+One database file (``<root>/store.sqlite3``) holds both record payloads
+and index metas, so a store is a single artifact to ship or back up.
+The ``runs`` table denormalizes the columns the queries filter and sort
+on (``app_name``, ``version``, ``seq``) and keeps the meta — including
+the query summary — as a JSON column, so ``query_summaries`` is one
+indexed ``SELECT`` that never touches payloads.
+
+Integrity mirrors the file backend: payloads are stored next to their
+SHA-256 and verified on every read; a row that fails its check is moved
+to a ``quarantine`` table (with a timestamp) and reported via
+:class:`StoreCorruption`, never half-returned.  ``rebuild`` re-verifies
+every payload and regenerates all metas; ``compact`` is ``VACUUM``
+(SQLite has no segments to fold).
+
+Concurrency: SQLite's own locking replaces the file backend's flock.
+Writes run in ``BEGIN IMMEDIATE`` transactions with a busy timeout, so
+concurrent writer processes serialize instead of failing; WAL mode lets
+readers proceed during writes where the filesystem supports it.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Dict, Hashable, Iterator, Optional, Sequence, Tuple
+
+from .api import (
+    CompactionStats,
+    RecoveryReport,
+    StorageBackend,
+    StoreCorruption,
+    StoreError,
+    StoreInfo,
+)
+from .file_backend import _checksum
+from .records import RunRecord
+from .summary import meta_for_record
+
+__all__ = ["SQLiteBackend", "SQLITE_STORE_NAME"]
+
+SQLITE_STORE_NAME = "store.sqlite3"
+_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id   TEXT PRIMARY KEY,
+    seq      INTEGER NOT NULL,
+    app_name TEXT,
+    version  TEXT,
+    meta     TEXT NOT NULL,
+    payload  TEXT NOT NULL,
+    sha256   TEXT NOT NULL,
+    rev      INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS idx_runs_seq ON runs(seq);
+CREATE INDEX IF NOT EXISTS idx_runs_app ON runs(app_name, version, seq);
+CREATE TABLE IF NOT EXISTS quarantine (
+    run_id        TEXT,
+    quarantined_at REAL,
+    payload       TEXT,
+    sha256        TEXT,
+    reason        TEXT
+);
+"""
+
+
+class SQLiteBackend(StorageBackend):
+    """Record payloads + index metas in one SQLite database."""
+
+    name = "sqlite"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / SQLITE_STORE_NAME
+        self._conn = sqlite3.connect(
+            self.path, timeout=30.0, check_same_thread=False
+        )
+        self._conn.isolation_level = None  # explicit transactions only
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.OperationalError:  # pragma: no cover - odd filesystems
+            pass
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO store_meta(key, value) VALUES ('schema', ?)",
+            (str(_SCHEMA_VERSION),),
+        )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # ------------------------------------------------------------------
+    # records
+    # ------------------------------------------------------------------
+    def put(self, run_id: str, payload: dict, meta: dict,
+            *, overwrite: bool = False) -> Tuple[int, Hashable]:
+        meta = dict(meta)
+        payload_json = json.dumps(payload)
+        sha = _checksum(payload)
+        cur = self._conn
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            row = cur.execute(
+                "SELECT seq, rev FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+            if row is not None and not overwrite:
+                raise StoreError(f"run {run_id!r} already stored")
+            if row is not None:
+                seq, rev = row[0], row[1] + 1
+            else:
+                max_seq = cur.execute(
+                    "SELECT COALESCE(MAX(seq), -1) FROM runs"
+                ).fetchone()[0]
+                seq, rev = max_seq + 1, 0
+            meta["seq"] = seq
+            cur.execute(
+                "INSERT OR REPLACE INTO runs"
+                "(run_id, seq, app_name, version, meta, payload, sha256, rev)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (run_id, seq, meta.get("app_name"), meta.get("version"),
+                 json.dumps(meta), payload_json, sha, rev),
+            )
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+        return seq, ("rev", rev)
+
+    def get(self, run_id: str) -> dict:
+        row = self._conn.execute(
+            "SELECT payload, sha256 FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no stored run {run_id!r}")
+        payload_json, sha = row
+        try:
+            payload = json.loads(payload_json)
+        except json.JSONDecodeError:
+            payload = None
+        if not isinstance(payload, dict) or _checksum(payload) != sha:
+            self._quarantine_row(run_id, "payload checksum mismatch")
+            raise StoreCorruption(
+                f"{run_id}: payload checksum mismatch; quarantined to "
+                f"table 'quarantine' in {self.path.name}"
+            )
+        return payload
+
+    def _quarantine_row(self, run_id: str, reason: str) -> None:
+        cur = self._conn
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            cur.execute(
+                "INSERT INTO quarantine(run_id, quarantined_at, payload, "
+                "sha256, reason) SELECT run_id, ?, payload, sha256, ? "
+                "FROM runs WHERE run_id = ?",
+                (time.time(), reason, run_id),
+            )
+            cur.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+            cur.execute("COMMIT")
+        except BaseException:  # pragma: no cover - defensive
+            cur.execute("ROLLBACK")
+            raise
+
+    def delete(self, run_id: str) -> None:
+        cur = self._conn
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            cur.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+            cur.execute("COMMIT")
+        except BaseException:  # pragma: no cover - defensive
+            cur.execute("ROLLBACK")
+            raise
+
+    def contains(self, run_id: str) -> bool:
+        return self._conn.execute(
+            "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone() is not None
+
+    def record_token(self, run_id: str) -> Hashable:
+        row = self._conn.execute(
+            "SELECT rev FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no stored run {run_id!r}")
+        return ("rev", row[0])
+
+    # ------------------------------------------------------------------
+    # index
+    # ------------------------------------------------------------------
+    def iter_summaries(self) -> Iterator[Tuple[str, dict]]:
+        for run_id, meta in self._conn.execute(
+            "SELECT run_id, meta FROM runs ORDER BY seq"
+        ):
+            yield run_id, json.loads(meta)
+
+    def query_summaries(
+        self,
+        app_name: Optional[str] = None,
+        version: Optional[str] = None,
+        run_ids: Optional[Sequence[str]] = None,
+    ) -> Dict[str, dict]:
+        if run_ids is not None:
+            out: Dict[str, dict] = {}
+            for run_id in run_ids:
+                row = self._conn.execute(
+                    "SELECT meta FROM runs WHERE run_id = ?", (run_id,)
+                ).fetchone()
+                out[run_id] = json.loads(row[0]) if row else None
+            return out
+        clauses, params = [], []
+        if app_name is not None:
+            clauses.append("app_name = ?")
+            params.append(app_name)
+        if version is not None:
+            clauses.append("version = ?")
+            params.append(version)
+        sql = "SELECT run_id, meta FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY seq"
+        return {
+            run_id: json.loads(meta)
+            for run_id, meta in self._conn.execute(sql, params)
+        }
+
+    def set_summaries(self, summaries: Dict[str, dict]) -> None:
+        cur = self._conn
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            for run_id, summary in summaries.items():
+                row = cur.execute(
+                    "SELECT meta FROM runs WHERE run_id = ?", (run_id,)
+                ).fetchone()
+                if row is None:
+                    continue
+                meta = json.loads(row[0])
+                if isinstance(meta.get("summary"), dict):
+                    continue
+                meta["summary"] = summary
+                cur.execute(
+                    "UPDATE runs SET meta = ? WHERE run_id = ?",
+                    (json.dumps(meta), run_id),
+                )
+            cur.execute("COMMIT")
+        except BaseException:  # pragma: no cover - defensive
+            cur.execute("ROLLBACK")
+            raise
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def rebuild(self) -> RecoveryReport:
+        report = RecoveryReport()
+        cur = self._conn
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            rows = cur.execute(
+                "SELECT run_id, seq, payload, sha256 FROM runs ORDER BY seq"
+            ).fetchall()
+            for run_id, seq, payload_json, sha in rows:
+                try:
+                    payload = json.loads(payload_json)
+                    if not isinstance(payload, dict) \
+                            or _checksum(payload) != sha:
+                        raise ValueError("checksum mismatch")
+                    record = RunRecord.from_dict(payload)
+                except (ValueError, KeyError, TypeError):
+                    cur.execute(
+                        "INSERT INTO quarantine(run_id, quarantined_at, "
+                        "payload, sha256, reason) VALUES (?, ?, ?, ?, ?)",
+                        (run_id, time.time(), payload_json, sha,
+                         "failed verification during rebuild"),
+                    )
+                    cur.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+                    report.quarantined.append(f"quarantine:{run_id}")
+                    continue
+                meta = meta_for_record(record)
+                meta["seq"] = seq
+                cur.execute(
+                    "UPDATE runs SET meta = ?, app_name = ?, version = ? "
+                    "WHERE run_id = ?",
+                    (json.dumps(meta), record.app_name, record.version, run_id),
+                )
+                report.kept.append(run_id)
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+        return report
+
+    def compact(self) -> CompactionStats:
+        entries = self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+        self._conn.execute("VACUUM")
+        return CompactionStats(segments_folded=0, entries=entries, generation=0)
+
+    def info(self) -> StoreInfo:
+        runs = self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+        try:
+            index_bytes = self.path.stat().st_size
+        except OSError:
+            index_bytes = 0
+        return StoreInfo(
+            root=self.root,
+            backend=self.name,
+            runs=runs,
+            index_format=_SCHEMA_VERSION,
+            generation=0,
+            segments=0,
+            index_bytes=index_bytes,
+        )

@@ -1,66 +1,55 @@
-"""Multi-execution experiment store.
+"""Multi-execution experiment store: the backend-agnostic frontend.
 
 The paper's conclusions call historical diagnosis "part of an ongoing
 research effort in which we are designing and developing an infrastructure
 for storing, naming, and querying multi-execution performance data".  This
-module is that infrastructure at the scale the experiments need: a
-directory of JSON run records plus an index, with query helpers over app
-name, code version, and recency.
+module is that infrastructure's *frontend*: :class:`ExperimentStore`
+exposes the save/load/query surface the rest of the system uses, while
+actual persistence lives behind the
+:class:`~repro.storage.api.StorageBackend` seam —
 
-Concurrency model: record bodies live in per-run files written with an
-atomic rename, and every index merge (save / delete / initial creation)
-runs under an exclusive advisory lock on ``index.lock``, so any number of
-writer processes — campaign pool workers, parallel CLI invocations —
-interleave without losing entries.  ``seq`` values are assigned
-monotonically under the same lock; readers see consistent snapshots
-because the index file itself is only ever replaced atomically.
+* ``backend="file"`` (the default): one JSON file per record plus a
+  **sharded index** of append-only segments with compaction
+  (:mod:`repro.storage.file_backend`), so a save is O(1) instead of
+  O(store);
+* ``backend="file-legacy"``: the historical monolithic-index layout,
+  kept as the equivalence reference and benchmark baseline;
+* ``backend="sqlite"``: everything in one SQLite database, optimized
+  for summary queries (:mod:`repro.storage.sqlite_backend`).
 
-Integrity model: each record file wraps its payload with a SHA-256
-checksum (``{"format": 2, "sha256": ..., "record": {...}}``).  Loads
-verify the checksum; a mismatched or unparseable file is *quarantined* —
-moved to ``<store>/quarantine/`` and dropped from the index — rather than
-silently skipped or half-read, so on-disk corruption (torn writes, bad
-sectors, hand-edits) is visible and recoverable.  Checksum-less format-1
-files from older stores still load.
+A store directory is auto-detected (``store.sqlite3`` present → sqlite,
+else file), so paths keep working everywhere a backend name isn't given.
 
-Query fast path: the index is a format-3 envelope
-(``{"format": 3, "runs": {...}}``) whose per-run metadata carries a
-denormalized *summary* — duration, status, true/false pairs,
-per-hierarchy fraction tables, observed per-hypothesis values — so the
-cross-run queries (:mod:`repro.storage.query`) and directive extraction
-answer from one index read instead of deserializing every record.
-Format-2 indexes (a plain run→meta dict, no summaries) load
-transparently; summaries are backfilled lazily on first use and
-:meth:`ExperimentStore.rebuild_index` upgrades a whole store in one pass.
-Loaded records are also kept in a bounded in-process LRU keyed by the
-record file's stat signature, so a cross-process overwrite (atomic
-rename → new inode) invalidates stale entries without any coordination
-beyond the existing lock discipline.  Records obtained from the cache
-are shared objects: treat loaded (and saved) records as immutable.
+What stays above the seam: the bounded in-process LRU of parsed
+:class:`RunRecord` objects (keyed by the backend's per-record token, so
+a cross-process overwrite invalidates entries without coordination),
+lazy summary backfill for pre-format-3 stores, batch loading with an
+optional parse pool, and auto-compaction policy.  Records obtained from
+the cache are shared objects: treat loaded (and saved) records as
+immutable.
 """
 
 from __future__ import annotations
 
-import errno
-import hashlib
-import json
 import multiprocessing
-import os
-import time
-from collections import OrderedDict
+import threading
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from contextlib import contextmanager
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
-try:  # POSIX advisory locks; absent e.g. on Windows
-    import fcntl
-except ImportError:  # pragma: no cover - exercised only off-POSIX
-    fcntl = None
-
-from ..core.shg import NodeState
+from .api import (
+    CompactionStats,
+    RecoveryReport,
+    StorageBackend,
+    StoreCorruption,
+    StoreError,
+    StoreInfo,
+)
+from .file_backend import FileBackend, read_record_payload
 from .records import RunRecord
+from .sqlite_backend import SQLITE_STORE_NAME, SQLiteBackend
+from .summary import SUMMARY_VERSION, meta_for_record, summarize_record
 
 __all__ = [
     "ExperimentStore",
@@ -68,163 +57,44 @@ __all__ = [
     "StoreCorruption",
     "RecoveryReport",
     "summarize_record",
+    "migrate_store",
 ]
 
-_INDEX_NAME = "index.json"
-_LOCK_NAME = "index.lock"
-_QUARANTINE_DIR = "quarantine"
-_FORMAT = 2
-#: On-disk index format: a ``{"format": 3, "runs": {...}}`` envelope whose
-#: per-run metadata may carry a denormalized query summary.  Format-2
-#: indexes (the bare run→meta mapping) are still read transparently.
-_INDEX_FORMAT = 3
-_SUMMARY_VERSION = 1
+#: Backwards-compatible alias; the version now lives in
+#: :mod:`repro.storage.summary`.
+_SUMMARY_VERSION = SUMMARY_VERSION
+
 _DEFAULT_CACHE_SIZE = 64
+#: Segments a save may leave unfolded before it triggers a compaction.
+_DEFAULT_AUTO_COMPACT = 64
 
-
-class StoreError(RuntimeError):
-    """Raised for store consistency problems."""
-
-
-class StoreCorruption(StoreError):
-    """A record file failed its integrity check and was quarantined."""
-
-    def __init__(self, message: str, quarantined_to: Optional[Path] = None) -> None:
-        super().__init__(message)
-        self.quarantined_to = quarantined_to
-
-
-@dataclass
-class RecoveryReport:
-    """What :meth:`ExperimentStore.rebuild_index` found on disk."""
-
-    #: Run ids re-registered in the rebuilt index.
-    kept: List[str] = field(default_factory=list)
-    #: Files that failed parsing or their checksum, now in quarantine/.
-    quarantined: List[str] = field(default_factory=list)
-
-    @property
-    def count(self) -> int:
-        return len(self.kept)
-
-    def __str__(self) -> str:
-        out = f"{len(self.kept)} record(s) indexed"
-        if self.quarantined:
-            out += f", {len(self.quarantined)} corrupt file(s) quarantined"
-        return out
-
-
-def _checksum(payload: dict) -> str:
-    """SHA-256 over the canonical JSON encoding of a record dict."""
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-
-
-_CONCLUDED = (NodeState.TRUE.value, NodeState.FALSE.value)
-
-
-def summarize_record(record: RunRecord) -> dict:
-    """Denormalize one record into the index summary the queries read.
-
-    Everything the cross-run consumers need without the full record:
-    duration/status/coverage, the true/false conclusion pairs, SHG state
-    counts, the per-hypothesis observed value distribution (threshold
-    extraction), per-hierarchy fraction-of-total tables (resource
-    histories), and per-function execution fractions plus the candidate
-    function list (historic prunes).
-    """
-    profile = record.flat_profile()
-    total = profile.total_time()
-
-    def fraction_table(table: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
-        if total <= 0:
-            return {}
-        return {
-            name: {activity: value / total for activity, value in entry.items()}
-            for name, entry in table.items()
-        }
-
-    hyp_values: Dict[str, List[float]] = {}
-    state_counts: Dict[str, int] = {}
-    for node in record.shg_nodes:
-        state = node["state"]
-        state_counts[state] = state_counts.get(state, 0) + 1
-        if node.get("value") is not None and state in _CONCLUDED:
-            hyp_values.setdefault(node["hypothesis"], []).append(node["value"])
-
-    machine_nodes = len(
-        [n for n in record.hierarchies.get("Machine", []) if n != "/Machine"]
-    )
-    code_leaves = [
-        name for name in record.hierarchies.get("Code", []) if name.count("/") == 3
-    ]
-    return {
-        "version": _SUMMARY_VERSION,
-        "duration": record.finish_time,
-        "status": record.status,
-        "coverage": record.coverage,
-        "failure": record.failure,
-        "peak_cost": record.peak_cost,
-        "time_to_find_all": record.time_to_find_all(),
-        "n_processes": record.n_processes,
-        "n_nodes": len(record.nodes),
-        "machine_nodes": machine_nodes,
-        "true_pairs": [list(pair) for pair in record.true_pairs()],
-        "false_pairs": [list(pair) for pair in record.false_pairs()],
-        "state_counts": state_counts,
-        "hyp_values": hyp_values,
-        "total_time": total,
-        "fractions": {
-            "Code": fraction_table(profile.by_code),
-            "Process": fraction_table(profile.by_process),
-            "Machine": fraction_table(profile.by_node),
-            "SyncObject": fraction_table(profile.by_tag),
-        },
-        "code_exec_fractions": {
-            name: sum(entry.values()) / total
-            for name, entry in profile.by_code.items()
-        }
-        if total > 0
-        else {},
-        "code_leaves": code_leaves,
-    }
-
-
-def _stat_sig(path: Path) -> Tuple[int, int, int]:
-    """Identity of a record file's current contents.
-
-    Atomic-rename writes always produce a fresh inode, so any overwrite —
-    same process or not — changes the signature and invalidates cache
-    entries without cross-process coordination.
-    """
-    st = path.stat()
-    return (st.st_ino, st.st_mtime_ns, st.st_size)
+BackendLike = Union[None, str, StorageBackend]
 
 
 class _RecordCache:
-    """Bounded LRU of parsed records keyed by run id + file signature."""
+    """Bounded LRU of parsed records keyed by run id + backend token."""
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = maxsize
-        self._items: "OrderedDict[str, Tuple[Tuple[int, int, int], RunRecord]]" = (
-            OrderedDict()
-        )
+        from collections import OrderedDict
+
+        self._items: "OrderedDict[str, Tuple[Hashable, RunRecord]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
-    def get(self, run_id: str, sig: Tuple[int, int, int]) -> Optional[RunRecord]:
+    def get(self, run_id: str, token: Hashable) -> Optional[RunRecord]:
         entry = self._items.get(run_id)
-        if entry is None or entry[0] != sig:
+        if entry is None or entry[0] != token:
             self.misses += 1
             return None
         self._items.move_to_end(run_id)
         self.hits += 1
         return entry[1]
 
-    def put(self, run_id: str, sig: Tuple[int, int, int], record: RunRecord) -> None:
+    def put(self, run_id: str, token: Hashable, record: RunRecord) -> None:
         if self.maxsize <= 0:
             return
-        self._items[run_id] = (sig, record)
+        self._items[run_id] = (token, record)
         self._items.move_to_end(run_id)
         while len(self._items) > self.maxsize:
             self._items.popitem(last=False)
@@ -241,179 +111,84 @@ class _RecordCache:
 
 def _read_payload_task(path_str: str) -> dict:
     """Parse one record file in a pool worker (module-level: picklable)."""
-    return ExperimentStore._read_record_payload(Path(path_str))
+    return read_record_payload(Path(path_str))
 
 
-@contextmanager
-def _locked(lock_path: Path):
-    """Hold an exclusive inter-process lock for the duration of the block.
-
-    Uses ``flock`` where available; otherwise falls back to an
-    ``O_EXCL``-based spin lock so the store still serialises writers on
-    platforms without ``fcntl``.
-    """
-    if fcntl is not None:
-        fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
-        try:
-            fcntl.flock(fd, fcntl.LOCK_EX)
-            yield
-        finally:
-            fcntl.flock(fd, fcntl.LOCK_UN)
-            os.close(fd)
-    else:  # pragma: no cover - exercised only off-POSIX
-        spin = lock_path.with_suffix(".spin")
-        deadline = time.monotonic() + 30.0
-        while True:
-            try:
-                fd = os.open(spin, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-                break
-            except OSError as exc:
-                if exc.errno != errno.EEXIST:
-                    raise
-                if time.monotonic() > deadline:
-                    raise StoreError(f"timed out waiting for store lock {spin}")
-                time.sleep(0.005)
-        try:
-            yield
-        finally:
-            os.close(fd)
-            spin.unlink(missing_ok=True)
+def _resolve_backend(root: Union[str, Path, None],
+                     backend: BackendLike) -> StorageBackend:
+    if isinstance(backend, StorageBackend):
+        return backend
+    if backend is None or backend == "auto":
+        if root is None:
+            raise StoreError(
+                "ExperimentStore needs a root directory or a backend instance"
+            )
+        if (Path(root) / SQLITE_STORE_NAME).exists():
+            return SQLiteBackend(root)
+        return FileBackend(root)
+    if root is None:
+        raise StoreError(f"backend {backend!r} needs a root directory")
+    if backend == "file":
+        return FileBackend(root)
+    if backend == "file-legacy":
+        return FileBackend(root, segmented=False)
+    if backend == "sqlite":
+        return SQLiteBackend(root)
+    raise StoreError(
+        f"unknown storage backend {backend!r} "
+        "(expected 'file', 'file-legacy', 'sqlite', or a StorageBackend)"
+    )
 
 
 class ExperimentStore:
-    """A directory-backed store of :class:`RunRecord` objects.
+    """A store of :class:`RunRecord` objects over a pluggable backend.
 
-    Safe for concurrent use from multiple processes: all index mutations
-    are merged under an exclusive file lock and record files are written
-    atomically, so simultaneous writers never lose each other's updates.
+    Safe for concurrent use from multiple processes: every backend
+    serialises its writers (flock for the file layouts, SQLite's own
+    locking for the database), so simultaneous writers never lose each
+    other's updates.
+
+    All configuration is keyword-only: ``backend`` selects the
+    persistence layer (``"file"``, ``"file-legacy"``, ``"sqlite"``, a
+    :class:`~repro.storage.api.StorageBackend` instance, or ``None`` to
+    auto-detect from the directory), ``cache_size`` bounds the parsed
+    record LRU, and ``auto_compact`` is the segment count past which a
+    save folds the index into a new base generation (``0``/``None``
+    disables; ``background_compaction=True`` folds on a daemon thread
+    instead of inline).
     """
 
-    def __init__(self, root: str | Path, cache_size: int = _DEFAULT_CACHE_SIZE):
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-        self._index_path = self.root / _INDEX_NAME
-        self._lock_path = self.root / _LOCK_NAME
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        *args,
+        backend: BackendLike = None,
+        cache_size: int = _DEFAULT_CACHE_SIZE,
+        auto_compact: Optional[int] = _DEFAULT_AUTO_COMPACT,
+        background_compaction: bool = False,
+    ):
+        if args:  # pre-redesign positional cache_size
+            warnings.warn(
+                "positional ExperimentStore arguments beyond root are "
+                "deprecated; pass cache_size= (and friends) by keyword",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            cache_size = args[0]
+        self._backend = _resolve_backend(root, backend)
+        self.root = (
+            Path(root) if root is not None
+            else getattr(self._backend, "root", None)
+        )
         self._cache = _RecordCache(cache_size)
-        #: Parsed index keyed by the index file's stat signature, so warm
-        #: queries skip the JSON parse; any writer's atomic replace (this
-        #: process or another) changes the signature and forces a re-read.
-        self._index_cache: Optional[Tuple[Tuple[int, int, int], Dict[str, dict]]] = None
-        if not self._index_path.exists():
-            with self._lock():
-                if not self._index_path.exists():
-                    self._write_index({})
+        self._auto_compact = auto_compact or 0
+        self._background_compaction = background_compaction
+        self._compaction_thread: Optional[threading.Thread] = None
 
-    # ------------------------------------------------------------------
-    # index handling
-    # ------------------------------------------------------------------
-    def _lock(self):
-        return _locked(self._lock_path)
-
-    def _read_index(self) -> Dict[str, dict]:
-        """The run→meta mapping, whatever the on-disk index format.
-
-        Format-3 stores wrap it in a ``{"format": ..., "runs": ...}``
-        envelope; format-2 stores are the bare mapping.  Both load
-        transparently, so old stores keep working until the next write
-        (or :meth:`rebuild_index`) upgrades them.
-        """
-        try:
-            sig = _stat_sig(self._index_path)
-        except OSError:
-            sig = None
-        if sig is not None and self._index_cache is not None \
-                and self._index_cache[0] == sig:
-            return dict(self._index_cache[1])
-        with open(self._index_path, "r", encoding="utf-8") as fh:
-            data = json.load(fh)
-        if isinstance(data, dict) and isinstance(data.get("runs"), dict) \
-                and isinstance(data.get("format"), int):
-            data = data["runs"]
-        if sig is not None:
-            # sig was taken before the read: if a writer replaced the file
-            # in between we may cache newer content under the older
-            # signature, which is safe — the next stat mismatches.
-            self._index_cache = (sig, data)
-        return dict(data)
-
-    def _write_index(self, index: Dict[str, dict]) -> None:
-        tmp = self._index_path.with_suffix(".tmp")
-        envelope = {"format": _INDEX_FORMAT, "runs": index}
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(envelope, fh, indent=1, sort_keys=True)
-        os.replace(tmp, self._index_path)
-        # Writes happen under the store lock, so no other writer can
-        # replace the file between our rename and this stat.
-        self._index_cache = (_stat_sig(self._index_path), dict(index))
-
-    def _record_path(self, run_id: str) -> Path:
-        return self.root / f"{run_id}.json"
-
-    # ------------------------------------------------------------------
-    # record files: checksummed envelope
-    # ------------------------------------------------------------------
-    def _write_record(self, path: Path, payload: dict) -> None:
-        tmp = path.with_suffix(".tmp")
-        envelope = {
-            "format": _FORMAT,
-            "sha256": _checksum(payload),
-            "record": payload,
-        }
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(envelope, fh)
-        os.replace(tmp, path)
-
-    @staticmethod
-    def _read_record_payload(path: Path) -> dict:
-        """Parse one record file, verifying the checksum when present.
-
-        Raises ``StoreCorruption`` (without quarantining — callers decide)
-        on unparseable JSON, a malformed envelope, or a checksum mismatch.
-        Format-1 files (a bare record dict) predate checksums and are
-        accepted as-is.
-        """
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                data = json.load(fh)
-        except json.JSONDecodeError as exc:
-            raise StoreCorruption(f"{path.name}: unparseable record file ({exc})")
-        if not isinstance(data, dict):
-            raise StoreCorruption(f"{path.name}: record file is not an object")
-        if "format" not in data:
-            if "run_id" in data:  # legacy checksum-less record
-                return data
-            raise StoreCorruption(f"{path.name}: not a run record")
-        payload = data.get("record")
-        if not isinstance(payload, dict) or "run_id" not in payload:
-            raise StoreCorruption(f"{path.name}: envelope has no record payload")
-        if _checksum(payload) != data.get("sha256"):
-            raise StoreCorruption(f"{path.name}: payload checksum mismatch")
-        return payload
-
-    def _quarantine(self, path: Path) -> Path:
-        """Move a corrupt file out of the store (index entry included).
-
-        The original name is preserved inside ``quarantine/``; a second
-        quarantine of the same name gets a numeric suffix so nothing is
-        overwritten.
-        """
-        qdir = self.root / _QUARANTINE_DIR
-        qdir.mkdir(exist_ok=True)
-        dest = qdir / path.name
-        counter = 1
-        while dest.exists():
-            dest = qdir / f"{path.stem}.{counter}{path.suffix}"
-            counter += 1
-        os.replace(path, dest)
-        self._cache.evict(path.stem)
-        index = self._read_index()
-        if index.pop(path.stem, None) is not None:
-            self._write_index(index)
-        return dest
-
-    @staticmethod
-    def _next_seq(index: Dict[str, dict]) -> int:
-        return 1 + max((meta.get("seq", -1) for meta in index.values()), default=-1)
+    @property
+    def backend(self) -> StorageBackend:
+        """The persistence layer this store runs on."""
+        return self._backend
 
     # ------------------------------------------------------------------
     # CRUD
@@ -421,89 +196,57 @@ class ExperimentStore:
     def save(self, record: RunRecord, overwrite: bool = False) -> str:
         """Persist a run record; returns its id.
 
-        The existence check, record write, and index merge all happen
-        under the store lock, so concurrent savers of distinct runs both
-        land and concurrent savers of the *same* run id race cleanly (one
-        wins, the other gets :class:`StoreError` unless ``overwrite``).
-        An overwritten record keeps its original ``seq``; new records get
-        the next monotonic value.
+        The existence check, record write, and index append all happen
+        under the backend's write lock, so concurrent savers of distinct
+        runs both land and concurrent savers of the *same* run id race
+        cleanly (one wins, the other gets :class:`StoreError` unless
+        ``overwrite``).  An overwritten record keeps its original
+        ``seq``; new records get the next monotonic value.
 
         The index entry carries the record's query summary
         (:func:`summarize_record`) and the saved record is installed in
         the load cache, so a campaign's post-save harvest never re-parses
         what it just wrote.  Treat a record as immutable once saved.
         """
-        path = self._record_path(record.run_id)
-        payload = record.to_dict()
-        summary = summarize_record(record)  # outside the lock: pure CPU
-        with self._lock():
-            if path.exists() and not overwrite:
-                raise StoreError(f"run {record.run_id!r} already stored")
-            self._write_record(path, payload)
-            index = self._read_index()
-            prior = index.get(record.run_id)
-            seq = prior["seq"] if prior and "seq" in prior else self._next_seq(index)
-            index[record.run_id] = {
-                "app_name": record.app_name,
-                "version": record.version,
-                "n_processes": record.n_processes,
-                "bottlenecks": record.bottleneck_count(),
-                "pairs_tested": record.pairs_tested,
-                "seq": seq,
-                "summary": summary,
-            }
-            self._write_index(index)
-            self._cache.put(record.run_id, _stat_sig(path), record)
+        meta = meta_for_record(record)  # outside the lock: pure CPU
+        _seq, token = self._backend.put(
+            record.run_id, record.to_dict(), meta, overwrite=overwrite
+        )
+        self._cache.put(record.run_id, token, record)
+        self._maybe_auto_compact()
         return record.run_id
 
     def load(self, run_id: str) -> RunRecord:
-        """Load one record, verifying its payload checksum.
+        """Load one record, verifying its payload integrity.
 
-        Served from the in-process LRU when the record file's stat
-        signature is unchanged; an overwrite by any process produces a
-        new inode and forces a fresh parse.  Cached records are shared
-        objects — do not mutate them.
+        Served from the in-process LRU when the backend's record token
+        is unchanged; an overwrite by any process produces a new token
+        and forces a fresh parse.  Cached records are shared objects —
+        do not mutate them.
 
-        A file that fails the check is quarantined and the raised
-        :class:`StoreCorruption` carries the quarantine path, so callers
-        (and the CLI) can report what happened and where the bytes went.
+        A record that fails its check is quarantined by the backend and
+        the raised :class:`StoreCorruption` says where the bytes went,
+        so callers (and the CLI) can report what happened.
         """
-        path = self._record_path(run_id)
-        try:
-            sig = _stat_sig(path)
-        except OSError:
-            raise StoreError(f"no stored run {run_id!r}") from None
-        cached = self._cache.get(run_id, sig)
+        token = self._backend.record_token(run_id)
+        cached = self._cache.get(run_id, token)
         if cached is not None:
             return cached
         try:
-            payload = self._read_record_payload(path)
-        except StoreCorruption as exc:
-            self._quarantine_and_raise(path, exc)
+            payload = self._backend.get(run_id)
+        except StoreCorruption:
+            self._cache.evict(run_id)
+            raise
         record = RunRecord.from_dict(payload)
-        self._cache.put(run_id, sig, record)
+        self._cache.put(run_id, token, record)
         return record
 
-    def _quarantine_and_raise(self, path: Path, exc: StoreCorruption) -> None:
-        with self._lock():
-            dest = self._quarantine(path) if path.exists() else None
-        raise StoreCorruption(
-            f"{exc}" + (f"; quarantined to {dest}" if dest else ""),
-            quarantined_to=dest,
-        ) from None
-
     def delete(self, run_id: str) -> None:
-        with self._lock():
-            path = self._record_path(run_id)
-            if path.exists():
-                path.unlink()
-            self._cache.evict(run_id)
-            index = self._read_index()
-            index.pop(run_id, None)
-            self._write_index(index)
+        self._cache.evict(run_id)
+        self._backend.delete(run_id)
 
     def __contains__(self, run_id: str) -> bool:
-        return self._record_path(run_id).exists()
+        return self._backend.contains(run_id)
 
     # ------------------------------------------------------------------
     # queries
@@ -515,17 +258,8 @@ class ExperimentStore:
     ) -> Dict[str, dict]:
         """Index metadata matching the filters, oldest first — one index
         read, no record parsing.  Entries may or may not carry a
-        ``summary`` (format-2 stores lack them until backfilled)."""
-        index = self._read_index()
-        items = sorted(index.items(), key=lambda kv: kv[1].get("seq", 0))
-        out: Dict[str, dict] = {}
-        for run_id, meta in items:
-            if app_name is not None and meta.get("app_name") != app_name:
-                continue
-            if version is not None and meta.get("version") != version:
-                continue
-            out[run_id] = meta
-        return out
+        ``summary`` (pre-format-3 stores lack them until backfilled)."""
+        return self._backend.query_summaries(app_name=app_name, version=version)
 
     def list(
         self,
@@ -551,52 +285,69 @@ class ExperimentStore:
 
         With ``processes`` > 1 the cache misses are parsed (JSON +
         checksum, the expensive part) in a process pool; records are
-        rebuilt and cached in the calling process.  Corrupt files are
-        quarantined exactly as :meth:`load` would.  Order follows
-        ``run_ids``.
+        rebuilt and cached in the calling process.  The pool requires
+        the ``fork`` start method and file-addressable records; on
+        spawn-only platforms this falls back to serial parsing with a
+        :class:`RuntimeWarning` (backends without per-record files fall
+        back silently).  Corrupt records are quarantined exactly as
+        :meth:`load` would.  Order follows ``run_ids``.
         """
         ids = list(run_ids)
         records: List[Optional[RunRecord]] = [None] * len(ids)
-        pending: List[Tuple[int, str, Path, Tuple[int, int, int]]] = []
+        pending: List[Tuple[int, str, Hashable]] = []
         for i, run_id in enumerate(ids):
-            path = self._record_path(run_id)
-            try:
-                sig = _stat_sig(path)
-            except OSError:
-                raise StoreError(f"no stored run {run_id!r}") from None
-            cached = self._cache.get(run_id, sig)
+            token = self._backend.record_token(run_id)
+            cached = self._cache.get(run_id, token)
             if cached is not None:
                 records[i] = cached
             else:
-                pending.append((i, run_id, path, sig))
-        if processes and processes > 1 and len(pending) > 1:
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context(
-                "fork" if "fork" in methods else methods[0]
-            )
+                pending.append((i, run_id, token))
+        use_pool = bool(processes and processes > 1 and len(pending) > 1)
+        if use_pool:
+            paths = {
+                run_id: self._backend.record_path(run_id)
+                for _i, run_id, _token in pending
+            }
+            if any(path is None for path in paths.values()):
+                use_pool = False  # backend has no per-record files
+            elif "fork" not in multiprocessing.get_all_start_methods():
+                warnings.warn(
+                    "store.load_many(processes=...) needs the 'fork' start "
+                    "method, which this platform lacks; parsing serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                use_pool = False
+        if use_pool:
+            ctx = multiprocessing.get_context("fork")
             with ProcessPoolExecutor(
                 max_workers=min(processes, len(pending)), mp_context=ctx
             ) as pool:
                 futures = {
-                    pool.submit(_read_payload_task, str(path)): (i, run_id, path, sig)
-                    for i, run_id, path, sig in pending
+                    pool.submit(_read_payload_task, str(paths[run_id])):
+                        (i, run_id, token)
+                    for i, run_id, token in pending
                 }
                 for future in as_completed(futures):
-                    i, run_id, path, sig = futures[future]
+                    i, run_id, token = futures[future]
                     try:
                         payload = future.result()
-                    except StoreCorruption as exc:
-                        self._quarantine_and_raise(path, exc)
+                    except StoreCorruption:
+                        self._cache.evict(run_id)
+                        # Re-read through the backend so the bad bytes
+                        # are quarantined exactly as load() would.
+                        self._backend.get(run_id)
+                        raise  # pragma: no cover - get() raises first
                     record = RunRecord.from_dict(payload)
-                    self._cache.put(run_id, sig, record)
+                    self._cache.put(run_id, token, record)
                     records[i] = record
         else:
-            for i, run_id, _path, _sig in pending:
+            for i, run_id, _token in pending:
                 records[i] = self.load(run_id)
         return records  # type: ignore[return-value]
 
     def __len__(self) -> int:
-        return len(self._read_index())
+        return len(self.index_entries())
 
     # ------------------------------------------------------------------
     # summaries
@@ -604,14 +355,13 @@ class ExperimentStore:
     def summary(self, run_id: str) -> dict:
         """The query summary for one run — from the index when present,
         otherwise computed from the record and backfilled into the index
-        (the lazy format-2 → format-3 upgrade path)."""
-        index = self._read_index()
-        meta = index.get(run_id)
+        (the lazy pre-format-3 upgrade path)."""
+        meta = self._backend.query_summaries(run_ids=[run_id])[run_id]
         if meta is not None and isinstance(meta.get("summary"), dict):
             return meta["summary"]
         summary = summarize_record(self.load(run_id))
         if meta is not None:
-            self._backfill_summaries({run_id: summary})
+            self._backend.set_summaries({run_id: summary})
         return summary
 
     def summaries(
@@ -623,40 +373,25 @@ class ExperimentStore:
 
         Returns ``run_id -> meta`` (each meta carrying ``"summary"``) in
         ``run_ids`` order when given, else seq order filtered by
-        *app_name*.  Entries whose summary is missing — a format-2 store
-        — are computed from the record once and written back under the
-        store lock, so the cost is paid on first touch only.
+        *app_name*.  Entries whose summary is missing — a pre-format-3
+        store — are computed from the record once and written back, so
+        the cost is paid on first touch only.
         """
-        if run_ids is None:
-            items = list(self.index_entries(app_name=app_name).items())
-        else:
-            index = self._read_index()
-            items = [(run_id, index.get(run_id)) for run_id in run_ids]
+        items = self._backend.query_summaries(
+            app_name=None if run_ids is not None else app_name,
+            run_ids=run_ids,
+        )
         out: Dict[str, dict] = {}
         backfill: Dict[str, dict] = {}
-        for run_id, meta in items:
+        for run_id, meta in items.items():
             meta = {} if meta is None else dict(meta)
             if not isinstance(meta.get("summary"), dict):
                 meta["summary"] = summarize_record(self.load(run_id))
                 backfill[run_id] = meta["summary"]
             out[run_id] = meta
         if backfill:
-            self._backfill_summaries(backfill)
+            self._backend.set_summaries(backfill)
         return out
-
-    def _backfill_summaries(self, summaries: Dict[str, dict]) -> None:
-        """Merge lazily computed summaries into the index under the lock
-        (skipping entries another process already upgraded or removed)."""
-        with self._lock():
-            index = self._read_index()
-            changed = False
-            for run_id, summary in summaries.items():
-                meta = index.get(run_id)
-                if meta is not None and not isinstance(meta.get("summary"), dict):
-                    meta["summary"] = summary
-                    changed = True
-            if changed:
-                self._write_index(index)
 
     def cache_info(self) -> Dict[str, int]:
         """Cache statistics (for tests and benchmarks)."""
@@ -671,63 +406,79 @@ class ExperimentStore:
     # maintenance
     # ------------------------------------------------------------------
     def rebuild_index(self) -> RecoveryReport:
-        """Reconstruct the index from the record files on disk.
+        """Reconstruct the index from the stored records.
 
-        Recovery tool for a corrupted or missing index: every
-        ``<run_id>.json`` is re-read, checksum-verified, and
-        re-registered.  Existing ``seq`` values are preserved where the
+        Recovery tool for a corrupted or missing index: every record is
+        re-read, integrity-verified, and re-registered with a fresh
+        query summary.  Existing ``seq`` values are preserved where the
         old index still has them; records the index lost are appended in
-        file-modification order.  Files that fail parsing or their
-        checksum are moved to ``quarantine/`` instead of aborting the
-        rebuild.  Returns a :class:`RecoveryReport` listing both.
+        storage order.  Records that fail verification are quarantined
+        instead of aborting the rebuild.  Returns a
+        :class:`RecoveryReport` listing both.
 
-        Doubles as the eager format-3 upgrade: every re-registered entry
-        gets a fresh query summary, so rebuilding an old format-2 store
-        leaves it fully denormalized in one pass.
+        Doubles as the eager upgrade path: rebuilding a format-2 store
+        leaves it fully summarized, and rebuilding a segmented store
+        folds everything into one fresh base generation.
         """
-        report = RecoveryReport()
         self._cache.clear()
-        with self._lock():
-            try:
-                old = self._read_index()
-            except (OSError, json.JSONDecodeError):
-                old = {}
-            paths = sorted(
-                (p for p in self.root.glob("*.json") if p.name != _INDEX_NAME),
-                key=lambda p: p.stat().st_mtime,
-            )
-            index: Dict[str, dict] = {}
-            recovered = []
-            quarantined: List[Path] = []
-            for path in paths:
-                try:
-                    record = RunRecord.from_dict(self._read_record_payload(path))
-                except (StoreCorruption, KeyError, TypeError, ValueError):
-                    quarantined.append(path)
-                    continue
-                meta = {
-                    "app_name": record.app_name,
-                    "version": record.version,
-                    "n_processes": record.n_processes,
-                    "bottlenecks": record.bottleneck_count(),
-                    "pairs_tested": record.pairs_tested,
-                    "summary": summarize_record(record),
-                }
-                self._cache.put(record.run_id, _stat_sig(path), record)
-                prior = old.get(record.run_id)
-                if prior and "seq" in prior:
-                    meta["seq"] = prior["seq"]
-                    index[record.run_id] = meta
-                else:
-                    recovered.append((record.run_id, meta))
-                report.kept.append(record.run_id)
-            for run_id, meta in recovered:
-                meta["seq"] = self._next_seq(index)
-                index[run_id] = meta
-            self._write_index(index)
-            # Quarantine after the index write: _quarantine re-reads the
-            # index to drop the entry, so the rebuilt index must be the
-            # one on disk.
-            for path in quarantined:
-                report.quarantined.append(str(self._quarantine(path)))
-        return report
+        return self._backend.rebuild()
+
+    def compact(self) -> CompactionStats:
+        """Fold accumulated index segments into a new base generation.
+
+        Crash-safe (a writer killed mid-compaction leaves the store
+        readable) and a no-op shrink (``VACUUM``) on backends without
+        segments.  Saves trigger this automatically past the
+        ``auto_compact`` threshold.
+        """
+        return self._backend.compact()
+
+    def info(self) -> StoreInfo:
+        """The store's identity and shape (``repro store stats``)."""
+        return self._backend.info()
+
+    def _maybe_auto_compact(self) -> None:
+        if not self._auto_compact:
+            return
+        segment_count = getattr(self._backend, "segment_count", None)
+        if segment_count is None or segment_count() < self._auto_compact:
+            return
+        if not self._background_compaction:
+            self._backend.compact()
+            return
+        if self._compaction_thread is not None \
+                and self._compaction_thread.is_alive():
+            return  # one fold in flight is enough
+        self._compaction_thread = threading.Thread(
+            target=self._backend.compact, name="store-compaction", daemon=True
+        )
+        self._compaction_thread.start()
+
+    # ------------------------------------------------------------------
+    # compatibility
+    # ------------------------------------------------------------------
+    def _read_index(self) -> Dict[str, dict]:
+        """Pre-redesign internal: the merged run→meta mapping.  Kept for
+        callers (and tests) that inspected the index directly."""
+        return dict(self._backend.iter_summaries())
+
+
+def migrate_store(
+    source: ExperimentStore,
+    dest: ExperimentStore,
+    *,
+    overwrite: bool = False,
+) -> int:
+    """Copy every record from *source* into *dest*, oldest first.
+
+    Records stream one at a time through the normal save path, so the
+    destination backend assigns fresh contiguous ``seq`` values in the
+    same recency order and recomputes summaries deterministically —
+    queries over the migrated store answer byte-identically to the
+    original.  Returns the number of records copied.
+    """
+    copied = 0
+    for run_id in source.list():
+        dest.save(source.load(run_id), overwrite=overwrite)
+        copied += 1
+    return copied

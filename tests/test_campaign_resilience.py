@@ -171,6 +171,19 @@ class TestJournal:
             fh.write('{"campaign": "j", "run_id": "torn", "sta')  # the kill landed here
         assert sorted(CampaignJournal(jpath).finished("j")) == ["j-runs-000"]
 
+    def test_append_after_torn_line_repairs_tail(self, tmp_path):
+        """Appending after a torn final line must not glue the new entry
+        onto the fragment (which would corrupt a mid-file line)."""
+        jpath = tmp_path / "j.jsonl"
+        Campaign(specs=[_spec()], name="j").run(journal=jpath)
+        with open(jpath, "a") as fh:
+            fh.write('{"campaign": "j", "run_id": "torn", "sta')
+        journal = CampaignJournal(jpath)
+        journal.append({"campaign": "j", "run_id": "after", "status": "ok"})
+        journal.close()
+        entries = list(CampaignJournal(jpath).entries())
+        assert [e["run_id"] for e in entries] == ["j-runs-000", "after"]
+
     def test_corrupt_interior_line_raises(self, tmp_path):
         jpath = tmp_path / "j.jsonl"
         jpath.write_text('not json\n{"run_id": "x", "status": "ok"}\n')

@@ -372,18 +372,16 @@ class TestSummaryFastPath:
 
     @pytest.fixture()
     def count_parses(self, monkeypatch):
-        from repro.storage.store import ExperimentStore
+        from repro.storage import file_backend
 
         calls = []
-        original = ExperimentStore._read_record_payload
+        original = file_backend.read_record_payload
 
         def counting(path):
             calls.append(path.name)
             return original(path)
 
-        monkeypatch.setattr(
-            ExperimentStore, "_read_record_payload", staticmethod(counting)
-        )
+        monkeypatch.setattr(file_backend, "read_record_payload", counting)
         return calls
 
     def test_report_parses_no_record(self, store_with_runs, count_parses, capsys):

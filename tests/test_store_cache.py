@@ -225,6 +225,10 @@ class TestIndexSummaries:
     def test_save_writes_format3_envelope_with_summary(self, tmp_path):
         store = ExperimentStore(tmp_path / "runs")
         store.save(make_record())
+        # the save landed in an append-only index segment; compaction
+        # folds it into the format-3 base envelope
+        assert store.info().segments == 1
+        store.compact()
         data = json.loads((tmp_path / "runs" / "index.json").read_text())
         assert data["format"] == 3
         summary = data["runs"]["r1"]["summary"]
@@ -258,11 +262,14 @@ class TestIndexSummaries:
     def test_lazy_backfill_upgrades_index(self, tmp_path):
         store = ExperimentStore(tmp_path / "runs")
         store.save(make_record())
+        store.compact()  # fold the save into index.json for the strip
         strip_to_format2(tmp_path / "runs")
         fresh = ExperimentStore(tmp_path / "runs")
         metas = fresh.summaries()
         assert metas["r1"]["summary"]["status"] == "complete"
-        # the computed summary was written back: now on disk, format 3
+        # the computed summary was written back: a brand-new instance
+        # (fresh caches) sees it on disk without recomputing
+        ExperimentStore(tmp_path / "runs").compact()
         data = json.loads((tmp_path / "runs" / "index.json").read_text())
         assert data["format"] == 3
         assert "summary" in data["runs"]["r1"]
@@ -270,9 +277,11 @@ class TestIndexSummaries:
     def test_single_summary_backfill(self, tmp_path):
         store = ExperimentStore(tmp_path / "runs")
         store.save(make_record())
+        store.compact()
         strip_to_format2(tmp_path / "runs")
         fresh = ExperimentStore(tmp_path / "runs")
         assert fresh.summary("r1")["peak_cost"] == pytest.approx(1.5)
+        ExperimentStore(tmp_path / "runs").compact()
         data = json.loads((tmp_path / "runs" / "index.json").read_text())
         assert "summary" in data["runs"]["r1"]
 

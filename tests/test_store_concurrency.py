@@ -81,8 +81,10 @@ def test_rebuild_index_recovers_lost_entries(tmp_path):
     store = ExperimentStore(root)
     for i in range(3):
         store.save(_tiny_record(f"r{i}"))
-    # simulate index corruption
+    # simulate total index loss: base generation and all segments
     (root / "index.json").write_text("{}")
+    for seg in (root / "segments").glob("*.json"):
+        seg.unlink()
     assert ExperimentStore(root).list() == []
     report = store.rebuild_index()
     assert report.count == 3
