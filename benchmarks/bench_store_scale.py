@@ -215,6 +215,35 @@ def bench_scale(workdir: Path, n_entries: int, appends: dict) -> dict:
     return out
 
 
+# ---------------------------------------------------------------------------
+# phase 3: resilience overhead — the armed-but-idle wrapper must be free
+# ---------------------------------------------------------------------------
+def bench_resilience_overhead(workdir: Path, n_appends: int,
+                              reps: int = 3) -> dict:
+    """Append throughput through the raw backend vs the armed resilience
+    wrapper (retry + breaker, no faults firing).  Modes alternate and the
+    best rep per mode is kept, so scheduler noise cancels instead of
+    landing on one side of the ratio."""
+    best = {"raw": 0.0, "armed": 0.0}
+    for rep in range(reps):
+        for mode, resilience in (("raw", False), ("armed", None)):
+            root = workdir / f"resil-{mode}-{rep}"
+            store = ExperimentStore(root, auto_compact=0,
+                                    resilience=resilience)
+            run = timed_appends(store, n_appends, f"rs-{mode[:2]}")
+            best[mode] = max(best[mode], run["throughput_per_s"])
+    overhead = (best["raw"] / best["armed"]
+                if best["armed"] > 0 else float("inf"))
+    print(f"resilience overhead: raw {best['raw']:.1f} saves/s, "
+          f"armed {best['armed']:.1f} saves/s ({overhead:.3f}x)")
+    return {
+        "appends": n_appends,
+        "raw_throughput_per_s": best["raw"],
+        "armed_throughput_per_s": best["armed"],
+        "overhead_ratio": overhead,
+    }
+
+
 def check_against_baseline(results: dict) -> int:
     if not BASELINE.is_file():
         print(f"no baseline at {BASELINE}; skipping regression check")
@@ -233,6 +262,12 @@ def check_against_baseline(results: dict) -> int:
         failures.append("write_throughput")
     if slowdown > baseline["cold_query_slowdown_max"]:
         failures.append("cold_query")
+    if "resilience_overhead_max" in baseline and "resilience" in results:
+        overhead = results["resilience"]["overhead_ratio"]
+        print(f"armed-but-idle resilience overhead: {overhead:.3f}x "
+              f"(ceiling {baseline['resilience_overhead_max']:g}x)")
+        if overhead > baseline["resilience_overhead_max"]:
+            failures.append("resilience_overhead")
     if failures:
         print(f"FAIL: store-scale regression: {failures}")
         return 1
@@ -264,6 +299,7 @@ def main(argv=None) -> int:
             "file-legacy": args.legacy_appends,
             "sqlite": args.appends,
         })
+        resilience = bench_resilience_overhead(workdir, args.appends)
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
@@ -276,6 +312,7 @@ def main(argv=None) -> int:
         },
         "equivalence": {"backends": list(BACKENDS), "byte_identical": True},
         "scale": scale,
+        "resilience": resilience,
     }
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     out_path = RESULTS_DIR / "BENCH_store_scale.json"
@@ -287,10 +324,13 @@ def main(argv=None) -> int:
         BASELINE.write_text(json.dumps({
             "write_speedup_min": 5.0,
             "cold_query_slowdown_max": 2.5,
+            "resilience_overhead_max": 1.10,
             "gate_entries": args.entries,
             "note": "segmented-index floors measured by bench_store_scale.py:"
-                    " write throughput vs the legacy whole-index rewrite, and"
-                    " cold query latency vs the legacy monolithic read",
+                    " write throughput vs the legacy whole-index rewrite,"
+                    " cold query latency vs the legacy monolithic read, and"
+                    " the armed-but-idle retry/breaker wrapper vs the raw"
+                    " backend write path",
         }, indent=2, sort_keys=True) + "\n")
         print(f"baseline updated: {BASELINE}")
 

@@ -128,6 +128,10 @@ class StageResult:
     #: salvaged with ``on_failure="degrade"``, or its record came back
     #: with ``status="degraded"`` (crashed processes, injected faults).
     degraded: List[str] = field(default_factory=list)
+    #: Run ids whose record could not be persisted to the campaign store
+    #: (``on_store_failure="degrade"``): the run itself succeeded and its
+    #: record is in :attr:`records`, but the store write failed.
+    store_failures: Dict[str, str] = field(default_factory=dict)
     #: Run ids restored from the journal instead of re-executed.
     resumed: List[str] = field(default_factory=list)
     wall: float = 0.0
@@ -167,6 +171,13 @@ class CampaignResult:
     def degraded(self) -> List[str]:
         return [run_id for stage in self.stages.values() for run_id in stage.degraded]
 
+    @property
+    def store_failures(self) -> Dict[str, str]:
+        out: Dict[str, str] = {}
+        for stage in self.stages.values():
+            out.update(stage.store_failures)
+        return out
+
     def stage(self, name: str) -> StageResult:
         return self.stages[name]
 
@@ -183,6 +194,8 @@ class CampaignResult:
             )
             if stage.degraded:
                 line += f", {len(stage.degraded)} degraded"
+            if stage.store_failures:
+                line += f", {len(stage.store_failures)} unsaved"
             if stage.resumed:
                 line += f", {len(stage.resumed)} resumed"
             lines.append(line + f", {stage.wall:.1f} s")
@@ -275,6 +288,7 @@ class Campaign:
         journal: Union[CampaignJournal, str, Path, None] = None,
         resume: bool = False,
         run_timeout: Optional[float] = None,
+        on_store_failure: str = "raise",
     ) -> CampaignResult:
         """Execute every stage; never raises for individual run failures.
 
@@ -285,11 +299,21 @@ class Campaign:
         final outcome crash-durable; with ``resume=True`` runs the
         journal already holds are restored instead of re-executed.
         ``run_timeout`` caps each run's wall-clock seconds.
+        ``on_store_failure`` decides what a failed ``store.save`` does:
+        ``"raise"`` (the default) aborts the campaign, ``"degrade"``
+        records the error in :attr:`StageResult.store_failures`, keeps
+        the in-memory record (and its journal entry), and continues —
+        a sick archive then costs durability, not compute.
         ``progress`` receives event dicts (``stage-started``,
         ``run-finished``, ``run-failed``, ``run-retried``,
-        ``run-salvaged``, ``run-skipped``, ``stage-finished``) for live
-        reporting.
+        ``run-salvaged``, ``run-skipped``, ``store-degraded``,
+        ``stage-finished``) for live reporting.
         """
+        if on_store_failure not in ("raise", "degrade"):
+            raise CampaignError(
+                f'on_store_failure must be "raise" or "degrade", '
+                f"got {on_store_failure!r}"
+            )
         if executor is None:
             executor = default_executor(workers) if workers else SerialExecutor()
         if store is not None and not isinstance(store, ExperimentStore):
@@ -314,7 +338,7 @@ class Campaign:
             for stage in self.stages:
                 result.stages[stage.name] = self._run_stage(
                     stage, executor, result, store, emit, overwrite,
-                    journal, finished, run_timeout,
+                    journal, finished, run_timeout, on_store_failure,
                 )
         finally:
             if journal is not None:
@@ -334,6 +358,7 @@ class Campaign:
         journal: Optional[CampaignJournal],
         finished: Mapping[str, dict],
         run_timeout: Optional[float],
+        on_store_failure: str = "raise",
     ) -> StageResult:
         stage_start = time.perf_counter()
         specs = [
@@ -389,6 +414,7 @@ class Campaign:
         failures: Dict[str, str] = {}
         retried: List[str] = []
         degraded: List[str] = []
+        store_failures: Dict[str, str] = {}
         resumed: List[str] = []
 
         def journal_entry(run_id: str, status: str, error=None, outcome=None) -> None:
@@ -412,7 +438,21 @@ class Campaign:
             if record.degraded:
                 degraded.append(run_id)
             if store is not None:
-                store.save(record, overwrite=overwrite)
+                try:
+                    store.save(record, overwrite=overwrite)
+                except (StoreError, OSError) as exc:
+                    # The *run* succeeded; only its persistence failed.
+                    # Under "degrade" the record survives in memory (and
+                    # in the journal below) and the campaign carries on.
+                    if on_store_failure != "degrade":
+                        raise
+                    store_failures[run_id] = str(exc)
+                    emit({
+                        "event": "store-degraded",
+                        "stage": stage.name,
+                        "run_id": run_id,
+                        "error": str(exc),
+                    })
             journal_entry(
                 run_id, "degraded" if record.degraded else "ok", outcome=outcome
             )
@@ -529,6 +569,7 @@ class Campaign:
             failures=failures,
             retried=retried,
             degraded=degraded,
+            store_failures=store_failures,
             resumed=resumed,
             wall=time.perf_counter() - stage_start,
             harvested=harvested,

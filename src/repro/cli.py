@@ -14,11 +14,13 @@ The workflows of the paper as shell commands around an experiment store::
     repro diagnose poisson --store runs/ --trace
     repro trace poisson-C-0002 --store runs/
     repro report --store runs/ poisson-C-0002 --metrics
+    repro store verify --store runs/                    # scrub the archive
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -91,6 +93,27 @@ def _parse_threshold(text: str):
         raise SystemExit(f"bad --threshold {text!r}; expected HYPOTHESIS=VALUE")
 
 
+def _resilience_setting(args: argparse.Namespace):
+    """Turn the ``--retry-*``/``--no-resilience`` flags into the
+    ``resilience=`` argument of :func:`resolve_store`: ``False`` to open
+    the raw backend, a :class:`~repro.resilience.backend.ResiliencePolicy`
+    when any knob was set, ``None`` for the armed defaults."""
+    if getattr(args, "no_resilience", False):
+        return False
+    overrides = {}
+    if getattr(args, "retry_attempts", None) is not None:
+        overrides["attempts"] = args.retry_attempts
+    if getattr(args, "retry_backoff", None) is not None:
+        overrides["base_delay"] = args.retry_backoff
+    if getattr(args, "retry_deadline", None) is not None:
+        overrides["deadline_s"] = args.retry_deadline
+    if not overrides:
+        return None
+    from .resilience import ResiliencePolicy
+
+    return ResiliencePolicy(**overrides)
+
+
 # ---------------------------------------------------------------------------
 # subcommands
 # ---------------------------------------------------------------------------
@@ -116,6 +139,7 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
         faults=faults,
         on_failure=args.on_failure,
         trace=trace,
+        strict_history=args.strict_harvest,
     )
     t_all = record.time_to_find_all()
     print(f"run id          : {record.run_id}")
@@ -197,7 +221,7 @@ def _print_run_summary(
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    store = resolve_store(args.store).store
+    store = resolve_store(args.store, resilience=_resilience_setting(args)).store
     wants_record = args.profile or args.shg or args.hierarchies or args.metrics
     if not wants_record:
         # Summary-only report: everything comes from the store index, so
@@ -276,6 +300,15 @@ def cmd_report(args: argparse.Namespace) -> int:
                 record.metrics,
                 labels={"run_id": record.run_id, "app": record.app_name},
             ))
+            # Store-level retry/circuit-breaker counters, from the
+            # resilience wrapper the ops above went through.
+            resilience = store.resilience_metrics()
+            if resilience:
+                sys.stdout.write(metrics_to_prometheus(
+                    resilience,
+                    prefix="repro_store",
+                    labels={"backend": store.backend.name},
+                ))
         else:
             mtable = Table("Run metrics", ["metric", "value"])
             for name in sorted(record.metrics):
@@ -483,6 +516,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                   f"after {event['backoff']:.2f} s ({event['error']})")
         elif event["event"] == "run-failed":
             print(f"  {event['run_id']}: FAILED ({event['error']})")
+        elif event["event"] == "store-degraded":
+            print(f"  {event['run_id']}: record NOT stored ({event['error']})")
 
     result = campaign.run(
         default_executor(args.workers),
@@ -492,26 +527,31 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         journal=args.journal,
         resume=args.resume,
         run_timeout=args.run_timeout,
+        on_store_failure=args.on_store_failure,
     )
 
     table = Table(
         f"Campaign {args.name}",
-        ["stage", "ok", "degraded", "failed", "resumed", "wall (s)"],
+        ["stage", "ok", "degraded", "failed", "unsaved", "resumed", "wall (s)"],
     )
     for stage in result.stages.values():
         table.add_row([
             stage.name, len(stage.ok), len(stage.degraded), len(stage.failures),
-            len(stage.resumed), f"{stage.wall:.1f}",
+            len(stage.store_failures), len(stage.resumed), f"{stage.wall:.1f}",
         ])
     print()
     print(table.render())
     if args.store:
         print(f"records stored in {args.store}")
+        if result.store_failures:
+            print(f"WARNING: {len(result.store_failures)} record(s) could not "
+                  "be stored (see 'record NOT stored' lines above)")
     return 1 if result.failures else 0
 
 
 def cmd_store_stats(args: argparse.Namespace) -> int:
-    handle = resolve_store(args.store, backend=args.backend)
+    handle = resolve_store(args.store, backend=args.backend,
+                           resilience=_resilience_setting(args))
     info = handle.info()
     table = Table(f"Store {args.store}", ["property", "value"])
     table.add_row(["backend", info.backend])
@@ -525,23 +565,41 @@ def cmd_store_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_store_compact(args: argparse.Namespace) -> int:
-    handle = resolve_store(args.store, backend=args.backend)
+    handle = resolve_store(args.store, backend=args.backend,
+                           resilience=_resilience_setting(args))
     stats = handle.store.compact()
     print(stats)
     return 0
 
 
 def cmd_store_rebuild(args: argparse.Namespace) -> int:
-    handle = resolve_store(args.store, backend=args.backend)
+    handle = resolve_store(args.store, backend=args.backend,
+                           resilience=_resilience_setting(args))
     report = handle.store.rebuild_index()
     print(report)
     return 0
 
 
+def cmd_store_verify(args: argparse.Namespace) -> int:
+    """Scrub the store: read back every indexed record, recompute its
+    summary, and look for orphans.  Exit 0 when clean, 3 (corruption)
+    otherwise, so cron jobs and CI can alert on a sick archive."""
+    handle = resolve_store(args.store, backend=args.backend,
+                           resilience=_resilience_setting(args))
+    report = handle.store.verify()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report)
+    return 0 if report.clean else EXIT_CORRUPTION
+
+
 def cmd_store_migrate(args: argparse.Namespace) -> int:
-    source = resolve_store(args.store, backend=args.backend)
+    resilience = _resilience_setting(args)
+    source = resolve_store(args.store, backend=args.backend,
+                           resilience=resilience)
     dest = resolve_store(
-        args.dest, backend=args.to_backend or "file"
+        args.dest, backend=args.to_backend or "file", resilience=resilience
     )
     copied = migrate_store(
         source.store, dest.store, overwrite=args.overwrite
@@ -554,6 +612,21 @@ def cmd_store_migrate(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
+def _add_retry_flags(p: argparse.ArgumentParser) -> None:
+    """Store resilience knobs, shared by every command that opens a store."""
+    g = p.add_argument_group("store resilience")
+    g.add_argument("--retry-attempts", type=int, default=None, metavar="N",
+                   help="attempts per transient store failure (default 4)")
+    g.add_argument("--retry-backoff", type=float, default=None,
+                   metavar="SECONDS",
+                   help="base delay of the exponential backoff (default 0.02)")
+    g.add_argument("--retry-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock budget per store operation (default 2)")
+    g.add_argument("--no-resilience", action="store_true",
+                   help="open the raw backend: no retries, no circuit breaker")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -590,6 +663,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record a structured search trace; with PATH write "
                         "the JSONL there, without PATH write it under the "
                         "store as traces/<run_id>.jsonl")
+    p.add_argument("--strict-harvest", action="store_true",
+                   help="abort when any --directives history source fails "
+                        "instead of skipping it with a warning")
     p.set_defaults(func=cmd_diagnose)
 
     p = sub.add_parser("campaign",
@@ -625,6 +701,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-coverage", type=float, default=0.0,
                    help="exclude records below this coverage from the "
                         "directed stage's harvest")
+    p.add_argument("--on-store-failure", choices=("raise", "degrade"),
+                   default="raise",
+                   help="degrade: when saving a record to --store fails, "
+                        "keep the in-memory record and continue instead of "
+                        "aborting the campaign")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("extract", help="harvest search directives from stored runs")
@@ -652,7 +733,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-format", choices=("table", "json", "prom"),
                    default="table",
                    help="metrics rendering: table (default), json, or "
-                        "Prometheus text exposition")
+                        "Prometheus text exposition (includes the store's "
+                        "retry/circuit-breaker counters)")
+    _add_retry_flags(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("trace", help="render a recorded search trace as a timeline")
@@ -709,6 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--store", required=True)
     sp.add_argument("--backend", choices=backends, default=None,
                     help="pin the backend instead of auto-detecting")
+    _add_retry_flags(sp)
     sp.set_defaults(func=cmd_store_stats)
 
     sp = ssub.add_parser(
@@ -716,6 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fold accumulated index segments into a new base generation")
     sp.add_argument("--store", required=True)
     sp.add_argument("--backend", choices=backends, default=None)
+    _add_retry_flags(sp)
     sp.set_defaults(func=cmd_store_compact)
 
     sp = ssub.add_parser(
@@ -723,7 +808,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="reconstruct the index from record files, quarantining corrupt ones")
     sp.add_argument("--store", required=True)
     sp.add_argument("--backend", choices=backends, default=None)
+    _add_retry_flags(sp)
     sp.set_defaults(func=cmd_store_rebuild)
+
+    sp = ssub.add_parser(
+        "verify",
+        help="scrub every stored record and report corruption, divergent "
+             "summaries, and orphans (exit 3 when not clean)")
+    sp.add_argument("--store", required=True)
+    sp.add_argument("--backend", choices=backends, default=None)
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable scrub report on stdout")
+    _add_retry_flags(sp)
+    sp.set_defaults(func=cmd_store_verify)
 
     sp = ssub.add_parser(
         "migrate",
@@ -736,6 +833,7 @@ def build_parser() -> argparse.ArgumentParser:
                     default=None, help="destination backend (default file)")
     sp.add_argument("--overwrite", action="store_true",
                     help="replace run ids already present in the destination")
+    _add_retry_flags(sp)
     sp.set_defaults(func=cmd_store_migrate)
 
     return parser

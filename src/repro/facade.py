@@ -27,6 +27,7 @@ from .core.directives import DirectiveSet
 from .core.extraction import extract_directives, extract_directives_from_summaries
 from .core.search import SearchConfig
 from .obs.trace import Tracer
+from .resilience.backend import ResiliencePolicy
 from .storage.api import StoreHandle
 from .storage.records import RunRecord
 from .storage.store import ExperimentStore, StoreError
@@ -34,11 +35,29 @@ from .storage.store import ExperimentStore, StoreError
 __all__ = [
     "diagnose",
     "harvest",
+    "HarvestWarning",
     "resolve_store",
     "as_store",
     "load_directives",
     "resolve_history",
 ]
+
+
+class HarvestWarning(UserWarning):
+    """A federated history member was skipped instead of aborting the merge.
+
+    Structured so callers filtering warnings can see *which* member
+    failed and *why* without parsing the message: ``member`` is the
+    store/path as given, ``reason`` the underlying exception.
+    """
+
+    def __init__(self, member: Any, reason: BaseException) -> None:
+        super().__init__(
+            f"skipping unavailable history source {member!r}: "
+            f"{type(reason).__name__}: {reason}"
+        )
+        self.member = member
+        self.reason = reason
 
 _SEARCH_FIELDS = {f.name for f in dataclasses.fields(SearchConfig)}
 _SESSION_FIELDS = {
@@ -63,7 +82,8 @@ StoreLike = Union[ExperimentStore, str, Path]
 # input resolution (shared by the facade and the CLI)
 # ---------------------------------------------------------------------------
 def resolve_store(
-    store: StoreLike, *, backend: Optional[str] = None
+    store: StoreLike, *, backend: Optional[str] = None,
+    resilience: Union[None, bool, ResiliencePolicy] = None,
 ) -> StoreHandle:
     """Resolve a path-or-store argument to a typed :class:`StoreHandle`.
 
@@ -71,7 +91,12 @@ def resolve_store(
     ``store=`` keyword: an already-open :class:`ExperimentStore` passes
     through unchanged (``opened=False``); a path opens a store there,
     auto-detecting the backend unless *backend* pins one (``"file"``,
-    ``"file-legacy"``, ``"sqlite"``, or ``"auto"``).
+    ``"file-legacy"``, ``"sqlite"``, or ``"auto"``).  *resilience*
+    configures the retry/breaker layer when a path is opened (a
+    :class:`~repro.resilience.backend.ResiliencePolicy`, ``False`` to
+    disable, ``None`` for the armed defaults — the CLI's ``--retry-*``
+    flags build the policy); it does not apply to pass-through stores,
+    which keep whatever they were opened with.
     """
     if isinstance(store, ExperimentStore):
         if backend is not None and backend != "auto" \
@@ -86,7 +111,7 @@ def resolve_store(
             backend=store.backend.name,
             opened=False,
         )
-    opened = ExperimentStore(store, backend=backend)
+    opened = ExperimentStore(store, backend=backend, resilience=resilience)
     return StoreHandle(
         store=opened, root=opened.root, backend=opened.backend.name,
     )
@@ -136,12 +161,20 @@ def resolve_history(
         return None
     if isinstance(history, (list, tuple)) \
             and not all(isinstance(h, RunRecord) for h in history):
-        parts = [
-            resolved
-            for h in history
-            for resolved in [resolve_history(h, app=app, **options)]
-            if resolved is not None
-        ]
+        strict = bool(options.get("strict", False))
+        parts = []
+        for h in history:
+            try:
+                resolved = resolve_history(h, app=app, **options)
+            except (StoreError, OSError) as exc:
+                # Fail-soft federation: one unavailable member must not
+                # cost the directives of every healthy one.
+                if strict:
+                    raise
+                warnings.warn(HarvestWarning(h, exc), stacklevel=2)
+                continue
+            if resolved is not None:
+                parts.append(resolved)
         if not parts:
             return None
         return union_directives(*parts) if len(parts) > 1 else parts[0]
@@ -186,6 +219,7 @@ def diagnose(
     overwrite: bool = False,
     config: Optional[SearchConfig] = None,
     trace: Union[None, bool, str, Path, Tracer] = None,
+    strict_history: bool = False,
     **cfg,
 ) -> RunRecord:
     """Run one Performance Consultant diagnosis of *app*.
@@ -204,6 +238,11 @@ def diagnose(
     a pre-built :class:`~repro.obs.trace.Tracer` to keep the events
     in memory under your control.  ``None`` (the default) records
     nothing and adds no overhead.
+
+    Federated ``history`` (a list of sources) resolves fail-soft: an
+    unavailable member is skipped with a :class:`HarvestWarning` so a
+    degraded history archive cannot abort the diagnosis it was only
+    meant to speed up; ``strict_history=True`` restores fail-hard.
 
     >>> record = diagnose(build_poisson("C"), history="runs/", store="runs/")
     """
@@ -230,7 +269,7 @@ def diagnose(
         tracer = Tracer()
     record = DiagnosisSession(
         app=app,
-        directives=resolve_history(history, app=app),
+        directives=resolve_history(history, app=app, strict=strict_history),
         config=config or (SearchConfig(**search_kwargs) if search_kwargs else None),
         run_id=run_id,
         tracer=tracer,
@@ -254,6 +293,7 @@ def harvest(
     ],
     *,
     app: Union[Application, str, None] = None,
+    strict: bool = False,
     **options,
 ) -> DirectiveSet:
     """Extract search directives from stored history.
@@ -278,14 +318,35 @@ def harvest(
     :func:`~repro.core.combination.union_directives`; the merge is
     deterministic and insensitive to store order, so a team can pool the
     history of several archives without first copying records together.
+    A member that is missing, corrupt, or unavailable is **skipped with
+    a structured** :class:`HarvestWarning` and the rest still merge —
+    history improves a diagnosis but must never abort one; pass
+    ``strict=True`` to make any member failure raise instead.  A single
+    (non-federated) source always raises on failure: skipping the only
+    source would silently return an empty history.
     """
     source = store_or_records
     if isinstance(source, (list, tuple)) and source and all(
-        isinstance(s, ExperimentStore)
-        or (isinstance(s, (str, Path)) and Path(s).is_dir())
-        for s in source
+        isinstance(s, (ExperimentStore, str, Path)) for s in source
     ):
-        parts = [harvest(s, app=app, **options) for s in source]
+        parts = []
+        for member in source:
+            try:
+                # A path member must already be a store on disk: opening a
+                # missing path would silently create an empty store and
+                # mask a dead mount or a typo.
+                if isinstance(member, (str, Path)) and not Path(member).is_dir():
+                    raise StoreError(f"member store {str(member)!r} does not exist")
+                parts.append(harvest(member, app=app, strict=strict, **options))
+            except (StoreError, OSError) as exc:
+                if strict:
+                    raise
+                warnings.warn(HarvestWarning(member, exc), stacklevel=2)
+        if not parts:
+            raise StoreError(
+                "federated harvest: every member store failed "
+                f"({len(source)} skipped)"
+            )
         return union_directives(*parts) if len(parts) > 1 else parts[0]
     if isinstance(source, (str, Path)) and Path(source).is_dir():
         source = resolve_store(source).store

@@ -7,9 +7,15 @@ slow nodes, and processes that crash or hang at a chosen virtual time;
 :class:`FaultInjector` wires the plan into an engine through its public
 hook points.  Same plan + same application = identical trace and
 diagnosis, so every anomalous scenario is reproducible.
+
+:mod:`repro.faults.io` applies the same seeded-declarative pattern to
+the *real* machine: an :class:`IOFaultPlan` schedules EIO/ENOSPC/short
+writes/lost fsyncs/rename failures/SQLITE_BUSY/kills at chosen call
+indices of the storage backends' os and sqlite call sites.
 """
 
 from .injector import FaultInjector, InjectedFault, apply_faults
+from .io import IOFault, IOFaultInjector, IOFaultPlan, SimulatedCrash
 from .plan import FaultPlan, FaultPlanError
 
 __all__ = [
@@ -18,4 +24,8 @@ __all__ = [
     "apply_faults",
     "FaultPlan",
     "FaultPlanError",
+    "IOFault",
+    "IOFaultInjector",
+    "IOFaultPlan",
+    "SimulatedCrash",
 ]

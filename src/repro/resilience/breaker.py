@@ -1,0 +1,161 @@
+"""Per-backend circuit breaker — the fail-fast half of :mod:`repro.resilience`.
+
+Retry handles the *short* outage; the breaker handles the *long* one.
+When a store keeps failing after its retries, every further caller would
+burn a full retry budget rediscovering the same outage — during an online
+diagnosis run that is seconds of search time spent on a dead disk.  The
+breaker remembers: after ``failure_threshold`` consecutive exhausted
+operations it **opens** and rejects calls instantly (a
+:class:`~repro.storage.api.StoreUnavailable` in microseconds instead of
+a deadline in seconds); after ``reset_timeout_s`` it goes **half-open**
+and admits a limited number of probe calls; probes decide — success
+closes it, failure re-opens and restarts the clock.
+
+The counters — state transitions, rejected calls, probe outcomes — are
+exported through :meth:`metrics` in the flat numeric shape
+:func:`repro.obs.metrics.metrics_to_prometheus` renders, so ``repro
+report --metrics`` shows breaker health next to run metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["CircuitBreaker", "CircuitOpen"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+_STATE_CODE = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+class CircuitOpen(RuntimeError):
+    """The breaker rejected a call without attempting it."""
+
+    def __init__(self, name: str, retry_after_s: float) -> None:
+        super().__init__(
+            f"circuit breaker for {name!r} is open "
+            f"(retry in {max(retry_after_s, 0.0):.2f}s)"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class CircuitBreaker:
+    """Classic closed → open → half-open breaker, thread-safe.
+
+    Drive it through :meth:`allow` / :meth:`record_success` /
+    :meth:`record_failure`: ``allow`` raises :class:`CircuitOpen` when
+    calls must not proceed, and in half-open admits at most
+    ``half_open_probes`` concurrent probes.  ``clock`` is injectable so
+    tests advance time without sleeping.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probes_in_flight = 0
+        # lifetime counters, exported via metrics()
+        self._opened_total = 0
+        self._rejected_total = 0
+        self._probe_successes = 0
+        self._probe_failures = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        # caller holds the lock
+        if self._state == OPEN and self._opened_at is not None:
+            if self._clock() - self._opened_at >= self.reset_timeout_s:
+                self._state = HALF_OPEN
+                self._probes_in_flight = 0
+        return self._state
+
+    def allow(self) -> None:
+        """Gate one call.  Raises :class:`CircuitOpen` when it must not run."""
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                return
+            if state == HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return
+                self._rejected_total += 1
+                raise CircuitOpen(self.name, 0.0)
+            self._rejected_total += 1
+            elapsed = self._clock() - (self._opened_at or self._clock())
+            raise CircuitOpen(self.name, self.reset_timeout_s - elapsed)
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_successes += 1
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._state = CLOSED
+                self._opened_at = None
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """Count one *exhausted* operation (post-retry, not per attempt)."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_failures += 1
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if self._state == CLOSED and (
+                self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        # caller holds the lock
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._opened_total += 1
+        self._consecutive_failures = 0
+
+    def reset(self) -> None:
+        """Force-close (used after an explicit successful rebuild/verify)."""
+        with self._lock:
+            self._state = CLOSED
+            self._opened_at = None
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat numeric counters for Prometheus export."""
+        with self._lock:
+            state = self._effective_state()
+            return {
+                "breaker_state": float(_STATE_CODE[state]),
+                "breaker_opened_total": float(self._opened_total),
+                "breaker_rejected_total": float(self._rejected_total),
+                "breaker_probe_successes": float(self._probe_successes),
+                "breaker_probe_failures": float(self._probe_failures),
+                "breaker_consecutive_failures": float(self._consecutive_failures),
+            }

@@ -1,0 +1,143 @@
+"""Retry with seeded exponential backoff — the transient-failure half of
+:mod:`repro.resilience`.
+
+The history store is shared infrastructure: a busy sqlite writer, a
+transient EIO from a network filesystem, or a lock-held index must not
+abort a diagnosis run that could succeed ten milliseconds later.  A
+:class:`RetryPolicy` bounds that patience explicitly — a maximum attempt
+count AND a wall-clock deadline, whichever lands first — and draws its
+jitter from a seeded :class:`random.Random` so a replayed torture
+schedule backs off identically every time.
+
+What counts as *transient* is a policy decision, not a mechanism one:
+:func:`default_classify` treats sqlite ``database is locked``/``busy``
+and the retryable OS errnos (EIO, EAGAIN, ENOSPC is **not** retryable —
+a full disk does not empty itself on a backoff curve) as worth retrying,
+and everything else — :class:`~repro.storage.api.StoreCorruption`
+especially — as final.  Callers override ``classify`` per call site.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["RetryPolicy", "RetryExhausted", "default_classify", "is_transient"]
+
+#: OS errnos a retry can plausibly outwait.  ENOSPC is deliberately
+#: absent: retrying into a full disk burns the deadline for nothing.
+_TRANSIENT_ERRNOS = frozenset({errno.EIO, errno.EAGAIN, errno.EBUSY, errno.EINTR})
+
+#: sqlite3.OperationalError message fragments that mean writer contention.
+_SQLITE_TRANSIENT = ("database is locked", "database table is locked", "busy")
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether *exc* is the kind of failure a short wait can fix."""
+    if isinstance(exc, sqlite3.OperationalError):
+        message = str(exc).lower()
+        return any(part in message for part in _SQLITE_TRANSIENT)
+    if isinstance(exc, OSError):
+        return exc.errno in _TRANSIENT_ERRNOS
+    return False
+
+
+# kept as a distinct name so call sites read as policy, not plumbing
+default_classify = is_transient
+
+
+class RetryExhausted(RuntimeError):
+    """Every attempt a :class:`RetryPolicy` allowed has failed.
+
+    Carries the final exception (``last``) and the attempt count so the
+    caller can re-raise a domain-typed error with full provenance.
+    """
+
+    def __init__(self, message: str, last: BaseException, attempts: int) -> None:
+        super().__init__(message)
+        self.last = last
+        self.attempts = attempts
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded, seeded exponential backoff.
+
+    Delay before retry *n* (1-based) is
+    ``min(base_delay * multiplier**(n-1), max_delay)`` scaled by a
+    seeded jitter factor in ``[1 - jitter, 1]`` — full-jitter-style
+    spreading without ever exceeding the deterministic envelope.  The
+    ``deadline_s`` budget covers the whole call including sleeps; a
+    retry that cannot fit its backoff inside the remaining budget is
+    not attempted.
+
+    ``sleep`` and ``clock`` are injectable so tests and the torture
+    harness run at full speed with zero real waiting.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    jitter: float = 0.5
+    deadline_s: Optional[float] = 2.0
+    seed: int = 0
+    classify: Callable[[BaseException], bool] = default_classify
+    sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
+    #: Observer called as ``on_retry(attempt, delay, exc)`` before each
+    #: backoff sleep — the hook metrics and breakers count through.
+    on_retry: Optional[Callable[[int, float, BaseException], None]] = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        self._rng = random.Random(self.seed)
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry *attempt* (1-based), jitter applied."""
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1),
+                  self.max_delay)
+        if self.jitter <= 0:
+            return raw
+        return raw * (1.0 - self.jitter * self._rng.random())
+
+    def call(self, fn: Callable[[], object], *, describe: str = "store operation"):
+        """Run *fn*, retrying transient failures within the budget.
+
+        Non-transient exceptions propagate untouched on the first
+        strike.  When the budget runs out, raises
+        :class:`RetryExhausted` chaining the last transient failure.
+        """
+        start = self.clock()
+        history: List[str] = []
+        final: Optional[BaseException] = None
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return fn()
+            except Exception as exc:
+                if not self.classify(exc):
+                    raise
+                final = exc
+                history.append(f"{type(exc).__name__}: {exc}")
+                if attempt >= self.attempts:
+                    break
+                delay = self.delay_for(attempt)
+                if self.deadline_s is not None:
+                    spent = self.clock() - start
+                    if spent + delay > self.deadline_s:
+                        break
+                if self.on_retry is not None:
+                    self.on_retry(attempt, delay, exc)
+                self.sleep(delay)
+        assert final is not None
+        raise RetryExhausted(
+            f"{describe} still failing after {len(history)} attempt(s) "
+            f"(last: {history[-1]})",
+            last=final, attempts=len(history),
+        ) from final

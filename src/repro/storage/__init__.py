@@ -14,6 +14,7 @@ from .api import (
     StoreError,
     StoreHandle,
     StoreInfo,
+    StoreUnavailable,
 )
 from .file_backend import FileBackend
 from .query import (
@@ -44,6 +45,7 @@ __all__ = [
     "RecoveryReport",
     "StoreCorruption",
     "StoreError",
+    "StoreUnavailable",
     "summarize_record",
     "migrate_store",
 ]

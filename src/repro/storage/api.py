@@ -45,11 +45,29 @@ __all__ = [
     "RecoveryReport",
     "StoreError",
     "StoreCorruption",
+    "StoreUnavailable",
 ]
 
 
 class StoreError(RuntimeError):
     """Raised for store consistency problems."""
+
+
+class StoreUnavailable(StoreError):
+    """A store operation failed for a *transient* reason and every
+    recovery path (retry with backoff, circuit-breaker probe) was
+    exhausted or rejected.
+
+    Unlike :class:`StoreCorruption` this says nothing about the data —
+    the bytes on disk are presumed fine, the store just cannot be
+    reached right now (writer contention, EIO, a breaker held open).
+    ``retryable`` stays true so callers with longer deadlines may try
+    again later.
+    """
+
+    def __init__(self, message: str, *, retryable: bool = True) -> None:
+        super().__init__(message)
+        self.retryable = retryable
 
 
 class StoreCorruption(StoreError):

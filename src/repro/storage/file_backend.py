@@ -60,6 +60,7 @@ try:  # POSIX advisory locks; absent e.g. on Windows
 except ImportError:  # pragma: no cover - exercised only off-POSIX
     fcntl = None
 
+from ..faults import io as io_faults
 from .api import (
     CompactionStats,
     RecoveryReport,
@@ -113,6 +114,7 @@ def read_record_payload(path: Path) -> dict:
     Format-1 files (a bare record dict) predate checksums and are
     accepted as-is.
     """
+    io_faults.check("read", path)
     try:
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
@@ -168,11 +170,38 @@ def _locked(lock_path: Path):
             spin.unlink(missing_ok=True)
 
 
+def _replace(src: Path, dst: Path) -> None:
+    """``os.replace`` behind the I/O fault seam (all replace faults raise)."""
+    io_faults.check("replace", dst)
+    os.replace(src, dst)
+
+
 def _atomic_write_json(path: Path, data: dict, *, indent: Optional[int] = None) -> None:
+    """Write-to-temp, fsync, rename — the only way bytes reach the store.
+
+    The fsync before the rename is what makes the rename a commit point
+    a crash cannot tear: without it a power loss can leave the *renamed*
+    file empty.  The :mod:`repro.faults.io` seams model exactly the
+    failures this sequence must survive — a short write (a prefix lands,
+    then ENOSPC), a lost fsync, a failed rename, or a kill between any
+    two steps — and the tmp name never matches the ``*.json`` globs, so
+    a torn temp file is invisible to every reader.
+    """
     tmp = path.with_suffix(".tmp")
+    text = json.dumps(data, indent=indent, sort_keys=indent is not None)
     with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(data, fh, indent=indent, sort_keys=indent is not None)
-    os.replace(tmp, path)
+        action = io_faults.check("write", tmp)
+        if action is not None and action[0] == "short":
+            fh.write(text[: max(1, int(len(text) * action[1]))])
+            fh.flush()
+            raise OSError(
+                errno.ENOSPC, f"injected short write on {tmp.name}", str(tmp)
+            )
+        fh.write(text)
+        fh.flush()
+        if io_faults.check("fsync", tmp) is None:  # "lost" skips the sync
+            os.fsync(fh.fileno())
+    _replace(tmp, path)
 
 
 class FileBackend(StorageBackend):
@@ -224,6 +253,7 @@ class FileBackend(StorageBackend):
         if sig is not None and self._base_cache is not None \
                 and self._base_cache[0] == sig:
             return dict(self._base_cache[2]), self._base_cache[1]
+        io_faults.check("read", self._index_path)
         with open(self._index_path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
         generation = 0
@@ -266,11 +296,17 @@ class FileBackend(StorageBackend):
         if ops is not None:
             self._segment_cache.move_to_end(name)
             return ops
+        path = self._segments_dir / name
         try:
-            with open(self._segments_dir / name, "r", encoding="utf-8") as fh:
+            io_faults.check("read", path)
+            with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
-        except OSError:
+        except FileNotFoundError:
             return None
+        # Any other OSError (EIO, ...) must propagate: treating it as
+        # "vanished" would silently drop this segment's ops from the
+        # merged view — a third state neither pre- nor post-op.  The
+        # resilience layer retries it instead.
         ops = data.get("ops", []) if isinstance(data, dict) else []
         self._segment_cache[name] = ops
         while len(self._segment_cache) > _SEGMENT_CACHE_SIZE:
@@ -380,7 +416,7 @@ class FileBackend(StorageBackend):
         while dest.exists():
             dest = qdir / f"{path.stem}.{counter}{path.suffix}"
             counter += 1
-        os.replace(path, dest)
+        _replace(path, dest)
         self._drop_index_entry(path.stem)
         return dest
 
@@ -422,15 +458,16 @@ class FileBackend(StorageBackend):
             *, overwrite: bool = False) -> Tuple[int, Hashable]:
         path = self._record_file(run_id)
         with self.lock():
-            exists = path.exists()
-            if exists and not overwrite:
+            # Existence is judged by the *index*, not the payload file: a
+            # put that failed transiently (or a process killed mid-put)
+            # may leave an orphaned record file behind, and a retry —
+            # or a later legitimate save of the same run id — must be
+            # able to reclaim it.
+            prior = self.read_merged().get(run_id)
+            if prior is not None and not overwrite:
                 raise StoreError(f"run {run_id!r} already stored")
             meta = dict(meta)
-            if exists:
-                prior = self.read_merged().get(run_id)
-                seq = prior["seq"] if prior and "seq" in prior else None
-            else:
-                seq = None
+            seq = prior["seq"] if prior and "seq" in prior else None
             if self.segmented:
                 # Claim seq + segment name in one state write *before*
                 # touching anything else: a crash in between skips
@@ -476,10 +513,14 @@ class FileBackend(StorageBackend):
 
     def delete(self, run_id: str) -> None:
         with self.lock():
+            # Index first, payload second: a crash in between leaves a
+            # harmless unindexed orphan (the post-op view; scrub reports
+            # it, rebuild re-adopts it).  The old order left the index
+            # pointing at a payload that no longer existed.
+            self._drop_index_entry(run_id)
             path = self._record_file(run_id)
             if path.exists():
                 path.unlink()
-            self._drop_index_entry(run_id)
 
     def contains(self, run_id: str) -> bool:
         return self._record_file(run_id).exists()

@@ -18,6 +18,18 @@ Concurrency: SQLite's own locking replaces the file backend's flock.
 Writes run in ``BEGIN IMMEDIATE`` transactions with a busy timeout, so
 concurrent writer processes serialize instead of failing; WAL mode lets
 readers proceed during writes where the filesystem supports it.
+
+Contention that outlives the busy timeout — a wedged writer, a lock
+held across an NFS hiccup, an injected ``SQLITE_BUSY`` — used to
+surface as a raw ``sqlite3.OperationalError``.  It is a *transient*
+condition, so every statement and every write transaction now runs
+under a bounded :class:`~repro.resilience.policy.RetryPolicy`; write
+transactions retry **whole** (the rollback makes each attempt
+idempotent), and exhaustion raises the typed
+:class:`~repro.storage.api.StoreUnavailable` instead of leaking sqlite
+internals.  Every statement also passes the :mod:`repro.faults.io`
+``sqlite`` seam, which is how the torture harness schedules
+busy/crash faults at chosen call indices.
 """
 
 from __future__ import annotations
@@ -26,8 +38,10 @@ import json
 import sqlite3
 import time
 from pathlib import Path
-from typing import Dict, Hashable, Iterator, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
+from ..faults import io as io_faults
+from ..resilience.policy import RetryExhausted, RetryPolicy
 from .api import (
     CompactionStats,
     RecoveryReport,
@@ -35,6 +49,7 @@ from .api import (
     StoreCorruption,
     StoreError,
     StoreInfo,
+    StoreUnavailable,
 )
 from .file_backend import _checksum
 from .records import RunRecord
@@ -44,6 +59,8 @@ __all__ = ["SQLiteBackend", "SQLITE_STORE_NAME"]
 
 SQLITE_STORE_NAME = "store.sqlite3"
 _SCHEMA_VERSION = 1
+
+T = TypeVar("T")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS store_meta (
@@ -77,7 +94,8 @@ class SQLiteBackend(StorageBackend):
 
     name = "sqlite"
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, *,
+                 retry: Optional[RetryPolicy] = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.path = self.root / SQLITE_STORE_NAME
@@ -95,22 +113,74 @@ class SQLiteBackend(StorageBackend):
             "INSERT OR IGNORE INTO store_meta(key, value) VALUES ('schema', ?)",
             (str(_SCHEMA_VERSION),),
         )
+        # Contention surviving the busy timeout is transient, never
+        # fatal: bounded retries, then a typed StoreUnavailable.
+        self._retry = retry if retry is not None else RetryPolicy(
+            attempts=4, base_delay=0.01, max_delay=0.2, deadline_s=5.0,
+        )
 
     def close(self) -> None:
         self._conn.close()
+
+    # ------------------------------------------------------------------
+    # statement plumbing: fault seam + transient retry
+    # ------------------------------------------------------------------
+    def _execute(self, sql: str, params: Sequence = ()):
+        """One statement through the injection seam (no retry — used
+        inside transactions, where the *transaction* is the retry unit)."""
+        io_faults.check("sqlite", self.path)
+        return self._conn.execute(sql, params)
+
+    def _call(self, fn: Callable[[], T], describe: str) -> T:
+        try:
+            return self._retry.call(fn, describe=describe)
+        except RetryExhausted as exc:
+            raise StoreUnavailable(
+                f"sqlite store {self.path.name}: {exc}"
+            ) from exc.last
+
+    def _select(self, sql: str, params: Sequence = (),
+                describe: str = "query") -> List[tuple]:
+        """A retried read: fetches eagerly so every attempt is complete."""
+        return self._call(
+            lambda: self._execute(sql, params).fetchall(), describe
+        )
+
+    def _write_txn(self, body: Callable[[], T], describe: str) -> T:
+        """Run *body* inside ``BEGIN IMMEDIATE``, retrying the whole
+        transaction on transient failure.
+
+        Retrying individual statements inside an open transaction would
+        be wrong — sqlite may have invalidated the transaction — so the
+        unit of retry is the full begin/body/commit sequence; the
+        rollback on the way out makes each attempt start from scratch.
+        The rollback itself stays off the fault seam: it models what
+        sqlite's journal does unconditionally on a real crash.
+        """
+        def attempt() -> T:
+            self._execute("BEGIN IMMEDIATE")
+            try:
+                result = body()
+                self._execute("COMMIT")
+                return result
+            except BaseException:
+                try:
+                    self._conn.execute("ROLLBACK")
+                except sqlite3.OperationalError:  # pragma: no cover
+                    pass  # connection may have rolled back already
+                raise
+        return self._call(attempt, describe)
 
     # ------------------------------------------------------------------
     # records
     # ------------------------------------------------------------------
     def put(self, run_id: str, payload: dict, meta: dict,
             *, overwrite: bool = False) -> Tuple[int, Hashable]:
-        meta = dict(meta)
         payload_json = json.dumps(payload)
         sha = _checksum(payload)
-        cur = self._conn
-        cur.execute("BEGIN IMMEDIATE")
-        try:
-            row = cur.execute(
+
+        def body() -> Tuple[int, Hashable]:
+            row = self._execute(
                 "SELECT seq, rev FROM runs WHERE run_id = ?", (run_id,)
             ).fetchone()
             if row is not None and not overwrite:
@@ -118,31 +188,32 @@ class SQLiteBackend(StorageBackend):
             if row is not None:
                 seq, rev = row[0], row[1] + 1
             else:
-                max_seq = cur.execute(
+                max_seq = self._execute(
                     "SELECT COALESCE(MAX(seq), -1) FROM runs"
                 ).fetchone()[0]
                 seq, rev = max_seq + 1, 0
-            meta["seq"] = seq
-            cur.execute(
+            row_meta = dict(meta)
+            row_meta["seq"] = seq
+            self._execute(
                 "INSERT OR REPLACE INTO runs"
                 "(run_id, seq, app_name, version, meta, payload, sha256, rev)"
                 " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                (run_id, seq, meta.get("app_name"), meta.get("version"),
-                 json.dumps(meta), payload_json, sha, rev),
+                (run_id, seq, row_meta.get("app_name"),
+                 row_meta.get("version"), json.dumps(row_meta),
+                 payload_json, sha, rev),
             )
-            cur.execute("COMMIT")
-        except BaseException:
-            cur.execute("ROLLBACK")
-            raise
-        return seq, ("rev", rev)
+            return seq, ("rev", rev)
+
+        return self._write_txn(body, f"put {run_id!r}")
 
     def get(self, run_id: str) -> dict:
-        row = self._conn.execute(
-            "SELECT payload, sha256 FROM runs WHERE run_id = ?", (run_id,)
-        ).fetchone()
-        if row is None:
+        rows = self._select(
+            "SELECT payload, sha256 FROM runs WHERE run_id = ?", (run_id,),
+            describe=f"get {run_id!r}",
+        )
+        if not rows:
             raise StoreError(f"no stored run {run_id!r}")
-        payload_json, sha = row
+        payload_json, sha = rows[0]
         try:
             payload = json.loads(payload_json)
         except json.JSONDecodeError:
@@ -156,51 +227,49 @@ class SQLiteBackend(StorageBackend):
         return payload
 
     def _quarantine_row(self, run_id: str, reason: str) -> None:
-        cur = self._conn
-        cur.execute("BEGIN IMMEDIATE")
-        try:
-            cur.execute(
+        def body() -> None:
+            self._execute(
                 "INSERT INTO quarantine(run_id, quarantined_at, payload, "
                 "sha256, reason) SELECT run_id, ?, payload, sha256, ? "
                 "FROM runs WHERE run_id = ?",
                 (time.time(), reason, run_id),
             )
-            cur.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
-            cur.execute("COMMIT")
-        except BaseException:  # pragma: no cover - defensive
-            cur.execute("ROLLBACK")
-            raise
+            self._execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+
+        self._write_txn(body, f"quarantine {run_id!r}")
 
     def delete(self, run_id: str) -> None:
-        cur = self._conn
-        cur.execute("BEGIN IMMEDIATE")
-        try:
-            cur.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
-            cur.execute("COMMIT")
-        except BaseException:  # pragma: no cover - defensive
-            cur.execute("ROLLBACK")
-            raise
+        self._write_txn(
+            lambda: self._execute(
+                "DELETE FROM runs WHERE run_id = ?", (run_id,)
+            ) and None,
+            f"delete {run_id!r}",
+        )
 
     def contains(self, run_id: str) -> bool:
-        return self._conn.execute(
-            "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)
-        ).fetchone() is not None
+        return bool(self._select(
+            "SELECT 1 FROM runs WHERE run_id = ?", (run_id,),
+            describe=f"contains {run_id!r}",
+        ))
 
     def record_token(self, run_id: str) -> Hashable:
-        row = self._conn.execute(
-            "SELECT rev FROM runs WHERE run_id = ?", (run_id,)
-        ).fetchone()
-        if row is None:
+        rows = self._select(
+            "SELECT rev FROM runs WHERE run_id = ?", (run_id,),
+            describe=f"record_token {run_id!r}",
+        )
+        if not rows:
             raise StoreError(f"no stored run {run_id!r}")
-        return ("rev", row[0])
+        return ("rev", rows[0][0])
 
     # ------------------------------------------------------------------
     # index
     # ------------------------------------------------------------------
     def iter_summaries(self) -> Iterator[Tuple[str, dict]]:
-        for run_id, meta in self._conn.execute(
-            "SELECT run_id, meta FROM runs ORDER BY seq"
-        ):
+        rows = self._select(
+            "SELECT run_id, meta FROM runs ORDER BY seq",
+            describe="iter_summaries",
+        )
+        for run_id, meta in rows:
             yield run_id, json.loads(meta)
 
     def query_summaries(
@@ -212,10 +281,11 @@ class SQLiteBackend(StorageBackend):
         if run_ids is not None:
             out: Dict[str, dict] = {}
             for run_id in run_ids:
-                row = self._conn.execute(
-                    "SELECT meta FROM runs WHERE run_id = ?", (run_id,)
-                ).fetchone()
-                out[run_id] = json.loads(row[0]) if row else None
+                rows = self._select(
+                    "SELECT meta FROM runs WHERE run_id = ?", (run_id,),
+                    describe=f"query {run_id!r}",
+                )
+                out[run_id] = json.loads(rows[0][0]) if rows else None
             return out
         clauses, params = [], []
         if app_name is not None:
@@ -230,15 +300,14 @@ class SQLiteBackend(StorageBackend):
         sql += " ORDER BY seq"
         return {
             run_id: json.loads(meta)
-            for run_id, meta in self._conn.execute(sql, params)
+            for run_id, meta in self._select(sql, params,
+                                             describe="query_summaries")
         }
 
     def set_summaries(self, summaries: Dict[str, dict]) -> None:
-        cur = self._conn
-        cur.execute("BEGIN IMMEDIATE")
-        try:
+        def body() -> None:
             for run_id, summary in summaries.items():
-                row = cur.execute(
+                row = self._execute(
                     "SELECT meta FROM runs WHERE run_id = ?", (run_id,)
                 ).fetchone()
                 if row is None:
@@ -247,24 +316,20 @@ class SQLiteBackend(StorageBackend):
                 if isinstance(meta.get("summary"), dict):
                     continue
                 meta["summary"] = summary
-                cur.execute(
+                self._execute(
                     "UPDATE runs SET meta = ? WHERE run_id = ?",
                     (json.dumps(meta), run_id),
                 )
-            cur.execute("COMMIT")
-        except BaseException:  # pragma: no cover - defensive
-            cur.execute("ROLLBACK")
-            raise
+
+        self._write_txn(body, "set_summaries")
 
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def rebuild(self) -> RecoveryReport:
-        report = RecoveryReport()
-        cur = self._conn
-        cur.execute("BEGIN IMMEDIATE")
-        try:
-            rows = cur.execute(
+        def body() -> RecoveryReport:
+            report = RecoveryReport()
+            rows = self._execute(
                 "SELECT run_id, seq, payload, sha256 FROM runs ORDER BY seq"
             ).fetchall()
             for run_id, seq, payload_json, sha in rows:
@@ -275,36 +340,38 @@ class SQLiteBackend(StorageBackend):
                         raise ValueError("checksum mismatch")
                     record = RunRecord.from_dict(payload)
                 except (ValueError, KeyError, TypeError):
-                    cur.execute(
+                    self._execute(
                         "INSERT INTO quarantine(run_id, quarantined_at, "
                         "payload, sha256, reason) VALUES (?, ?, ?, ?, ?)",
                         (run_id, time.time(), payload_json, sha,
                          "failed verification during rebuild"),
                     )
-                    cur.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+                    self._execute(
+                        "DELETE FROM runs WHERE run_id = ?", (run_id,))
                     report.quarantined.append(f"quarantine:{run_id}")
                     continue
                 meta = meta_for_record(record)
                 meta["seq"] = seq
-                cur.execute(
+                self._execute(
                     "UPDATE runs SET meta = ?, app_name = ?, version = ? "
                     "WHERE run_id = ?",
-                    (json.dumps(meta), record.app_name, record.version, run_id),
+                    (json.dumps(meta), record.app_name, record.version,
+                     run_id),
                 )
                 report.kept.append(run_id)
-            cur.execute("COMMIT")
-        except BaseException:
-            cur.execute("ROLLBACK")
-            raise
-        return report
+            return report
+
+        return self._write_txn(body, "rebuild")
 
     def compact(self) -> CompactionStats:
-        entries = self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
-        self._conn.execute("VACUUM")
+        entries = self._select("SELECT COUNT(*) FROM runs",
+                               describe="compact count")[0][0]
+        self._call(lambda: self._execute("VACUUM"), "compact")
         return CompactionStats(segments_folded=0, entries=entries, generation=0)
 
     def info(self) -> StoreInfo:
-        runs = self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+        runs = self._select("SELECT COUNT(*) FROM runs",
+                            describe="info")[0][0]
         try:
             index_bytes = self.path.stat().st_size
         except OSError:

@@ -38,6 +38,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..resilience.backend import ResiliencePolicy, ResilientBackend
 from .api import (
     CompactionStats,
     RecoveryReport,
@@ -45,6 +46,7 @@ from .api import (
     StoreCorruption,
     StoreError,
     StoreInfo,
+    StoreUnavailable,
 )
 from .file_backend import FileBackend, read_record_payload
 from .records import RunRecord
@@ -55,6 +57,7 @@ __all__ = [
     "ExperimentStore",
     "StoreError",
     "StoreCorruption",
+    "StoreUnavailable",
     "RecoveryReport",
     "summarize_record",
     "migrate_store",
@@ -156,6 +159,15 @@ class ExperimentStore:
     save folds the index into a new base generation (``0``/``None``
     disables; ``background_compaction=True`` folds on a daemon thread
     instead of inline).
+
+    ``resilience`` controls the availability layer every backend call is
+    threaded through (:class:`~repro.resilience.backend.ResilientBackend`
+    — transient-failure retry plus a per-backend circuit breaker):
+    ``None``/``True`` arm it with default tunables, a
+    :class:`~repro.resilience.backend.ResiliencePolicy` arms it with
+    that policy, and ``False`` runs on the raw backend.  Armed-but-idle
+    it costs one wrapper call per operation; its counters are exposed
+    via :meth:`resilience_metrics`.
     """
 
     def __init__(
@@ -166,6 +178,7 @@ class ExperimentStore:
         cache_size: int = _DEFAULT_CACHE_SIZE,
         auto_compact: Optional[int] = _DEFAULT_AUTO_COMPACT,
         background_compaction: bool = False,
+        resilience: Union[None, bool, ResiliencePolicy] = None,
     ):
         if args:  # pre-redesign positional cache_size
             warnings.warn(
@@ -175,7 +188,18 @@ class ExperimentStore:
                 stacklevel=2,
             )
             cache_size = args[0]
-        self._backend = _resolve_backend(root, backend)
+        inner = _resolve_backend(root, backend)
+        if isinstance(inner, ResilientBackend):  # caller pre-wrapped it
+            self._backend: StorageBackend = inner
+            self._inner = inner.inner
+        elif resilience is False:
+            self._backend = inner
+            self._inner = inner
+        else:
+            policy = resilience if isinstance(resilience, ResiliencePolicy) \
+                else None
+            self._backend = ResilientBackend(inner, policy)
+            self._inner = inner
         self.root = (
             Path(root) if root is not None
             else getattr(self._backend, "root", None)
@@ -187,8 +211,30 @@ class ExperimentStore:
 
     @property
     def backend(self) -> StorageBackend:
-        """The persistence layer this store runs on."""
-        return self._backend
+        """The persistence layer this store runs on — always the *inner*
+        backend, never the resilience wrapper, so callers that compare
+        identity or poke backend internals see what they passed in."""
+        return self._inner
+
+    def resilience_metrics(self) -> Dict[str, float]:
+        """Retry/breaker counters when resilience is armed, else ``{}``.
+
+        Flat numeric values in the shape
+        :func:`repro.obs.metrics.metrics_to_prometheus` renders.
+        """
+        if isinstance(self._backend, ResilientBackend):
+            return self._backend.metrics()
+        return {}
+
+    def verify(self):
+        """Scrub the store: every record checked, divergences reported.
+
+        Returns a :class:`~repro.resilience.scrub.ScrubReport`; backs
+        the ``repro store verify`` command.
+        """
+        from ..resilience.scrub import verify_store
+
+        return verify_store(self)
 
     # ------------------------------------------------------------------
     # CRUD

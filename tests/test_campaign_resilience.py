@@ -232,6 +232,62 @@ def _fail_until_flag(flag_path, iterations=60):
     return make_pingpong(iterations=iterations)
 
 
+class TestStoreDegrade:
+    """on_store_failure="degrade": a sick archive costs durability, not
+    the compute already spent on the runs."""
+
+    @staticmethod
+    def _broken_store(tmp_path, monkeypatch, fail_ids):
+        from repro.storage import StoreError
+
+        store = ExperimentStore(tmp_path / "runs")
+        real_save = store.save
+
+        def save(record, **kwargs):
+            if record.run_id in fail_ids:
+                raise StoreError("archive on fire")
+            return real_save(record, **kwargs)
+
+        monkeypatch.setattr(store, "save", save)
+        return store
+
+    def test_default_raise_aborts_campaign(self, tmp_path, monkeypatch):
+        store = self._broken_store(tmp_path, monkeypatch, {"d-runs-000"})
+        with pytest.raises(Exception, match="archive on fire"):
+            Campaign(specs=[_spec()], name="d").run(store=store)
+
+    def test_degrade_keeps_record_and_continues(self, tmp_path, monkeypatch):
+        store = self._broken_store(tmp_path, monkeypatch, {"d-runs-000"})
+        events = []
+        result = Campaign(specs=[_spec(), _spec()], name="d").run(
+            store=store, on_store_failure="degrade", progress=events.append,
+        )
+        assert not result.failures
+        assert len(result.records) == 2  # both runs survive in memory
+        assert result.stage("runs").store_failures == {
+            "d-runs-000": "archive on fire",
+        }
+        assert result.store_failures == {"d-runs-000": "archive on fire"}
+        degraded = [e for e in events if e["event"] == "store-degraded"]
+        assert [e["run_id"] for e in degraded] == ["d-runs-000"]
+        assert "archive on fire" in degraded[0]["error"]
+        # the healthy run still landed on disk
+        assert ExperimentStore(tmp_path / "runs").list() == ["d-runs-001"]
+        assert "1 unsaved" in result.summary()
+
+    def test_degrade_still_journals_the_run(self, tmp_path, monkeypatch):
+        store = self._broken_store(tmp_path, monkeypatch, {"d-runs-000"})
+        jpath = tmp_path / "j.jsonl"
+        Campaign(specs=[_spec()], name="d").run(
+            store=store, on_store_failure="degrade", journal=jpath,
+        )
+        assert sorted(CampaignJournal(jpath).finished("d")) == ["d-runs-000"]
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(CampaignError, match="on_store_failure"):
+            Campaign(specs=[_spec()], name="d").run(on_store_failure="ignore")
+
+
 # ---------------------------------------------------------------------------
 # resume after SIGKILL
 # ---------------------------------------------------------------------------

@@ -98,7 +98,14 @@ class TestHarvest:
 
     def test_rejects_non_records(self):
         with pytest.raises(TypeError):
-            harvest(["not a record"])
+            harvest([42])
+
+    def test_list_of_strings_is_federated(self, tmp_path):
+        # Strings in a list are member store *paths* now; a path that is
+        # not a store on disk is a failed member, not record history.
+        with pytest.raises(StoreError, match="every member store failed"):
+            with pytest.warns(Warning, match="does not exist"):
+                harvest([str(tmp_path / "no-such-store")])
 
 
 def test_facade_names_importable():

@@ -11,7 +11,7 @@ from repro import diagnose, harvest
 from repro.apps.synthetic import make_pingpong
 from repro.core import union_directives
 from repro.facade import resolve_history
-from repro.storage import ExperimentStore
+from repro.storage import ExperimentStore, StoreError
 
 FAST = dict(min_interval=5.0, check_period=0.5, insertion_latency=0.2,
             cost_limit=50.0)
@@ -75,7 +75,56 @@ class TestFederatedHarvest:
 
     def test_non_records_still_rejected(self):
         with pytest.raises(TypeError):
-            harvest(["not a store, not a record"])
+            harvest([3.14])
+
+    def test_string_members_are_store_paths(self):
+        # A list of strings is a federated harvest; a member path that is
+        # not a store on disk fails soft (warned, skipped) and a list
+        # whose members all fail raises StoreError.
+        with pytest.raises(StoreError, match="every member store failed"):
+            with pytest.warns(Warning, match="does not exist"):
+                harvest(["not a store, not a record"])
+
+
+class TestFailSoftFederation:
+    """History improves a diagnosis but must never abort one: a sick
+    member is skipped with a structured HarvestWarning unless the caller
+    opted into strict=True."""
+
+    def test_failed_member_skipped_with_warning(self, tmp_path, two_stores):
+        from repro.facade import HarvestWarning
+
+        a, b = two_stores
+        dead = tmp_path / "site-dead"
+        with pytest.warns(HarvestWarning) as caught:
+            federated = harvest([a, str(dead), b], include_thresholds=True)
+        expected = harvest([a, b], include_thresholds=True)
+        assert federated.to_text() == expected.to_text()
+        warning = caught[0].message
+        assert warning.member == str(dead)
+        assert "does not exist" in str(warning.reason)
+
+    def test_strict_raises_on_any_member_failure(self, tmp_path, two_stores):
+        a, b = two_stores
+        with pytest.raises(StoreError):
+            harvest([a, str(tmp_path / "site-dead"), b], strict=True)
+
+    def test_all_members_failed_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="every member store failed"):
+            with pytest.warns(Warning):
+                harvest([str(tmp_path / "gone-a"), str(tmp_path / "gone-b")])
+
+    def test_resolve_history_skips_failed_sources(self, tmp_path, two_stores):
+        a, b = two_stores
+        with pytest.warns(Warning):
+            merged = resolve_history([a, str(tmp_path / "gone"), b])
+        expected = resolve_history([a, b])
+        assert merged.to_text() == expected.to_text()
+
+    def test_resolve_history_strict_raises(self, tmp_path, two_stores):
+        a, _b = two_stores
+        with pytest.raises((StoreError, OSError)):
+            resolve_history([a, str(tmp_path / "gone")], strict=True)
 
 
 class TestResolveHistoryLists:

@@ -49,6 +49,7 @@ class TestApiSurface:
             "RecoveryReport",
             "StoreError",
             "StoreCorruption",
+            "StoreUnavailable",
         }
         for name in storage_api.__all__:
             assert hasattr(storage_api, name)

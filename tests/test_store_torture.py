@@ -1,0 +1,203 @@
+"""Crash-consistency torture in tier 1: a small seeded matrix of random
+fault/kill schedules, plus targeted ENOSPC and SIGKILL strikes in the
+middle of compaction and migration.  Every assertion message cites the
+seed (and the ``run_schedule`` call for matrix failures), so a CI red
+replays locally bit-for-bit."""
+
+import pytest
+
+from repro.faults import IOFault, IOFaultPlan, SimulatedCrash
+from repro.faults import io as io_faults
+from repro.resilience.torture import (
+    TORTURE_BACKENDS,
+    run_schedule,
+    run_torture,
+    store_view,
+)
+from repro.storage import ExperimentStore, RunRecord, migrate_store
+
+FILE_BACKENDS = ("file", "file-legacy")
+
+
+def _record(run_id: str, tag: int = 0) -> RunRecord:
+    return RunRecord(
+        run_id=run_id,
+        app_name="torture",
+        version="1",
+        n_processes=1,
+        nodes=["n0"],
+        placement={"p0": "n0"},
+        hierarchies={"Code": ["/Code"]},
+        shg_nodes=[],
+        profile={},
+        finish_time=1.0 + tag,
+        search_done_time=None,
+        pairs_tested=tag,
+        total_requests=tag,
+        peak_cost=float(tag),
+    )
+
+
+def _build(root, backend, n=3) -> ExperimentStore:
+    store = ExperimentStore(root, backend=backend, auto_compact=0,
+                            resilience=False)
+    for i in range(n):
+        store.save(_record(f"r{i}", i))
+    return store
+
+
+def _reopen(root, backend) -> ExperimentStore:
+    return ExperimentStore(root, backend=backend, auto_compact=0,
+                           resilience=False, cache_size=0)
+
+
+def _assert_payloads_load(store, context):
+    for run_id in store.list():
+        record = store.load(run_id)
+        assert record.run_id == run_id, context
+
+
+# ---------------------------------------------------------------------------
+# the seeded matrix (a slice of the CI-scale campaign in benchmarks/)
+# ---------------------------------------------------------------------------
+def test_seeded_matrix_never_diverges(tmp_path):
+    report = run_torture(TORTURE_BACKENDS, seeds=range(15), workdir=tmp_path)
+    assert len(report.schedules) == 45
+    for bad in report.divergences:
+        pytest.fail(
+            f"store diverged: backend={bad['backend']} seed={bad['seed']} "
+            f"scenario={bad['scenario']} outcome={bad['outcome']} "
+            f"faults={bad['faults_fired']} — reproduce with "
+            f"run_schedule({bad['backend']!r}, {bad['seed']})"
+        )
+
+
+def _stable(result):
+    """The path-insensitive shape of a schedule result: workdirs differ
+    between runs, everything else must not."""
+    out = {k: result[k] for k in ("backend", "seed", "scenario", "ops",
+                                  "chain_len", "divergent")}
+    out["outcome_kind"] = result["outcome"].split(":")[0]
+    out["fired"] = [(op, idx, kind)
+                    for op, idx, kind, _path in result["faults_fired"]]
+    return out
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_single_schedule_is_deterministic(seed):
+    a = _stable(run_schedule("file", seed))
+    b = _stable(run_schedule("file", seed))
+    assert a == b, f"run_schedule('file', {seed}) not reproducible"
+
+
+# ---------------------------------------------------------------------------
+# targeted: ENOSPC mid-compaction / mid-migration
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", FILE_BACKENDS)
+def test_enospc_mid_compaction(tmp_path, backend):
+    seed = 7001
+    store = _build(tmp_path / backend, backend)
+    before = store_view(store)
+    plan = IOFaultPlan(seed=seed, faults=(
+        IOFault(op="write", at=0, kind="enospc", times=99),
+    ))
+    with io_faults.injected(plan) as injector:
+        with pytest.raises(Exception):
+            store.compact()
+    assert injector.injected, f"seed={seed}: plan never fired"
+    reopened = _reopen(tmp_path / backend, backend)
+    context = (f"backend={backend} seed={seed}: store inconsistent after "
+               f"ENOSPC mid-compaction")
+    assert store_view(reopened) == before, context
+    _assert_payloads_load(reopened, context)
+
+
+@pytest.mark.parametrize("backend", ("file", "sqlite"))
+def test_enospc_mid_migration(tmp_path, backend):
+    """Destination runs out of disk partway: the records that landed
+    must be intact and in migration order — never a torn tail."""
+    seed = 7002
+    src = _build(tmp_path / "src", backend, n=4)
+    dest_root = tmp_path / "dest"
+    dest = ExperimentStore(dest_root, backend="file", auto_compact=0,
+                           resilience=False)
+    # strike the third record write in the destination store only
+    plan = IOFaultPlan(seed=seed, faults=(
+        IOFault(op="write", at=4, kind="enospc", times=99,
+                path_part="dest"),
+    ))
+    with io_faults.injected(plan) as injector:
+        with pytest.raises(Exception):
+            migrate_store(src, dest)
+    assert injector.injected, f"seed={seed}: plan never fired"
+    reopened = _reopen(dest_root, "file")
+    src_order = src.list()
+    landed = reopened.list()
+    context = (f"backend={backend} seed={seed}: destination inconsistent "
+               f"after ENOSPC mid-migration (landed={landed})")
+    assert landed == src_order[:len(landed)], context
+    assert len(landed) < len(src_order), context
+    _assert_payloads_load(reopened, context)
+    # the source is read-only in a migration: bit-for-bit untouched
+    assert store_view(_reopen(tmp_path / "src", backend)) == store_view(src), \
+        context
+
+
+# ---------------------------------------------------------------------------
+# targeted: SIGKILL mid-compaction / mid-migration
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("backend,op", [
+    ("file", "replace"),
+    ("file-legacy", "replace"),
+    ("sqlite", "sqlite"),
+])
+def test_kill_mid_compaction(tmp_path, backend, op):
+    """Compaction preserves the logical view, so a kill at any of its
+    syscall boundaries must leave the reopened view exactly as before."""
+    seed = 7003
+    store = _build(tmp_path / backend, backend)
+    before = store_view(store)
+    plan = IOFaultPlan(seed=seed, faults=(
+        IOFault(op=op, at=0, kind="crash"),
+    ))
+    with io_faults.injected(plan) as injector:
+        with pytest.raises(SimulatedCrash):
+            store.compact()
+    assert injector.injected, f"seed={seed}: plan never fired"
+    # the in-memory store died with the "process"; reopen from disk
+    reopened = _reopen(tmp_path / backend, backend)
+    context = (f"backend={backend} seed={seed}: store inconsistent after "
+               f"kill mid-compaction")
+    assert store_view(reopened) == before, context
+    _assert_payloads_load(reopened, context)
+
+
+@pytest.mark.parametrize("backend,op,at", [
+    ("file", "replace", 3),
+    ("sqlite", "sqlite", 6),
+])
+def test_kill_mid_migration(tmp_path, backend, op, at):
+    """Kill the *destination* writer partway through a migration: the
+    destination must hold an intact prefix, the source must be intact."""
+    seed = 7004
+    src = _build(tmp_path / "src", "file", n=4)
+    src_before = store_view(src)
+    dest_root = tmp_path / "dest"
+    dest = ExperimentStore(dest_root, backend=backend, auto_compact=0,
+                           resilience=False)
+    plan = IOFaultPlan(seed=seed, faults=(
+        IOFault(op=op, at=at, kind="crash", path_part="dest"),
+    ))
+    with io_faults.injected(plan) as injector:
+        with pytest.raises(SimulatedCrash):
+            migrate_store(src, dest)
+    assert injector.injected, f"seed={seed}: plan never fired"
+    reopened = _reopen(dest_root, backend)
+    src_order = src.list()
+    landed = reopened.list()
+    context = (f"backend={backend} seed={seed}: destination inconsistent "
+               f"after kill mid-migration (landed={landed})")
+    assert landed == src_order[:len(landed)], context
+    assert len(landed) < len(src_order), context
+    _assert_payloads_load(reopened, context)
+    assert store_view(_reopen(tmp_path / "src", "file")) == src_before, context
