@@ -1,0 +1,431 @@
+#!/usr/bin/env python
+"""Engine event-loop benchmark: fast dispatch loop vs the legacy path.
+
+Not a paper artifact: this harness measures the discrete-event core that
+every diagnosis runs on.  The fast loop inlines generator stepping and
+segment emission into one dispatch loop (tuple continuations, interned
+stack-snapshot prototype cells, batched segment flushes); the legacy
+loop keeps the original per-event discipline (closure continuations,
+per-segment dataclass construction, per-sink delivery) as the reference
+semantics.
+
+Equivalence gates everything, twice over, before any timing runs:
+
+* raw engine — every workload runs once under each loop and the full
+  ``TimeSegment`` streams must match field-for-field (including interned
+  ``parts`` identity), along with finish times and the event/segment
+  counters;
+* full diagnosis — a synthetic app diagnosed undirected and directed
+  (directives harvested from the undirected run) with ``engine_loop``
+  forced to each path; the normalized run records (conclusions, profile,
+  SHG, deterministic metrics) must be identical.
+
+Timing then measures pure dispatch rate (no sinks attached) per
+workload, best-of-``--reps``, and reports per-workload speedups plus the
+geometric-mean headline.  Emits ``results/BENCH_engine.json``.
+``--check`` compares the geomean against the floor in
+``benchmarks/baselines/engine.json`` and exits non-zero on regression.
+Only *ratios* gate CI — absolute events/sec are machine-dependent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.apps.base import Application  # noqa: E402
+from repro.core import SearchConfig, extract_directives, run_diagnosis  # noqa: E402
+from repro.obs import deterministic_metrics  # noqa: E402
+from repro.simulator import (  # noqa: E402
+    Barrier,
+    Compute,
+    Engine,
+    Irecv,
+    LatencyModel,
+    Machine,
+    Recv,
+    Send,
+    TraceCollector,
+    WaitReq,
+)
+
+RESULTS_DIR = REPO / "results"
+BASELINE = Path(__file__).resolve().parent / "baselines" / "engine.json"
+
+#: Metrics that legitimately differ between loops: batching granularity
+#: is an implementation detail of the fast path, not an outcome.
+LOOP_SHAPE_COUNTERS = ("emit_batches",)
+
+
+# ---------------------------------------------------------------------------
+# workloads
+# ---------------------------------------------------------------------------
+def make_messaging(n=8, iters=250):
+    """Ring exchange with nested function frames: the message-heavy
+    shape (sends, blocking and non-blocking receives, barriers).
+
+    Syscall objects are pre-built outside the loop (they are immutable
+    values): the harness measures the engine's dispatch rate, not
+    per-yield dataclass construction — that cost is identical under
+    both loops and would only dilute the measured ratio."""
+
+    def build():
+        eng = Engine(Machine.named("node", n), LatencyModel())
+
+        def prog(rank):
+            up, down = f"p{(rank + 1) % n}", f"p{(rank - 1) % n}"
+            work = Compute(0.01 + 0.001 * (rank % 3))
+            overlap = Compute(0.002)
+            send = Send(up, "1/0", 256)
+            recv = Recv(down, "1/0")
+            irecv = Irecv(down, "1/0")
+            barrier = Barrier()
+
+            def p(proc):
+                with proc.function("oned.f", "main"):
+                    for it in range(iters):
+                        with proc.function("sweep.f", "sweep1d"):
+                            yield work
+                        with proc.function("exchng1.f", "exchng1"):
+                            yield send
+                            if it % 3:
+                                yield recv
+                            else:
+                                req = yield irecv
+                                yield overlap
+                                yield WaitReq(req)
+                        if it % 10 == 0:
+                            yield barrier
+            return p
+
+        for i in range(n):
+            eng.add_process(f"p{i}", f"node{i}", prog(i))
+        return eng
+
+    return build
+
+
+def make_compute(n=4, iters=2000):
+    """Compute-dominated sweep with pre-built syscall objects: stresses
+    the dispatch loop itself rather than messaging semantics."""
+
+    def build():
+        eng = Engine(Machine.named("node", n), LatencyModel())
+
+        def prog(rank):
+            c1 = Compute(0.01 + 0.001 * rank)
+            c2 = Compute(0.005)
+
+            def p(proc):
+                with proc.function("main.c", "main"):
+                    for _ in range(iters):
+                        with proc.function("kernel.c", "stencil"):
+                            yield c1
+                        yield c2
+            return p
+
+        for i in range(n):
+            eng.add_process(f"p{i}", f"node{i}", prog(i))
+        return eng
+
+    return build
+
+
+def make_barrier_phases(n=8, iters=600):
+    """Bulk-synchronous phases: compute then barrier, every iteration —
+    stresses barrier bookkeeping and same-timestamp release batches."""
+
+    def build():
+        eng = Engine(Machine.named("node", n), LatencyModel())
+
+        def prog(rank):
+            work = Compute(0.02 + 0.002 * (rank % 4))
+            barrier = Barrier()
+
+            def p(proc):
+                with proc.function("bsp.c", "main"):
+                    for _ in range(iters):
+                        with proc.function("bsp.c", "phase"):
+                            yield work
+                        yield barrier
+            return p
+
+        for i in range(n):
+            eng.add_process(f"p{i}", f"node{i}", prog(i))
+        return eng
+
+    return build
+
+
+WORKLOADS = {
+    "messaging": make_messaging(),
+    "compute": make_compute(),
+    "barrier": make_barrier_phases(),
+}
+
+
+# ---------------------------------------------------------------------------
+# equivalence
+# ---------------------------------------------------------------------------
+def seg_key(s):
+    return (s.start, s.duration, s.activity, s.process, s.node, s.module,
+            s.function, s.tag, s.stack, id(s.parts))
+
+
+def assert_trace_identical(name, build):
+    """Run one workload under each loop with a collector attached and
+    require byte-identical observable output."""
+    out = []
+    for loop in ("legacy", "fast"):
+        eng = build()
+        col = TraceCollector()
+        eng.add_sink(col)
+        finish = eng.run(loop=loop)
+        out.append((finish, eng.events_processed, eng.segments_emitted,
+                    [seg_key(s) for s in col.segments]))
+    legacy, fast = out
+    if legacy != fast:
+        for field, a, b in zip(("finish", "events", "segments", "trace"),
+                               legacy, fast):
+            if a != b:
+                raise AssertionError(
+                    f"workload {name!r}: {field} diverged between loops"
+                )
+    return {"events": legacy[1], "segments": legacy[2], "finish": legacy[0]}
+
+
+# ---------------------------------------------------------------------------
+# full-diagnosis equivalence
+# ---------------------------------------------------------------------------
+N_PROCS = 8
+
+CONFIG = SearchConfig(
+    min_interval=5.0,
+    check_period=0.5,
+    insertion_latency=0.5,
+    cost_limit=40.0,
+)
+
+
+def make_app(iterations=8) -> Application:
+    procs = [f"w:{i + 1}" for i in range(N_PROCS)]
+    modules = {
+        "main.c": ("main", "exchange"),
+        "solve.c": ("jacobi", "residual"),
+        "io.c": ("checkpoint",),
+    }
+
+    def make_program(rank):
+        def program(proc):
+            nxt = procs[(rank + 1) % N_PROCS]
+            prv = procs[(rank - 1) % N_PROCS]
+            with proc.function("main.c", "main"):
+                for _ in range(iterations):
+                    with proc.function("solve.c", "jacobi"):
+                        yield Compute(0.5 if rank == 0 else 0.15)
+                    with proc.function("solve.c", "residual"):
+                        yield Compute(0.05)
+                    yield Send(nxt, "7/0", 64.0)
+                    with proc.function("main.c", "exchange"):
+                        yield Recv(prv, "7/0")
+                    yield Barrier()
+        return program
+
+    return Application(
+        name="engineloop",
+        version="1",
+        modules=modules,
+        tags=("7/0",),
+        processes=tuple(procs),
+        placement={p: f"n{i % 4}" for i, p in enumerate(procs)},
+        programs={p: make_program(i) for i, p in enumerate(procs)},
+        uses_barrier=True,
+        description="synthetic app for engine-loop equivalence",
+    )
+
+
+def comparable(record) -> dict:
+    """A run record reduced to what must match across loops: everything
+    except the run id, wall-clock metrics, and the batching-shape
+    counters (those *describe* the loop, not the diagnosis)."""
+    data = record.to_dict()
+    data["run_id"] = "X"
+    metrics = deterministic_metrics(data["metrics"])
+    for key in LOOP_SHAPE_COUNTERS:
+        metrics.pop(key, None)
+    data["metrics"] = metrics
+    return data
+
+
+def conclusions(record) -> dict:
+    return {
+        (n["hypothesis"], n["focus"]): n["state"]
+        for n in record.to_dict()["shg_nodes"]
+    }
+
+
+def bench_diagnosis(iterations: int) -> dict:
+    app = make_app(iterations=iterations)
+
+    def run(loop, directives=None):
+        start = time.perf_counter()
+        rec = run_diagnosis(
+            app,
+            directives=directives,
+            config=CONFIG,
+            run_id="bench",
+            engine_loop=loop,
+        )
+        return rec, time.perf_counter() - start
+
+    und_fast, und_fast_s = run("fast")
+    und_legacy, und_legacy_s = run("legacy")
+    if comparable(und_fast) != comparable(und_legacy):
+        raise AssertionError("undirected: fast and legacy records diverged")
+    if conclusions(und_fast) != conclusions(und_legacy):
+        raise AssertionError("undirected: conclusion sets diverged")
+
+    directives = extract_directives([und_fast])
+    dir_fast, dir_fast_s = run("fast", directives=directives)
+    dir_legacy, dir_legacy_s = run("legacy", directives=directives)
+    if comparable(dir_fast) != comparable(dir_legacy):
+        raise AssertionError("directed: fast and legacy records diverged")
+    if conclusions(dir_fast) != conclusions(dir_legacy):
+        raise AssertionError("directed: conclusion sets diverged")
+
+    def entry(fast_rec, fast_s, legacy_rec, legacy_s):
+        return {
+            "fast_s": fast_s,
+            "legacy_s": legacy_s,
+            "speedup": legacy_s / fast_s if fast_s > 0 else float("inf"),
+            "engine_events": fast_rec.metrics["engine_events"],
+            "engine_segments": fast_rec.metrics["engine_segments"],
+            "true_pairs": sum(
+                1 for state in conclusions(fast_rec).values() if state == "true"
+            ),
+        }
+
+    return {
+        "records_equal": True,
+        "undirected": entry(und_fast, und_fast_s, und_legacy, und_legacy_s),
+        "directed": entry(dir_fast, dir_fast_s, dir_legacy, dir_legacy_s),
+    }
+
+
+# ---------------------------------------------------------------------------
+# timing
+# ---------------------------------------------------------------------------
+def time_loop(build, loop: str, reps: int):
+    """Best-of-``reps`` dispatch rate (events/sec) with no sinks attached."""
+    best = None
+    events = 0
+    for _ in range(reps):
+        eng = build()
+        start = time.perf_counter()
+        eng.run(loop=loop)
+        wall = time.perf_counter() - start
+        events = eng.events_processed
+        if best is None or wall < best:
+            best = wall
+    return events / best if best > 0 else float("inf"), best, events
+
+
+def bench_workloads(reps: int) -> dict:
+    out = {}
+    for name, build in WORKLOADS.items():
+        shape = assert_trace_identical(name, build)
+        fast_eps, fast_s, events = time_loop(build, "fast", reps)
+        legacy_eps, legacy_s, _ = time_loop(build, "legacy", reps)
+        out[name] = {
+            "trace_identical": True,
+            "events": events,
+            "segments": shape["segments"],
+            "legacy_s": legacy_s,
+            "fast_s": fast_s,
+            "legacy_events_per_sec": legacy_eps,
+            "fast_events_per_sec": fast_eps,
+            "speedup": fast_eps / legacy_eps if legacy_eps > 0 else float("inf"),
+        }
+    speedups = [w["speedup"] for w in out.values()]
+    out["geomean_speedup"] = math.exp(
+        sum(math.log(s) for s in speedups) / len(speedups)
+    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# baseline gate
+# ---------------------------------------------------------------------------
+def check_against_baseline(results: dict) -> int:
+    if not BASELINE.is_file():
+        print(f"no baseline at {BASELINE}; skipping regression check")
+        return 0
+    baseline = json.loads(BASELINE.read_text())
+    floor = baseline["geomean_speedup_min"]
+    measured = results["workloads"]["geomean_speedup"]
+    print(f"engine geomean speedup: {measured:.2f}x (floor {floor:g}x, "
+          f"target {baseline.get('geomean_speedup_target', 5.0):g}x)")
+    if measured < floor:
+        print("FAIL: engine fast-loop speedup regressed below the baseline floor")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=5,
+                        help="timing repetitions per loop (best wall)")
+    parser.add_argument("--iterations", type=int, default=8,
+                        help="application iterations in the diagnosis check")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when the geomean speedup falls below the "
+                             "floor in the checked-in baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the checked-in speedup floor")
+    args = parser.parse_args(argv)
+
+    workloads = bench_workloads(args.reps)
+    diagnosis = bench_diagnosis(args.iterations)
+    results = {"workloads": workloads, "diagnosis": diagnosis}
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_engine.json"
+    out_path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    for name in WORKLOADS:
+        w = workloads[name]
+        print(f"{name}: {w['events']} events, "
+              f"{w['legacy_events_per_sec'] / 1e3:.0f}k ev/s legacy -> "
+              f"{w['fast_events_per_sec'] / 1e3:.0f}k ev/s fast "
+              f"({w['speedup']:.2f}x), trace identical")
+    print(f"geomean speedup: {workloads['geomean_speedup']:.2f}x")
+    for phase in ("undirected", "directed"):
+        d = diagnosis[phase]
+        print(f"diagnosis {phase}: {d['legacy_s']:.2f} s legacy -> "
+              f"{d['fast_s']:.2f} s fast ({d['speedup']:.2f}x), "
+              f"records equal, {d['true_pairs']} true pairs")
+
+    if args.update_baseline:
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(json.dumps({
+            "geomean_speedup_min": 3.0,
+            "geomean_speedup_target": 5.0,
+            "note": "floor on the geomean fast-vs-legacy dispatch-rate "
+                    "speedup measured by bench_engine.py",
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {BASELINE}")
+
+    if args.check:
+        return check_against_baseline(results)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

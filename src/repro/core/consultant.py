@@ -88,11 +88,18 @@ class DiagnosisSession:
     #: :class:`~repro.metrics.instrumentation.InstrumentationManager`).
     #: Conclusions are identical either way; only the cost shape differs.
     segment_routing: bool = True
+    #: Which engine event loop to run under: ``"auto"`` (the engine's
+    #: default, currently the fast loop), ``"fast"``, or ``"legacy"``
+    #: (the reference per-event discipline).  Traces, conclusions, and
+    #: deterministic metrics are identical across loops.
+    engine_loop: str = "auto"
 
     def run(self) -> RunRecord:
         """Execute the application with the online search attached."""
         if self.on_failure not in ("raise", "degrade"):
             raise ValueError(f"unknown on_failure policy {self.on_failure!r}")
+        if self.engine_loop not in ("auto", "fast", "legacy"):
+            raise ValueError(f"unknown engine_loop {self.engine_loop!r}")
         wall_start = time.perf_counter()
         config = self.config or SearchConfig()
         space = self.app.make_space()
@@ -147,7 +154,9 @@ class DiagnosisSession:
         search.start()
         failure: Optional[str] = None
         try:
-            finish = engine.run(max_time=max_time, max_events=max_events)
+            finish = engine.run(
+                max_time=max_time, max_events=max_events, loop=self.engine_loop
+            )
         except SimulationError as exc:
             if self.on_failure == "raise":
                 raise
@@ -181,6 +190,8 @@ class DiagnosisSession:
             segments_routed=instr.segments_routed,
             segments_scanned=instr.segments_scanned,
             probes_examined=instr.probes_examined,
+            engine_segments=engine.segments_emitted,
+            emit_batches=engine.emit_batches,
             time_to_first_true=search.first_true_time(),
             time_to_last_true=search.last_true_time(),
             trace_events=self.tracer.count if self.tracer else 0,

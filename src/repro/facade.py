@@ -69,6 +69,7 @@ _SESSION_FIELDS = {
     "on_failure",
     "max_events",
     "max_virtual_time",
+    "engine_loop",
 }
 
 HistoryLike = Union[

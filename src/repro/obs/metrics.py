@@ -77,6 +77,8 @@ def run_metrics(
     segments_routed: int = 0,
     segments_scanned: int = 0,
     probes_examined: int = 0,
+    engine_segments: int = 0,
+    emit_batches: int = 0,
 ) -> Metrics:
     """Assemble one run's metrics dict from its raw ingredients."""
     return {
@@ -97,6 +99,8 @@ def run_metrics(
         "segments_routed": segments_routed,
         "segments_scanned": segments_scanned,
         "probes_examined": probes_examined,
+        "engine_segments": engine_segments,
+        "emit_batches": emit_batches,
         "time_to_first_true": time_to_first_true,
         "time_to_last_true": time_to_last_true,
         "trace_events": trace_events,
@@ -120,6 +124,8 @@ _SUM = {
     "segments_routed",
     "segments_scanned",
     "probes_examined",
+    "engine_segments",
+    "emit_batches",
     "trace_events",
     "trace_dropped",
 }

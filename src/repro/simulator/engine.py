@@ -15,17 +15,45 @@ Two properties matter for reproducing the paper's dynamics:
 * **Perturbation** — registered perturbation sources (the instrumentation
   cost model) stretch computation, so reducing unhelpful instrumentation
   genuinely shortens execution, the paper's goal 2.
+
+Two event loops
+---------------
+
+:meth:`Engine.run` executes one of two loops over the same syscall
+semantics (``loop="fast"``, the default, or ``loop="legacy"``):
+
+* The **legacy loop** is the original discipline, kept as the executable
+  reference: one closure per scheduled continuation, one
+  :class:`TimeSegment` built and delivered to every sink at the instant
+  of emission, and per-event watchdog checks through
+  ``EventQueue.pop()``.
+* The **fast loop** dispatches the heap directly with hoisted locals,
+  schedules continuations as small tuples instead of closures, advances
+  the clock once per distinct timestamp (same-timestamp events dispatch
+  as a batch), checks the virtual-time budget only when time advances —
+  so an unbudgeted run pays no per-event watchdog branch — and *batches
+  segment emission*: segments accumulate as ``(prototype, start,
+  duration)`` triples and materialise only when an outside observer can
+  look (a user-scheduled callback, an ``on_finish`` hook, loop exit, or
+  a raised diagnostic).  Engine-internal continuations never read sinks,
+  so every flush point precedes every possible observation and the
+  per-sink segment streams are byte-identical to the legacy loop's.
+
+Both loops interoperate: a run that times out under one loop can resume
+under the other, because each executes whatever payload kind (closure or
+continuation tuple) it pops.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from .errors import ProgramError, SimDeadlock, SimTimeout, SimulationError
 from .events import EventQueue
 from .machine import Machine
-from .messages import ANY_SOURCE, LatencyModel, Mailbox, Message
+from .messages import ANY_SOURCE, LatencyModel, Mailbox, Message, make_message
 from .process import (
     Barrier,
     Compute,
@@ -39,11 +67,38 @@ from .process import (
     SimProcess,
     WaitReq,
 )
-from .records import Activity, TimeSegment, TraceSink
+from .records import Activity, TimeSegment, TraceSink, segment_prototype
 
 __all__ = ["Engine"]
 
 _EPS = 1e-12
+
+# Continuation opcodes used by the fast loop's heap payloads: a tuple
+# ``(op, ...operands)`` replaces the closure the legacy loop would have
+# allocated.  Kept as small ints so the dispatch switch is two compares.
+# The EMIT_STEP operand ``proto`` is the segment prototype resolved at
+# dispatch time — legal because the process generator is suspended
+# between dispatch and continuation, so the attribution (stack, frame,
+# activity) cannot change in between; ``None`` means the interval is
+# below the de-minimis emission threshold.
+_OP_EMIT_STEP = 0  # (op, proc, start, duration, proto, value)
+_OP_STEP = 1       # (op, proc, value)
+_OP_DELIVER = 2    # (op, message)
+
+_ACT_COMPUTE = Activity.COMPUTE
+_ACT_SYNC = Activity.SYNC
+_ACT_IO = Activity.IO
+
+# int activity codes for prototype-cache keys: hashing an Enum member
+# calls a Python-level __hash__ per lookup, a small int does not
+_CODE_COMPUTE = 0
+_CODE_SYNC = 1
+_CODE_IO = 2
+
+_CRASHED = ProcState.CRASHED
+_RUNNING = ProcState.RUNNING
+_BLOCKED = ProcState.BLOCKED
+_DONE = ProcState.DONE
 
 
 class Engine:
@@ -84,12 +139,31 @@ class Engine:
         self._stopped = False
         self.finished_at: Optional[float] = None
         #: Events dispatched across all :meth:`run` calls — the numerator
-        #: of the events/sec run metric.
+        #: of the events/sec run metric.  Counts only events whose payload
+        #: actually executed: an event still queued when the watchdog
+        #: fires is neither lost nor counted.
         self.events_processed = 0
         #: Bumped whenever the process table gains an entry, so consumers
         #: caching anything derived from ``procs`` (matched-process sets,
         #: normalisation denominators) can invalidate without rescanning.
         self.proc_table_version = 0
+        #: Which loop :meth:`run` uses when its ``loop`` argument is left
+        #: as ``None``/``"auto"``: ``"fast"`` (default) or ``"legacy"``.
+        self.default_loop = "fast"
+        #: Segments emitted (post de-minimis and crash filtering) and
+        #: fast-path flush batches, for the obs metrics.  The legacy loop
+        #: emits unbatched, so ``emit_batches`` stays 0 there.
+        self.segments_emitted = 0
+        self.emit_batches = 0
+        # live (not DONE/CRASHED) process count, maintained incrementally
+        # so barrier checks are O(1) instead of a process-table scan
+        self._live = 0
+        # fast-loop state: True while _run_fast is on the stack; pending
+        # (prototype, start, duration) triples awaiting flush; prototype
+        # cache keyed by (activity, process, frame, tag, stack)
+        self._fast_active = False
+        self._pending_segments: List[Tuple[dict, float, float]] = []
+        self._seg_protos: Dict[tuple, dict] = {}
         # per-process in-progress activity: (activity, start, module, fn, tag)
         self._current: Dict[str, Optional[Tuple[Activity, float, str, str, Optional[str]]]] = {}
 
@@ -105,6 +179,7 @@ class Engine:
         self._mailboxes[name] = Mailbox()
         self._pending_irecvs[name] = []
         self._current[name] = None
+        self._live += 1
         self.proc_table_version += 1
         return proc
 
@@ -161,21 +236,26 @@ class Engine:
         driver once the search has nothing left to conclude)."""
         self._stopped = True
 
+    def _push_op(self, time: float, payload: tuple) -> None:
+        """Fast-loop internal scheduling: same past-guard and clamp as
+        :meth:`schedule`, but the payload is a continuation tuple and no
+        closure or cancel token is created."""
+        now = self.now
+        if time < now:
+            if time < now - _EPS:
+                raise SimulationError(f"cannot schedule in the past: {time} < {now}")
+            time = now
+        queue = self.queue
+        heappush(queue._heap, (time, next(queue._seq), payload))
+
     # ------------------------------------------------------------------
     # state inspection
     # ------------------------------------------------------------------
     def all_done(self) -> bool:
-        return all(
-            p.state in (ProcState.DONE, ProcState.CRASHED)
-            for p in self.procs.values()
-        )
+        return self._live == 0
 
     def live_count(self) -> int:
-        return sum(
-            1
-            for p in self.procs.values()
-            if p.state not in (ProcState.DONE, ProcState.CRASHED)
-        )
+        return self._live
 
     def crashed(self) -> List[SimProcess]:
         return [p for p in self.procs.values() if p.state is ProcState.CRASHED]
@@ -204,7 +284,7 @@ class Engine:
                 "tag": proc.block_tag,
                 "since": proc.block_start if proc.state is ProcState.BLOCKED else None,
             }
-            want = getattr(proc, "_recv_want", None)
+            want = proc._recv_want
             if proc.hung:
                 entry["kind"] = "hang"
             elif proc.block_tag == "Barrier":
@@ -212,7 +292,7 @@ class Engine:
             elif want is not None:
                 entry["kind"] = "recv"
                 entry["peer"] = want[0]
-            elif getattr(proc, "_wait_req", None) is not None:
+            elif proc._wait_req is not None:
                 entry["kind"] = "wait"
                 entry["peer"] = proc._wait_req.src
             elif name in rdv_senders:
@@ -237,6 +317,7 @@ class Engine:
         proc.state = ProcState.CRASHED
         proc.crash = exc or RuntimeError(f"process {name} killed at t={self.now}")
         proc.finish_time = self.now
+        self._live -= 1
         self._clear_current(proc)
         # It can no longer participate in a barrier or complete a
         # rendezvous handshake.
@@ -286,7 +367,12 @@ class Engine:
     # ------------------------------------------------------------------
     # run loop
     # ------------------------------------------------------------------
-    def run(self, max_time: float = 1e9, max_events: Optional[int] = None) -> float:
+    def run(
+        self,
+        max_time: float = 1e9,
+        max_events: Optional[int] = None,
+        loop: Optional[str] = None,
+    ) -> float:
         """Execute until every process finishes (or :meth:`stop`).
 
         ``max_time`` and ``max_events`` are the watchdog budgets: a run
@@ -294,48 +380,341 @@ class Engine:
         per-process blocked-state diagnostics — a hung program (e.g. an
         injected hang plus a periodic callback that keeps virtual time
         advancing) becomes a diagnosable error instead of an endless loop.
+        The budgets are *per call* and non-destructive: the event that
+        would exceed the budget stays queued, so a caller may catch the
+        timeout and resume with a larger budget without losing events.
+        ``max_events`` counts only events actually dispatched.
+
+        ``loop`` selects the event loop: ``"fast"`` (batched dispatch and
+        emission), ``"legacy"`` (the original per-event reference
+        discipline), or ``None``/``"auto"`` for :attr:`default_loop`.
+        Both produce byte-identical per-sink segment streams and
+        diagnostics.
 
         Returns the finish time (or the stop time)."""
-        events = 0
+        mode = self.default_loop if loop in (None, "auto") else loop
+        if mode == "legacy":
+            return self._run_legacy(max_time, max_events)
+        if mode != "fast":
+            raise SimulationError(f"unknown loop {loop!r}")
+        return self._run_fast(max_time, max_events)
+
+    def _start_procs(self) -> None:
         for proc in self.procs.values():
             if proc.gen is None:
                 proc.start()
-                self.schedule(self.now, lambda p=proc: self._step(p, None))
+                self.queue.push(self.now, (_OP_STEP, proc, None))
+
+    def _deadlock(self) -> SimDeadlock:
+        blocked = [p.name for p in self.procs.values() if p.state is ProcState.BLOCKED]
+        crashed = [p.name for p in self.crashed()]
+        detail = f"; crashed processes: {crashed}" if crashed else ""
+        return SimDeadlock(
+            f"no runnable events; blocked processes: {blocked}{detail}",
+            blocked=self.blocked_report(),
+            crashed=crashed,
+        )
+
+    def _timeout(self, message: str, budget: Dict) -> SimTimeout:
+        return SimTimeout(
+            message,
+            blocked=self.blocked_report(),
+            crashed=[p.name for p in self.crashed()],
+            budget=budget,
+        )
+
+    def _run_legacy(self, max_time: float, max_events: Optional[int]) -> float:
+        """The original per-event loop, kept as the reference discipline."""
+        events = 0
+        self._start_procs()
         while not self._stopped:
-            item = self.queue.pop()
-            if item is None:
+            t_next = self.queue.peek_time()
+            if t_next is None:
                 if self.all_done():
                     break
-                blocked = [p.name for p in self.procs.values() if p.state is ProcState.BLOCKED]
-                crashed = [p.name for p in self.crashed()]
-                detail = f"; crashed processes: {crashed}" if crashed else ""
-                raise SimDeadlock(
-                    f"no runnable events; blocked processes: {blocked}{detail}",
-                    blocked=self.blocked_report(),
-                    crashed=crashed,
-                )
-            t, fn = item
-            if t > max_time:
-                raise SimTimeout(
+                raise self._deadlock()
+            if t_next > max_time:
+                raise self._timeout(
                     f"simulation exceeded max_time={max_time}",
-                    blocked=self.blocked_report(),
-                    crashed=[p.name for p in self.crashed()],
-                    budget={"max_time": max_time},
+                    {"max_time": max_time},
                 )
+            if max_events is not None and events >= max_events:
+                raise self._timeout(
+                    f"simulation exceeded max_events={max_events}",
+                    {"max_events": max_events},
+                )
+            t, fn = self.queue.pop()
             events += 1
             self.events_processed += 1
-            if max_events is not None and events > max_events:
-                raise SimTimeout(
-                    f"simulation exceeded max_events={max_events}",
-                    blocked=self.blocked_report(),
-                    crashed=[p.name for p in self.crashed()],
-                    budget={"max_events": max_events},
-                )
             self.now = max(self.now, t)
-            fn()
+            if type(fn) is tuple:
+                self._exec_op(fn)
+            else:
+                fn()
         if self.finished_at is None:
             self.finished_at = self.now
         return self.finished_at
+
+    def _run_fast(self, max_time: float, max_events: Optional[int]) -> float:
+        if self._fast_active:
+            raise SimulationError("Engine.run() is not reentrant")
+        self._start_procs()
+        self._fast_active = True
+        try:
+            if max_events is None:
+                self._fast_loop(max_time)
+            else:
+                self._fast_loop_budgeted(max_time, max_events)
+        finally:
+            self._flush_segments()
+            self._fast_active = False
+        if self.finished_at is None:
+            self.finished_at = self.now
+        return self.finished_at
+
+    def _fast_loop(self, max_time: float) -> None:
+        """Hot dispatch loop with no event budget armed: the virtual-time
+        budget is checked only when the clock advances, so a batch of
+        same-timestamp events — and, for the default ``max_time``, the
+        whole run — pays no per-event watchdog branch."""
+        queue = self.queue
+        heap = queue._heap
+        seq = queue._seq
+        cancelled = queue._cancelled
+        pending = self._pending_segments
+        pend_append = pending.append
+        deliver = self._deliver
+        dispatch = self._dispatch
+        do_send = self._do_send
+        do_recv = self._do_recv
+        do_irecv = self._do_irecv
+        do_wait = self._do_wait
+        do_barrier = self._do_barrier
+        do_io = self._do_io
+        crashed_state = _CRASHED
+        current = self._current
+        unknown_frame = ("<unknown>", "<toplevel>")
+        now = self.now
+        if now > max_time and heap:
+            # resumed with a budget the clock already exceeds: every
+            # pending event is over budget (heap times are >= now)
+            while heap and cancelled and heap[0][1] in cancelled:
+                cancelled.discard(heappop(heap)[1])
+            if heap:
+                self._flush_segments()
+                raise self._timeout(
+                    f"simulation exceeded max_time={max_time}", {"max_time": max_time}
+                )
+        while heap:
+            if self._stopped:
+                break
+            entry = heappop(heap)
+            tok = entry[1]
+            if cancelled and tok in cancelled:
+                cancelled.discard(tok)
+                continue
+            t = entry[0]
+            if t > now:
+                if t > max_time:
+                    heappush(heap, entry)  # watchdog fires; queue stays intact
+                    self._flush_segments()
+                    raise self._timeout(
+                        f"simulation exceeded max_time={max_time}",
+                        {"max_time": max_time},
+                    )
+                now = t
+                self.now = t
+            self.events_processed += 1
+            payload = entry[2]
+            if type(payload) is tuple:
+                op = payload[0]
+                if op == 0:  # _OP_EMIT_STEP
+                    _, proc, start, dur, proto, value = payload
+                    if proto is not None and proc.state is not crashed_state:
+                        pend_append((proto, start, dur))
+                elif op == 1:  # _OP_STEP
+                    proc = payload[1]
+                    value = payload[2]
+                else:  # _OP_DELIVER
+                    deliver(payload[1])
+                    continue
+                # ---- _step(proc, value), inlined (the legacy method is
+                # the reference; every branch below mirrors it) ----
+                if proc.state is crashed_state:
+                    continue  # an injected crash beat a scheduled resume
+                if proc.hung:
+                    proc.state = _BLOCKED
+                    proc.block_start = now
+                    proc.block_tag = "<hang>"
+                    proc.block_frame = proc.current_frame
+                    current[proc.name] = None
+                    continue
+                proc.state = _RUNNING
+                try:
+                    call = proc.gen.send(value)
+                except StopIteration:
+                    proc.state = _DONE
+                    proc.finish_time = now
+                    current[proc.name] = None
+                    self._live -= 1
+                    self._maybe_finish()
+                    continue
+                except ProgramError:
+                    current[proc.name] = None
+                    raise
+                except Exception as exc:
+                    current[proc.name] = None
+                    if self.crash_policy == "raise":
+                        raise
+                    proc.state = crashed_state
+                    proc.crash = exc
+                    proc.finish_time = now
+                    self._live -= 1
+                    self._maybe_finish()
+                    continue
+                if call.__class__ is Compute:
+                    seconds = call.seconds
+                    if seconds < 0:
+                        current[proc.name] = None
+                        raise ProgramError("negative compute time")
+                    if self._perturbation_sources:
+                        dur = seconds * (1.0 + max(self.perturbation(proc.name), 0.0))
+                    else:
+                        dur = seconds
+                    stack = proc._stack
+                    frame = stack[-1] if stack else unknown_frame
+                    current[proc.name] = (_ACT_COMPUTE, now, frame[0], frame[1], None)
+                    # dur >= 0, so now + dur >= now: no past-guard needed
+                    if dur > _EPS:
+                        snap = proc._stack_tuple
+                        if snap is None:
+                            snap = proc.stack_snapshot()
+                        proto = snap.protos[0]
+                        if proto is None:
+                            proto = self._proto_for(
+                                _CODE_COMPUTE, _ACT_COMPUTE, proc, frame, None
+                            )
+                    else:
+                        proto = None
+                    heappush(heap, (now + dur, next(seq), (0, proc, now, dur, proto, None)))
+                else:
+                    # inlined _dispatch switch for the in-tree syscalls
+                    # (exact types only; anything else — subclasses, bad
+                    # yields — takes the full reference dispatcher)
+                    current[proc.name] = None
+                    stack = proc._stack
+                    frame = stack[-1] if stack else unknown_frame
+                    cls = call.__class__
+                    if cls is Send or cls is Isend:
+                        do_send(proc, call, frame)
+                    elif cls is Recv:
+                        do_recv(proc, call, frame)
+                    elif cls is Irecv:
+                        do_irecv(proc, call)
+                    elif cls is WaitReq:
+                        do_wait(proc, call, frame)
+                    elif cls is Barrier:
+                        do_barrier(proc, frame)
+                    elif cls is IoOp:
+                        do_io(proc, call, frame)
+                    else:
+                        dispatch(proc, call)
+            else:
+                # user-scheduled callback: it may observe sinks, the
+                # clock, or counters — materialise everything first
+                if pending:
+                    self._flush_segments()
+                payload()
+        else:
+            if not self._stopped and not self.all_done():
+                self._flush_segments()
+                raise self._deadlock()
+
+    def _fast_loop_budgeted(self, max_time: float, max_events: int) -> None:
+        """Fast loop with an event budget armed: peek-before-pop so the
+        event that would exceed a budget stays queued."""
+        queue = self.queue
+        heap = queue._heap
+        cancelled = queue._cancelled
+        pending = self._pending_segments
+        pend_append = pending.append
+        step = self._step
+        deliver = self._deliver
+        crashed_state = _CRASHED
+        now = self.now
+        events = 0
+        while True:
+            if self._stopped:
+                break
+            while heap:
+                entry = heap[0]
+                if cancelled and entry[1] in cancelled:
+                    cancelled.discard(heappop(heap)[1])
+                    continue
+                break
+            if not heap:
+                if self.all_done():
+                    break
+                self._flush_segments()
+                raise self._deadlock()
+            t = entry[0]
+            if t > max_time:
+                self._flush_segments()
+                raise self._timeout(
+                    f"simulation exceeded max_time={max_time}", {"max_time": max_time}
+                )
+            if events >= max_events:
+                self._flush_segments()
+                raise self._timeout(
+                    f"simulation exceeded max_events={max_events}",
+                    {"max_events": max_events},
+                )
+            heappop(heap)
+            if t > now:
+                now = t
+                self.now = t
+            events += 1
+            self.events_processed += 1
+            payload = entry[2]
+            if type(payload) is tuple:
+                op = payload[0]
+                if op == 0:  # _OP_EMIT_STEP
+                    _, proc, start, dur, proto, value = payload
+                    if proto is not None and proc.state is not crashed_state:
+                        pend_append((proto, start, dur))
+                    step(proc, value)
+                elif op == 1:  # _OP_STEP
+                    step(payload[1], payload[2])
+                else:  # _OP_DELIVER
+                    deliver(payload[1])
+            else:
+                if pending:
+                    self._flush_segments()
+                payload()
+
+    def _exec_op(self, payload: tuple) -> None:
+        """Execute a fast-loop continuation tuple under the legacy
+        discipline (a run resumed in legacy mode after a fast-mode stop,
+        or the seed steps pushed by :meth:`_start_procs`).  EMIT_STEP
+        segments materialise and reach the sinks immediately, matching
+        legacy per-event emission."""
+        op = payload[0]
+        if op == _OP_EMIT_STEP:
+            _, proc, start, dur, proto, value = payload
+            if proto is not None and proc.state is not _CRASHED:
+                self.segments_emitted += 1
+                seg = object.__new__(TimeSegment)
+                d = seg.__dict__
+                d.update(proto)
+                d["start"] = start
+                d["duration"] = dur
+                for sink in self._sinks:
+                    sink.record(seg)
+            self._step(proc, value)
+        elif op == _OP_STEP:
+            self._step(payload[1], payload[2])
+        else:
+            self._deliver(payload[1])
 
     # ------------------------------------------------------------------
     # internals
@@ -355,9 +734,27 @@ class Engine:
             # An injected crash loses the in-flight interval: nothing is
             # recorded past the instant of death.
             return
+        if self._fast_active:
+            if activity is _ACT_SYNC:
+                # SYNC protos ride on the snapshot keyed by tag (the
+                # blocked process's stack is frozen, so the snapshot +
+                # tag pin the attribution exactly)
+                snap = proc._stack_tuple
+                if snap is None:
+                    snap = proc.stack_snapshot()
+                d = snap.protos[1]
+                proto = d.get(tag) if d is not None else None
+                if proto is None:
+                    proto = self._proto_for(_CODE_SYNC, activity, proc, frame, tag)
+            else:
+                code = _CODE_COMPUTE if activity is _ACT_COMPUTE else _CODE_IO
+                proto = self._proto_for(code, activity, proc, frame, tag)
+            self._pending_segments.append((proto, start, duration))
+            return
+        self.segments_emitted += 1
         # The generator is suspended between dispatch and emission, so the
         # process's current stack is exactly the stack during the interval.
-        stack = proc.stack_snapshot()
+        stack = tuple(proc._stack)
         if not stack or stack[-1] != frame:
             stack = stack + (frame,)
         seg = TimeSegment.make(
@@ -373,6 +770,80 @@ class Engine:
         )
         for sink in self._sinks:
             sink.record(seg)
+
+    def _flush_segments(self) -> None:
+        """Materialise pending fast-path segments and deliver them, in
+        emission order, to every sink (see module docstring for when)."""
+        pending = self._pending_segments
+        if not pending:
+            return
+        # the per-event counter is batched here (every observer of the
+        # counter — callbacks, on_finish hooks, run() exit — flushes first)
+        self.segments_emitted += len(pending)
+        sinks = self._sinks
+        if not sinks:
+            pending.clear()
+            return
+        self.emit_batches += 1
+        new = object.__new__
+        cls = TimeSegment
+        if len(sinks) == 1:
+            record = sinks[0].record
+            for proto, start, duration in pending:
+                seg = new(cls)
+                d = seg.__dict__
+                d.update(proto)
+                d["start"] = start
+                d["duration"] = duration
+                record(seg)
+        else:
+            for proto, start, duration in pending:
+                seg = new(cls)
+                d = seg.__dict__
+                d.update(proto)
+                d["start"] = start
+                d["duration"] = duration
+                for sink in sinks:
+                    sink.record(seg)
+        pending.clear()
+
+    def _proto_for(
+        self,
+        code: int,
+        activity: Activity,
+        proc: SimProcess,
+        frame: Tuple[str, str],
+        tag: Optional[str],
+    ) -> dict:
+        """The cached segment prototype for one attribution.
+
+        Safe to resolve at dispatch time: the generator is suspended
+        until the continuation fires, so the stack during the interval is
+        exactly the stack now."""
+        snap = proc.stack_snapshot()
+        stack = snap
+        if not stack or stack[-1] != frame:
+            stack = stack + (frame,)
+        key = (code, proc.name, frame, tag, stack)
+        proto = self._seg_protos.get(key)
+        if proto is None:
+            proto = segment_prototype(
+                activity, proc.name, proc.node, frame[0], frame[1], tag, stack
+            )
+            self._seg_protos[key] = proto
+        # cache on the canonical snapshot itself: the snapshot object is
+        # the attribution, so the hot sites hit with one attribute load
+        # and one index (plus a tag lookup for SYNC), no validation
+        if tag is None:
+            if code != _CODE_SYNC:  # cell 1 is reserved for the tag dict
+                snap.protos[code] = proto
+        elif code == _CODE_SYNC:
+            d = snap.protos[1]
+            if d is None:
+                d = {}
+                snap.protos[1] = d
+            d[tag] = proto
+        return proto
 
     def _set_current(
         self,
@@ -399,13 +870,14 @@ class Engine:
             proc.block_frame = proc.current_frame
             self._clear_current(proc)
             return
-        self._clear_current(proc)
+        self._current[proc.name] = None
         proc.state = ProcState.RUNNING
         try:
             call = proc.gen.send(value)
         except StopIteration:
             proc.state = ProcState.DONE
             proc.finish_time = self.now
+            self._live -= 1
             self._maybe_finish()
             return
         except ProgramError:
@@ -416,45 +888,88 @@ class Engine:
             proc.state = ProcState.CRASHED
             proc.crash = exc
             proc.finish_time = self.now
+            self._live -= 1
             self._maybe_finish()
+            return
+        # Fast path: the hottest syscall (Compute) fully inlined — this
+        # block IS the per-event dispatch cost.  The legacy path keeps
+        # the reference call chain through _dispatch/_do_compute.
+        if self._fast_active and call.__class__ is Compute:
+            seconds = call.seconds
+            if seconds < 0:
+                raise ProgramError("negative compute time")
+            if self._perturbation_sources:
+                dur = seconds * (1.0 + max(self.perturbation(proc.name), 0.0))
+            else:
+                dur = seconds
+            stack = proc._stack
+            frame = stack[-1] if stack else ("<unknown>", "<toplevel>")
+            start = self.now
+            self._current[proc.name] = (_ACT_COMPUTE, start, frame[0], frame[1], None)
+            # dur >= 0, so start + dur >= now: no past-guard needed
+            if dur > _EPS:
+                snap = proc._stack_tuple
+                if snap is None:
+                    snap = proc.stack_snapshot()
+                proto = snap.protos[0]
+                if proto is None:
+                    proto = self._proto_for(_CODE_COMPUTE, _ACT_COMPUTE, proc, frame, None)
+            else:
+                proto = None
+            queue = self.queue
+            heappush(
+                queue._heap,
+                (
+                    start + dur,
+                    next(queue._seq),
+                    (_OP_EMIT_STEP, proc, start, dur, proto, None),
+                ),
+            )
             return
         self._dispatch(proc, call)
 
     def _maybe_finish(self) -> None:
         # a process leaving (done or crashed) may satisfy a pending barrier
         self._check_barrier()
-        if self.all_done():
+        if self._live == 0:
             self.finished_at = self.now
+            if self._fast_active and self._pending_segments:
+                # on_finish hooks (the search's final pass) read sinks
+                self._flush_segments()
             for fn in self._on_finish:
                 fn(self)
 
     def _resume_at(self, time: float, proc: SimProcess, value=None) -> None:
-        self.schedule(time, lambda: self._step(proc, value))
+        # every caller passes time == self.now, so no past-guard is needed
+        if self._fast_active:
+            queue = self.queue
+            heappush(queue._heap, (time, next(queue._seq), (_OP_STEP, proc, value)))
+        else:
+            self.schedule(time, lambda: self._step(proc, value))
 
     def _dispatch(self, proc: SimProcess, call) -> None:
         frame = proc.current_frame
-        if isinstance(call, Compute):
-            if call.seconds < 0:
-                raise ProgramError("negative compute time")
-            factor = 1.0 + max(self.perturbation(proc.name), 0.0)
-            dur = call.seconds * factor
-            self._set_current(proc, Activity.COMPUTE, frame)
-            start = self.now
-
-            def finish_compute(p=proc, s=start, d=dur, f=frame) -> None:
-                self._emit(s, d, Activity.COMPUTE, p, f)
-                self._step(p, None)
-
-            self.schedule(self.now + dur, finish_compute)
+        # exact-type switch first (every in-tree syscall is final);
+        # isinstance fallback below keeps subclassed syscalls working
+        ctype = call.__class__
+        if ctype is Compute:
+            self._do_compute(proc, call, frame)
+        elif ctype is IoOp:
+            self._do_io(proc, call, frame)
+        elif ctype is Send or ctype is Isend:
+            self._do_send(proc, call, frame)
+        elif ctype is Recv:
+            self._do_recv(proc, call, frame)
+        elif ctype is Irecv:
+            self._do_irecv(proc, call)
+        elif ctype is WaitReq:
+            self._do_wait(proc, call, frame)
+        elif ctype is Barrier:
+            self._do_barrier(proc, frame)
+        elif isinstance(call, Compute):
+            self._do_compute(proc, call, frame)
         elif isinstance(call, IoOp):
-            self._set_current(proc, Activity.IO, frame)
-            start = self.now
-
-            def finish_io(p=proc, s=start, d=call.seconds, f=frame) -> None:
-                self._emit(s, d, Activity.IO, p, f)
-                self._step(p, None)
-
-            self.schedule(self.now + call.seconds, finish_io)
+            self._do_io(proc, call, frame)
         elif isinstance(call, (Send, Isend)):
             self._do_send(proc, call, frame)
         elif isinstance(call, Recv):
@@ -468,14 +983,77 @@ class Engine:
         else:
             raise ProgramError(f"{proc.name} yielded non-syscall {call!r}")
 
+    # -- compute / io --------------------------------------------------------
+    def _do_compute(self, proc: SimProcess, call, frame) -> None:
+        seconds = call.seconds
+        if seconds < 0:
+            raise ProgramError("negative compute time")
+        if self._perturbation_sources:
+            dur = seconds * (1.0 + max(self.perturbation(proc.name), 0.0))
+        else:
+            dur = seconds
+        start = self.now
+        self._current[proc.name] = (_ACT_COMPUTE, start, frame[0], frame[1], None)
+        if self._fast_active:
+            # dur >= 0, so start + dur >= now: push without the past-guard
+            if dur > _EPS:
+                snap = proc._stack_tuple
+                if snap is None:
+                    snap = proc.stack_snapshot()
+                proto = snap.protos[0]
+                if proto is None:
+                    proto = self._proto_for(_CODE_COMPUTE, _ACT_COMPUTE, proc, frame, None)
+            else:
+                proto = None
+            queue = self.queue
+            heappush(
+                queue._heap,
+                (start + dur, next(queue._seq), (_OP_EMIT_STEP, proc, start, dur, proto, None)),
+            )
+            return
+
+        def finish_compute(p=proc, s=start, d=dur, f=frame) -> None:
+            self._emit(s, d, Activity.COMPUTE, p, f)
+            self._step(p, None)
+
+        self.schedule(start + dur, finish_compute)
+
+    def _do_io(self, proc: SimProcess, call, frame) -> None:
+        start = self.now
+        dur = call.seconds
+        self._current[proc.name] = (_ACT_IO, start, frame[0], frame[1], None)
+        if self._fast_active:
+            # negative I/O time must raise exactly like legacy schedule()
+            if dur > _EPS:
+                snap = proc._stack_tuple
+                if snap is None:
+                    snap = proc.stack_snapshot()
+                proto = snap.protos[2]
+                if proto is None:
+                    proto = self._proto_for(_CODE_IO, _ACT_IO, proc, frame, None)
+            else:
+                proto = None
+            self._push_op(start + dur, (_OP_EMIT_STEP, proc, start, dur, proto, None))
+            return
+
+        def finish_io(p=proc, s=start, d=dur, f=frame) -> None:
+            self._emit(s, d, Activity.IO, p, f)
+            self._step(p, None)
+
+        self.schedule(start + dur, finish_io)
+
     # -- sends ---------------------------------------------------------------
     def _do_send(self, proc: SimProcess, call, frame) -> None:
-        if call.dest not in self.procs:
-            raise ProgramError(f"{proc.name} sends to unknown process {call.dest!r}")
+        dest = call.dest
+        if dest not in self.procs:
+            raise ProgramError(f"{proc.name} sends to unknown process {dest!r}")
+        lat = self.latency
+        size = call.size
+        ctype = call.__class__
         if (
-            isinstance(call, Send)
-            and self.latency.is_rendezvous(call.size)
-            and not self._receiver_posted(call.dest, proc.name, call.tag)
+            (ctype is Send or (ctype is not Isend and isinstance(call, Send)))
+            and size > lat.eager_threshold  # == lat.is_rendezvous(size)
+            and not self._receiver_posted(dest, proc.name, call.tag)
         ):
             # rendezvous protocol: the blocking send waits until the
             # destination posts a matching receive
@@ -483,10 +1061,40 @@ class Engine:
             proc.block_start = self.now
             proc.block_tag = call.tag
             proc.block_frame = frame
-            self._set_current(proc, Activity.SYNC, frame, tag=call.tag)
-            self._rdv_waiting.setdefault(call.dest, []).append((proc, call))
+            self._set_current(proc, _ACT_SYNC, frame, tag=call.tag)
+            self._rdv_waiting.setdefault(dest, []).append((proc, call))
             return
-        overhead = self.latency.send_overhead
+        overhead = lat.send_overhead
+        if self._fast_active:
+            # bespoke eager-send path: latency model inlined (the
+            # expression is transfer_time()'s verbatim, so arrival times
+            # are bit-identical to the legacy computation)
+            start = self.now
+            arrival = start + overhead + (lat.alpha + lat.beta * max(size, 0.0))
+            msg = make_message(proc.name, dest, call.tag, size, start, arrival)
+            if self._message_filters:
+                self._schedule_delivery(msg)
+            else:
+                self._push_op(arrival, (_OP_DELIVER, msg))
+            self._current[proc.name] = (_ACT_COMPUTE, start, frame[0], frame[1], None)
+            if ctype is Isend or (ctype is not Send and isinstance(call, Isend)):
+                result = Request(proc.name, call.tag)
+                result.complete = True
+            else:
+                result = None
+            if overhead > _EPS:
+                snap = proc._stack_tuple
+                if snap is None:
+                    snap = proc.stack_snapshot()
+                proto = snap.protos[0]
+                if proto is None:
+                    proto = self._proto_for(_CODE_COMPUTE, _ACT_COMPUTE, proc, frame, None)
+            else:
+                proto = None
+            self._push_op(
+                start + overhead, (_OP_EMIT_STEP, proc, start, overhead, proto, result)
+            )
+            return
         arrival = self.now + overhead + self.latency.transfer_time(call.size)
         msg = Message(
             src=proc.name,
@@ -497,8 +1105,8 @@ class Engine:
             arrival_time=arrival,
         )
         self._schedule_delivery(msg)
-        self._set_current(proc, Activity.COMPUTE, frame)
         start = self.now
+        self._current[proc.name] = (_ACT_COMPUTE, start, frame[0], frame[1], None)
         result = Request(proc.name, call.tag) if isinstance(call, Isend) else None
         if result is not None:
             result.complete = True
@@ -507,23 +1115,30 @@ class Engine:
             self._emit(s, d, Activity.COMPUTE, p, f)
             self._step(p, r)
 
-        self.schedule(self.now + overhead, finish_send)
+        self.schedule(start + overhead, finish_send)
 
     def _schedule_delivery(self, msg: Message) -> None:
         """Schedule the arrival of *msg*, applying message filters (fault
         injection: drops, duplicates, delays) along the way."""
-        deliveries = [msg]
-        for filt in self._message_filters:
-            passed: List[Message] = []
+        if self._message_filters:
+            deliveries = [msg]
+            for filt in self._message_filters:
+                passed: List[Message] = []
+                for m in deliveries:
+                    for extra in filt(m):
+                        passed.append(
+                            m if extra <= 0.0
+                            else dataclasses.replace(m, arrival_time=m.arrival_time + extra)
+                        )
+                deliveries = passed
+        else:
+            deliveries = (msg,)
+        if self._fast_active:
             for m in deliveries:
-                for extra in filt(m):
-                    passed.append(
-                        m if extra <= 0.0
-                        else dataclasses.replace(m, arrival_time=m.arrival_time + extra)
-                    )
-            deliveries = passed
-        for m in deliveries:
-            self.schedule(m.arrival_time, lambda mm=m: self._deliver(mm))
+                self._push_op(m.arrival_time, (_OP_DELIVER, m))
+        else:
+            for m in deliveries:
+                self.schedule(m.arrival_time, lambda mm=m: self._deliver(mm))
 
     def _deliver(self, msg: Message) -> None:
         dest = self.procs[msg.dest]
@@ -538,12 +1153,12 @@ class Engine:
                 if (
                     dest.state is ProcState.BLOCKED
                     and dest.block_tag is not None
-                    and getattr(dest, "_wait_req", None) is req
+                    and dest._wait_req is req
                 ):
                     self._unblock_sync(dest, msg.tag)
                 return
         # Blocking receive already parked?
-        want = getattr(dest, "_recv_want", None)
+        want = dest._recv_want
         if (
             dest.state is ProcState.BLOCKED
             and want is not None
@@ -560,7 +1175,7 @@ class Engine:
         message from *src* with *tag* (a parked blocking receive or a
         pending non-blocking request)."""
         proc = self.procs[dest]
-        want = getattr(proc, "_recv_want", None)
+        want = proc._recv_want
         if (
             proc.state is ProcState.BLOCKED
             and want is not None
@@ -584,56 +1199,104 @@ class Engine:
                 continue
             waiting.pop(i)
             arrival = self.now + self.latency.transfer_time(call.size)
-            msg = Message(
-                src=sender.name,
-                dest=dest,
-                tag=call.tag,
-                size=call.size,
-                send_time=sender.block_start,
-                arrival_time=arrival,
-            )
+            if self._fast_active:
+                msg = make_message(
+                    sender.name, dest, call.tag, call.size, sender.block_start, arrival
+                )
+            else:
+                msg = Message(
+                    src=sender.name,
+                    dest=dest,
+                    tag=call.tag,
+                    size=call.size,
+                    send_time=sender.block_start,
+                    arrival_time=arrival,
+                )
             self._schedule_delivery(msg)
             self._unblock_sync(sender, call.tag)
             return
 
     def _unblock_sync(self, proc: SimProcess, tag: str, value=None) -> None:
         """End a synchronisation wait and resume the process."""
+        start = self.now
+        frame = proc.block_frame
+        if self._fast_active:
+            # inlined _emit of the SYNC wait (same guards, same order)
+            wait = start - proc.block_start
+            if wait > _EPS and proc.state is not _CRASHED:
+                snap = proc._stack_tuple
+                if snap is None:
+                    snap = proc.stack_snapshot()
+                d = snap.protos[1]
+                proto = d.get(tag) if d is not None else None
+                if proto is None:
+                    proto = self._proto_for(_CODE_SYNC, _ACT_SYNC, proc, frame, tag)
+                self._pending_segments.append((proto, proc.block_start, wait))
+            proc.block_tag = None
+            proc._wait_req = None
+            overhead = self.latency.recv_overhead
+            self._current[proc.name] = (_ACT_COMPUTE, start, frame[0], frame[1], None)
+            if overhead > _EPS:
+                snap = proc._stack_tuple
+                if snap is None:
+                    snap = proc.stack_snapshot()
+                proto = snap.protos[0]
+                if proto is None:
+                    proto = self._proto_for(_CODE_COMPUTE, _ACT_COMPUTE, proc, frame, None)
+            else:
+                proto = None
+            self._push_op(
+                start + overhead, (_OP_EMIT_STEP, proc, start, overhead, proto, value)
+            )
+            return
         wait = self.now - proc.block_start
         self._clear_current(proc)
-        self._emit(proc.block_start, wait, Activity.SYNC, proc, proc.block_frame, tag=tag)
+        self._emit(proc.block_start, wait, _ACT_SYNC, proc, proc.block_frame, tag=tag)
         proc.block_tag = None
-        if hasattr(proc, "_wait_req"):
-            proc._wait_req = None
+        proc._wait_req = None
         overhead = self.latency.recv_overhead
-        self._set_current(proc, Activity.COMPUTE, proc.block_frame)
-        start = self.now
+        self._current[proc.name] = (_ACT_COMPUTE, start, frame[0], frame[1], None)
 
-        def finish(p=proc, s=start, d=overhead, f=proc.block_frame, v=value) -> None:
+        def finish(p=proc, s=start, d=overhead, f=frame, v=value) -> None:
             self._emit(s, d, Activity.COMPUTE, p, f)
             self._step(p, v)
 
-        self.schedule(self.now + overhead, finish)
+        self.schedule(start + overhead, finish)
 
     # -- receives --------------------------------------------------------------
     def _do_recv(self, proc: SimProcess, call: Recv, frame) -> None:
         msg = self._mailboxes[proc.name].match(call.src, call.tag)
         if msg is not None:
             overhead = self.latency.recv_overhead
-            self._set_current(proc, Activity.COMPUTE, frame)
             start = self.now
+            self._current[proc.name] = (_ACT_COMPUTE, start, frame[0], frame[1], None)
+            if self._fast_active:
+                if overhead > _EPS:
+                    snap = proc._stack_tuple
+                    if snap is None:
+                        snap = proc.stack_snapshot()
+                    proto = snap.protos[0]
+                    if proto is None:
+                        proto = self._proto_for(_CODE_COMPUTE, _ACT_COMPUTE, proc, frame, None)
+                else:
+                    proto = None
+                self._push_op(
+                    start + overhead, (_OP_EMIT_STEP, proc, start, overhead, proto, msg)
+                )
+                return
 
             def finish(p=proc, s=start, d=overhead, f=frame, m=msg) -> None:
                 self._emit(s, d, Activity.COMPUTE, p, f)
                 self._step(p, m)
 
-            self.schedule(self.now + overhead, finish)
+            self.schedule(start + overhead, finish)
             return
         proc.state = ProcState.BLOCKED
         proc.block_start = self.now
         proc.block_tag = call.tag
         proc.block_frame = frame
         proc._recv_want = (call.src, call.tag)
-        self._set_current(proc, Activity.SYNC, frame, tag=call.tag)
+        self._set_current(proc, _ACT_SYNC, frame, tag=call.tag)
         self._release_rendezvous(proc.name, call.src, call.tag)
 
     def _do_irecv(self, proc: SimProcess, call: Irecv) -> None:
@@ -657,29 +1320,58 @@ class Engine:
         proc.block_tag = req.tag
         proc.block_frame = frame
         proc._wait_req = req
-        self._set_current(proc, Activity.SYNC, frame, tag=req.tag)
+        self._set_current(proc, _ACT_SYNC, frame, tag=req.tag)
 
     # -- barrier -----------------------------------------------------------------
     def _do_barrier(self, proc: SimProcess, frame) -> None:
         proc.state = ProcState.BLOCKED
-        proc.block_start = self.now
+        now = self.now
+        proc.block_start = now
         proc.block_tag = "Barrier"
         proc.block_frame = frame
-        self._set_current(proc, Activity.SYNC, frame, tag="Barrier")
-        self._barrier_waiting.append(proc)
-        self._check_barrier()
+        self._current[proc.name] = (_ACT_SYNC, now, frame[0], frame[1], "Barrier")
+        waiting = self._barrier_waiting
+        waiting.append(proc)
+        if len(waiting) >= self._live:
+            self._check_barrier()
 
     def _check_barrier(self) -> None:
         """Release the barrier when every live process has arrived (a
         crashing process no longer counts as a participant)."""
         if not self._barrier_waiting:
             return
-        if len(self._barrier_waiting) < self.live_count():
+        if len(self._barrier_waiting) < self._live:
             return
         waiting, self._barrier_waiting = self._barrier_waiting, []
+        now = self.now
+        if self._fast_active:
+            # inlined per-waiter release (same guards, same order as the
+            # legacy loop below: clear, emit the SYNC wait, resume)
+            current = self._current
+            pend_append = self._pending_segments.append
+            queue = self.queue
+            heap = queue._heap
+            seq = queue._seq
+            for p in waiting:
+                wait = now - p.block_start
+                current[p.name] = None
+                if wait > _EPS and p.state is not _CRASHED:
+                    snap = p._stack_tuple
+                    if snap is None:
+                        snap = p.stack_snapshot()
+                    d = snap.protos[1]
+                    proto = d.get("Barrier") if d is not None else None
+                    if proto is None:
+                        proto = self._proto_for(
+                            _CODE_SYNC, _ACT_SYNC, p, p.block_frame, "Barrier"
+                        )
+                    pend_append((proto, p.block_start, wait))
+                p.block_tag = None
+                heappush(heap, (now, next(seq), (_OP_STEP, p, None)))
+            return
         for p in waiting:
-            wait = self.now - p.block_start
+            wait = now - p.block_start
             self._clear_current(p)
-            self._emit(p.block_start, wait, Activity.SYNC, p, p.block_frame, tag="Barrier")
+            self._emit(p.block_start, wait, _ACT_SYNC, p, p.block_frame, tag="Barrier")
             p.block_tag = None
-            self._resume_at(self.now, p, None)
+            self._resume_at(now, p, None)

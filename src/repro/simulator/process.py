@@ -137,20 +137,50 @@ class ProcState(enum.Enum):
     CRASHED = "crashed"
 
 
+class _StackSnap(tuple):
+    """A canonical (interned) stack snapshot.
+
+    One instance exists per distinct stack per process (see
+    :meth:`SimProcess.stack_snapshot`), so identity comparison suffices
+    to detect "same stack".  The engine's fast path hangs its segment
+    prototypes directly off the snapshot in :attr:`protos` (one cell per
+    activity code) — the snapshot *is* the cache key, so a hit is one
+    attribute load and one index, with no validation.  Equality, hashing
+    and repr are inherited from ``tuple``: a ``TimeSegment.stack``
+    holding a snapshot is indistinguishable from one holding the plain
+    tuple the legacy path builds.  (No ``__slots__``: variable-length
+    bases forbid them; snapshots are few, the instance dict is cheap.)
+    """
+
+    def __reduce__(self):  # pickle as a plain tuple
+        return (tuple, (tuple(self),))
+
+
+def _new_snap(frames: tuple) -> "_StackSnap":
+    snap = _StackSnap(frames)
+    snap.protos = [None, None, None]
+    return snap
+
+
 class _FunctionFrame:
     """Context manager pushing/popping one (module, function) frame."""
 
-    __slots__ = ("_proc", "_frame")
+    __slots__ = ("_proc", "_frame", "_saved")
 
     def __init__(self, proc: "SimProcess", module: str, function: str):
         self._proc = proc
         self._frame = (module, function)
 
     def __enter__(self) -> None:
+        # remember the pre-push snapshot so __exit__ can restore it:
+        # popping restores exactly the stack the snapshot was taken of
+        self._saved = self._proc._stack_tuple
         self._proc._stack.append(self._frame)
+        self._proc._stack_tuple = None
 
     def __exit__(self, exc_type, exc, tb) -> None:
         top = self._proc._stack.pop()
+        self._proc._stack_tuple = self._saved
         if top != self._frame:  # pragma: no cover - defensive
             raise ProgramError(
                 f"function stack corruption in {self._proc.name}: "
@@ -168,6 +198,20 @@ class SimProcess:
         self.state = ProcState.READY
         self.gen: Optional[Generator] = None
         self._stack: List[Tuple[str, str]] = []
+        # Memoised canonical snapshot of ``_stack``; invalidated on every
+        # frame push/pop and restored on pop.  A process emits many
+        # segments per frame transition, so snapshots in the engine's
+        # emission hot path are almost always cache hits.
+        self._stack_tuple: Optional[_StackSnap] = _new_snap(())
+        # Interned snapshots: one canonical _StackSnap per distinct
+        # stack, so re-entering a frame in a loop yields the *same*
+        # snapshot object and the prototype cells riding on it (see
+        # _StackSnap) keep hitting.
+        self._snap_intern: dict = {(): self._stack_tuple}
+        # Blocking-receive want and pending wait request, always present
+        # so the engine reads them without getattr.
+        self._recv_want: Optional[Tuple[str, str]] = None
+        self._wait_req: Optional[Request] = None
         # Set while blocked: (activity tag for SYNC, block start, stack top).
         self.block_start: float = 0.0
         self.block_tag: Optional[str] = None
@@ -196,7 +240,18 @@ class SimProcess:
 
     def stack_snapshot(self) -> Tuple[Tuple[str, str], ...]:
         """The full (module, function) stack, outermost first."""
-        return tuple(self._stack)
+        snap = self._stack_tuple
+        if snap is None:
+            raw = tuple(self._stack)
+            intern = self._snap_intern
+            snap = intern.get(raw)
+            if snap is None:
+                if len(intern) >= 1024:  # bounded like the parts cache
+                    intern.clear()
+                snap = _new_snap(raw)
+                intern[raw] = snap
+            self._stack_tuple = snap
+        return snap
 
     # -- engine-facing API -----------------------------------------------------
     def start(self) -> None:

@@ -26,6 +26,7 @@ __all__ = [
     "TraceCollector",
     "sync_tag_parts",
     "intern_parts",
+    "segment_prototype",
 ]
 
 
@@ -145,6 +146,41 @@ class TimeSegment:
             stack=stack if stack is not None else ((module, function),),
             parts=intern_parts(process, node, module, function, tag),
         )
+
+
+def segment_prototype(
+    activity: Activity,
+    process: str,
+    node: str,
+    module: str,
+    function: str,
+    tag: Optional[str],
+    stack: Tuple[Tuple[str, str], ...],
+) -> Dict[str, object]:
+    """Attribute dict for every segment sharing one attribution.
+
+    The engine's fast emission path batches segments as ``(prototype,
+    start, duration)`` triples and materialises real :class:`TimeSegment`
+    objects only at flush time, by copying the prototype into a fresh
+    instance ``__dict__`` and overwriting ``start``/``duration`` — the
+    frozen-dataclass ``__init__`` (ten guarded ``object.__setattr__``
+    calls) is by far the most expensive step of classic emission.  The
+    keys here MUST stay in sync with :class:`TimeSegment`'s fields; a
+    segment built from a prototype compares equal to (and interns the
+    same ``parts`` as) one built through :meth:`TimeSegment.make`.
+    """
+    return {
+        "start": 0.0,
+        "duration": 0.0,
+        "activity": activity,
+        "process": process,
+        "node": node,
+        "module": module,
+        "function": function,
+        "tag": tag,
+        "stack": stack,
+        "parts": intern_parts(process, node, module, function, tag),
+    }
 
 
 class TraceSink(Protocol):

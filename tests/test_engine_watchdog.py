@@ -1,0 +1,156 @@
+"""Watchdog regression tests (ISSUE 8 satellites 1–2).
+
+Budgets must be non-destructive: the event that would exceed
+``max_time``/``max_events`` stays queued, so catching the timeout and
+resuming with a larger budget replays *exactly* the unbudgeted run.  And
+``events_processed`` counts only dispatched events — the budget-tripping
+event is neither counted nor lost.
+"""
+
+import pytest
+
+from repro.simulator import (
+    Barrier,
+    Compute,
+    Engine,
+    LatencyModel,
+    Machine,
+    Recv,
+    Send,
+    SimTimeout,
+    TraceCollector,
+)
+
+
+def make_engine(n=3, iters=10):
+    eng = Engine(Machine.named("node", n), LatencyModel())
+
+    def prog(rank):
+        def p(proc):
+            up, down = f"p{(rank + 1) % n}", f"p{(rank - 1) % n}"
+            with proc.function("oned.f", "main"):
+                for _ in range(iters):
+                    with proc.function("sweep.f", "sweep"):
+                        yield Compute(0.5 + 0.1 * rank)
+                    with proc.function("exchng.f", "exchng"):
+                        yield Send(up, "1/0", 128)
+                        yield Recv(down, "1/0")
+                yield Barrier()
+        return p
+
+    for i in range(n):
+        eng.add_process(f"p{i}", f"node{i}", prog(i))
+    return eng
+
+
+def seg_key(s):
+    return (s.start, s.duration, s.activity, s.process, s.module, s.function,
+            s.tag, s.stack)
+
+
+def reference_run(loop):
+    eng = make_engine()
+    col = TraceCollector()
+    eng.add_sink(col)
+    eng.run(loop=loop)
+    return eng, col
+
+
+class TestMaxTimeResume:
+    @pytest.mark.parametrize("loop", ["legacy", "fast"])
+    def test_resume_after_timeout_matches_unbudgeted(self, loop):
+        ref_eng, ref_col = reference_run(loop)
+        eng = make_engine()
+        col = TraceCollector()
+        eng.add_sink(col)
+        budget = ref_eng.finished_at / 4
+        timeouts = 0
+        while True:
+            try:
+                eng.run(max_time=budget, loop=loop)
+                break
+            except SimTimeout as exc:
+                assert exc.budget == {"max_time": budget}
+                timeouts += 1
+                budget *= 2
+        assert timeouts >= 1  # the budget actually fired at least once
+        assert eng.finished_at == ref_eng.finished_at
+        # the over-budget event was not lost: the resumed trace and the
+        # event count replay the unbudgeted run exactly
+        assert eng.events_processed == ref_eng.events_processed
+        assert [seg_key(s) for s in col.segments] == [seg_key(s) for s in ref_col.segments]
+
+    @pytest.mark.parametrize("loop", ["legacy", "fast"])
+    def test_timeout_preserves_queue(self, loop):
+        eng = make_engine()
+        with pytest.raises(SimTimeout):
+            eng.run(max_time=1.0, loop=loop)
+        before = len(eng.queue)
+        assert before > 0  # the tripping event is still queued
+        with pytest.raises(SimTimeout):
+            eng.run(max_time=1.0, loop=loop)
+        assert len(eng.queue) == before  # a re-raise consumes nothing
+
+    @pytest.mark.parametrize("loop", ["legacy", "fast"])
+    def test_resume_with_already_exceeded_clock(self, loop):
+        """Resuming with a budget below the current clock still raises
+        without dispatching or dropping anything."""
+        eng = make_engine()
+        with pytest.raises(SimTimeout):
+            eng.run(max_time=2.0, loop=loop)
+        events = eng.events_processed
+        queued = len(eng.queue)
+        with pytest.raises(SimTimeout):
+            eng.run(max_time=1.0, loop=loop)  # below eng.now by now
+        assert eng.events_processed == events
+        assert len(eng.queue) == queued
+
+
+class TestMaxEventsOffByOne:
+    @pytest.mark.parametrize("loop", ["legacy", "fast"])
+    def test_counts_only_dispatched_events(self, loop):
+        eng = make_engine()
+        with pytest.raises(SimTimeout) as info:
+            eng.run(max_events=20, loop=loop)
+        assert info.value.budget == {"max_events": 20}
+        # exactly the budget was dispatched; the 21st event is neither
+        # counted (the old off-by-one) nor popped
+        assert eng.events_processed == 20
+
+    @pytest.mark.parametrize("loop", ["legacy", "fast"])
+    def test_budget_is_per_call_and_resumable(self, loop):
+        ref_eng, ref_col = reference_run(loop)
+        eng = make_engine()
+        col = TraceCollector()
+        eng.add_sink(col)
+        calls = 0
+        while True:
+            try:
+                eng.run(max_events=25, loop=loop)
+                break
+            except SimTimeout:
+                calls += 1
+        assert calls == ref_eng.events_processed // 25
+        assert eng.events_processed == ref_eng.events_processed
+        assert eng.finished_at == ref_eng.finished_at
+        assert [seg_key(s) for s in col.segments] == [seg_key(s) for s in ref_col.segments]
+
+    @pytest.mark.parametrize("loop", ["legacy", "fast"])
+    def test_zero_budget_dispatches_nothing(self, loop):
+        eng = make_engine()
+        with pytest.raises(SimTimeout):
+            eng.run(max_events=0, loop=loop)
+        assert eng.events_processed == 0
+
+    def test_cross_loop_resume_counts_match(self):
+        ref_eng, _ = reference_run("legacy")
+        eng = make_engine()
+        loop = "fast"
+        while True:
+            try:
+                eng.run(max_events=30, loop=loop)
+                break
+            except SimTimeout:
+                loop = "legacy" if loop == "fast" else "fast"
+        assert eng.events_processed == ref_eng.events_processed
+        assert eng.finished_at == ref_eng.finished_at

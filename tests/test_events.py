@@ -64,3 +64,58 @@ class TestEventQueue:
         q.clear()
         assert len(q) == 0
         assert q.pop() is None
+
+
+class TestCancelledSetBounded:
+    """The cancelled-token set must not leak (ISSUE 8 satellite)."""
+
+    def test_cancel_after_pop_does_not_leak(self):
+        # Cancelling tokens whose events already fired used to leave one
+        # dead entry in the set per cancel, forever.  Compaction bounds
+        # the set by the heap size.
+        q = EventQueue()
+        for round_ in range(200):
+            toks = [q.push(float(round_), lambda: None) for _ in range(5)]
+            for _ in toks:
+                q.pop()
+            for tok in toks:  # cancel *after* the events fired
+                q.cancel(tok)
+            assert len(q._cancelled) <= max(len(q._heap), 1)
+        assert len(q._cancelled) <= 1
+
+    def test_churn_live_and_dead_tokens(self):
+        q = EventQueue()
+        fired = []
+        live_cancelled = set()
+        for i in range(100):
+            keep = q.push(float(i), lambda i=i: fired.append(i))
+            dead = q.push(float(i) + 0.5, lambda: fired.append(-1))
+            if i % 2:
+                q.cancel(dead)  # cancel while still queued
+                live_cancelled.add(dead)
+            else:
+                pass
+            # the set never outgrows the heap
+            assert len(q._cancelled) <= max(len(q._heap), 1)
+        drained = 0
+        while q.pop() is not None:
+            drained += 1
+        # every queued, uncancelled event is still delivered exactly once
+        assert drained == 200 - len(live_cancelled)
+        # and draining leaves no tokens behind after late cancels
+        for tok in range(300, 350):
+            q.cancel(tok)
+        assert len(q._cancelled) <= 1
+
+    def test_compaction_preserves_order(self):
+        q = EventQueue()
+        out = []
+        toks = [q.push(float(i), lambda i=i: out.append(i)) for i in range(20)]
+        for tok in toks[::2]:
+            q.cancel(tok)
+        # force repeated compactions with dead cancels
+        for dead in range(1000, 1040):
+            q.cancel(dead)
+        while (item := q.pop()) is not None:
+            item[1]()
+        assert out == list(range(1, 20, 2))
