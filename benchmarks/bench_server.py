@@ -1,0 +1,356 @@
+#!/usr/bin/env python
+"""Serving benchmark: warm concurrent sessions vs the cold one-shot facade.
+
+Not a paper artifact: this load generator measures the diagnosis-as-a-
+service layer (``repro serve``).  The server keeps a :class:`StorePool`
+hot — open store handles, parsed indexes, cached directive harvests —
+and multiplexes concurrent sessions over one asyncio loop by slicing
+each engine's virtual clock; the cold baseline is the one-shot facade
+path (``diagnose(..., pool=None)``) that re-opens the history store and
+re-extracts its directives on every call, exactly as a fresh CLI
+invocation would.
+
+Equivalence gates everything before any timing runs: the same session
+specs are served concurrently (small slices, so the scheduler genuinely
+interleaves them — the server's own counters must show more slices than
+sessions) and run serially through the cold facade, and every record
+pair must be byte-identical after masking only wall-clock metrics and
+the segment flush batching the slicing boundaries change.
+
+Timing then runs a closed-loop load: ``--clients`` threads, each holding
+one server connection and issuing ``--rounds`` history-directed
+diagnoses back to back, against a serial cold-facade baseline over the
+same specs.  Sessions only *read* history (a served diagnosis does not
+write the archive it consults), so the harvest cache stays valid for
+the whole run — the shape the pool is built for.  Emits
+``results/BENCH_server.json`` with sessions/sec both ways, client-
+observed p50/p99 latency, and the warm-vs-cold speedup.  ``--check``
+compares that speedup against the floor in
+``benchmarks/baselines/server.json`` and exits non-zero on regression.
+Only *ratios* gate CI — absolute sessions/sec are machine-dependent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import diagnose  # noqa: E402
+from repro.apps.catalog import build_catalog_app  # noqa: E402
+from repro.obs import deterministic_metrics  # noqa: E402
+from repro.server import ServerClient, ServerThread  # noqa: E402
+from repro.storage import ExperimentStore  # noqa: E402
+from repro.storage.records import RunRecord  # noqa: E402
+
+RESULTS_DIR = REPO / "results"
+BASELINE = Path(__file__).resolve().parent / "baselines" / "server.json"
+
+#: The app every session diagnoses: small enough that the history
+#: handling (store open, index parse, harvest extraction) dominates a
+#: cold call — the cost the pool exists to amortize.
+APP_NAME = "tester"
+APP_ITERATIONS = 20
+
+#: Search overrides shared by every session, cold or served.
+SEARCH = {
+    "min_interval": 5.0,
+    "check_period": 0.5,
+    "insertion_latency": 0.2,
+    "cost_limit": 50.0,
+}
+
+#: Metrics that legitimately differ between sliced and one-shot
+#: execution: wall clock, and the segment flush batching the slicing
+#: boundaries change.  Everything else must match exactly.
+LOOP_SHAPE = ("emit_batches",)
+
+
+# ---------------------------------------------------------------------------
+# history store
+# ---------------------------------------------------------------------------
+def seed_history(root: Path, runs: int) -> Path:
+    """A store of *runs* completed diagnoses of the benchmark app.
+
+    One real diagnosis is replicated under distinct run ids: every entry
+    carries the full denormalized summary, so opening the store parses a
+    real ``runs``-entry index and harvesting extracts over ``runs``
+    summaries — the costs a cold call pays per session and the pool pays
+    once."""
+    record = diagnose(
+        build_catalog_app(APP_NAME, None, APP_ITERATIONS),
+        run_id="seed", pool=None, **SEARCH,
+    )
+    store = ExperimentStore(root)
+    for i in range(runs):
+        payload = record.to_dict()
+        payload["run_id"] = f"run-{i:04d}"
+        store.save(RunRecord.from_dict(payload))
+    store.close()
+    return root
+
+
+def cold_session(history: Path, run_id: str) -> dict:
+    """One cold one-shot facade call: open, harvest, diagnose."""
+    record = diagnose(
+        build_catalog_app(APP_NAME, None, APP_ITERATIONS),
+        history=str(history), run_id=run_id, pool=None, **SEARCH,
+    )
+    return record.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# equivalence
+# ---------------------------------------------------------------------------
+def canonical(data: dict) -> dict:
+    """A record dict reduced to what must match between a served
+    (sliced, concurrent) and a cold (one-shot, serial) run of the same
+    spec.  Run ids are part of the spec, so they must match too."""
+    data = json.loads(json.dumps(data))  # one wire shape for both sides
+    metrics = deterministic_metrics(data["metrics"])
+    for key in LOOP_SHAPE:
+        metrics.pop(key, None)
+    data["metrics"] = metrics
+    return data
+
+
+def assert_identical(history: Path, sessions: int) -> dict:
+    """Serve *sessions* specs concurrently and run the same specs
+    serially cold; every record pair must be byte-identical."""
+    serial = {
+        f"eq-{i}": canonical(cold_session(history, f"eq-{i}"))
+        for i in range(sessions)
+    }
+    served: dict = {}
+    errors: list = []
+    # Small slices force genuine multiplexing: each session's ~400-event
+    # engine run is cut into several turns on the serving loop.
+    with ServerThread(max_concurrent=sessions, queue_limit=sessions,
+                      slice_events=100) as srv:
+        def one(run_id: str) -> None:
+            try:
+                with ServerClient(srv.host, srv.port) as client:
+                    served[run_id] = client.diagnose(
+                        APP_NAME, iterations=APP_ITERATIONS,
+                        history=str(history), search=SEARCH, run_id=run_id,
+                    )
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=one, args=(run_id,))
+                   for run_id in serial]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=600)
+        with ServerClient(srv.host, srv.port) as client:
+            counters = client.metrics()["metrics"]
+    if errors:
+        raise AssertionError(f"served session failed: {errors[0]!r}")
+    if counters["slices_total"] <= counters["sessions_completed"]:
+        raise AssertionError(
+            "server did not slice: the equivalence run never multiplexed"
+        )
+    for run_id, cold in serial.items():
+        if canonical(served[run_id]) != cold:
+            raise AssertionError(
+                f"session {run_id!r}: served record diverged from the "
+                f"cold one-shot record"
+            )
+    return {
+        "sessions": sessions,
+        "records_equal": True,
+        "slices_total": int(counters["slices_total"]),
+    }
+
+
+# ---------------------------------------------------------------------------
+# timing
+# ---------------------------------------------------------------------------
+def bench_cold(history: Path, sessions: int) -> dict:
+    """Serial one-shot facade baseline: open + harvest + diagnose per call."""
+    latencies = []
+    start = time.perf_counter()
+    for i in range(sessions):
+        t0 = time.perf_counter()
+        cold_session(history, f"cold-{i}")
+        latencies.append(time.perf_counter() - t0)
+    wall = time.perf_counter() - start
+    return {
+        "sessions": sessions,
+        "wall_s": wall,
+        "sessions_per_sec": sessions / wall,
+        "p50_ms": statistics.median(latencies) * 1e3,
+        "p99_ms": _p99(latencies) * 1e3,
+    }
+
+
+def bench_warm(history: Path, clients: int, rounds: int,
+               slice_events: int) -> dict:
+    """Closed-loop load: *clients* connections, *rounds* sessions each,
+    against a server whose pool was warmed by one prior request."""
+    latencies: list = []
+    errors: list = []
+    with ServerThread(max_concurrent=clients, queue_limit=clients * rounds,
+                      slice_events=slice_events) as srv:
+        with ServerClient(srv.host, srv.port) as client:
+            client.diagnose(APP_NAME, iterations=APP_ITERATIONS,
+                            history=str(history), search=SEARCH,
+                            run_id="warmup")
+
+        def loop(cid: int) -> None:
+            try:
+                with ServerClient(srv.host, srv.port) as client:
+                    for r in range(rounds):
+                        t0 = time.perf_counter()
+                        client.diagnose(
+                            APP_NAME, iterations=APP_ITERATIONS,
+                            history=str(history), search=SEARCH,
+                            run_id=f"warm-{cid}-{r}",
+                        )
+                        latencies.append(time.perf_counter() - t0)
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=loop, args=(i,))
+                   for i in range(clients)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=600)
+        wall = time.perf_counter() - start
+        with ServerClient(srv.host, srv.port) as client:
+            counters = client.metrics()["metrics"]
+    if errors:
+        raise AssertionError(f"warm client failed: {errors[0]!r}")
+    sessions = clients * rounds
+    if len(latencies) != sessions:
+        raise AssertionError(
+            f"lost sessions: {len(latencies)} of {sessions} completed"
+        )
+    return {
+        "clients": clients,
+        "rounds": rounds,
+        "sessions": sessions,
+        "wall_s": wall,
+        "sessions_per_sec": sessions / wall,
+        "p50_ms": statistics.median(latencies) * 1e3,
+        "p99_ms": _p99(latencies) * 1e3,
+        "pool_harvest_hits": int(counters["pool_harvest_hits"]),
+        "pool_store_misses": int(counters["pool_store_misses"]),
+    }
+
+
+def _p99(latencies: list) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+
+
+# ---------------------------------------------------------------------------
+# baseline gate
+# ---------------------------------------------------------------------------
+def check_against_baseline(results: dict) -> int:
+    if not BASELINE.is_file():
+        print(f"no baseline at {BASELINE}; skipping regression check")
+        return 0
+    baseline = json.loads(BASELINE.read_text())
+    floor = baseline["warm_vs_cold_min"]
+    measured = results["warm_vs_cold_speedup"]
+    print(f"server warm-vs-cold speedup: {measured:.2f}x (floor {floor:g}x, "
+          f"target {baseline.get('warm_vs_cold_target', 5.0):g}x)")
+    status = 0
+    if measured < floor:
+        print("FAIL: warm concurrent serving regressed below the baseline floor")
+        status = 1
+    # Tail gate, also a ratio: a fair scheduler keeps warm p99 close to
+    # warm p50 (every session does the same work); a tail blowout means
+    # slicing or tenant rotation stopped being fair.
+    tail_max = baseline.get("warm_p99_vs_p50_max")
+    if tail_max is not None:
+        tail = results["warm"]["p99_ms"] / results["warm"]["p50_ms"]
+        print(f"warm p99/p50 tail ratio: {tail:.2f} (ceiling {tail_max:g})")
+        if tail > tail_max:
+            print("FAIL: warm p99 tail latency blew out relative to p50")
+            status = 1
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history-runs", type=int, default=400,
+                        help="records seeded into the history store")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent closed-loop client connections")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="sessions per client in the warm phase")
+    parser.add_argument("--slice-events", type=int, default=2000,
+                        help="scheduler slice budget in the warm phase")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when the warm-vs-cold speedup falls below "
+                             "the floor in the checked-in baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the checked-in speedup floor")
+    args = parser.parse_args(argv)
+    if args.clients < 8:
+        # The acceptance property is concurrency at >=8 sessions; fewer
+        # clients measure a different (easier) workload.
+        parser.error("--clients must be >= 8")
+
+    with tempfile.TemporaryDirectory(prefix="bench-server-") as tmp:
+        history = seed_history(Path(tmp) / "runs", args.history_runs)
+        equivalence = assert_identical(history, sessions=args.clients)
+        cold = bench_cold(history, sessions=args.clients)
+        warm = bench_warm(history, clients=args.clients, rounds=args.rounds,
+                          slice_events=args.slice_events)
+
+    speedup = warm["sessions_per_sec"] / cold["sessions_per_sec"]
+    results = {
+        "history_runs": args.history_runs,
+        "equivalence": equivalence,
+        "cold": cold,
+        "warm": warm,
+        "warm_vs_cold_speedup": speedup,
+    }
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_server.json"
+    out_path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    print(f"equivalence: {equivalence['sessions']} served sessions "
+          f"({equivalence['slices_total']} slices) byte-identical to serial")
+    print(f"cold one-shot: {cold['sessions_per_sec']:.1f} sessions/sec "
+          f"(p50 {cold['p50_ms']:.0f} ms, p99 {cold['p99_ms']:.0f} ms)")
+    print(f"warm serving:  {warm['sessions_per_sec']:.1f} sessions/sec "
+          f"at {warm['clients']} clients "
+          f"(p50 {warm['p50_ms']:.0f} ms, p99 {warm['p99_ms']:.0f} ms, "
+          f"{warm['pool_harvest_hits']} harvest hits)")
+    print(f"warm-vs-cold speedup: {speedup:.2f}x")
+
+    if args.update_baseline:
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(json.dumps({
+            "warm_vs_cold_min": 3.0,
+            "warm_vs_cold_target": 5.0,
+            "warm_p99_vs_p50_max": 3.0,
+            "note": "floor on warm concurrent serving vs the cold one-shot "
+                    "facade (sessions/sec) and ceiling on the warm p99/p50 "
+                    "tail ratio, measured by bench_server.py",
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {BASELINE}")
+
+    if args.check:
+        return check_against_baseline(results)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,6 +2,7 @@
 
 from .anneal import AnnealConfig, build_anneal
 from .base import Application
+from .catalog import CATALOG_APPS, build_catalog_app
 from .ocean import OceanConfig, build_ocean
 from .poisson import PoissonConfig, VERSIONS, build_poisson, machine_maps, version_maps
 from .synthetic import make_compute_app, make_io_app, make_pingpong
@@ -11,6 +12,8 @@ __all__ = [
     "AnnealConfig",
     "build_anneal",
     "Application",
+    "CATALOG_APPS",
+    "build_catalog_app",
     "OceanConfig",
     "build_ocean",
     "PoissonConfig",

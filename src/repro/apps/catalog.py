@@ -1,0 +1,54 @@
+"""The application catalog: named builders for the modeled programs.
+
+One registry maps the catalog names (``poisson``, ``ocean``, ``tester``,
+``anneal``) to their builders so every entry point that accepts an
+application *by name* — the CLI, the diagnosis server, campaign specs
+sent over the wire — resolves it identically.  Raises :class:`ValueError`
+on unknown names/arguments; callers with their own error conventions
+(the CLI's ``SystemExit``) translate at their boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .anneal import AnnealConfig, build_anneal
+from .base import Application
+from .ocean import OceanConfig, build_ocean
+from .poisson import PoissonConfig, build_poisson
+from .tester import TesterConfig, build_tester
+
+__all__ = ["CATALOG_APPS", "build_catalog_app"]
+
+#: Names :func:`build_catalog_app` accepts.
+CATALOG_APPS: Tuple[str, ...] = ("poisson", "ocean", "tester", "anneal")
+
+
+def build_catalog_app(
+    name: str,
+    version: Optional[str] = None,
+    iterations: Optional[int] = None,
+) -> Application:
+    """Build a catalog application by name.
+
+    ``version`` selects the poisson program version (A/B/C/D, default C)
+    and is rejected for the single-version programs; ``iterations``
+    overrides the workload length where given.
+    """
+    if name == "poisson":
+        cfg = PoissonConfig(iterations=iterations) if iterations else PoissonConfig()
+        return build_poisson(version or "C", cfg)
+    if version:
+        raise ValueError(f"version only applies to poisson, not {name!r}")
+    if name == "ocean":
+        cfg = OceanConfig(iterations=iterations) if iterations else OceanConfig()
+        return build_ocean(cfg)
+    if name == "tester":
+        cfg = TesterConfig(iterations=iterations) if iterations else TesterConfig()
+        return build_tester(cfg)
+    if name == "anneal":
+        cfg = AnnealConfig(iterations=iterations) if iterations else AnnealConfig()
+        return build_anneal(cfg)
+    raise ValueError(
+        f"unknown application {name!r} (expected one of {', '.join(CATALOG_APPS)})"
+    )

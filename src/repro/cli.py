@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 from .analysis import Table, comparison_report
 from .apps.anneal import AnnealConfig, build_anneal
 from .apps.base import Application
+from .apps.catalog import build_catalog_app
 from .apps.ocean import OceanConfig, build_ocean
 from .apps.poisson import PoissonConfig, build_poisson
 from .apps.tester import TesterConfig, build_tester
@@ -68,21 +69,10 @@ EXIT_CAMPAIGN = 5
 
 
 def _build_app(name: str, version: Optional[str], iterations: Optional[int]) -> Application:
-    if name == "poisson":
-        cfg = PoissonConfig(iterations=iterations) if iterations else PoissonConfig()
-        return build_poisson(version or "C", cfg)
-    if version:
-        raise SystemExit(f"--app-version only applies to poisson, not {name!r}")
-    if name == "ocean":
-        cfg = OceanConfig(iterations=iterations) if iterations else OceanConfig()
-        return build_ocean(cfg)
-    if name == "tester":
-        cfg = TesterConfig(iterations=iterations) if iterations else TesterConfig()
-        return build_tester(cfg)
-    if name == "anneal":
-        cfg = AnnealConfig(iterations=iterations) if iterations else AnnealConfig()
-        return build_anneal(cfg)
-    raise SystemExit(f"unknown application {name!r} (poisson, ocean, tester, anneal)")
+    try:
+        return build_catalog_app(name, version, iterations)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _parse_threshold(text: str):
@@ -549,6 +539,53 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if result.failures else 0
 
 
+def _parse_tenant(text: str):
+    """``NAME=COST_LIMIT[:MAX_CONCURRENT]`` → (name, TenantPolicy)."""
+    from .server import TenantPolicy
+
+    try:
+        name, spec = text.split("=", 1)
+        cost_text, _, conc_text = spec.partition(":")
+        cost = float(cost_text) if cost_text else None
+        conc = int(conc_text) if conc_text else None
+        return name, TenantPolicy(cost_limit=cost, max_concurrent=conc)
+    except ValueError:
+        raise SystemExit(
+            f"bad --tenant {text!r}; expected NAME=COST_LIMIT[:MAX_CONCURRENT]"
+        )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived diagnosis server until interrupted."""
+    import asyncio
+
+    from .campaign import default_executor
+    from .server import DiagnosisService, StorePool, serve_forever
+
+    service = DiagnosisService(
+        StorePool(max_stores=args.pool_size),
+        max_concurrent=args.max_concurrent,
+        queue_limit=args.queue_limit,
+        slice_events=args.slice_events,
+        tenants=dict(args.tenant or ()),
+        executor=default_executor(args.workers) if args.workers
+        and args.workers > 1 else None,
+        progress=(lambda event: print(json.dumps(event), flush=True))
+        if args.verbose else None,
+    )
+
+    def ready(bound) -> None:
+        print(f"serving diagnoses on {bound[0]}:{bound[1]} "
+              f"(max {args.max_concurrent} concurrent, "
+              f"queue {args.queue_limit})", flush=True)
+
+    try:
+        asyncio.run(serve_forever(service, args.host, args.port, ready=ready))
+    except KeyboardInterrupt:
+        print("server stopped")
+    return 0
+
+
 def cmd_store_stats(args: argparse.Namespace) -> int:
     handle = resolve_store(args.store, backend=args.backend,
                            resilience=_resilience_setting(args))
@@ -783,6 +820,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write map directives to this file")
     p.add_argument("--min-score", type=float, default=0.45)
     p.set_defaults(func=cmd_automap)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived diagnosis server (JSONL over TCP)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=4077,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--max-concurrent", type=int, default=4,
+                   help="sessions running at once")
+    p.add_argument("--queue-limit", type=int, default=32,
+                   help="queued sessions before submissions are rejected")
+    p.add_argument("--slice-events", type=int, default=2000,
+                   help="engine events per scheduling slice")
+    p.add_argument("--pool-size", type=int, default=8,
+                   help="distinct stores kept open in the pool")
+    p.add_argument("--workers", type=int, default=None,
+                   help="run whole sessions on N worker processes "
+                        "instead of slicing them on the serving loop")
+    p.add_argument("--tenant", action="append", type=_parse_tenant,
+                   metavar="NAME=COST[:CONC]",
+                   help="per-tenant policy: instrumentation cost cap and "
+                        "optional concurrent-session cap (repeatable)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print session progress events as JSONL")
+    p.set_defaults(func=cmd_serve)
 
     backends = ("auto", "file", "file-legacy", "sqlite")
     p = sub.add_parser("store", help="inspect and maintain an experiment store")

@@ -22,7 +22,7 @@ from ..metrics.instrumentation import InstrumentationManager
 from ..metrics.profile import ProfileCollector
 from ..obs.metrics import run_metrics
 from ..obs.trace import Tracer
-from ..simulator.errors import SimulationError
+from ..simulator.errors import SimTimeout, SimulationError
 from ..storage.records import RunRecord
 from .directives import DirectiveSet
 from .discovery import DiscoverySink
@@ -30,7 +30,7 @@ from .hypotheses import TOP_LEVEL, HypothesisTree, standard_tree
 from .mapping import apply_mappings
 from .search import PerformanceConsultantSearch, SearchConfig
 
-__all__ = ["DiagnosisSession", "run_diagnosis"]
+__all__ = ["DiagnosisSession", "ActiveDiagnosis", "run_diagnosis"]
 
 _run_counter = itertools.count(1)
 _process_tag: Optional[str] = None
@@ -94,8 +94,16 @@ class DiagnosisSession:
     #: deterministic metrics are identical across loops.
     engine_loop: str = "auto"
 
-    def run(self) -> RunRecord:
-        """Execute the application with the online search attached."""
+    def begin(self) -> "ActiveDiagnosis":
+        """Set up the run — engine, instrumentation, search — and start
+        the search without executing any virtual time.
+
+        Returns an :class:`ActiveDiagnosis` whose :meth:`~ActiveDiagnosis.step`
+        advances the engine's virtual clock in bounded slices; calling
+        ``step()`` with no budget runs to completion.  This is the seam
+        the diagnosis server schedules concurrent sessions through — a
+        one-shot :meth:`run` is ``begin()`` plus one unbounded step.
+        """
         if self.on_failure not in ("raise", "degrade"):
             raise ValueError(f"unknown on_failure policy {self.on_failure!r}")
         if self.engine_loop not in ("auto", "fast", "legacy"):
@@ -152,19 +160,148 @@ class DiagnosisSession:
                 version=self.app.version, n_processes=self.app.n_processes,
             )
         search.start()
-        failure: Optional[str] = None
+        return ActiveDiagnosis(
+            session=self,
+            engine=engine,
+            search=search,
+            instr=instr,
+            profiler=profiler,
+            space=space,
+            config=config,
+            run_id=run_id,
+            max_time=max_time,
+            max_events=max_events,
+            injector=injector,
+            wall_start=wall_start,
+        )
+
+    def run(self) -> RunRecord:
+        """Execute the application with the online search attached."""
+        active = self.begin()
+        active.step()
+        return active.result()
+
+
+class ActiveDiagnosis:
+    """A started diagnosis that can be advanced in bounded slices.
+
+    Produced by :meth:`DiagnosisSession.begin`.  Each :meth:`step` call
+    resumes the engine for at most ``max_events`` dispatched events and
+    returns ``True`` while the run is unfinished — the engine's watchdog
+    budgets are per-call and non-destructive, so a sliced execution
+    replays exactly the event sequence a one-shot run dispatches and the
+    final :meth:`result` record is identical (modulo wall-clock metrics
+    and segment-flush batching).  The session's *own* ``max_events`` /
+    ``max_virtual_time`` budgets are enforced cumulatively across
+    slices, so a hung program still times out at the same virtual point
+    it would have one-shot.
+    """
+
+    def __init__(
+        self,
+        *,
+        session: DiagnosisSession,
+        engine,
+        search: PerformanceConsultantSearch,
+        instr: InstrumentationManager,
+        profiler: ProfileCollector,
+        space,
+        config: SearchConfig,
+        run_id: str,
+        max_time: float,
+        max_events: Optional[int],
+        injector,
+        wall_start: float,
+    ) -> None:
+        self.session = session
+        self.engine = engine
+        self.search = search
+        self.instr = instr
+        self.profiler = profiler
+        self.space = space
+        self.config = config
+        self.run_id = run_id
+        self._max_time = max_time
+        self._max_events = max_events
+        self._injector = injector
+        self._wall_start = wall_start
+        self._events_base = engine.events_processed
+        self._finish: Optional[float] = None
+        self._failure: Optional[str] = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the run has finished (normally or degraded)."""
+        return self._done
+
+    @property
+    def events_dispatched(self) -> int:
+        """Engine events dispatched by this diagnosis so far."""
+        return self.engine.events_processed - self._events_base
+
+    def step(self, max_events: Optional[int] = None) -> bool:
+        """Advance by up to *max_events* dispatched events.
+
+        ``None`` runs to completion (or to the session's own budgets).
+        Returns ``True`` while more virtual time remains, ``False`` once
+        the run finished.  A session budget exhausted mid-slice follows
+        the session's ``on_failure`` policy exactly as a one-shot run
+        would: ``"raise"`` propagates :class:`SimTimeout`, ``"degrade"``
+        finalises the search over the data gathered so far.
+        """
+        if self._done:
+            return False
+        remaining: Optional[int] = None
+        if self._max_events is not None:
+            remaining = max(self._max_events - self.events_dispatched, 0)
+        budget = remaining
+        if max_events is not None:
+            budget = max_events if remaining is None else min(max_events, remaining)
         try:
-            finish = engine.run(
-                max_time=max_time, max_events=max_events, loop=self.engine_loop
+            finish = self.engine.run(
+                max_time=self._max_time,
+                max_events=budget,
+                loop=self.session.engine_loop,
             )
+        except SimTimeout as exc:
+            budget_keys = getattr(exc, "budget", None) or {}
+            slice_limited = (
+                "max_events" in budget_keys
+                and max_events is not None
+                and (remaining is None or self.events_dispatched < self._max_events)
+            )
+            if slice_limited:
+                return True
+            return self._conclude_failure(exc)
         except SimulationError as exc:
-            if self.on_failure == "raise":
-                raise
-            # Graceful degradation: finalise over what was gathered, keep
-            # the surviving conclusions, annotate the rest.
-            failure = f"{type(exc).__name__}: {exc}"
-            search.final_pass(reason=failure)
-            finish = engine.now
+            return self._conclude_failure(exc)
+        self._finish = finish
+        self._done = True
+        return False
+
+    def _conclude_failure(self, exc: SimulationError) -> bool:
+        if self.session.on_failure == "raise":
+            raise exc
+        # Graceful degradation: finalise over what was gathered, keep
+        # the surviving conclusions, annotate the rest.
+        self._failure = f"{type(exc).__name__}: {exc}"
+        self.search.final_pass(reason=self._failure)
+        self._finish = self.engine.now
+        self._done = True
+        return False
+
+    def result(self) -> RunRecord:
+        """Assemble the finished run's record (requires :attr:`done`)."""
+        if not self._done:
+            raise RuntimeError(
+                "diagnosis still in progress; step() it to completion first"
+            )
+        session, engine, search, instr = (
+            self.session, self.engine, self.search, self.instr,
+        )
+        finish = self._finish if self._finish is not None else engine.now
+        failure = self._failure
         degraded = failure is not None or bool(engine.crashed())
         if failure is None and engine.crashed():
             crashed = sorted(p.name for p in engine.crashed())
@@ -176,7 +313,7 @@ class DiagnosisSession:
         )
         metrics = run_metrics(
             engine_events=engine.events_processed,
-            wall_seconds=time.perf_counter() - wall_start,
+            wall_seconds=time.perf_counter() - self._wall_start,
             virtual_seconds=finish,
             peak_cost=instr.peak_cost,
             mean_cost=instr.mean_cost,
@@ -194,22 +331,23 @@ class DiagnosisSession:
             emit_batches=engine.emit_batches,
             time_to_first_true=search.first_true_time(),
             time_to_last_true=search.last_true_time(),
-            trace_events=self.tracer.count if self.tracer else 0,
-            trace_dropped=self.tracer.dropped if self.tracer else 0,
+            trace_events=session.tracer.count if session.tracer else 0,
+            trace_dropped=session.tracer.dropped if session.tracer else 0,
         )
+        config = self.config
         return RunRecord(
-            run_id=run_id,
-            app_name=self.app.name,
-            version=self.app.version,
-            n_processes=self.app.n_processes,
-            nodes=list(self.app.node_names),
-            placement=dict(self.app.placement),
+            run_id=self.run_id,
+            app_name=session.app.name,
+            version=session.app.version,
+            n_processes=session.app.n_processes,
+            nodes=list(session.app.node_names),
+            placement=dict(session.app.placement),
             hierarchies={
                 name: hierarchy.names()
-                for name, hierarchy in space.hierarchies.items()
+                for name, hierarchy in self.space.hierarchies.items()
             },
             shg_nodes=shg.to_dicts(),
-            profile=profiler.profile.to_dict(),
+            profile=self.profiler.profile.to_dict(),
             finish_time=finish,
             search_done_time=search.done_at,
             pairs_tested=shg.tested_count(),
@@ -222,7 +360,7 @@ class DiagnosisSession:
                 "cost_limit": config.cost_limit,
                 "insertion_latency": config.insertion_latency,
             },
-            notes=self.faults.describe() if self.faults else "",
+            notes=session.faults.describe() if session.faults else "",
             status="degraded" if degraded else "complete",
             failure=failure,
             coverage=search.coverage(),

@@ -18,7 +18,18 @@ from __future__ import annotations
 import dataclasses
 import warnings
 from pathlib import Path
-from typing import Any, Iterable, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .server.pool import StorePool
 
 from .apps.base import Application
 from .core.combination import union_directives
@@ -36,6 +47,7 @@ __all__ = [
     "diagnose",
     "harvest",
     "HarvestWarning",
+    "default_pool",
     "resolve_store",
     "as_store",
     "load_directives",
@@ -77,6 +89,39 @@ HistoryLike = Union[
     Iterable[RunRecord], Sequence["HistoryLike"],
 ]
 StoreLike = Union[ExperimentStore, str, Path]
+#: ``pool=`` argument: ``"default"`` (the process-wide pool), an explicit
+#: :class:`~repro.server.pool.StorePool`, or ``None`` to opt out.
+PoolLike = Union[None, str, "StorePool"]
+
+_default_pool: Optional["StorePool"] = None
+
+
+def default_pool() -> "StorePool":
+    """The process-wide :class:`~repro.server.pool.StorePool` behind
+    ``diagnose()``/``harvest()``.
+
+    Created lazily on first use; repeated facade calls in one process
+    then reuse open store handles and cached harvests instead of
+    re-opening and re-extracting per call.  Invalidation is token-based
+    (index state, record bytes), so cross-process writers stay visible.
+    """
+    global _default_pool
+    if _default_pool is None:
+        from .server.pool import StorePool
+
+        _default_pool = StorePool()
+    return _default_pool
+
+
+def _resolve_pool(pool: PoolLike) -> Optional["StorePool"]:
+    if pool is None:
+        return None
+    if isinstance(pool, str):
+        if pool != "default":
+            raise TypeError(f'pool must be "default", a StorePool, or None, '
+                            f'got {pool!r}')
+        return default_pool()
+    return pool
 
 
 # ---------------------------------------------------------------------------
@@ -140,7 +185,8 @@ def _app_name(app: Union[Application, str, None]) -> Optional[str]:
 
 
 def resolve_history(
-    history: HistoryLike, app: Union[Application, str, None] = None, **options
+    history: HistoryLike, app: Union[Application, str, None] = None,
+    pool: PoolLike = None, **options
 ) -> Optional[DirectiveSet]:
     """Turn any history-like argument into a directive set.
 
@@ -153,6 +199,11 @@ def resolve_history(
     * a list/tuple mixing any of the above → the union of each element
       resolved on its own (federated history — e.g. several stores, or a
       store plus a directive file).
+
+    ``pool`` routes store sources through a
+    :class:`~repro.server.pool.StorePool` (see :func:`harvest`);
+    ``None`` — the default here, matching the resolver's historical
+    behavior — opens and extracts per call.
     """
     if history is None:
         return None
@@ -166,7 +217,7 @@ def resolve_history(
         parts = []
         for h in history:
             try:
-                resolved = resolve_history(h, app=app, **options)
+                resolved = resolve_history(h, app=app, pool=pool, **options)
             except (StoreError, OSError) as exc:
                 # Fail-soft federation: one unavailable member must not
                 # cost the directives of every healthy one.
@@ -182,11 +233,11 @@ def resolve_history(
     if isinstance(history, (str, Path)):
         path = Path(history)
         if path.is_dir():
-            return harvest(ExperimentStore(path), app=app, **options)
+            return harvest(path, app=app, pool=pool, **options)
         if path.is_file():
             return load_directives(path)
         raise StoreError(f"history path {str(path)!r} does not exist")
-    return harvest(history, app=app, **options)
+    return harvest(history, app=app, pool=pool, **options)
 
 
 def _history_records(
@@ -221,6 +272,7 @@ def diagnose(
     config: Optional[SearchConfig] = None,
     trace: Union[None, bool, str, Path, Tracer] = None,
     strict_history: bool = False,
+    pool: PoolLike = "default",
     **cfg,
 ) -> RunRecord:
     """Run one Performance Consultant diagnosis of *app*.
@@ -245,6 +297,14 @@ def diagnose(
     degraded history archive cannot abort the diagnosis it was only
     meant to speed up; ``strict_history=True`` restores fail-hard.
 
+    ``pool`` controls store-handle reuse across calls: the default
+    routes ``history`` and ``store`` paths through the process-wide
+    :func:`default_pool`, so repeated diagnoses over the same archive
+    reuse the open store, its parsed index, and the cached harvest; pass
+    an explicit :class:`~repro.server.pool.StorePool` to scope the
+    reuse, or ``pool=None`` to re-open and re-harvest per call (the
+    pre-pool behavior).
+
     >>> record = diagnose(build_poisson("C"), history="runs/", store="runs/")
     """
     search_kwargs = {k: v for k, v in cfg.items() if k in _SEARCH_FIELDS}
@@ -268,16 +328,20 @@ def diagnose(
         trace_path = Path(trace)
     elif trace:
         tracer = Tracer()
+    pool_obj = _resolve_pool(pool)
     record = DiagnosisSession(
         app=app,
-        directives=resolve_history(history, app=app, strict=strict_history),
+        directives=resolve_history(
+            history, app=app, pool=pool_obj, strict=strict_history
+        ),
         config=config or (SearchConfig(**search_kwargs) if search_kwargs else None),
         run_id=run_id,
         tracer=tracer,
         **session_kwargs,
     ).run()
     if store is not None:
-        store = resolve_store(store).store
+        store = pool_obj.get(store) if pool_obj is not None \
+            else resolve_store(store).store
         store.save(record, overwrite=overwrite)
         if trace is True:
             trace_path = Path(store.root) / "traces" / f"{record.run_id}.jsonl"
@@ -295,6 +359,7 @@ def harvest(
     *,
     app: Union[Application, str, None] = None,
     strict: bool = False,
+    pool: PoolLike = "default",
     **options,
 ) -> DirectiveSet:
     """Extract search directives from stored history.
@@ -313,6 +378,11 @@ def harvest(
     Store (and store path) arguments take the summary fast path: the
     extraction reads the index's denormalized per-run summaries and
     deserializes no records.  Record arguments extract directly.
+
+    ``pool`` (default: the process-wide :func:`default_pool`) keeps the
+    opened store *and* the extracted directives hot across calls,
+    invalidated by the store's index state token whenever any process
+    writes to it; ``pool=None`` re-opens and re-extracts per call.
 
     **Federated harvest** (a list/tuple of stores) harvests every store
     independently and merges the directive sets with
@@ -338,7 +408,9 @@ def harvest(
                 # mask a dead mount or a typo.
                 if isinstance(member, (str, Path)) and not Path(member).is_dir():
                     raise StoreError(f"member store {str(member)!r} does not exist")
-                parts.append(harvest(member, app=app, strict=strict, **options))
+                parts.append(
+                    harvest(member, app=app, strict=strict, pool=pool, **options)
+                )
             except (StoreError, OSError) as exc:
                 if strict:
                     raise
@@ -349,9 +421,14 @@ def harvest(
                 f"({len(source)} skipped)"
             )
         return union_directives(*parts) if len(parts) > 1 else parts[0]
+    pool_obj = _resolve_pool(pool)
     if isinstance(source, (str, Path)) and Path(source).is_dir():
+        if pool_obj is not None:
+            return pool_obj.harvest(source, app=_app_name(app), **options)
         source = resolve_store(source).store
     if isinstance(source, ExperimentStore):
+        if pool_obj is not None:
+            return pool_obj.harvest(source, app=_app_name(app), **options)
         metas = source.summaries(app_name=_app_name(app))
         return extract_directives_from_summaries(
             [meta["summary"] for meta in metas.values()], **options

@@ -19,6 +19,7 @@ from .metrics import (
     WALL_CLOCK_METRICS,
     aggregate_metrics,
     deterministic_metrics,
+    lint_prometheus_names,
     metrics_to_json,
     metrics_to_prometheus,
     run_metrics,
@@ -47,4 +48,5 @@ __all__ = [
     "WALL_CLOCK_METRICS",
     "metrics_to_json",
     "metrics_to_prometheus",
+    "lint_prometheus_names",
 ]

@@ -31,6 +31,7 @@ Metric names (the run-metrics schema):
 from __future__ import annotations
 
 import json
+import re
 from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "aggregate_metrics",
     "metrics_to_json",
     "metrics_to_prometheus",
+    "lint_prometheus_names",
     "deterministic_metrics",
     "WALL_CLOCK_METRICS",
 ]
@@ -175,6 +177,41 @@ def metrics_to_json(metrics: Mapping[str, Optional[Number]], indent: int = 2) ->
     return json.dumps(dict(metrics), indent=indent, sort_keys=True)
 
 
+#: Prometheus naming rules (https://prometheus.io/docs/concepts/data_model/):
+#: metric names allow ``[a-zA-Z_:][a-zA-Z0-9_:]*``, label names allow
+#: ``[a-zA-Z_][a-zA-Z0-9_]*`` and must not start with ``__`` (reserved).
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def lint_prometheus_names(
+    metrics: Mapping[str, Optional[Number]],
+    prefix: str = "",
+    labels: Optional[Mapping[str, str]] = None,
+) -> List[str]:
+    """Problems with the metric/label names an export would emit.
+
+    Returns human-readable complaints (empty when clean): metric names
+    (``prefix_name``) violating the Prometheus metric charset, label
+    names violating the label charset or using the reserved ``__``
+    prefix.  Label *values* need no lint — any UTF-8 is legal once
+    escaped.  Backs :func:`metrics_to_prometheus`'s validation, so a
+    typo'd series name fails at export time instead of being silently
+    dropped by the scrape.
+    """
+    problems: List[str] = []
+    for name in metrics:
+        metric = f"{prefix}_{name}" if prefix else str(name)
+        if not _METRIC_NAME_RE.match(metric):
+            problems.append(f"invalid metric name {metric!r}")
+    for label in labels or ():
+        if not _LABEL_NAME_RE.match(str(label)):
+            problems.append(f"invalid label name {label!r}")
+        elif str(label).startswith("__"):
+            problems.append(f"reserved label name {label!r} (double underscore)")
+    return problems
+
+
 def metrics_to_prometheus(
     metrics: Mapping[str, Optional[Number]],
     prefix: str = "repro_run",
@@ -183,8 +220,17 @@ def metrics_to_prometheus(
     """Prometheus text-exposition rendering (gauges, one per metric).
 
     None-valued metrics are omitted — absence is the idiomatic encoding
-    for "no observation" in that format.
+    for "no observation" in that format.  Metric and label names are
+    validated against the Prometheus naming rules
+    (:func:`lint_prometheus_names`); a malformed name raises
+    :class:`ValueError` so it cannot ship in an exposition.
     """
+    problems = lint_prometheus_names(metrics, prefix=prefix, labels=labels)
+    if problems:
+        raise ValueError(
+            "refusing to render malformed Prometheus exposition: "
+            + "; ".join(problems)
+        )
     label_text = ""
     if labels:
         inner = ",".join(

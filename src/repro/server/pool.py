@@ -1,0 +1,206 @@
+"""StorePool: hot store handles and harvest results shared across requests.
+
+Opening an :class:`~repro.storage.store.ExperimentStore` parses the
+format-3 index (every run's denormalized summary); harvesting extracts a
+directive set from all of those summaries.  Both are pure functions of
+the store's on-disk index state, yet the one-shot facade path recomputes
+them per call.  The pool keeps both warm:
+
+* an LRU of opened stores keyed by ``(resolved path, backend,
+  resilience)`` — eviction and :meth:`close` call the store's
+  ``close()``, so pooling never leaks SQLite connections;
+* a bounded harvest cache keyed by the owning store, the extraction
+  options, and an **index state token** (runs/generation/segments/bytes
+  from :meth:`~repro.storage.store.ExperimentStore.info`).  Any writer —
+  this process or another — changes the token, so invalidation needs no
+  coordination, exactly like the record cache's per-record tokens.
+
+Thread-safe: the server's worker threads and any direct callers share
+one pool under a single lock; the cached values themselves (stores,
+:class:`~repro.core.directives.DirectiveSet`) are treated as immutable
+shared objects, the same contract the record cache already imposes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.directives import DirectiveSet
+from ..core.extraction import extract_directives_from_summaries
+from ..resilience.backend import ResiliencePolicy
+from ..storage.store import ExperimentStore
+
+__all__ = ["StorePool"]
+
+StoreLike = Union[ExperimentStore, str, Path]
+
+#: Harvest-cache entries kept before FIFO eviction.  Harvests are small
+#: (a directive set) but keyed per (store, options, index state), so a
+#: busy multi-tenant server could otherwise accumulate one per write.
+_HARVEST_CACHE_SIZE = 32
+
+
+def _resilience_key(resilience: Union[None, bool, ResiliencePolicy]) -> str:
+    if resilience is False:
+        return "off"
+    if resilience is None or resilience is True:
+        return "default"
+    return repr(resilience)
+
+
+class StorePool:
+    """A bounded pool of opened stores plus a harvest cache.
+
+    ``get(path)`` opens a store once and returns the same instance for
+    every later request of the same path/backend/resilience combination;
+    an :class:`ExperimentStore` argument passes through untouched (the
+    caller owns its lifecycle, the pool never closes it).  ``max_stores``
+    bounds how many distinct stores stay open; the least recently used
+    one is closed on overflow.
+    """
+
+    def __init__(self, max_stores: int = 8) -> None:
+        if max_stores < 1:
+            raise ValueError(f"max_stores must be >= 1, got {max_stores}")
+        self.max_stores = max_stores
+        self._lock = threading.RLock()
+        self._stores: "OrderedDict[Tuple[str, str, str], ExperimentStore]" = \
+            OrderedDict()
+        self._harvests: "OrderedDict[tuple, Tuple[ExperimentStore, DirectiveSet]]" = \
+            OrderedDict()
+        self._closed = False
+        self.store_hits = 0
+        self.store_misses = 0
+        self.evictions = 0
+        self.harvest_hits = 0
+        self.harvest_misses = 0
+
+    # ------------------------------------------------------------------
+    # stores
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        store: StoreLike,
+        *,
+        backend: Optional[str] = None,
+        resilience: Union[None, bool, ResiliencePolicy] = None,
+    ) -> ExperimentStore:
+        """An open store for *store*, hot across calls.
+
+        Path arguments are resolved (symlinks and relative prefixes
+        collapse onto one pool entry) and opened at most once per
+        backend/resilience combination.  Already-open stores pass
+        through unchanged.
+        """
+        if isinstance(store, ExperimentStore):
+            return store
+        key = (
+            str(Path(store).resolve()),
+            backend or "auto",
+            _resilience_key(resilience),
+        )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("StorePool is closed")
+            cached = self._stores.get(key)
+            if cached is not None:
+                self._stores.move_to_end(key)
+                self.store_hits += 1
+                return cached
+            self.store_misses += 1
+            opened = ExperimentStore(store, backend=backend, resilience=resilience)
+            self._stores[key] = opened
+            while len(self._stores) > self.max_stores:
+                _k, evicted = self._stores.popitem(last=False)
+                self.evictions += 1
+                self._drop_harvests_for(evicted)
+                evicted.close()
+            return opened
+
+    # ------------------------------------------------------------------
+    # harvests
+    # ------------------------------------------------------------------
+    def harvest(
+        self,
+        store: StoreLike,
+        *,
+        app: Optional[str] = None,
+        backend: Optional[str] = None,
+        resilience: Union[None, bool, ResiliencePolicy] = None,
+        **options,
+    ) -> DirectiveSet:
+        """Directives extracted from *store*'s history, cached.
+
+        Semantically identical to the facade's summary fast path
+        (:func:`~repro.core.extraction.extract_directives_from_summaries`
+        over the store's index), but the result is cached against the
+        store's index state token: the first diagnosis after a write
+        pays the extraction, every one until the next write reuses it.
+        """
+        opened = self.get(store, backend=backend, resilience=resilience)
+        info = opened.info()
+        token = (info.runs, info.generation, info.segments, info.index_bytes)
+        key = (id(opened), app, tuple(sorted(options.items())), token)
+        with self._lock:
+            entry = self._harvests.get(key)
+            # Identity-check the owning store: id() alone could collide
+            # after an evicted store is garbage collected.
+            if entry is not None and entry[0] is opened:
+                self._harvests.move_to_end(key)
+                self.harvest_hits += 1
+                return entry[1]
+            self.harvest_misses += 1
+        metas = opened.summaries(app_name=app)
+        directives = extract_directives_from_summaries(
+            [meta["summary"] for meta in metas.values()], **options
+        )
+        with self._lock:
+            self._harvests[key] = (opened, directives)
+            while len(self._harvests) > _HARVEST_CACHE_SIZE:
+                self._harvests.popitem(last=False)
+        return directives
+
+    def _drop_harvests_for(self, store: ExperimentStore) -> None:
+        stale = [k for k, (owner, _d) in self._harvests.items() if owner is store]
+        for k in stale:
+            del self._harvests[k]
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every pooled store.  Idempotent; the pool is unusable
+        afterwards (pass-through stores were never owned and stay open)."""
+        with self._lock:
+            stores = list(self._stores.values())
+            self._stores.clear()
+            self._harvests.clear()
+            self._closed = True
+        for store in stores:
+            store.close()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters in the flat numeric shape the metrics exports render."""
+        with self._lock:
+            return {
+                "stores_open": len(self._stores),
+                "store_hits": self.store_hits,
+                "store_misses": self.store_misses,
+                "store_evictions": self.evictions,
+                "harvest_entries": len(self._harvests),
+                "harvest_hits": self.harvest_hits,
+                "harvest_misses": self.harvest_misses,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._stores)
+
+    def __enter__(self) -> "StorePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -49,6 +49,7 @@ import errno
 import hashlib
 import json
 import os
+import threading
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -224,6 +225,13 @@ class FileBackend(StorageBackend):
         self._segment_cache: "OrderedDict[str, List[dict]]" = OrderedDict()
         #: Merged view keyed by (base signature, segment-name tuple).
         self._merged_cache: Optional[Tuple[Hashable, Dict[str, dict]]] = None
+        #: Guards the three caches above against concurrent same-process
+        #: readers.  The flock serialises *processes*; threads sharing
+        #: one backend (a pooled store under a server) additionally race
+        #: on the one-slot caches and the segment LRU's ``move_to_end``/
+        #: ``popitem`` — reentrant because ``read_merged`` nests
+        #: ``_read_base``/``_read_segment``.
+        self._cache_lock = threading.RLock()
         if not self._index_path.exists():
             with self.lock():
                 if not self._index_path.exists():
@@ -246,37 +254,39 @@ class FileBackend(StorageBackend):
         transparently, so old stores keep working until the next write
         (or ``rebuild``) upgrades them.
         """
-        try:
-            sig = _stat_sig(self._index_path)
-        except OSError:
-            sig = None
-        if sig is not None and self._base_cache is not None \
-                and self._base_cache[0] == sig:
-            return dict(self._base_cache[2]), self._base_cache[1]
-        io_faults.check("read", self._index_path)
-        with open(self._index_path, "r", encoding="utf-8") as fh:
-            data = json.load(fh)
-        generation = 0
-        if isinstance(data, dict) and isinstance(data.get("runs"), dict) \
-                and isinstance(data.get("format"), int):
-            generation = int(data.get("generation", 0))
-            data = data["runs"]
-        if sig is not None:
-            # sig was taken before the read: if a writer replaced the file
-            # in between we may cache newer content under the older
-            # signature, which is safe — the next stat mismatches.
-            self._base_cache = (sig, generation, data)
-        return dict(data), generation
+        with self._cache_lock:
+            try:
+                sig = _stat_sig(self._index_path)
+            except OSError:
+                sig = None
+            if sig is not None and self._base_cache is not None \
+                    and self._base_cache[0] == sig:
+                return dict(self._base_cache[2]), self._base_cache[1]
+            io_faults.check("read", self._index_path)
+            with open(self._index_path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            generation = 0
+            if isinstance(data, dict) and isinstance(data.get("runs"), dict) \
+                    and isinstance(data.get("format"), int):
+                generation = int(data.get("generation", 0))
+                data = data["runs"]
+            if sig is not None:
+                # sig was taken before the read: if a writer replaced the file
+                # in between we may cache newer content under the older
+                # signature, which is safe — the next stat mismatches.
+                self._base_cache = (sig, generation, data)
+            return dict(data), generation
 
     def _write_base(self, index: Dict[str, dict], generation: int = 0) -> None:
         envelope = {"format": _INDEX_FORMAT, "runs": index}
         if generation:
             envelope["generation"] = generation
         _atomic_write_json(self._index_path, envelope, indent=1)
-        # Writes happen under the store lock, so no other writer can
-        # replace the file between our rename and this stat.
-        self._base_cache = (_stat_sig(self._index_path), generation, dict(index))
-        self._merged_cache = None
+        with self._cache_lock:
+            # Writes happen under the store lock, so no other writer can
+            # replace the file between our rename and this stat.
+            self._base_cache = (_stat_sig(self._index_path), generation, dict(index))
+            self._merged_cache = None
 
     def _segment_names(self) -> List[str]:
         try:
@@ -292,26 +302,33 @@ class FileBackend(StorageBackend):
         ``None`` when the file vanished: a concurrent compaction folded
         it, and the base we read *afterwards* already contains its ops.
         """
-        ops = self._segment_cache.get(name)
-        if ops is not None:
-            self._segment_cache.move_to_end(name)
+        with self._cache_lock:
+            ops = self._segment_cache.get(name)
+            if ops is not None:
+                self._segment_cache.move_to_end(name)
+                return ops
+            path = self._segments_dir / name
+            try:
+                io_faults.check("read", path)
+                with open(path, "r", encoding="utf-8") as fh:
+                    data = json.load(fh)
+            except FileNotFoundError:
+                return None
+            # Any other OSError (EIO, ...) must propagate: treating it as
+            # "vanished" would silently drop this segment's ops from the
+            # merged view — a third state neither pre- nor post-op.  The
+            # resilience layer retries it instead.
+            ops = data.get("ops", []) if isinstance(data, dict) else []
+            self._segment_cache[name] = ops
+            while len(self._segment_cache) > _SEGMENT_CACHE_SIZE:
+                self._segment_cache.popitem(last=False)
             return ops
-        path = self._segments_dir / name
-        try:
-            io_faults.check("read", path)
-            with open(path, "r", encoding="utf-8") as fh:
-                data = json.load(fh)
-        except FileNotFoundError:
-            return None
-        # Any other OSError (EIO, ...) must propagate: treating it as
-        # "vanished" would silently drop this segment's ops from the
-        # merged view — a third state neither pre- nor post-op.  The
-        # resilience layer retries it instead.
-        ops = data.get("ops", []) if isinstance(data, dict) else []
-        self._segment_cache[name] = ops
-        while len(self._segment_cache) > _SEGMENT_CACHE_SIZE:
-            self._segment_cache.popitem(last=False)
-        return ops
+
+    def _drop_segment_cache(self, name: str) -> None:
+        """Forget a folded segment's parsed ops (used after unlink)."""
+        with self._cache_lock:
+            self._segment_cache.pop(name, None)
+            self._merged_cache = None
 
     def read_merged(self) -> Dict[str, dict]:
         """One consistent run→meta view: base + segment ops in order.
@@ -321,26 +338,27 @@ class FileBackend(StorageBackend):
         a compaction racing this read can only make replayed ops
         idempotent, not lose them.
         """
-        names = self._segment_names()
-        segments = [(name, self._read_segment(name)) for name in names]
-        parsed = tuple(name for name, ops in segments if ops is not None)
-        try:
-            base_sig = _stat_sig(self._index_path)
-        except OSError:
-            base_sig = None
-        key = (base_sig, parsed)
-        if self._merged_cache is not None and self._merged_cache[0] == key:
-            return dict(self._merged_cache[1])
-        base, _generation = self._read_base()
-        merged = base  # _read_base returned a fresh dict
-        for _name, ops in segments:
-            for op in ops or ():
-                if op.get("op") == "put":
-                    merged[op["run_id"]] = op["meta"]
-                elif op.get("op") == "del":
-                    merged.pop(op["run_id"], None)
-        self._merged_cache = (key, merged)
-        return dict(merged)
+        with self._cache_lock:
+            names = self._segment_names()
+            segments = [(name, self._read_segment(name)) for name in names]
+            parsed = tuple(name for name, ops in segments if ops is not None)
+            try:
+                base_sig = _stat_sig(self._index_path)
+            except OSError:
+                base_sig = None
+            key = (base_sig, parsed)
+            if self._merged_cache is not None and self._merged_cache[0] == key:
+                return dict(self._merged_cache[1])
+            base, _generation = self._read_base()
+            merged = base  # _read_base returned a fresh dict
+            for _name, ops in segments:
+                for op in ops or ():
+                    if op.get("op") == "put":
+                        merged[op["run_id"]] = op["meta"]
+                    elif op.get("op") == "del":
+                        merged.pop(op["run_id"], None)
+            self._merged_cache = (key, merged)
+            return dict(merged)
 
     # -- writer state ---------------------------------------------------
     def _read_state(self) -> dict:
@@ -441,7 +459,7 @@ class FileBackend(StorageBackend):
                 os.unlink(self._segments_dir / name)
             except OSError:
                 pass
-            self._segment_cache.pop(name, None)
+            self._drop_segment_cache(name)
         # Legacy writes bypass the claim file, so a stale one must not
         # survive to hand out already-used seq values later; it is
         # re-derived from the merged view on the next segmented write.
@@ -627,7 +645,7 @@ class FileBackend(StorageBackend):
                     os.unlink(self._segments_dir / name)
                 except OSError:
                     pass
-                self._segment_cache.pop(name, None)
+                self._drop_segment_cache(name)
             if self.segmented:
                 self._write_state({
                     "next_seq": next_seq,
@@ -660,7 +678,7 @@ class FileBackend(StorageBackend):
                     os.unlink(self._segments_dir / name)
                 except OSError:
                     pass
-                self._segment_cache.pop(name, None)
+                self._drop_segment_cache(name)
             state = self._read_state()
             state["generation"] = generation
             self._write_state(state)

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 import time
 from pathlib import Path
 from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, TypeVar
@@ -118,6 +119,12 @@ class SQLiteBackend(StorageBackend):
         self._retry = retry if retry is not None else RetryPolicy(
             attempts=4, base_delay=0.01, max_delay=0.2, deadline_s=5.0,
         )
+        # The connection is shared (check_same_thread=False) so threads
+        # of one process can read through a pooled store; explicit
+        # transactions on a shared connection must not interleave their
+        # statements, so same-process writers serialise here — SQLite's
+        # own locking only serialises *processes*.
+        self._txn_lock = threading.RLock()
 
     def close(self) -> None:
         self._conn.close()
@@ -169,7 +176,8 @@ class SQLiteBackend(StorageBackend):
                 except sqlite3.OperationalError:  # pragma: no cover
                     pass  # connection may have rolled back already
                 raise
-        return self._call(attempt, describe)
+        with self._txn_lock:
+            return self._call(attempt, describe)
 
     # ------------------------------------------------------------------
     # records

@@ -75,41 +75,55 @@ BackendLike = Union[None, str, StorageBackend]
 
 
 class _RecordCache:
-    """Bounded LRU of parsed records keyed by run id + backend token."""
+    """Bounded LRU of parsed records keyed by run id + backend token.
+
+    Safe for concurrent same-process readers: lookup, insertion, and
+    eviction mutate the underlying ``OrderedDict`` (``move_to_end``,
+    ``popitem``) and therefore hold a lock — a server multiplexing many
+    sessions over one shared store hits this from several threads at
+    once, where the unlocked version corrupts the LRU order or raises
+    mid-``popitem``.
+    """
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = maxsize
         from collections import OrderedDict
 
         self._items: "OrderedDict[str, Tuple[Hashable, RunRecord]]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, run_id: str, token: Hashable) -> Optional[RunRecord]:
-        entry = self._items.get(run_id)
-        if entry is None or entry[0] != token:
-            self.misses += 1
-            return None
-        self._items.move_to_end(run_id)
-        self.hits += 1
-        return entry[1]
+        with self._lock:
+            entry = self._items.get(run_id)
+            if entry is None or entry[0] != token:
+                self.misses += 1
+                return None
+            self._items.move_to_end(run_id)
+            self.hits += 1
+            return entry[1]
 
     def put(self, run_id: str, token: Hashable, record: RunRecord) -> None:
         if self.maxsize <= 0:
             return
-        self._items[run_id] = (token, record)
-        self._items.move_to_end(run_id)
-        while len(self._items) > self.maxsize:
-            self._items.popitem(last=False)
+        with self._lock:
+            self._items[run_id] = (token, record)
+            self._items.move_to_end(run_id)
+            while len(self._items) > self.maxsize:
+                self._items.popitem(last=False)
 
     def evict(self, run_id: str) -> None:
-        self._items.pop(run_id, None)
+        with self._lock:
+            self._items.pop(run_id, None)
 
     def clear(self) -> None:
-        self._items.clear()
+        with self._lock:
+            self._items.clear()
 
     def __len__(self) -> int:
-        return len(self._items)
+        with self._lock:
+            return len(self._items)
 
 
 def _read_payload_task(path_str: str) -> dict:
@@ -215,6 +229,23 @@ class ExperimentStore:
         backend, never the resilience wrapper, so callers that compare
         identity or poke backend internals see what they passed in."""
         return self._inner
+
+    def close(self) -> None:
+        """Release the store's in-process resources.
+
+        Drops the parsed-record LRU, waits for an in-flight background
+        compaction, and closes the backend (the SQLite connection for
+        that backend; a no-op for the file layouts).  The object must
+        not be used afterwards.  Idempotent — a pooled store may be
+        evicted and closed more than once.
+        """
+        thread = self._compaction_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=30.0)
+        self._cache.clear()
+        close = getattr(self._inner, "close", None)
+        if close is not None:
+            close()
 
     def resilience_metrics(self) -> Dict[str, float]:
         """Retry/breaker counters when resilience is armed, else ``{}``.

@@ -1,0 +1,84 @@
+"""Tests for the Prometheus naming lint (satellite fix).
+
+The ``repro report --metrics prom`` export and the new ``repro_server_*``
+series go through :func:`metrics_to_prometheus`; the lint guarantees a
+malformed metric or label name fails loudly at export time instead of
+being silently dropped by the scrape.
+"""
+
+import pytest
+
+from repro.obs import lint_prometheus_names, metrics_to_prometheus, run_metrics
+
+
+def _metrics(**extra):
+    out = {"engine_events": 10, "peak_cost": 1.5}
+    out.update(extra)
+    return out
+
+
+class TestLint:
+    def test_clean_names_pass(self):
+        assert lint_prometheus_names(_metrics(), prefix="repro_run") == []
+
+    def test_run_metrics_schema_is_clean(self):
+        metrics = run_metrics(
+            engine_events=1, wall_seconds=1.0, virtual_seconds=1.0,
+            peak_cost=0.0, mean_cost=0.0, pairs_instrumented=0,
+            pairs_concluded=0, pairs_pruned=0, pairs_unknown=0,
+            instr_requests=0, instr_deletes=0, instr_decimates=0,
+            time_to_first_true=None, time_to_last_true=None,
+        )
+        assert lint_prometheus_names(metrics, prefix="repro_run") == []
+
+    def test_bad_metric_name(self):
+        problems = lint_prometheus_names({"latency-p99": 1.0}, prefix="repro")
+        assert problems and "repro_latency-p99" in problems[0]
+
+    def test_bad_prefix(self):
+        problems = lint_prometheus_names(_metrics(), prefix="9repro")
+        assert len(problems) == len(_metrics())
+
+    def test_bad_label_name(self):
+        problems = lint_prometheus_names(
+            _metrics(), prefix="repro", labels={"app-name": "x"}
+        )
+        assert problems and "app-name" in problems[0]
+
+    def test_reserved_label_name(self):
+        problems = lint_prometheus_names(
+            _metrics(), prefix="repro", labels={"__internal": "x"}
+        )
+        assert problems and "reserved" in problems[0]
+
+    def test_colon_allowed_in_metric_not_label(self):
+        assert lint_prometheus_names({"a:b": 1}, prefix="repro") == []
+        assert lint_prometheus_names({"ok": 1}, prefix="repro",
+                                     labels={"a:b": "x"}) != []
+
+
+class TestExportValidation:
+    def test_render_rejects_malformed_metric(self):
+        with pytest.raises(ValueError, match="malformed"):
+            metrics_to_prometheus({"latency-p99": 1.0}, prefix="repro")
+
+    def test_render_rejects_malformed_label(self):
+        with pytest.raises(ValueError, match="label"):
+            metrics_to_prometheus(_metrics(), labels={"bad-label": "x"})
+
+    def test_label_values_need_no_lint(self):
+        # Any UTF-8 label *value* is legal once escaped.
+        text = metrics_to_prometheus(
+            _metrics(), labels={"run_id": 'weird "value"\nwith newline'}
+        )
+        assert '\\"value\\"' in text
+        assert "\\n" in text
+
+    def test_server_series_render(self):
+        # The shape DiagnosisService.server_metrics() exports.
+        text = metrics_to_prometheus(
+            {"sessions_completed": 3, "pool_store_hits": 7},
+            prefix="repro_server",
+        )
+        assert "# TYPE repro_server_sessions_completed gauge" in text
+        assert "repro_server_pool_store_hits 7" in text

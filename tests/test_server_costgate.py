@@ -1,0 +1,110 @@
+"""Per-tenant CostGate isolation (satellite: two tenants, two caps).
+
+Each served session owns its InstrumentationManager and hysteretic
+CostGate, clamped to its tenant's cost cap.  These tests pin the
+isolation property: concurrent sessions with different caps each stop
+expanding at *their own* limit, and one tenant exhausting its cap never
+stalls or cancels another tenant's session.
+"""
+
+import asyncio
+
+from repro.apps.synthetic import make_pingpong
+from repro.core import SearchConfig
+from repro.server import DiagnosisService, SessionRequest, TenantPolicy
+
+#: A generous requested cost budget; tenant policies clamp it down.
+CONFIG = SearchConfig(min_interval=5.0, check_period=0.5,
+                      insertion_latency=0.2, cost_limit=100.0)
+
+
+def _request(tenant, run_id):
+    return SessionRequest(
+        app=make_pingpong(iterations=120), config=CONFIG,
+        tenant=tenant, run_id=run_id,
+    )
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestCostGateIsolation:
+    def test_each_tenant_stops_at_its_own_cap(self):
+        async def main():
+            service = DiagnosisService(
+                max_concurrent=4, slice_events=50,
+                tenants={
+                    "tight": TenantPolicy(cost_limit=3.0),
+                    "roomy": TenantPolicy(cost_limit=60.0),
+                },
+            )
+            return await asyncio.gather(
+                service.submit(_request("tight", "tight-run")),
+                service.submit(_request("roomy", "roomy-run")),
+            )
+
+        tight, roomy = _run(main())
+        # Both sessions finish despite running concurrently.
+        assert tight.status == "complete"
+        assert roomy.status == "complete"
+        # Each gate held at its own clamped limit, not the requested 100
+        # and not the other tenant's.
+        assert tight.peak_cost <= 3.0
+        assert roomy.peak_cost <= 60.0
+        assert tight.config["cost_limit"] == 3.0
+        assert roomy.config["cost_limit"] == 60.0
+        # The tight cap actually bit: the roomy session instrumented
+        # strictly more than the starved one could admit.
+        assert roomy.peak_cost > tight.peak_cost
+        assert roomy.pairs_tested >= tight.pairs_tested
+
+    def test_exhausted_tenant_never_stalls_the_other(self):
+        """The tight tenant's gate halts its expansion almost instantly;
+        the roomy session must still start, progress, and finish while
+        the tight one is (repeatedly) halted."""
+        events = []
+
+        def progress(event):
+            events.append(event)
+
+        async def main():
+            service = DiagnosisService(
+                max_concurrent=2, slice_events=30, progress=progress,
+                tenants={
+                    "tight": TenantPolicy(cost_limit=1.0),
+                    "roomy": TenantPolicy(cost_limit=60.0),
+                },
+            )
+            return await asyncio.gather(
+                service.submit(_request("tight", "t")),
+                service.submit(_request("roomy", "r")),
+            )
+
+        tight, roomy = _run(main())
+        assert tight.status == "complete"
+        assert roomy.status == "complete"
+        assert roomy.bottleneck_count() >= tight.bottleneck_count()
+        # Interleaving proof: roomy made progress after tight started
+        # and before tight finished.
+        kinds = [
+            (e["event"], e.get("tenant")) for e in events
+            if e["event"] in ("session-started", "session-finished")
+        ]
+        assert kinds.index(("session-finished", "tight")) > 0
+        progressed = {
+            e["tenant"] for e in events if e["event"] == "session-progress"
+        }
+        assert "roomy" in progressed
+
+    def test_unlimited_default_policy_untouched(self):
+        async def main():
+            service = DiagnosisService(
+                slice_events=50,
+                tenants={"tight": TenantPolicy(cost_limit=2.0)},
+            )
+            return await service.run(_request("anonymous", "free-run"))
+
+        record = _run(main())
+        # No policy for this tenant: the requested limit stands.
+        assert record.config["cost_limit"] == 100.0

@@ -1,0 +1,142 @@
+"""Tests for the StorePool: hot handles, harvest caching, eviction."""
+
+import pytest
+
+from repro import diagnose, harvest
+from repro.apps.synthetic import make_pingpong
+from repro.facade import default_pool
+from repro.server import StorePool
+from repro.storage import ExperimentStore
+
+FAST = dict(min_interval=5.0, check_period=0.5, insertion_latency=0.2, cost_limit=50.0)
+
+
+def _seed(path, run_id="seed-0001"):
+    return diagnose(make_pingpong(iterations=40), store=path,
+                    run_id=run_id, pool=None, **FAST)
+
+
+class TestStorePool:
+    def test_same_path_reuses_store(self, tmp_path):
+        _seed(tmp_path / "runs")
+        pool = StorePool()
+        a = pool.get(tmp_path / "runs")
+        b = pool.get(str(tmp_path / "runs"))
+        assert a is b
+        assert pool.stats()["store_hits"] == 1
+        assert pool.stats()["store_misses"] == 1
+
+    def test_passthrough_store_not_owned(self, tmp_path):
+        _seed(tmp_path / "runs")
+        store = ExperimentStore(tmp_path / "runs")
+        pool = StorePool()
+        assert pool.get(store) is store
+        pool.close()
+        # Pass-through stores stay usable after the pool closes.
+        assert store.list()
+
+    def test_eviction_closes_lru(self, tmp_path):
+        pool = StorePool(max_stores=2)
+        stores = []
+        for i in range(3):
+            _seed(tmp_path / f"runs{i}")
+            stores.append(pool.get(tmp_path / f"runs{i}"))
+        assert len(pool) == 2
+        assert pool.stats()["store_evictions"] == 1
+        # The evicted (oldest) store re-opens as a fresh instance.
+        again = pool.get(tmp_path / "runs0")
+        assert again is not stores[0]
+
+    def test_harvest_cached_until_write(self, tmp_path):
+        _seed(tmp_path / "runs")
+        pool = StorePool()
+        first = pool.harvest(tmp_path / "runs")
+        second = pool.harvest(tmp_path / "runs")
+        assert second is first
+        assert pool.stats()["harvest_hits"] == 1
+        # Any write changes the index state token and invalidates.
+        _seed(tmp_path / "runs", run_id="seed-0002")
+        third = pool.harvest(tmp_path / "runs")
+        assert third is not first
+        assert pool.stats()["harvest_misses"] == 2
+
+    def test_harvest_matches_facade(self, tmp_path):
+        _seed(tmp_path / "runs")
+        pool = StorePool()
+        pooled = pool.harvest(tmp_path / "runs", include_thresholds=True)
+        cold = harvest(tmp_path / "runs", include_thresholds=True, pool=None)
+        assert pooled.to_text() == cold.to_text()
+
+    def test_harvest_key_includes_options_and_app(self, tmp_path):
+        _seed(tmp_path / "runs")
+        pool = StorePool()
+        base = pool.harvest(tmp_path / "runs")
+        with_thresholds = pool.harvest(tmp_path / "runs", include_thresholds=True)
+        other_app = pool.harvest(tmp_path / "runs", app="nosuch")
+        assert with_thresholds is not base
+        # Different app filter → different cache entry (here: only the
+        # history-independent general prunes survive).
+        assert other_app is not base
+        assert len(other_app) < len(base)
+
+    def test_closed_pool_rejects(self, tmp_path):
+        pool = StorePool()
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.get(tmp_path / "runs")
+
+    def test_context_manager(self, tmp_path):
+        _seed(tmp_path / "runs")
+        with StorePool() as pool:
+            assert pool.get(tmp_path / "runs").list()
+
+
+class TestFacadePoolRouting:
+    def test_default_pool_reuses_handles(self, tmp_path):
+        _seed(tmp_path / "runs")
+        pool = default_pool()
+        before = pool.stats()
+        harvest(tmp_path / "runs")
+        harvest(tmp_path / "runs")
+        after = pool.stats()
+        assert after["harvest_hits"] >= before["harvest_hits"] + 1
+
+    def test_explicit_pool(self, tmp_path):
+        _seed(tmp_path / "runs")
+        pool = StorePool()
+        app = make_pingpong(iterations=40)
+        harvest(tmp_path / "runs", app=app, pool=pool)
+        record = diagnose(app,
+                          history=tmp_path / "runs",
+                          store=tmp_path / "runs", run_id="directed",
+                          pool=pool, **FAST)
+        stats = pool.stats()
+        assert stats["harvest_hits"] >= 1       # diagnose reused the harvest
+        assert stats["store_hits"] >= 1         # and the open store
+        assert record.run_id == "directed"
+        pool.close()
+
+    def test_pool_none_preserves_cold_path(self, tmp_path):
+        _seed(tmp_path / "runs")
+        pool = default_pool()
+        before = pool.stats()
+        warm = harvest(tmp_path / "runs")
+        cold = harvest(tmp_path / "runs", pool=None)
+        assert cold.to_text() == warm.to_text()
+        # The opt-out call never touched the shared pool.
+        assert default_pool().stats()["store_misses"] == \
+            max(before["store_misses"], default_pool().stats()["store_misses"])
+
+    def test_diagnose_pool_produces_identical_record(self, tmp_path):
+        _seed(tmp_path / "runs")
+        from repro.obs import deterministic_metrics
+
+        pooled = diagnose(make_pingpong(iterations=40),
+                          history=tmp_path / "runs", run_id="x", **FAST)
+        cold = diagnose(make_pingpong(iterations=40),
+                        history=tmp_path / "runs", run_id="x",
+                        pool=None, **FAST)
+        a, b = pooled.to_dict(), cold.to_dict()
+        a["metrics"] = deterministic_metrics(a["metrics"])
+        b["metrics"] = deterministic_metrics(b["metrics"])
+        assert a == b
