@@ -11,13 +11,19 @@ fast.  It builds synthetic stores of 100 and 500 runs and times:
   (instance reused);
 * directive harvest (``repro.harvest``) — legacy (per-run parse plus a
   profile rebuild per candidate function per record, the pre-memoization
-  cost shape) vs the summary-based extraction.
+  cost shape) vs the summary-based extraction;
+* **archive scale** (``--scale-entries``, default 10^5): a preloaded
+  10^5-entry index measures the aggregate-backed harvest paths — cold
+  harvest from the persisted per-segment aggregates vs the full summary
+  rescan, and the pool's O(Δ) incremental re-harvest after one write vs
+  re-scanning the whole history (the pre-aggregate pool behavior).
 
 Every fast-path result is asserted equal to its legacy counterpart
 before any timing is reported — a fast wrong answer is no answer.
 
 Emits ``results/BENCH_history.json``.  ``--check`` compares the measured
-speedups at 100 stored runs against the floors in
+speedups at 100 stored runs (and the aggregate-path speedups at
+``--scale-entries``) against the floors in
 ``benchmarks/baselines/history.json`` and exits non-zero on regression.
 Only *ratios* gate CI — absolute wall times are machine-dependent.
 """
@@ -39,12 +45,14 @@ sys.path.insert(0, str(REPO / "src"))
 
 from repro.core.directives import ANY_HYPOTHESIS, DirectiveSet, PruneDirective  # noqa: E402
 from repro.core.extraction import (  # noqa: E402
+    extract_directives_from_summaries,
     extract_general_prunes,
     extract_pair_prunes,
     extract_priorities,
 )
 from repro.facade import harvest  # noqa: E402
 from repro.metrics.profile import FlatProfile  # noqa: E402
+from repro.server.pool import StorePool  # noqa: E402
 from repro.storage import ExperimentStore, RunRecord, bottleneck_persistence  # noqa: E402
 
 RESULTS_DIR = REPO / "results"
@@ -134,6 +142,97 @@ def build_store(root: Path, n_runs: int) -> ExperimentStore:
     # (bench_store_scale.py covers the segmented-write regime)
     store.compact()
     return store
+
+
+N_PRELOAD_LEAVES = 8
+
+
+def preload_meta(i: int) -> dict:
+    """One synthetic index entry of realistic shape, summary included.
+
+    The summary carries every key the harvest extraction reads
+    (pairs, code leaves, execution fractions, hypothesis values, the
+    machine environment), so preloaded stores exercise the same
+    aggregate and rescan paths real archives do.  Shared with
+    ``bench_store_scale.py``.
+    """
+    leaves = [f"/Code/m.c/fn{j:02d}" for j in range(N_PRELOAD_LEAVES)]
+    hot = leaves[i % N_PRELOAD_LEAVES]
+    pair_focus = f"< {hot}, /Machine, /Process, /SyncObject >"
+    return {
+        "app_name": "scale",
+        "version": str(i % 7),
+        "n_processes": 8,
+        "bottlenecks": 2,
+        "pairs_tested": 12,
+        "seq": i,
+        "summary": {
+            "version": 1,
+            "status": "complete",
+            "n_nodes": 14,
+            "n_processes": 8,
+            "machine_nodes": 8,
+            "true_pairs": [["CPUbound", pair_focus]],
+            "false_pairs": [["ExcessiveSyncWaitingTime", pair_focus]],
+            "state_counts": {"true": 1, "false": 11},
+            "hyp_values": {"CPUbound": [0.30 + 0.0001 * (i % 50)]},
+            "code_leaves": leaves,
+            "code_exec_fractions": {
+                hot: 0.5,
+                leaves[(i + 1) % N_PRELOAD_LEAVES]: 0.0001 * (1 + i % 9),
+            },
+            "peak_cost": 2.0,
+            "time_to_find_all": 50.0,
+            "duration": 100.0,
+        },
+    }
+
+
+def preload_store(root: Path, backend: str, n_entries: int) -> ExperimentStore:
+    """Build an *n_entries*-run store through backend internals.
+
+    Only the index is materialized (synthetic metas, no record bodies) —
+    the costs under test are index-dominated; records appended afterwards
+    are written for real.
+    """
+    store = ExperimentStore(root, backend=backend, auto_compact=0)
+    index = {f"pre-{i:06d}": preload_meta(i) for i in range(n_entries)}
+    if backend == "sqlite":
+        conn = store.backend._conn
+        conn.execute("BEGIN IMMEDIATE")
+        conn.executemany(
+            "INSERT INTO runs(run_id, seq, app_name, version, meta, payload,"
+            " sha256, rev) VALUES (?, ?, ?, ?, ?, '{}', '', 0)",
+            [
+                (run_id, meta["seq"], meta["app_name"], meta["version"],
+                 json.dumps(meta))
+                for run_id, meta in index.items()
+            ],
+        )
+        conn.execute("COMMIT")
+    else:
+        store.backend._write_base(index)
+    return store
+
+
+def tiny_record(i: int, prefix: str = "incr") -> RunRecord:
+    """A minimal record for write-path timing (meta-dominated)."""
+    return RunRecord(
+        run_id=f"{prefix}-{i:06d}",
+        app_name="scale",
+        version="1",
+        n_processes=1,
+        nodes=["n0"],
+        placement={"p0": "n0"},
+        hierarchies={"Code": ["/Code"]},
+        shg_nodes=[],
+        profile={},
+        finish_time=1.0,
+        search_done_time=None,
+        pairs_tested=0,
+        total_requests=0,
+        peak_cost=0.0,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -237,6 +336,81 @@ def bench_store(root: Path, n_runs: int, reps: int, legacy_reps: int) -> dict:
     }
 
 
+def bench_scale_harvest(workdir: Path, n_entries: int, reps: int,
+                        rescan_reps: int) -> dict:
+    """Aggregate-backed harvest vs the full summary rescan at archive
+    scale, plus the pool's O(Δ) re-harvest after a write."""
+    root = workdir / f"scale-{n_entries}"
+    store = preload_store(root, "file", n_entries)
+    store.compact()  # folds the base and persists the harvest aggregate
+
+    def full_rescan(opened: ExperimentStore) -> DirectiveSet:
+        # the pre-aggregate pool fallback: extract over every summary
+        return extract_directives_from_summaries(
+            [meta["summary"] for meta in opened.summaries().values()]
+        )
+
+    # correctness before timing: the aggregate route must match the
+    # rescan route byte for byte
+    reference = full_rescan(store)
+    aggregate_route = store.harvest_evidence().finalize()
+    if aggregate_route.to_text() != reference.to_text():
+        raise AssertionError(
+            f"{n_entries} entries: aggregate-route harvest diverged from "
+            "the full summary rescan"
+        )
+    info = store.info()
+    if info.aggregated_runs != info.runs:
+        raise AssertionError(
+            f"aggregate covers {info.aggregated_runs}/{info.runs} runs "
+            "after compaction"
+        )
+
+    rescan_s = timed(lambda: full_rescan(store), rescan_reps)
+    cold_harvest_s = timed(
+        lambda: ExperimentStore(root).harvest_evidence().finalize(), reps)
+
+    # incremental: warm pool, append one run, re-harvest folds only it
+    pool = StorePool()
+    pool.harvest(store)
+    incremental_walls = []
+    directives = None
+    for i in range(reps):
+        store.save(tiny_record(i))
+        start = time.perf_counter()
+        directives = pool.harvest(store)
+        incremental_walls.append(time.perf_counter() - start)
+    folds = pool.stats()["harvest_incremental"]
+    if folds != reps:
+        raise AssertionError(
+            f"pool took the incremental path {folds}/{reps} times"
+        )
+    if directives.to_text() != full_rescan(store).to_text():
+        raise AssertionError(
+            f"{n_entries} entries: incremental re-harvest diverged from "
+            "the full summary rescan"
+        )
+    incremental_s = statistics.median(incremental_walls)
+
+    def ratio(slow, fast):
+        return slow / fast if fast > 0 else float("inf")
+
+    out = {
+        "entries": n_entries,
+        "full_rescan_s": rescan_s,
+        "cold_harvest_s": cold_harvest_s,
+        "incremental_s": incremental_s,
+        "cold_harvest_speedup": ratio(rescan_s, cold_harvest_s),
+        "incremental_speedup": ratio(rescan_s, incremental_s),
+        "answers_equal": True,
+    }
+    print(f"{n_entries} entries: full rescan {rescan_s * 1e3:.0f} ms, "
+          f"cold aggregate harvest {cold_harvest_s * 1e3:.1f} ms "
+          f"({out['cold_harvest_speedup']:.0f}x), incremental re-harvest "
+          f"{incremental_s * 1e3:.2f} ms ({out['incremental_speedup']:.0f}x)")
+    return out
+
+
 def check_against_baseline(results: dict) -> int:
     if not BASELINE.is_file():
         print(f"no baseline at {BASELINE}; skipping regression check")
@@ -256,6 +430,22 @@ def check_against_baseline(results: dict) -> int:
         failures.append("bottleneck_persistence")
     if measured_h < harvest_min:
         failures.append("harvest")
+    scale = results.get("scale_harvest")
+    if scale is not None:
+        cold_min = baseline.get("cold_harvest_speedup_min")
+        incr_min = baseline.get("incremental_harvest_speedup_min")
+        if cold_min is not None:
+            print(f"cold aggregate-harvest speedup at {scale['entries']} "
+                  f"entries: {scale['cold_harvest_speedup']:.1f}x "
+                  f"(floor {cold_min:g}x)")
+            if scale["cold_harvest_speedup"] < cold_min:
+                failures.append("cold_harvest")
+        if incr_min is not None:
+            print(f"incremental re-harvest speedup at {scale['entries']} "
+                  f"entries: {scale['incremental_speedup']:.1f}x "
+                  f"(floor {incr_min:g}x)")
+            if scale["incremental_speedup"] < incr_min:
+                failures.append("incremental_harvest")
     if failures:
         print(f"FAIL: speedup regressed below the baseline floor: {failures}")
         return 1
@@ -270,6 +460,11 @@ def main(argv=None) -> int:
                         help="legacy-path repetitions (median wall)")
     parser.add_argument("--sizes", type=int, nargs="+", default=[100, 500],
                         help="store sizes (number of runs) to benchmark")
+    parser.add_argument("--scale-entries", type=int, default=100_000,
+                        help="preloaded index size for the aggregate-path "
+                             "phase (0 skips it)")
+    parser.add_argument("--rescan-reps", type=int, default=2,
+                        help="full-rescan repetitions at --scale-entries")
     parser.add_argument("--check", action="store_true",
                         help="fail when measured speedups fall below the "
                              "floors in the checked-in baseline")
@@ -291,6 +486,9 @@ def main(argv=None) -> int:
                 for n in args.sizes
             },
         }
+        if args.scale_entries:
+            results["scale_harvest"] = bench_scale_harvest(
+                workdir, args.scale_entries, args.reps, args.rescan_reps)
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
@@ -312,8 +510,14 @@ def main(argv=None) -> int:
             "bottleneck_persistence_speedup_min": 10.0,
             "harvest_speedup_min": 3.0,
             "gate_store_size": 100,
+            "cold_harvest_speedup_min": 5.0,
+            "incremental_harvest_speedup_min": 20.0,
+            "gate_scale_entries": args.scale_entries,
             "note": "floors on the fast-path speedups measured by "
-                    "bench_history.py at 100 stored runs",
+                    "bench_history.py: query/harvest fast paths at 100 "
+                    "stored runs, aggregate-backed cold harvest and the "
+                    "pool's incremental re-harvest (vs a full summary "
+                    "rescan) at --scale-entries",
         }, indent=2, sort_keys=True) + "\n")
         print(f"baseline updated: {BASELINE}")
 

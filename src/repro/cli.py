@@ -597,6 +597,13 @@ def cmd_store_stats(args: argparse.Namespace) -> int:
     table.add_row(["index generation", info.generation])
     table.add_row(["unfolded segments", info.segments])
     table.add_row(["index bytes", info.index_bytes])
+    table.add_row(["aggregated runs", f"{info.aggregated_runs}/{info.runs}"])
+    if info.backend in ("file",):
+        table.add_row(["aggregated segments",
+                       f"{info.aggregated_segments}/{info.segments}"])
+    if info.runs and not info.aggregated_runs:
+        table.add_row(["harvest fast path",
+                       "stale (run `repro store rebuild` to backfill)"])
     print(table.render())
     return 0
 

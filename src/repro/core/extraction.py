@@ -43,6 +43,7 @@ from .hypotheses import HypothesisTree, standard_tree
 from .shg import NodeState, Priority
 
 __all__ = [
+    "HarvestAggregate",
     "extract_priorities",
     "extract_priorities_from_summaries",
     "extract_general_prunes",
@@ -330,6 +331,260 @@ def extract_thresholds_from_summaries(
         for hyp, vals in summary["hyp_values"].items():
             values_by_hyp[hyp].extend(vals)
     return _threshold_directives(values_by_hyp, hypotheses, **kwargs)
+
+
+# --------------------------------------------------------------------------
+# mergeable aggregates
+# --------------------------------------------------------------------------
+#: Serialized-aggregate format version (bumped on any shape change so
+#: persisted aggregates from older code degrade to a rescan, never to a
+#: misread).
+AGGREGATE_VERSION = 1
+
+
+class HarvestAggregate:
+    """Parameter-free sufficient statistics for directive extraction.
+
+    Everything the ``extract_*_from_summaries`` family reads from a run's
+    summary, reduced to a commutative-enough form: set unions for pair
+    outcomes and code candidates, a per-function *max* execution fraction
+    (the historic-prune test "below threshold in every run" is exactly
+    "max over runs below threshold"), per-hypothesis value evidence, and
+    the first run's machine/process environment for the general prunes.
+
+    Hypothesis values are kept as ``{round(v, 4): max raw v}`` buckets —
+    ``suggest_threshold`` filters raw values against the noise floor and
+    then dedups at 4 decimals, so a 4-decimal bucket survives any floor
+    iff its raw maximum does.  Passing the per-bucket maxima back through
+    ``suggest_threshold`` is therefore exact for *every* noise floor,
+    while bounding the aggregate at one entry per distinct rounded value
+    instead of one per observed float.
+
+    The structure is a monoid over *ordered* run sequences:
+    ``HarvestAggregate()`` is the identity, :meth:`merge` is associative,
+    and for any split of a run sequence ``merge`` of the parts equals
+    :meth:`of_summaries` over the concatenation.  None of the extraction
+    knobs (``min_exec_fraction``, thresholds' noise floor, the hypothesis
+    tree) are baked in — they apply at :meth:`finalize` time, so one
+    stored aggregate serves every option combination.
+    """
+
+    __slots__ = (
+        "n_runs",
+        "first_env",
+        "true_pairs",
+        "false_pairs",
+        "code_candidates",
+        "code_max_fraction",
+        "hyp_values",
+    )
+
+    def __init__(self) -> None:
+        self.n_runs: int = 0
+        #: ``(machine_nodes, n_processes)`` of the first folded run.
+        self.first_env: Optional[Tuple[Optional[int], Optional[int]]] = None
+        self.true_pairs: Set[_Pair] = set()
+        self.false_pairs: Set[_Pair] = set()
+        self.code_candidates: Set[str] = set()
+        self.code_max_fraction: Dict[str, float] = {}
+        #: hypothesis → {round(value, 4) bucket: max raw value in bucket}
+        self.hyp_values: Dict[str, Dict[float, float]] = {}
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def of_summary(cls, summary: dict) -> "HarvestAggregate":
+        return cls().fold_summary(summary)
+
+    @classmethod
+    def of_summaries(cls, summaries: Iterable[dict]) -> "HarvestAggregate":
+        agg = cls()
+        for summary in summaries:
+            agg.fold_summary(summary)
+        return agg
+
+    def fold_summary(self, summary: dict) -> "HarvestAggregate":
+        """Fold one run's summary in, in run order.  Mutates ``self``."""
+        if self.n_runs == 0:
+            self.first_env = (summary["machine_nodes"], summary["n_processes"])
+        self.n_runs += 1
+        self.true_pairs.update(tuple(p) for p in summary["true_pairs"])
+        self.false_pairs.update(tuple(p) for p in summary["false_pairs"])
+        self.code_candidates.update(summary["code_leaves"])
+        fractions = summary["code_exec_fractions"]
+        code_max = self.code_max_fraction
+        for name, frac in fractions.items():
+            prev = code_max.get(name)
+            if prev is None or frac > prev:
+                code_max[name] = frac
+        for hyp, vals in summary["hyp_values"].items():
+            buckets = self.hyp_values.setdefault(hyp, {})
+            for v in vals:
+                bucket = round(v, 4)
+                prev = buckets.get(bucket)
+                if prev is None or v > prev:
+                    buckets[bucket] = v
+        return self
+
+    def copy(self) -> "HarvestAggregate":
+        out = HarvestAggregate()
+        out.n_runs = self.n_runs
+        out.first_env = self.first_env
+        out.true_pairs = set(self.true_pairs)
+        out.false_pairs = set(self.false_pairs)
+        out.code_candidates = set(self.code_candidates)
+        out.code_max_fraction = dict(self.code_max_fraction)
+        out.hyp_values = {h: dict(v) for h, v in self.hyp_values.items()}
+        return out
+
+    # -- the monoid --------------------------------------------------------
+    def update(self, other: "HarvestAggregate") -> "HarvestAggregate":
+        """In-place :meth:`merge`: fold ``other``'s runs after ``self``'s.
+        Mutates and returns ``self``; ``other`` is untouched."""
+        if self.n_runs == 0:
+            self.first_env = other.first_env
+        self.n_runs += other.n_runs
+        self.true_pairs |= other.true_pairs
+        self.false_pairs |= other.false_pairs
+        self.code_candidates |= other.code_candidates
+        for name, frac in other.code_max_fraction.items():
+            prev = self.code_max_fraction.get(name)
+            if prev is None or frac > prev:
+                self.code_max_fraction[name] = frac
+        for hyp, buckets in other.hyp_values.items():
+            mine = self.hyp_values.setdefault(hyp, {})
+            for bucket, raw in buckets.items():
+                prev = mine.get(bucket)
+                if prev is None or raw > prev:
+                    mine[bucket] = raw
+        return self
+
+    def merge(self, other: "HarvestAggregate") -> "HarvestAggregate":
+        """Aggregate over ``self``'s runs followed by ``other``'s.
+
+        Associative, with the empty aggregate as identity:
+        ``a.merge(b).merge(c) == a.merge(b.merge(c))`` and both equal
+        :meth:`of_summaries` over the concatenated run sequence.
+        Returns a new aggregate; neither operand is mutated.
+        """
+        return self.copy().update(other)
+
+    # -- finalize ----------------------------------------------------------
+    def finalize(
+        self,
+        include_priorities: bool = True,
+        include_general_prunes: bool = True,
+        include_historic_prunes: bool = True,
+        include_pair_prunes: bool = True,
+        include_thresholds: bool = False,
+        hypotheses: Optional[HypothesisTree] = None,
+        min_exec_fraction: float = 0.005,
+    ) -> DirectiveSet:
+        """Apply the extraction knobs and build the directive set.
+
+        Byte-identical (``DirectiveSet.to_text()``) to
+        :func:`extract_directives_from_summaries` over the same run
+        sequence, for every option combination — asserted by the history
+        benchmarks before any timing counts.
+        """
+        prunes: List[PruneDirective] = []
+        if include_general_prunes:
+            machine_nodes, n_processes = self.first_env or (None, None)
+            prunes.extend(_general_prunes(machine_nodes, n_processes, hypotheses))
+        if include_historic_prunes and self.n_runs:
+            code_max = self.code_max_fraction
+            tiny = {
+                name
+                for name in self.code_candidates
+                if code_max.get(name, 0.0) < min_exec_fraction
+            }
+            prunes.extend(_fold_tiny(self.code_candidates, tiny))
+        return DirectiveSet(
+            prunes=prunes,
+            pair_prunes=_pair_prune_directives(self.true_pairs, self.false_pairs)
+            if include_pair_prunes
+            else (),
+            priorities=_priority_directives(self.true_pairs, self.false_pairs)
+            if include_priorities
+            else (),
+            # Per-bucket raw maxima stand in for the observed values:
+            # round(max, 4) recovers each bucket, and a bucket passes the
+            # noise floor iff its max does — exact for any floor.
+            thresholds=_threshold_directives(
+                {h: list(buckets.values())
+                 for h, buckets in self.hyp_values.items()},
+                hypotheses,
+            )
+            if include_thresholds
+            else (),
+        )
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical JSON-serializable form (sorted, deterministic)."""
+        return {
+            "version": AGGREGATE_VERSION,
+            "n_runs": self.n_runs,
+            "first_env": list(self.first_env) if self.first_env is not None else None,
+            "true_pairs": sorted(list(p) for p in self.true_pairs),
+            "false_pairs": sorted(list(p) for p in self.false_pairs),
+            "code_candidates": sorted(self.code_candidates),
+            "code_max_fraction": {
+                k: self.code_max_fraction[k] for k in sorted(self.code_max_fraction)
+            },
+            # Bucket keys are floats, so they serialize as sorted
+            # [bucket, max] pairs rather than JSON object keys.
+            "hyp_values": {
+                h: sorted([b, m] for b, m in self.hyp_values[h].items())
+                for h in sorted(self.hyp_values)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HarvestAggregate":
+        """Inverse of :meth:`to_dict`.
+
+        Raises ``ValueError`` on an unknown format version so persisted
+        aggregates from future code degrade to a rescan rather than being
+        misread.
+        """
+        if data.get("version") != AGGREGATE_VERSION:
+            raise ValueError(
+                f"unsupported aggregate version: {data.get('version')!r}"
+            )
+        out = cls()
+        out.n_runs = int(data["n_runs"])
+        env = data.get("first_env")
+        out.first_env = tuple(env) if env is not None else None
+        out.true_pairs = {tuple(p) for p in data["true_pairs"]}
+        out.false_pairs = {tuple(p) for p in data["false_pairs"]}
+        out.code_candidates = set(data["code_candidates"])
+        out.code_max_fraction = dict(data["code_max_fraction"])
+        out.hyp_values = {
+            h: {bucket: raw for bucket, raw in pairs}
+            for h, pairs in data["hyp_values"].items()
+        }
+        return out
+
+    # -- comparison / introspection ---------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HarvestAggregate):
+            return NotImplemented
+        return (
+            self.n_runs == other.n_runs
+            and self.first_env == other.first_env
+            and self.true_pairs == other.true_pairs
+            and self.false_pairs == other.false_pairs
+            and self.code_candidates == other.code_candidates
+            and self.code_max_fraction == other.code_max_fraction
+            and self.hyp_values == other.hyp_values
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"HarvestAggregate(n_runs={self.n_runs}, "
+            f"pairs={len(self.true_pairs)}+{len(self.false_pairs)}, "
+            f"code={len(self.code_candidates)})"
+        )
 
 
 # --------------------------------------------------------------------------

@@ -35,7 +35,7 @@ from .apps.base import Application
 from .core.combination import union_directives
 from .core.consultant import DiagnosisSession
 from .core.directives import DirectiveSet
-from .core.extraction import extract_directives, extract_directives_from_summaries
+from .core.extraction import extract_directives
 from .core.search import SearchConfig
 from .obs.trace import Tracer
 from .resilience.backend import ResiliencePolicy
@@ -429,9 +429,9 @@ def harvest(
     if isinstance(source, ExperimentStore):
         if pool_obj is not None:
             return pool_obj.harvest(source, app=_app_name(app), **options)
-        metas = source.summaries(app_name=_app_name(app))
-        return extract_directives_from_summaries(
-            [meta["summary"] for meta in metas.values()], **options
-        )
+        # Same summary fast path, served from the backend's persisted
+        # aggregate when one provably covers the current index (and from
+        # the full summary scan when not) — identical output either way.
+        return source.harvest_evidence(_app_name(app)).finalize(**options)
     records = _history_records(source, _app_name(app))
     return extract_directives(records, **options)

@@ -206,6 +206,20 @@ class ResilientBackend(StorageBackend):
         return self._guard("set_summaries",
                            lambda: self.inner.set_summaries(summaries))
 
+    # The three aggregate methods have non-abstract defaults on the ABC,
+    # which this subclass would silently inherit (shadowing __getattr__
+    # delegation) — so they must be wrapped explicitly like the rest.
+    def harvest_aggregate(self, app_name: Optional[str] = None):
+        return self._guard("harvest_aggregate",
+                           lambda: self.inner.harvest_aggregate(app_name))
+
+    def index_token(self) -> Hashable:
+        return self._guard("index_token", lambda: self.inner.index_token())
+
+    def summaries_delta(self, cursor: Hashable):
+        return self._guard("summaries_delta",
+                           lambda: self.inner.summaries_delta(cursor))
+
     def rebuild(self) -> RecoveryReport:
         return self._guard("rebuild", lambda: self.inner.rebuild())
 

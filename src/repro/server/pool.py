@@ -10,10 +10,24 @@ them per call.  The pool keeps both warm:
   resilience)`` — eviction and :meth:`close` call the store's
   ``close()``, so pooling never leaks SQLite connections;
 * a bounded harvest cache keyed by the owning store, the extraction
-  options, and an **index state token** (runs/generation/segments/bytes
-  from :meth:`~repro.storage.store.ExperimentStore.info`).  Any writer —
-  this process or another — changes the token, so invalidation needs no
-  coordination, exactly like the record cache's per-record tokens.
+  options, and the backend's **index state token**
+  (:meth:`~repro.storage.store.ExperimentStore.index_token`).  Any
+  writer — this process or another — changes the token, so invalidation
+  needs no coordination, exactly like the record cache's per-record
+  tokens;
+* a bounded cache of :class:`~repro.core.extraction.HarvestAggregate`
+  evidence per (store, app).  A harvest whose token no longer matches
+  the cached aggregate asks the backend for the **delta** of runs
+  appended since, folds only those into a copy, and finalizes — O(Δ)
+  re-harvest after a write instead of O(history).  Whenever the backend
+  cannot prove the changes were pure appends, the pool falls back to
+  :meth:`~repro.storage.store.ExperimentStore.harvest_evidence` (itself
+  served from persisted per-segment aggregates when possible).
+
+Every compute path re-reads the index token after extraction and only
+caches when it still matches the token the computation started from —
+a concurrent writer mid-extraction would otherwise poison the cache
+with directives for an index state the token no longer names.
 
 Thread-safe: the server's worker threads and any direct callers share
 one pool under a single lock; the cached values themselves (stores,
@@ -29,7 +43,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from ..core.directives import DirectiveSet
-from ..core.extraction import extract_directives_from_summaries
+from ..core.extraction import HarvestAggregate
 from ..resilience.backend import ResiliencePolicy
 from ..storage.store import ExperimentStore
 
@@ -71,12 +85,17 @@ class StorePool:
             OrderedDict()
         self._harvests: "OrderedDict[tuple, Tuple[ExperimentStore, DirectiveSet]]" = \
             OrderedDict()
+        # (id(store), app) -> (store, index token, folded evidence); the
+        # seed each post-write delta fold grows from.
+        self._aggregates: "OrderedDict[tuple, Tuple[ExperimentStore, object, HarvestAggregate]]" = \
+            OrderedDict()
         self._closed = False
         self.store_hits = 0
         self.store_misses = 0
         self.evictions = 0
         self.harvest_hits = 0
         self.harvest_misses = 0
+        self.harvest_incremental = 0
 
     # ------------------------------------------------------------------
     # stores
@@ -135,15 +154,18 @@ class StorePool:
         """Directives extracted from *store*'s history, cached.
 
         Semantically identical to the facade's summary fast path
-        (:func:`~repro.core.extraction.extract_directives_from_summaries`
-        over the store's index), but the result is cached against the
-        store's index state token: the first diagnosis after a write
-        pays the extraction, every one until the next write reuses it.
+        (directives extracted from every summary in the store's index),
+        but the result is cached against the store's index state token:
+        the first diagnosis after a write pays the extraction, every one
+        until the next write reuses it.  And that first diagnosis is
+        usually O(Δ) itself — when evidence for an earlier token is
+        cached and the backend proves the only changes since were
+        appends, just the new runs are folded in before finalizing.
         """
         opened = self.get(store, backend=backend, resilience=resilience)
-        info = opened.info()
-        token = (info.runs, info.generation, info.segments, info.index_bytes)
+        token = opened.index_token()
         key = (id(opened), app, tuple(sorted(options.items())), token)
+        agg_key = (id(opened), app)
         with self._lock:
             entry = self._harvests.get(key)
             # Identity-check the owning store: id() alone could collide
@@ -153,20 +175,77 @@ class StorePool:
                 self.harvest_hits += 1
                 return entry[1]
             self.harvest_misses += 1
-        metas = opened.summaries(app_name=app)
-        directives = extract_directives_from_summaries(
-            [meta["summary"] for meta in metas.values()], **options
-        )
-        with self._lock:
-            self._harvests[key] = (opened, directives)
-            while len(self._harvests) > _HARVEST_CACHE_SIZE:
-                self._harvests.popitem(last=False)
+            cached = self._aggregates.get(agg_key)
+            if cached is not None and cached[0] is not opened:
+                cached = None
+
+        agg: Optional[HarvestAggregate] = None
+        incremental = False
+        if cached is not None:
+            _owner, cached_token, cached_agg = cached
+            if cached_token == token:
+                # Same index state, different extraction options: the
+                # evidence is already folded, only finalize differs.
+                agg = cached_agg
+            else:
+                agg = self._fold_delta(opened, app, cached_token,
+                                       cached_agg, token)
+                incremental = agg is not None
+        if agg is None:
+            agg = opened.harvest_evidence(app)
+        directives = agg.finalize(**options)
+
+        # Cache only when the index still looks exactly as it did when
+        # extraction started; a write that landed mid-extraction would
+        # otherwise pin these directives to a token they don't describe.
+        if opened.index_token() == token:
+            with self._lock:
+                if incremental:
+                    self.harvest_incremental += 1
+                self._aggregates[agg_key] = (opened, token, agg)
+                self._aggregates.move_to_end(agg_key)
+                while len(self._aggregates) > _HARVEST_CACHE_SIZE:
+                    self._aggregates.popitem(last=False)
+                self._harvests[key] = (opened, directives)
+                while len(self._harvests) > _HARVEST_CACHE_SIZE:
+                    self._harvests.popitem(last=False)
         return directives
+
+    @staticmethod
+    def _fold_delta(
+        opened: ExperimentStore,
+        app: Optional[str],
+        cached_token: object,
+        cached_agg: HarvestAggregate,
+        token: object,
+    ) -> Optional[HarvestAggregate]:
+        """Cached evidence + the runs appended since its token, or
+        ``None`` when the backend can't prove that fold is exact."""
+        delta = opened.summaries_delta(cached_token)
+        if delta is None:
+            return None
+        folded = cached_agg.copy()
+        for _run_id, meta in delta:
+            summary = meta.get("summary") if isinstance(meta, dict) else None
+            if not isinstance(summary, dict):
+                return None
+            if app is not None and meta.get("app_name") != app:
+                continue
+            folded.fold_summary(summary)
+        # The delta was read after the token: a write between the two
+        # reads means `folded` may cover more than `token` names.
+        if opened.index_token() != token:
+            return None
+        return folded
 
     def _drop_harvests_for(self, store: ExperimentStore) -> None:
         stale = [k for k, (owner, _d) in self._harvests.items() if owner is store]
         for k in stale:
             del self._harvests[k]
+        stale_aggs = [k for k, entry in self._aggregates.items()
+                      if entry[0] is store]
+        for k in stale_aggs:
+            del self._aggregates[k]
 
     # ------------------------------------------------------------------
     # lifecycle / introspection
@@ -178,6 +257,7 @@ class StorePool:
             stores = list(self._stores.values())
             self._stores.clear()
             self._harvests.clear()
+            self._aggregates.clear()
             self._closed = True
         for store in stores:
             store.close()
@@ -193,6 +273,7 @@ class StorePool:
                 "harvest_entries": len(self._harvests),
                 "harvest_hits": self.harvest_hits,
                 "harvest_misses": self.harvest_misses,
+                "harvest_incremental": self.harvest_incremental,
             }
 
     def __len__(self) -> int:

@@ -132,6 +132,13 @@ class StoreInfo:
     segments: int = 0
     #: Bytes held by the index (base + unfolded segments, or the DB file).
     index_bytes: int = 0
+    #: Runs covered by a currently-valid persisted harvest aggregate
+    #: (0 when the backend keeps none, or the persisted one went stale).
+    aggregated_runs: int = 0
+    #: Index segments carrying an embedded harvest aggregate (file
+    #: backend only; sealed segments with deletes or unsummarized puts
+    #: cannot embed one and force the per-op fold).
+    aggregated_segments: int = 0
 
 
 @dataclass(frozen=True)
@@ -250,6 +257,50 @@ class StorageBackend(ABC):
     def set_summaries(self, summaries: Dict[str, dict]) -> None:
         """Merge lazily computed summaries into existing index entries,
         skipping runs another process already upgraded or removed."""
+
+    # -- harvest aggregates ---------------------------------------------
+    # Optional fast path (default: not supported).  Backends that persist
+    # :class:`~repro.core.extraction.HarvestAggregate` sufficient
+    # statistics can answer a harvest in O(#segments) instead of O(runs);
+    # any condition they cannot prove consistent must degrade to ``None``
+    # — the frontend then falls back to the full summary scan, so a
+    # missing or stale aggregate can never produce wrong directives.
+
+    def harvest_aggregate(self, app_name: Optional[str] = None):
+        """The persisted :class:`~repro.core.extraction.HarvestAggregate`
+        over the store's current runs (restricted to *app_name* when
+        given), or ``None`` when the backend keeps no aggregate or
+        cannot prove the persisted one covers exactly the current index.
+
+        Callers must treat the returned aggregate as immutable (copy
+        before folding into it).
+        """
+        return None
+
+    def index_token(self) -> Hashable:
+        """An identity for the index's *current* contents.
+
+        Any write — put, delete, summary backfill, rebuild, compaction,
+        by this process or another — must change the token.  The default
+        derives one from :meth:`info`; backends should override with a
+        cheaper/preciser form when they can.
+        """
+        info = self.info()
+        return (info.runs, info.generation, info.segments, info.index_bytes)
+
+    def summaries_delta(
+        self, cursor: Hashable
+    ) -> Optional[List[Tuple[str, dict]]]:
+        """``(run_id, meta)`` pairs for runs appended since *cursor* (a
+        previously returned :meth:`index_token`), in ``seq`` order.
+
+        ``None`` (the default) when the backend cannot *prove* that the
+        only changes since *cursor* were appends of new, summarized runs
+        — deletes, overwrites, backfills, compactions, or an
+        unrecognizable cursor all degrade to the caller's full-scan
+        path rather than risk a wrong incremental fold.
+        """
+        return None
 
     # -- maintenance ----------------------------------------------------
     @abstractmethod

@@ -61,6 +61,7 @@ try:  # POSIX advisory locks; absent e.g. on Windows
 except ImportError:  # pragma: no cover - exercised only off-POSIX
     fcntl = None
 
+from ..core.extraction import HarvestAggregate
 from ..faults import io as io_faults
 from .api import (
     CompactionStats,
@@ -76,6 +77,10 @@ from .summary import meta_for_record
 __all__ = ["FileBackend", "read_record_payload"]
 
 _INDEX_NAME = "index.json"
+#: Harvest-aggregate sidecar for the base generation.  Deliberately not a
+#: ``*.json`` name: ``rebuild()`` adopts every ``*.json`` file in the root
+#: as a candidate record, and the segment listing keys on the suffix too.
+_AGGREGATE_NAME = "index.aggregate"
 _LOCK_NAME = "index.lock"
 _QUARANTINE_DIR = "quarantine"
 _SEGMENTS_DIR = "segments"
@@ -87,6 +92,8 @@ _RECORD_FORMAT = 2
 #: transparently.
 _INDEX_FORMAT = 3
 _SEGMENT_FORMAT = 1
+#: On-disk format of the ``index.aggregate`` sidecar.
+_AGGREGATE_FORMAT = 1
 _SEGMENT_CACHE_SIZE = 4096
 
 
@@ -221,8 +228,12 @@ class FileBackend(StorageBackend):
         self._state_path = self._segments_dir / _STATE_NAME
         #: Parsed base index keyed by the file's stat signature.
         self._base_cache: Optional[Tuple[Tuple[int, int, int], int, Dict[str, dict]]] = None
-        #: Parsed sealed segments keyed by file name (immutable once written).
-        self._segment_cache: "OrderedDict[str, List[dict]]" = OrderedDict()
+        #: Parsed sealed segment envelopes keyed by file name (immutable
+        #: once written) — ops plus the optional embedded aggregate.
+        self._segment_cache: "OrderedDict[str, dict]" = OrderedDict()
+        #: Parsed aggregate sidecar keyed by its stat signature (``None``
+        #: payload caches an unreadable/unusable sidecar).
+        self._sidecar_cache: Optional[Tuple[Tuple[int, int, int], Optional[dict]]] = None
         #: Merged view keyed by (base signature, segment-name tuple).
         self._merged_cache: Optional[Tuple[Hashable, Dict[str, dict]]] = None
         #: Guards the three caches above against concurrent same-process
@@ -296,17 +307,20 @@ class FileBackend(StorageBackend):
         return sorted(n for n in names
                       if n.endswith(".json") and n != _STATE_NAME)
 
-    def _read_segment(self, name: str) -> Optional[List[dict]]:
-        """The ops of one sealed segment (cached — segments are immutable).
+    def _read_segment_data(self, name: str) -> Optional[dict]:
+        """One sealed segment's parsed envelope (cached — segments are
+        immutable): ``{"ops": [...]}`` plus, when the sealing writer could
+        prove the segment is pure appended summarized puts, an
+        ``"aggregate"`` with its pre-folded harvest statistics.
 
         ``None`` when the file vanished: a concurrent compaction folded
         it, and the base we read *afterwards* already contains its ops.
         """
         with self._cache_lock:
-            ops = self._segment_cache.get(name)
-            if ops is not None:
+            data = self._segment_cache.get(name)
+            if data is not None:
                 self._segment_cache.move_to_end(name)
-                return ops
+                return data
             path = self._segments_dir / name
             try:
                 io_faults.check("read", path)
@@ -318,11 +332,19 @@ class FileBackend(StorageBackend):
             # "vanished" would silently drop this segment's ops from the
             # merged view — a third state neither pre- nor post-op.  The
             # resilience layer retries it instead.
-            ops = data.get("ops", []) if isinstance(data, dict) else []
-            self._segment_cache[name] = ops
+            if not isinstance(data, dict):
+                data = {"ops": []}
+            self._segment_cache[name] = data
             while len(self._segment_cache) > _SEGMENT_CACHE_SIZE:
                 self._segment_cache.popitem(last=False)
-            return ops
+            return data
+
+    def _read_segment(self, name: str) -> Optional[List[dict]]:
+        """The ops of one sealed segment (``None`` when it vanished)."""
+        data = self._read_segment_data(name)
+        if data is None:
+            return None
+        return data.get("ops", [])
 
     def _drop_segment_cache(self, name: str) -> None:
         """Forget a folded segment's parsed ops (used after unlink)."""
@@ -401,10 +423,290 @@ class FileBackend(StorageBackend):
         counter must already be claimed in the state file, so a crash
         here skips a name instead of colliding with a later writer."""
         self._segments_dir.mkdir(exist_ok=True)
+        payload: dict = {"format": _SEGMENT_FORMAT, "ops": ops}
+        aggregate = self._segment_aggregate(ops)
+        if aggregate is not None:
+            payload["aggregate"] = aggregate
         _atomic_write_json(
-            self._segments_dir / f"{counter:012d}.json",
-            {"format": _SEGMENT_FORMAT, "ops": ops},
+            self._segments_dir / f"{counter:012d}.json", payload
         )
+
+    # ------------------------------------------------------------------
+    # harvest aggregates
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _segment_aggregate(ops: List[dict]) -> Optional[dict]:
+        """Pre-folded harvest statistics embedded into a sealed segment.
+
+        Only pure append segments qualify: every op a ``put`` with a dict
+        summary and strictly increasing ``seq`` (a delete, a backfill of
+        an old run, or an unsummarized meta yields ``None`` and the
+        segment is folded per-op — or forces a rescan — at harvest time).
+        """
+        all_agg = HarvestAggregate()
+        by_app: Dict[str, HarvestAggregate] = {}
+        min_seq: Optional[int] = None
+        prev = -1
+        for op in ops:
+            if op.get("op") != "put":
+                return None
+            meta = op.get("meta") or {}
+            summary = meta.get("summary")
+            seq = meta.get("seq", -1)
+            if not isinstance(summary, dict) or seq <= prev:
+                return None
+            if min_seq is None:
+                min_seq = seq
+            prev = seq
+            all_agg.fold_summary(summary)
+            app = meta.get("app_name")
+            if isinstance(app, str):
+                by_app.setdefault(app, HarvestAggregate()).fold_summary(summary)
+        if min_seq is None:
+            return None
+        return {
+            "min_seq": min_seq,
+            "max_seq": prev,
+            "all": all_agg.to_dict(),
+            "by_app": {app: by_app[app].to_dict() for app in sorted(by_app)},
+        }
+
+    def _build_aggregates(self, merged: Dict[str, dict]) -> Optional[dict]:
+        """Full-scan aggregates over a merged view, in ``seq`` order.
+        ``None`` when any run lacks a dict summary (pre-format-3 metas)."""
+        all_agg = HarvestAggregate()
+        by_app: Dict[str, HarvestAggregate] = {}
+        max_seq = -1
+        for _run_id, meta in sorted(merged.items(),
+                                    key=lambda kv: kv[1].get("seq", 0)):
+            summary = meta.get("summary")
+            if not isinstance(summary, dict):
+                return None
+            all_agg.fold_summary(summary)
+            app = meta.get("app_name")
+            if isinstance(app, str):
+                by_app.setdefault(app, HarvestAggregate()).fold_summary(summary)
+            max_seq = max(max_seq, meta.get("seq", -1))
+        return {"all": all_agg, "by_app": by_app, "max_seq": max_seq}
+
+    def _write_aggregate_sidecar(self, aggs: Optional[dict]) -> None:
+        """Persist (or retire) the base generation's aggregate sidecar.
+
+        Must run under the store lock, immediately after ``_write_base``:
+        the sidecar records the just-written base's stat signature, and a
+        reader only trusts it while that signature still matches — so a
+        crash landing between the base write and this one merely leaves
+        the *old* sidecar stale, which degrades to a rescan.
+        """
+        path = self.root / _AGGREGATE_NAME
+        if aggs is None:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._cache_lock:
+                self._sidecar_cache = None
+            return
+        assert self._base_cache is not None  # _write_base just ran
+        base_sig = self._base_cache[0]
+        payload = {
+            "format": _AGGREGATE_FORMAT,
+            "base_sig": list(base_sig),
+            "max_seq": aggs["max_seq"],
+            "all": aggs["all"].to_dict(),
+            "by_app": {app: aggs["by_app"][app].to_dict()
+                       for app in sorted(aggs["by_app"])},
+        }
+        _atomic_write_json(path, payload)
+        with self._cache_lock:
+            self._sidecar_cache = (
+                _stat_sig(path),
+                {
+                    "base_sig": base_sig,
+                    "max_seq": aggs["max_seq"],
+                    "all": aggs["all"],
+                    "by_app": dict(aggs["by_app"]),
+                },
+            )
+
+    def _read_sidecar(self) -> Optional[dict]:
+        """The parsed sidecar, *validated against the current base*.
+
+        ``None`` for a missing/unparseable sidecar or one whose recorded
+        base signature no longer matches — any base rewrite (compaction,
+        rebuild, a legacy-mode fold) invalidates it without coordination,
+        exactly like the other stat-signature caches.
+        """
+        path = self.root / _AGGREGATE_NAME
+        with self._cache_lock:
+            try:
+                sig = _stat_sig(path)
+            except OSError:
+                return None
+            if self._sidecar_cache is None or self._sidecar_cache[0] != sig:
+                parsed: Optional[dict] = None
+                try:
+                    io_faults.check("read", path)
+                    with open(path, "r", encoding="utf-8") as fh:
+                        data = json.load(fh)
+                    if data.get("format") == _AGGREGATE_FORMAT:
+                        parsed = {
+                            "base_sig": tuple(data["base_sig"]),
+                            "max_seq": int(data["max_seq"]),
+                            "all": HarvestAggregate.from_dict(data["all"]),
+                            "by_app": {
+                                app: HarvestAggregate.from_dict(d)
+                                for app, d in data["by_app"].items()
+                            },
+                        }
+                except (OSError, json.JSONDecodeError, KeyError, ValueError,
+                        TypeError):
+                    parsed = None
+                self._sidecar_cache = (sig, parsed)
+            parsed = self._sidecar_cache[1]
+            if parsed is None:
+                return None
+            try:
+                base_sig = _stat_sig(self._index_path)
+            except OSError:
+                return None
+            if parsed["base_sig"] != base_sig:
+                return None
+            return parsed
+
+    def _current_aggregates(self) -> Optional[dict]:
+        """Aggregates covering exactly the current merged view, or ``None``.
+
+        Starts from the base sidecar (or the empty aggregate when the
+        base has no runs — a store that has never compacted still gets
+        the fast path) and folds each unfolded segment on top: wholesale
+        via its embedded aggregate when the seq watermark proves it is
+        pure new appends, per-op otherwise.  Any op it cannot prove to be
+        a *new, summarized* run — a delete, an overwrite or backfill
+        (``seq`` at or below the watermark), a missing summary, a segment
+        vanishing mid-read — yields ``None``: the caller rescans, so a
+        stale or torn aggregate can never produce wrong directives.
+        """
+        with self._cache_lock:
+            names = self._segment_names()
+            side = self._read_sidecar()
+            if side is not None:
+                all_agg = side["all"]
+                by_app = side["by_app"]
+                max_seq = side["max_seq"]
+            else:
+                base, _generation = self._read_base()
+                if base:
+                    return None
+                all_agg = HarvestAggregate()
+                by_app = {}
+                max_seq = -1
+            if names:
+                # Fold into private copies: the sidecar cache's aggregates
+                # are shared with every other reader.
+                all_agg = all_agg.copy()
+                by_app = {app: agg.copy() for app, agg in by_app.items()}
+            for name in names:
+                data = self._read_segment_data(name)
+                if data is None:
+                    return None
+                embedded = data.get("aggregate")
+                if isinstance(embedded, dict) \
+                        and embedded.get("min_seq", -1) > max_seq:
+                    try:
+                        all_agg.update(HarvestAggregate.from_dict(embedded["all"]))
+                        for app, d in embedded.get("by_app", {}).items():
+                            seg_agg = HarvestAggregate.from_dict(d)
+                            if app in by_app:
+                                by_app[app].update(seg_agg)
+                            else:
+                                by_app[app] = seg_agg
+                        max_seq = int(embedded["max_seq"])
+                        continue
+                    except (KeyError, ValueError, TypeError):
+                        return None
+                for op in data.get("ops", []):
+                    if op.get("op") != "put":
+                        return None
+                    meta = op.get("meta") or {}
+                    summary = meta.get("summary")
+                    seq = meta.get("seq", -1)
+                    if not isinstance(summary, dict) or seq <= max_seq:
+                        return None
+                    max_seq = seq
+                    all_agg.fold_summary(summary)
+                    app = meta.get("app_name")
+                    if isinstance(app, str):
+                        by_app.setdefault(
+                            app, HarvestAggregate()
+                        ).fold_summary(summary)
+            return {"all": all_agg, "by_app": by_app, "max_seq": max_seq}
+
+    def harvest_aggregate(self, app_name: Optional[str] = None):
+        current = self._current_aggregates()
+        if current is None:
+            return None
+        if app_name is None:
+            return current["all"]
+        agg = current["by_app"].get(app_name)
+        return agg if agg is not None else HarvestAggregate()
+
+    def index_token(self) -> Hashable:
+        with self._cache_lock:
+            # Same read discipline as read_merged: segments before base,
+            # so a racing compaction can only produce a token no later
+            # read will match — never one that aliases two states.
+            names = tuple(self._segment_names())
+            try:
+                base_sig = _stat_sig(self._index_path)
+            except OSError:
+                base_sig = None
+            next_seq = self._read_state()["next_seq"]
+        return (base_sig, names, next_seq)
+
+    def summaries_delta(
+        self, cursor: Hashable
+    ) -> Optional[List[Tuple[str, dict]]]:
+        if not (isinstance(cursor, tuple) and len(cursor) == 3):
+            return None
+        base_sig0, names0, next_seq0 = cursor
+        if base_sig0 is None or not isinstance(names0, tuple) \
+                or not isinstance(next_seq0, int):
+            return None
+        with self._cache_lock:
+            names = self._segment_names()
+            try:
+                if _stat_sig(self._index_path) != tuple(base_sig0):
+                    return None  # base rewritten: compaction/rebuild/legacy
+            except OSError:
+                return None
+            known = set(names0)
+            if not known.issubset(names):
+                return None
+            out: List[Tuple[str, dict]] = []
+            # Every op since the cursor must be a *new* summarized run:
+            # seq values are claimed monotonically in the state file, so
+            # anything the cursor's writer could already have seen — an
+            # overwrite or backfill of an existing run — carries a seq
+            # below the watermark and degrades to the full-scan path.
+            watermark = next_seq0 - 1
+            for name in names:
+                if name in known:
+                    continue
+                ops = self._read_segment(name)
+                if ops is None:
+                    return None
+                for op in ops:
+                    if op.get("op") != "put":
+                        return None
+                    meta = op.get("meta") or {}
+                    seq = meta.get("seq", -1)
+                    if seq <= watermark \
+                            or not isinstance(meta.get("summary"), dict):
+                        return None
+                    watermark = seq
+                    out.append((op["run_id"], meta))
+        return out
 
     # ------------------------------------------------------------------
     # record files
@@ -454,6 +756,10 @@ class FileBackend(StorageBackend):
         names = self._segment_names()
         _base, generation = self._read_base()
         self._write_base(index, generation)
+        # The rewritten base orphans any aggregate sidecar (its recorded
+        # base signature no longer matches — readers already ignore it);
+        # retire the file rather than leave it to accumulate staleness.
+        self._write_aggregate_sidecar(None)
         for name in names:
             try:
                 os.unlink(self._segments_dir / name)
@@ -639,6 +945,10 @@ class FileBackend(StorageBackend):
             except (OSError, json.JSONDecodeError):
                 generation = 0  # base unreadable: start a fresh lineage
             self._write_base(index, generation + 1)
+            # Rebuild regenerates every meta with a fresh summary, so the
+            # aggregate sidecar can always be (re)built — this is how a
+            # store whose aggregates went missing or stale backfills them.
+            self._write_aggregate_sidecar(self._build_aggregates(index))
             removed = self._segment_names()
             for name in removed:
                 try:
@@ -666,13 +976,25 @@ class FileBackend(StorageBackend):
         with self.lock():
             names = self._segment_names()
             merged = self.read_merged()
+            # Aggregates for the new base: incrementally (old sidecar +
+            # embedded segment aggregates) when the old state still
+            # proves out, by full fold otherwise.  Computed before the
+            # base rename invalidates the old sidecar.
+            aggregates = self._current_aggregates()
             _base, generation = self._read_base()
             generation += 1
             # Crash-safety: each step leaves a readable store.  After the
             # base rename, replaying any not-yet-deleted segment over it
             # is idempotent; before it, the old base + segments still
-            # merge to the same view.
+            # merge to the same view.  The sidecar rides the same
+            # protocol: it is only trusted while it names the live base's
+            # signature, so dying between any two steps leaves it merely
+            # stale — a rescan, never wrong directives.
             self._write_base(merged, generation)
+            self._write_aggregate_sidecar(
+                aggregates if aggregates is not None
+                else self._build_aggregates(merged)
+            )
             for name in names:
                 try:
                     os.unlink(self._segments_dir / name)
@@ -706,6 +1028,16 @@ class FileBackend(StorageBackend):
             except OSError:
                 pass
         _base, generation = self._read_base()
+        aggregated_segments = 0
+        for name in names:
+            data = self._read_segment_data(name)
+            if data is not None and isinstance(data.get("aggregate"), dict):
+                aggregated_segments += 1
+        # aggregated_runs counts runs the aggregate fast path covers *right
+        # now*: 0 means the next harvest rescans (the staleness signal
+        # ``repro store stats`` surfaces; ``repro store rebuild`` or
+        # ``compact`` backfills).
+        current = self._current_aggregates()
         return StoreInfo(
             root=self.root,
             backend=self.name,
@@ -714,4 +1046,6 @@ class FileBackend(StorageBackend):
             generation=generation,
             segments=len(names),
             index_bytes=index_bytes,
+            aggregated_runs=current["all"].n_runs if current is not None else 0,
+            aggregated_segments=aggregated_segments,
         )

@@ -41,6 +41,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
+from ..core.extraction import HarvestAggregate
 from ..faults import io as io_faults
 from ..resilience.policy import RetryExhausted, RetryPolicy
 from .api import (
@@ -80,12 +81,32 @@ CREATE TABLE IF NOT EXISTS runs (
 );
 CREATE INDEX IF NOT EXISTS idx_runs_seq ON runs(seq);
 CREATE INDEX IF NOT EXISTS idx_runs_app ON runs(app_name, version, seq);
+-- Covering index for the summary fast path: app-filtered (and unfiltered
+-- via a scan of the same index) summary queries resolve run_id and the
+-- meta JSON straight from the index pages, never touching the row --
+-- and therefore never paging in the (much larger) payload column that
+-- dominates the table's B-tree.  seq right after app_name so the
+-- ``ORDER BY seq`` both query shapes carry needs no temp sort; version
+-- is filtered from the covered row on the rarer app+version query.
+CREATE INDEX IF NOT EXISTS idx_runs_summary
+    ON runs(app_name, seq, version, run_id, meta);
 CREATE TABLE IF NOT EXISTS quarantine (
     run_id        TEXT,
     quarantined_at REAL,
     payload       TEXT,
     sha256        TEXT,
     reason        TEXT
+);
+-- Persisted harvest aggregates (scope '*' = every run, 'app:<name>' =
+-- one application's runs).  Invariant: either no rows at all, or rows
+-- that reflect the runs table exactly -- every write that cannot cheaply
+-- preserve that (overwrite, delete, backfill, quarantine) clears the
+-- table and the next harvest rebuilds it.
+CREATE TABLE IF NOT EXISTS harvest_aggregates (
+    scope   TEXT PRIMARY KEY,
+    max_seq INTEGER NOT NULL,
+    n_runs  INTEGER NOT NULL,
+    data    TEXT NOT NULL
 );
 """
 
@@ -210,6 +231,21 @@ class SQLiteBackend(StorageBackend):
                  row_meta.get("version"), json.dumps(row_meta),
                  payload_json, sha, rev),
             )
+            if row is not None:
+                # Overwrite: the stored aggregates folded the *old*
+                # summary and cannot be un-folded — clear them (the next
+                # harvest rebuilds) and record the mutation so
+                # incremental readers discard their cursors.
+                self._bump_mutations()
+                self._execute("DELETE FROM harvest_aggregates")
+            else:
+                summary = row_meta.get("summary")
+                if isinstance(summary, dict):
+                    self._fold_into_aggregates(
+                        summary, row_meta.get("app_name"), seq
+                    )
+                else:
+                    self._execute("DELETE FROM harvest_aggregates")
             return seq, ("rev", rev)
 
         return self._write_txn(body, f"put {run_id!r}")
@@ -242,17 +278,23 @@ class SQLiteBackend(StorageBackend):
                 "FROM runs WHERE run_id = ?",
                 (time.time(), reason, run_id),
             )
-            self._execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+            cur = self._execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+            if cur.rowcount:
+                self._bump_mutations()
+                self._execute("DELETE FROM harvest_aggregates")
 
         self._write_txn(body, f"quarantine {run_id!r}")
 
     def delete(self, run_id: str) -> None:
-        self._write_txn(
-            lambda: self._execute(
-                "DELETE FROM runs WHERE run_id = ?", (run_id,)
-            ) and None,
-            f"delete {run_id!r}",
-        )
+        def body() -> None:
+            cur = self._execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+            if cur.rowcount:
+                # Removed runs cannot be subtracted from a fold; clear
+                # the aggregates and invalidate incremental cursors.
+                self._bump_mutations()
+                self._execute("DELETE FROM harvest_aggregates")
+
+        self._write_txn(body, f"delete {run_id!r}")
 
     def contains(self, run_id: str) -> bool:
         return bool(self._select(
@@ -272,13 +314,26 @@ class SQLiteBackend(StorageBackend):
     # ------------------------------------------------------------------
     # index
     # ------------------------------------------------------------------
+    @staticmethod
+    def _decode_meta_rows(rows: Sequence[Tuple[str, str]]) -> Dict[str, dict]:
+        """``(run_id, meta-JSON)`` rows decoded in one ``json.loads``.
+
+        Joining the stored documents into a single array and parsing
+        once keeps the whole decode in the C parser — at 10^5 rows this
+        is ~1.4x faster than a per-row ``json.loads`` loop, which is
+        what full-archive scans spend most of their wall on.
+        """
+        if not rows:
+            return {}
+        metas = json.loads("[" + ",".join(meta for _run_id, meta in rows) + "]")
+        return dict(zip((run_id for run_id, _meta in rows), metas))
+
     def iter_summaries(self) -> Iterator[Tuple[str, dict]]:
         rows = self._select(
             "SELECT run_id, meta FROM runs ORDER BY seq",
             describe="iter_summaries",
         )
-        for run_id, meta in rows:
-            yield run_id, json.loads(meta)
+        yield from self._decode_meta_rows(rows).items()
 
     def query_summaries(
         self,
@@ -306,14 +361,12 @@ class SQLiteBackend(StorageBackend):
         if clauses:
             sql += " WHERE " + " AND ".join(clauses)
         sql += " ORDER BY seq"
-        return {
-            run_id: json.loads(meta)
-            for run_id, meta in self._select(sql, params,
-                                             describe="query_summaries")
-        }
+        return self._decode_meta_rows(
+            self._select(sql, params, describe="query_summaries"))
 
     def set_summaries(self, summaries: Dict[str, dict]) -> None:
         def body() -> None:
+            changed = False
             for run_id, summary in summaries.items():
                 row = self._execute(
                     "SELECT meta FROM runs WHERE run_id = ?", (run_id,)
@@ -328,8 +381,176 @@ class SQLiteBackend(StorageBackend):
                     "UPDATE runs SET meta = ? WHERE run_id = ?",
                     (json.dumps(meta), run_id),
                 )
+                changed = True
+            if changed:
+                # Backfilled summaries change what a harvest folds, so
+                # any persisted aggregates (necessarily built before the
+                # gap they fill) are stale.
+                self._bump_mutations()
+                self._execute("DELETE FROM harvest_aggregates")
 
         self._write_txn(body, "set_summaries")
+
+    # ------------------------------------------------------------------
+    # harvest aggregates
+    # ------------------------------------------------------------------
+    def _bump_mutations(self) -> None:
+        """Advance the mutation counter (inside a write transaction).
+
+        Counts every index change that is *not* an append of a new
+        summarized run — overwrite, delete, backfill, quarantine,
+        rebuild.  :meth:`index_token` folds it in, so incremental
+        readers can prove "only appends happened since my cursor".
+        """
+        self._execute(
+            "INSERT INTO store_meta(key, value) VALUES ('mutations', '1') "
+            "ON CONFLICT(key) DO UPDATE SET "
+            "value = CAST(CAST(value AS INTEGER) + 1 AS TEXT)"
+        )
+
+    def _fold_into_aggregates(self, summary: dict, app_name, seq: int) -> None:
+        """Fold one new run into the persisted aggregate rows (inside the
+        put transaction).  A no-op until a first harvest builds the rows;
+        any unparseable row clears the table (degrade, never misread)."""
+        row = self._execute(
+            "SELECT data FROM harvest_aggregates WHERE scope = '*'"
+        ).fetchone()
+        if row is None:
+            return
+        try:
+            agg = HarvestAggregate.from_dict(json.loads(row[0]))
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            self._execute("DELETE FROM harvest_aggregates")
+            return
+        agg.fold_summary(summary)
+        self._execute(
+            "UPDATE harvest_aggregates SET max_seq = ?, n_runs = ?, data = ? "
+            "WHERE scope = '*'",
+            (seq, agg.n_runs, json.dumps(agg.to_dict())),
+        )
+        if not isinstance(app_name, str):
+            return
+        scope = f"app:{app_name}"
+        arow = self._execute(
+            "SELECT data FROM harvest_aggregates WHERE scope = ?", (scope,)
+        ).fetchone()
+        if arow is None:
+            app_agg = HarvestAggregate()
+        else:
+            try:
+                app_agg = HarvestAggregate.from_dict(json.loads(arow[0]))
+            except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+                self._execute("DELETE FROM harvest_aggregates")
+                return
+        app_agg.fold_summary(summary)
+        self._execute(
+            "INSERT OR REPLACE INTO harvest_aggregates"
+            "(scope, max_seq, n_runs, data) VALUES (?, ?, ?, ?)",
+            (scope, seq, app_agg.n_runs, json.dumps(app_agg.to_dict())),
+        )
+
+    def _build_aggregate_rows(self) -> Optional[dict]:
+        """Rebuild the aggregate rows from the runs table (inside a write
+        transaction).  ``None`` — and no rows — when any run still lacks
+        a summary; harvest then stays on the scan path until a rebuild
+        or backfill completes the metas."""
+        rows = self._execute(
+            "SELECT run_id, meta FROM runs ORDER BY seq"
+        ).fetchall()
+        all_agg = HarvestAggregate()
+        by_app: Dict[str, HarvestAggregate] = {}
+        max_seq = -1
+        for _run_id, meta_json in rows:
+            meta = json.loads(meta_json)
+            summary = meta.get("summary")
+            if not isinstance(summary, dict):
+                return None
+            all_agg.fold_summary(summary)
+            app = meta.get("app_name")
+            if isinstance(app, str):
+                by_app.setdefault(app, HarvestAggregate()).fold_summary(summary)
+            max_seq = max(max_seq, meta.get("seq", -1))
+        self._execute("DELETE FROM harvest_aggregates")
+        self._execute(
+            "INSERT INTO harvest_aggregates(scope, max_seq, n_runs, data) "
+            "VALUES ('*', ?, ?, ?)",
+            (max_seq, all_agg.n_runs, json.dumps(all_agg.to_dict())),
+        )
+        for app in sorted(by_app):
+            self._execute(
+                "INSERT INTO harvest_aggregates(scope, max_seq, n_runs, data) "
+                "VALUES (?, ?, ?, ?)",
+                (f"app:{app}", max_seq, by_app[app].n_runs,
+                 json.dumps(by_app[app].to_dict())),
+            )
+        return {"all": all_agg, "by_app": by_app}
+
+    def harvest_aggregate(self, app_name: Optional[str] = None):
+        scope = "*" if app_name is None else f"app:{app_name}"
+        rows = self._select(
+            "SELECT data FROM harvest_aggregates WHERE scope = ?", (scope,),
+            describe="harvest_aggregate",
+        )
+        if rows:
+            try:
+                return HarvestAggregate.from_dict(json.loads(rows[0][0]))
+            except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+                return None
+        if app_name is not None and self._select(
+            "SELECT 1 FROM harvest_aggregates WHERE scope = '*'",
+            describe="harvest_aggregate",
+        ):
+            # Aggregates are built and the app has no runs: the empty
+            # aggregate, exactly what a scan of zero summaries yields.
+            return HarvestAggregate()
+        # Nothing persisted yet: build once (self-healing — this is also
+        # how `repro store rebuild` backfill reaches existing stores) and
+        # serve from the rows ever after.  A store that cannot be written
+        # right now just stays on the scan path.
+        try:
+            built = self._write_txn(self._build_aggregate_rows,
+                                    "build harvest aggregates")
+        except (StoreUnavailable, sqlite3.Error):
+            return None
+        if built is None:
+            return None
+        if app_name is None:
+            return built["all"]
+        return built["by_app"].get(app_name, HarvestAggregate())
+
+    def index_token(self) -> Hashable:
+        row = self._select(
+            "SELECT (SELECT value FROM store_meta WHERE key = 'mutations'), "
+            "COUNT(*), COALESCE(MAX(seq), -1) FROM runs",
+            describe="index_token",
+        )[0]
+        mutations = int(row[0]) if row[0] is not None else 0
+        return ("sqlite", mutations, row[1], row[2])
+
+    def summaries_delta(
+        self, cursor: Hashable
+    ) -> Optional[List[Tuple[str, dict]]]:
+        if not (isinstance(cursor, tuple) and len(cursor) == 4
+                and cursor[0] == "sqlite"):
+            return None
+        mutations0, count0, max_seq0 = cursor[1], cursor[2], cursor[3]
+        if not all(isinstance(v, int) for v in (mutations0, count0, max_seq0)):
+            return None
+        rows = self._select(
+            "SELECT run_id, meta FROM runs WHERE seq > ? ORDER BY seq",
+            (max_seq0,),
+            describe="summaries_delta",
+        )
+        current = self.index_token()
+        if current[1] != mutations0:
+            return None  # something other than appends happened
+        out: List[Tuple[str, dict]] = []
+        for run_id, meta_json in rows:
+            meta = json.loads(meta_json)
+            if not isinstance(meta.get("summary"), dict):
+                return None
+            out.append((run_id, meta))
+        return out
 
     # ------------------------------------------------------------------
     # maintenance
@@ -367,6 +588,12 @@ class SQLiteBackend(StorageBackend):
                      run_id),
                 )
                 report.kept.append(run_id)
+            # Every surviving meta now has a fresh summary, so the
+            # aggregate rows can always be rebuilt here — the backfill
+            # path for stores whose aggregates were cleared or predate
+            # the table.
+            self._bump_mutations()
+            self._build_aggregate_rows()
             return report
 
         return self._write_txn(body, "rebuild")
@@ -380,6 +607,10 @@ class SQLiteBackend(StorageBackend):
     def info(self) -> StoreInfo:
         runs = self._select("SELECT COUNT(*) FROM runs",
                             describe="info")[0][0]
+        agg_rows = self._select(
+            "SELECT n_runs FROM harvest_aggregates WHERE scope = '*'",
+            describe="info",
+        )
         try:
             index_bytes = self.path.stat().st_size
         except OSError:
@@ -392,4 +623,8 @@ class SQLiteBackend(StorageBackend):
             generation=0,
             segments=0,
             index_bytes=index_bytes,
+            # Transactionally maintained, so present means exact; 0 means
+            # the next harvest scans once and self-heals the rows.
+            aggregated_runs=agg_rows[0][0] if agg_rows else 0,
+            aggregated_segments=0,
         )

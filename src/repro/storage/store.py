@@ -38,6 +38,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..core.extraction import HarvestAggregate
 from ..resilience.backend import ResiliencePolicy, ResilientBackend
 from .api import (
     CompactionStats,
@@ -513,6 +514,42 @@ class ExperimentStore:
     def info(self) -> StoreInfo:
         """The store's identity and shape (``repro store stats``)."""
         return self._backend.info()
+
+    # ------------------------------------------------------------------
+    # harvest fast path
+    # ------------------------------------------------------------------
+    def harvest_evidence(self, app_name: Optional[str] = None) -> HarvestAggregate:
+        """The :class:`~repro.core.extraction.HarvestAggregate` over the
+        store's current runs (restricted to *app_name* when given).
+
+        Served from the backend's persisted aggregate when it can prove
+        one covers exactly the current index — O(#segments) instead of
+        O(runs) — and otherwise computed by the full summary scan, so
+        the result is the same either way.  Treat the returned aggregate
+        as immutable: :meth:`HarvestAggregate.copy` before folding more
+        runs into it.
+        """
+        agg = self._backend.harvest_aggregate(app_name)
+        if agg is None:
+            metas = self.summaries(app_name=app_name)
+            agg = HarvestAggregate.of_summaries(
+                meta["summary"] for meta in metas.values())
+        return agg
+
+    def index_token(self) -> Hashable:
+        """An identity for the index's current contents — changes on any
+        write by any process.  Pair with :meth:`summaries_delta` for
+        incremental re-harvest."""
+        return self._backend.index_token()
+
+    def summaries_delta(
+        self, cursor: Hashable
+    ) -> Optional[List[Tuple[str, dict]]]:
+        """``(run_id, meta)`` pairs appended since *cursor* (a previous
+        :meth:`index_token`), or ``None`` when the backend cannot prove
+        the only changes were appends of summarized runs — callers then
+        fall back to :meth:`harvest_evidence`."""
+        return self._backend.summaries_delta(cursor)
 
     def _maybe_auto_compact(self) -> None:
         if not self._auto_compact:

@@ -1,0 +1,416 @@
+"""The harvest-aggregate fast path: monoid laws, byte-identity with the
+summary-scan route, cross-backend equivalence, the pool's O(Δ) fold, and
+the degrade-to-rescan guarantees under crashes and missing aggregates.
+
+The contract under test everywhere: an aggregate-served harvest may be
+*absent* (forcing the full summary rescan) but never *wrong* — every
+fast answer is compared against the scan route's text."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.combination import union_directives
+from repro.core.extraction import (
+    HarvestAggregate,
+    extract_directives_from_summaries,
+)
+from repro.facade import harvest
+from repro.faults import IOFault, IOFaultPlan, SimulatedCrash
+from repro.faults import io as io_faults
+from repro.server.pool import StorePool
+from repro.storage import ExperimentStore, RunRecord
+
+BACKENDS = ("file", "file-legacy", "sqlite")
+
+HYPS = ("CPUbound", "ExcessiveSyncWaitingTime", "ExcessiveIOBlockingTime")
+
+OPTION_COMBOS = (
+    {},
+    {"include_thresholds": True},
+    {"include_pair_prunes": False, "include_priorities": False},
+    {"include_thresholds": True, "include_general_prunes": False,
+     "min_exec_fraction": 0.05},
+)
+
+
+def _focus(name: str) -> str:
+    return f"< {name}, /Machine, /Process, /SyncObject >"
+
+
+def random_summary(rng: random.Random) -> dict:
+    """One synthetic index summary with every key the harvest reads,
+    including the awkward cases: empty leaf lists, fractions straddling
+    the default ``min_exec_fraction``, near-duplicate hypothesis values."""
+    leaves = [f"/Code/mod{j % 3}.c/fn{j:02d}"
+              for j in range(rng.randint(0, 8))]
+    pairs = lambda: [  # noqa: E731 - local shorthand
+        [rng.choice(HYPS), _focus(rng.choice(leaves))]
+        for _ in range(rng.randint(0, 3))
+    ] if leaves else []
+    fractions = {
+        name: rng.choice(
+            [0.0, 0.00012, 0.0049, 0.005, 0.3, rng.random()])
+        for name in leaves if rng.random() < 0.8
+    }
+    hyp_values = {
+        h: [round(rng.uniform(0.0, 1.0), rng.choice([2, 4, 6]))
+            for _ in range(rng.randint(1, 4))]
+        for h in HYPS if rng.random() < 0.7
+    }
+    return {
+        "version": 1,
+        "machine_nodes": rng.choice([2, 4, 8]),
+        "n_processes": rng.choice([2, 4, 8]),
+        "true_pairs": pairs(),
+        "false_pairs": pairs(),
+        "code_leaves": leaves,
+        "code_exec_fractions": fractions,
+        "hyp_values": hyp_values,
+    }
+
+
+def make_run(i: int, app: str = "aggtest") -> RunRecord:
+    """A small diagnosed run whose summary exercises every harvest
+    input: true/false pairs, hot + tiny functions, hypothesis values."""
+    funcs = [f"/Code/m{j % 2}.c/fn{j:02d}" for j in range(6)]
+    by_code = {
+        name: {"compute": (20.0 + i if j < 2 else 0.001 + 0.0001 * j)}
+        for j, name in enumerate(funcs)
+    }
+    nodes = []
+    for j, state in enumerate(("true", "true", "false", "false")):
+        nodes.append({
+            "id": j, "hypothesis": HYPS[j % 2],
+            "focus": _focus(funcs[j]),
+            "state": state, "priority": "medium", "persistent": False,
+            "value": 0.2 + 0.01 * j + 0.001 * (i % 3),
+            "t_requested": 0.0, "t_concluded": 5.0 + j,
+            "quality": None, "parents": [], "children": [],
+        })
+    return RunRecord(
+        run_id=f"run-{i:03d}",
+        app_name=app,
+        version="1",
+        n_processes=4,
+        nodes=["n0", "n1"],
+        placement={"p0": "n0", "p1": "n1"},
+        hierarchies={
+            "Code": ["/Code", "/Code/m0.c", "/Code/m1.c"] + funcs,
+            "Process": ["/Process", "/Process/p0", "/Process/p1"],
+            "Machine": ["/Machine", "/Machine/n0", "/Machine/n1"],
+            "SyncObject": ["/SyncObject"],
+        },
+        shg_nodes=nodes,
+        profile={
+            "by_code": by_code,
+            "by_process": {"/Process/p0": {"sync": 0.5}},
+            "by_node": {"/Machine/n0": {"sync": 0.2}},
+            "by_tag": {},
+            "totals": {"compute": sum(
+                v for e in by_code.values() for v in e.values())},
+            "elapsed": 50.0,
+        },
+        finish_time=100.0 + i,
+        search_done_time=40.0,
+        pairs_tested=4,
+        total_requests=4,
+        peak_cost=1.0,
+    )
+
+
+def _store(root, backend="file", n=3, app="aggtest") -> ExperimentStore:
+    store = ExperimentStore(root, backend=backend, auto_compact=0)
+    for i in range(n):
+        store.save(make_run(i, app=app))
+    return store
+
+
+def _scan_text(store: ExperimentStore, **options) -> str:
+    metas = store.summaries()
+    return extract_directives_from_summaries(
+        [meta["summary"] for meta in metas.values()], **options
+    ).to_text()
+
+
+# ---------------------------------------------------------------------------
+# the monoid
+# ---------------------------------------------------------------------------
+def test_merge_equals_concat_property():
+    """merge(of(A), of(B)) must equal of(A + B) — and finalize to the
+    same directives — for seeded random summary sequences split at
+    every boundary."""
+    rng = random.Random(0xA66)
+    for trial in range(60):
+        summaries = [random_summary(rng) for _ in range(rng.randint(0, 7))]
+        whole = HarvestAggregate.of_summaries(summaries)
+        for cut in range(len(summaries) + 1):
+            left = HarvestAggregate.of_summaries(summaries[:cut])
+            right = HarvestAggregate.of_summaries(summaries[cut:])
+            merged = left.merge(right)
+            assert merged == whole, f"trial={trial} cut={cut}"
+            for options in OPTION_COMBOS:
+                assert merged.finalize(**options).to_text() == \
+                    whole.finalize(**options).to_text(), \
+                    f"trial={trial} cut={cut} options={options}"
+
+
+def test_merge_associative_and_identity():
+    rng = random.Random(0xB17)
+    empty = HarvestAggregate()
+    for trial in range(40):
+        a, b, c = (
+            HarvestAggregate.of_summaries(
+                random_summary(rng) for _ in range(rng.randint(0, 4)))
+            for _ in range(3)
+        )
+        assert a.merge(b).merge(c) == a.merge(b.merge(c)), f"trial={trial}"
+        assert empty.merge(a) == a and a.merge(empty) == a, f"trial={trial}"
+    assert empty.merge(empty) == HarvestAggregate()
+
+
+def test_finalize_matches_scan_route_property():
+    rng = random.Random(0xC4E)
+    for trial in range(40):
+        summaries = [random_summary(rng) for _ in range(rng.randint(0, 6))]
+        agg = HarvestAggregate.of_summaries(summaries)
+        for options in OPTION_COMBOS:
+            expected = extract_directives_from_summaries(
+                summaries, **options).to_text()
+            assert agg.finalize(**options).to_text() == expected, \
+                f"trial={trial} options={options}"
+
+
+def test_dict_roundtrip_and_version_guard():
+    rng = random.Random(0xD0C)
+    agg = HarvestAggregate.of_summaries(random_summary(rng) for _ in range(5))
+    data = json.loads(json.dumps(agg.to_dict()))  # must survive JSON
+    assert HarvestAggregate.from_dict(data) == agg
+    data["version"] = 99
+    with pytest.raises(ValueError):
+        HarvestAggregate.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# cross-backend equivalence
+# ---------------------------------------------------------------------------
+def test_cross_backend_aggregate_equivalence(tmp_path):
+    """The aggregate-served harvest must match the summary-scan route on
+    every backend, and all backends must agree with each other."""
+    texts = {}
+    for backend in BACKENDS:
+        store = _store(tmp_path / backend, backend=backend, n=4)
+        if backend == "file":
+            store.compact()  # persists the aggregate sidecar
+        fast = store.harvest_evidence().finalize(
+            include_thresholds=True).to_text()
+        assert fast == _scan_text(store, include_thresholds=True), backend
+        texts[backend] = fast
+        info = store.info()
+        if backend == "file-legacy":
+            assert info.aggregated_runs == 0, "legacy keeps no aggregate"
+        else:
+            # file: compaction persisted it; sqlite: the first harvest
+            # self-healed the aggregate table
+            assert info.aggregated_runs == info.runs, backend
+    assert len(set(texts.values())) == 1, sorted(texts)
+
+
+def test_app_scoped_aggregate_matches_scan(tmp_path):
+    store = ExperimentStore(tmp_path / "mixed", auto_compact=0)
+    for i in range(3):
+        store.save(make_run(i, app="alpha"))
+    for i in range(3, 5):
+        store.save(make_run(i, app="beta"))
+    store.compact()
+    for app in ("alpha", "beta", "nosuch"):
+        metas = store.summaries(app_name=app)
+        expected = extract_directives_from_summaries(
+            [m["summary"] for m in metas.values()]).to_text()
+        assert store.harvest_evidence(app).finalize().to_text() == expected, app
+
+
+# ---------------------------------------------------------------------------
+# federated harvest: aggregated + non-aggregated members
+# ---------------------------------------------------------------------------
+def test_federated_mixed_members(tmp_path):
+    """A federated harvest over one aggregate-backed member and one
+    scan-only member keeps per-member union semantics."""
+    a = _store(tmp_path / "a", backend="file", n=3)
+    a.compact()
+    assert a.info().aggregated_runs == 3
+    b = _store(tmp_path / "b", backend="file-legacy", n=2, app="other")
+    assert b.info().aggregated_runs == 0
+    federated = harvest([a, b], pool=None)
+    expected = union_directives(harvest(a, pool=None), harvest(b, pool=None))
+    assert federated.to_text() == expected.to_text()
+    # member order must not matter
+    assert harvest([b, a], pool=None).to_text() == federated.to_text()
+
+
+# ---------------------------------------------------------------------------
+# the pool: O(Δ) re-harvest and the token race
+# ---------------------------------------------------------------------------
+def test_pool_incremental_fold_after_write(tmp_path):
+    store = _store(tmp_path / "incr", n=3)
+    pool = StorePool()
+    first = pool.harvest(store)
+    assert pool.harvest(store) is first  # token unchanged: cache hit
+    store.save(make_run(7))
+    refolded = pool.harvest(store)
+    stats = pool.stats()
+    assert stats["harvest_incremental"] == 1, \
+        "post-write re-harvest should fold only the delta"
+    assert refolded.to_text() == _scan_text(store)
+    # a delete breaks the append-only proof: next harvest rescans but
+    # still answers correctly
+    store.delete("run-001")
+    assert pool.harvest(store).to_text() == _scan_text(store)
+    assert pool.stats()["harvest_incremental"] == 1
+
+
+def test_pool_does_not_cache_when_token_races(tmp_path):
+    """A write landing mid-extraction must not pin the extracted
+    directives to a token they no longer describe."""
+    store = _store(tmp_path / "race", n=3)
+    pool = StorePool()
+    real_token = store.index_token
+    calls = {"n": 0}
+
+    def racing_token():
+        calls["n"] += 1
+        if calls["n"] == 1:
+            return ("raced-away", 0)  # the state extraction started from
+        return real_token()
+
+    store.index_token = racing_token
+    try:
+        raced = pool.harvest(store)
+    finally:
+        store.index_token = real_token
+    assert calls["n"] >= 2, "pool must re-read the token after extraction"
+    assert raced.to_text() == _scan_text(store)
+    assert pool.stats()["harvest_entries"] == 0, \
+        "a raced harvest must not be cached"
+    again = pool.harvest(store)
+    assert again.to_text() == raced.to_text()
+    assert pool.stats()["harvest_misses"] == 2
+    assert pool.harvest(store) is again
+    assert pool.stats()["harvest_hits"] == 1
+
+
+# ---------------------------------------------------------------------------
+# degrade-to-rescan: crashes and missing aggregates are never wrong
+# ---------------------------------------------------------------------------
+def _reopen(root) -> ExperimentStore:
+    return ExperimentStore(root, auto_compact=0, resilience=False,
+                           cache_size=0)
+
+
+@pytest.mark.parametrize("at", [0, 2])
+def test_crash_during_seal_degrades_never_wrong(tmp_path, at):
+    """Kill the writer at each atomic-rename boundary inside a save's
+    index-segment seal (``at`` counts the save's replace calls: 0 = the
+    state-file claim, 2 = the segment seal itself; 1 is the record
+    payload, excluded by ``path_part``): whatever prefix survived, the
+    reopened store's aggregate-served harvest must equal its scan-route
+    harvest."""
+    seed = 8101 + at
+    root = tmp_path / f"seal-{at}"
+    store = ExperimentStore(root, auto_compact=0, resilience=False)
+    for i in range(2):
+        store.save(make_run(i))
+    plan = IOFaultPlan(seed=seed, faults=(
+        IOFault(op="replace", at=at, kind="crash", times=99,
+                path_part="segments"),
+    ))
+    with io_faults.injected(plan) as injector:
+        with pytest.raises(SimulatedCrash):
+            store.save(make_run(2))
+    assert injector.injected, f"seed={seed}: plan never fired"
+    reopened = _reopen(root)
+    context = f"seed={seed} at={at}: aggregate route diverged after crash"
+    assert reopened.harvest_evidence().finalize().to_text() == \
+        _scan_text(reopened), context
+    # recovery: rebuild backfills a full aggregate over what survived
+    reopened.rebuild_index()
+    rebuilt = _reopen(root)
+    info = rebuilt.info()
+    assert info.aggregated_runs == info.runs, context
+    assert rebuilt.harvest_evidence().finalize().to_text() == \
+        _scan_text(rebuilt), context
+
+
+def test_crash_before_sidecar_write_goes_stale_then_rescans(tmp_path):
+    """Kill compaction after the base rename but before the aggregate
+    sidecar lands: the stale sidecar must be rejected (coverage drops to
+    zero), the harvest must rescan to the right answer, and a rebuild
+    must restore coverage."""
+    seed = 8201
+    root = tmp_path / "stale"
+    store = ExperimentStore(root, auto_compact=0, resilience=False)
+    for i in range(3):
+        store.save(make_run(i))
+    store.compact()  # a valid sidecar for the current base exists now
+    store.save(make_run(3))  # new segment → next compact must refresh it
+    plan = IOFaultPlan(seed=seed, faults=(
+        IOFault(op="replace", at=0, kind="crash", times=99,
+                path_part="index.aggregate"),
+    ))
+    with io_faults.injected(plan) as injector:
+        with pytest.raises(SimulatedCrash):
+            store.compact()
+    assert injector.injected, f"seed={seed}: plan never fired"
+    reopened = _reopen(root)
+    info = reopened.info()
+    assert info.runs == 4, f"seed={seed}: compaction lost runs"
+    assert info.aggregated_runs == 0, \
+        f"seed={seed}: stale sidecar accepted after crash"
+    assert reopened.backend.harvest_aggregate() is None
+    assert reopened.harvest_evidence().finalize().to_text() == \
+        _scan_text(reopened)
+    reopened.rebuild_index()
+    rebuilt = _reopen(root)
+    assert rebuilt.info().aggregated_runs == 4
+    assert rebuilt.harvest_evidence().finalize().to_text() == \
+        _scan_text(rebuilt)
+
+
+def test_pre_aggregate_segment_folds_per_op(tmp_path):
+    """A sealed segment written without an embedded aggregate (an older
+    writer) still harvests exactly: the fast path folds its ops one by
+    one instead of bailing out."""
+    root = tmp_path / "old-seg"
+    store = _store(root, n=3)
+    seg_dir = root / "segments"
+    seg = sorted(p for p in seg_dir.iterdir() if p.suffix == ".json")[1]
+    data = json.loads(seg.read_text())
+    assert "aggregate" in data, "new segments should embed an aggregate"
+    del data["aggregate"]
+    seg.write_text(json.dumps(data))
+    reopened = _reopen(root)
+    info = reopened.info()
+    assert info.aggregated_segments == info.segments - 1
+    assert reopened.backend.harvest_aggregate() is not None
+    assert reopened.harvest_evidence().finalize().to_text() == \
+        _scan_text(reopened)
+
+
+def test_unparseable_segment_forces_rescan_not_wrong(tmp_path):
+    """Garbage where a segment's ops should be degrades the aggregate
+    to ``None`` — the harvest rescans (and the scan itself sees the
+    merged view the backend serves), never inventing directives."""
+    root = tmp_path / "garbage"
+    store = _store(root, n=3)
+    seg_dir = root / "segments"
+    seg = sorted(p for p in seg_dir.iterdir() if p.suffix == ".json")[1]
+    data = json.loads(seg.read_text())
+    del data["aggregate"]
+    for op in data["ops"]:
+        op["meta"].pop("summary", None)  # unsummarized put: unprovable
+    seg.write_text(json.dumps(data))
+    reopened = _reopen(root)
+    assert reopened.backend.harvest_aggregate() is None
+    assert reopened.harvest_evidence().finalize().to_text() == \
+        _scan_text(reopened)
